@@ -1,0 +1,118 @@
+"""E19 -- what the EchelonFlow *structure* buys over raw deadlines.
+
+The scheduler uses two pieces of application knowledge: arrangement
+deadlines AND group structure (stage-level MADD pacing, group-level
+ranking). `EdfFlowScheduler` keeps only the deadlines. This ablation
+measures the gap:
+
+* synthetic pacing case: a coflow bottlenecked on one port paces its
+  side-port flow, freeing the port for an urgent competitor -- per-flow
+  EDF hogs it instead;
+* full workloads: without cross-group contention the two coincide
+  (structure is free), quantified on the single-job battery.
+"""
+
+import pytest
+
+from repro.analysis import comp_finish_time, format_table
+from repro.core.arrangement import CoflowArrangement
+from repro.core.echelonflow import EchelonFlow
+from repro.core.flow import Flow
+from repro.core.units import gbps, megabytes
+from repro.scheduling import EchelonMaddScheduler, EdfFlowScheduler
+from repro.simulator import Engine, TaskDag
+from repro.topology import big_switch, linear_chain
+from repro.workloads import (
+    build_fsdp,
+    build_pp_gpipe,
+    uniform_model,
+)
+
+MODEL = uniform_model(
+    "u8",
+    8,
+    param_bytes_per_layer=megabytes(40),
+    activation_bytes=megabytes(20),
+    forward_time=0.004,
+)
+
+
+def _pacing_case(scheduler_cls):
+    engine = Engine(big_switch(4, 1.0), scheduler_cls())
+    ef = EchelonFlow("A", CoflowArrangement(), job_id="A")
+    big = Flow("h0", "h1", 10.0, group_id="A", job_id="A")
+    small = Flow("h2", "h3", 2.0, group_id="A", job_id="A")
+    ef.add_flow(big)
+    ef.add_flow(small)
+    dag_a = TaskDag("A")
+    dag_a.add_comm("x", [big, small])
+    engine.submit(dag_a, echelonflows=(ef,))
+    ef_b = EchelonFlow("B", CoflowArrangement(), job_id="B")
+    b_flow = Flow("h2", "h3", 2.0, group_id="B", job_id="B")
+    ef_b.add_flow(b_flow)
+    dag_b = TaskDag("B")
+    dag_b.add_comm("y", [b_flow])
+    engine.submit(dag_b, at_time=0.1, echelonflows=(ef_b,))
+    trace = engine.run()
+    by_group = {}
+    for record in trace.flow_records:
+        by_group[record.flow.group_id] = max(
+            by_group.get(record.flow.group_id, 0.0), record.finish
+        )
+    return by_group["A"], by_group["B"]
+
+
+def test_pacing_case_echelon(benchmark):
+    a, b = benchmark(_pacing_case, EchelonMaddScheduler)
+    assert a > b
+
+
+def test_structure_ablation(benchmark, report):
+    def sweep():
+        rows = []
+        ech_a, ech_b = _pacing_case(EchelonMaddScheduler)
+        edf_a, edf_b = _pacing_case(EdfFlowScheduler)
+        rows.append(["pacing case: coflow A CCT", ech_a, edf_a])
+        rows.append(["pacing case: competitor B CCT", ech_b, edf_b])
+        for label, build, topo in (
+            (
+                "FSDP comp finish",
+                lambda: build_fsdp("j", MODEL, ["h0", "h1", "h2", "h3"]),
+                lambda: big_switch(4, gbps(10)),
+            ),
+            (
+                "PP comp finish",
+                lambda: build_pp_gpipe(
+                    "j", MODEL, ["h0", "h1", "h2", "h3"], num_micro_batches=4
+                ),
+                lambda: linear_chain(4, gbps(10)),
+            ),
+        ):
+            values = []
+            for scheduler_cls in (EchelonMaddScheduler, EdfFlowScheduler):
+                job = build()
+                engine = Engine(topo(), scheduler_cls())
+                job.submit_to(engine)
+                values.append(comp_finish_time(engine.run()))
+            rows.append([label, values[0], values[1]])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "E19_structure_ablation",
+        format_table(
+            ["case", "echelon (full structure)", "per-flow EDF (deadlines only)"],
+            rows,
+            title="Ablation: group structure vs raw arrangement deadlines",
+        ),
+    )
+    by_case = {row[0]: (row[1], row[2]) for row in rows}
+    # Pacing frees the side port: B much sooner, A unharmed.
+    a_ech, a_edf = by_case["pacing case: coflow A CCT"]
+    b_ech, b_edf = by_case["pacing case: competitor B CCT"]
+    assert a_ech == pytest.approx(a_edf, rel=1e-6)
+    assert b_ech < b_edf - 0.5
+    # Single-job workloads: structure costs nothing.
+    for label in ("FSDP comp finish", "PP comp finish"):
+        ech, edf = by_case[label]
+        assert ech <= edf * 1.001

@@ -1,0 +1,121 @@
+"""E15 -- dynamic multi-tenant cluster (extended).
+
+The paper motivates EchelonFlow with "a shared, highly dynamic network
+with competing training jobs". This bench runs a Poisson stream of mixed
+jobs (DP / PP / FSDP) through admission control, first-fit placement with
+queueing, and host release -- then compares coordinator algorithms on mean
+job completion (including queueing) and on the tail.
+"""
+
+import pytest
+
+from repro.analysis import format_table, percentile
+from repro.core.units import gbps, megabytes
+from repro.scheduling import (
+    CoflowMaddScheduler,
+    EchelonMaddScheduler,
+    FairSharingScheduler,
+    SincroniaScheduler,
+)
+from repro.simulator import Engine
+from repro.topology import big_switch
+from repro.workloads import (
+    ClusterManager,
+    JobTemplate,
+    build_dp_allreduce,
+    build_fsdp,
+    build_pp_gpipe,
+    poisson_arrivals,
+    uniform_model,
+)
+from repro.workloads.placement import ClusterPlacer
+
+MODEL = uniform_model(
+    "u8",
+    8,
+    param_bytes_per_layer=megabytes(25),
+    activation_bytes=megabytes(10),
+    forward_time=0.003,
+)
+
+TEMPLATES = [
+    JobTemplate(
+        "dp",
+        lambda jid, ws: build_dp_allreduce(
+            jid, MODEL, ws, bucket_bytes=megabytes(50)
+        ),
+        worker_count=4,
+        weight=2.0,
+    ),
+    JobTemplate(
+        "pp",
+        lambda jid, ws: build_pp_gpipe(jid, MODEL, ws, num_micro_batches=4),
+        worker_count=4,
+        weight=1.0,
+    ),
+    JobTemplate(
+        "fsdp",
+        lambda jid, ws: build_fsdp(jid, MODEL, ws),
+        worker_count=4,
+        weight=1.0,
+    ),
+]
+
+N_JOBS = 24
+ARRIVAL_RATE = 15.0  # jobs/s over a 12-host cluster: sustained contention
+N_HOSTS = 12
+SEED = 2022
+
+
+def _run(scheduler):
+    topo = big_switch(N_HOSTS, gbps(10))
+    engine = Engine(topo, scheduler)
+    manager = ClusterManager(engine, ClusterPlacer(topo))
+    manager.schedule(poisson_arrivals(TEMPLATES, ARRIVAL_RATE, N_JOBS, seed=SEED))
+    engine.run()
+    jcts = [r.completion_time for r in manager.completed_records()]
+    return {
+        "completed": len(jcts),
+        "mean_jct": sum(jcts) / len(jcts),
+        "p95_jct": percentile(jcts, 95),
+        "mean_queue": manager.mean_queueing_delay(),
+    }
+
+
+def test_dynamic_cluster_echelon(benchmark):
+    stats = benchmark(_run, EchelonMaddScheduler())
+    assert stats["completed"] == N_JOBS
+
+
+def test_dynamic_cluster_comparison(benchmark, report):
+    schedulers = [
+        ("fair", FairSharingScheduler),
+        ("coflow", CoflowMaddScheduler),
+        ("sincronia", SincroniaScheduler),
+        ("echelon", EchelonMaddScheduler),
+    ]
+
+    def sweep():
+        return {name: _run(cls()) for name, cls in schedulers}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [name, s["completed"], s["mean_jct"], s["p95_jct"], s["mean_queue"]]
+        for name, s in results.items()
+    ]
+    report(
+        "E15_dynamic_cluster",
+        format_table(
+            ["scheduler", "completed", "mean JCT", "p95 JCT", "mean queueing"],
+            rows,
+            title=(
+                f"Dynamic cluster: {N_JOBS} Poisson arrivals "
+                f"(DP:PP:FSDP = 2:1:1) on {N_HOSTS} hosts"
+            ),
+        ),
+    )
+    for name, stats in results.items():
+        assert stats["completed"] == N_JOBS, name
+    # Echelon should beat unscheduled fair sharing on both mean and tail.
+    assert results["echelon"]["mean_jct"] <= results["fair"]["mean_jct"] + 1e-9
+    assert results["echelon"]["p95_jct"] <= results["fair"]["p95_jct"] * 1.05

@@ -1,0 +1,105 @@
+"""E3 -- Fig. 1a: the GPipe computation timeline and its bubbles.
+
+Reproduces the 4-worker x 4-micro-batch pipeline timeline (forward 1..4,
+then backward 4..1 with the end-of-iteration barrier) and checks the grey
+idle areas against GPipe's analytic bubble fraction (p-1)/(m+p-1) on the
+forward phase under a fast network.
+"""
+
+import pytest
+
+from repro.analysis import (
+    format_table,
+    gpu_idleness,
+    pipeline_bubble_fraction,
+    render_device_timeline,
+)
+from repro.scheduling import EchelonMaddScheduler
+from repro.simulator import Engine
+from repro.topology import linear_chain
+from repro.workloads import build_pp_gpipe, uniform_model
+
+STAGES = 4
+MICRO_BATCHES = 4
+MODEL = uniform_model(
+    "u8", 8, param_bytes_per_layer=1e4, activation_bytes=1e3, forward_time=1.0,
+    backward_time=1.0,
+)
+
+
+def _run(bandwidth=1e9):
+    job = build_pp_gpipe(
+        "fig1", MODEL, [f"h{i}" for i in range(STAGES)], MICRO_BATCHES
+    )
+    engine = Engine(linear_chain(STAGES, bandwidth), EchelonMaddScheduler())
+    job.submit_to(engine)
+    return engine.run()
+
+
+def test_fig1_simulation(benchmark):
+    trace = benchmark(_run)
+    assert trace.end_time > 0
+
+
+def test_fig1_timeline_and_bubbles(benchmark, report):
+    trace = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    # Makespan of a synchronous pipeline with negligible comm:
+    # (m + p - 1) * (T_f + T_b) per iteration for equal fwd/bwd times.
+    per_mb_fwd = MODEL.total_forward_time / STAGES / MICRO_BATCHES
+    per_mb_bwd = MODEL.total_backward_time / STAGES / MICRO_BATCHES
+    ideal = (MICRO_BATCHES + STAGES - 1) * (per_mb_fwd + per_mb_bwd)
+    assert trace.end_time == pytest.approx(ideal, rel=0.01)
+
+    # Idle fraction over the whole iteration equals the bubble fraction.
+    analytic = pipeline_bubble_fraction(STAGES, MICRO_BATCHES)
+    idleness = gpu_idleness(trace, horizon=trace.end_time)
+    measured = 1.0 - idleness.total_busy / (STAGES * trace.end_time)
+    assert measured == pytest.approx(analytic, rel=0.02)
+
+    art = render_device_timeline(trace, width=64)
+    table = format_table(
+        ["quantity", "analytic", "measured"],
+        [
+            ["bubble fraction", analytic, measured],
+            ["iteration makespan", ideal, trace.end_time],
+        ],
+        title="Fig. 1a: GPipe 4x4 timeline",
+    )
+    report("E3_fig1_pp_timeline", table + "\n\n" + art)
+
+
+def test_fig1_bubble_scaling(benchmark, report):
+    """Bubble fraction across micro-batch counts tracks (p-1)/(m+p-1)."""
+
+    def sweep():
+        rows = []
+        for micro_batches in (2, 4, 8, 16):
+            job = build_pp_gpipe(
+                "j", MODEL, [f"h{i}" for i in range(STAGES)], micro_batches
+            )
+            engine = Engine(linear_chain(STAGES, 1e9), EchelonMaddScheduler())
+            job.submit_to(engine)
+            trace = engine.run()
+            idleness = gpu_idleness(trace, horizon=trace.end_time)
+            measured = 1.0 - idleness.total_busy / (STAGES * trace.end_time)
+            rows.append(
+                [
+                    micro_batches,
+                    pipeline_bubble_fraction(STAGES, micro_batches),
+                    measured,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for micro_batches, analytic, measured in rows:
+        assert measured == pytest.approx(analytic, rel=0.05)
+    report(
+        "E3b_fig1_bubble_scaling",
+        format_table(
+            ["micro-batches", "analytic bubble", "measured idle"],
+            rows,
+            title="GPipe bubble fraction vs micro-batch count (p=4)",
+        ),
+    )

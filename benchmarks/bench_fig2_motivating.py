@@ -1,0 +1,83 @@
+"""E1 -- Fig. 2: the motivating example.
+
+Three micro-batch forward transfers of 2B bytes over a B-bandwidth link,
+released at t = 0, 1, 2; the consumer computes each micro-batch for 2 time
+units in order. The paper reports computation finish times for (a) fair
+sharing, (b) Coflow scheduling, and (c) EchelonFlow scheduling, with
+EchelonFlow optimal at 8 and Coflow *worse than fair sharing*.
+
+Our reproduction: echelon = 8 exactly; fair = 9.5; coflow = 12 (online
+SEBF+MADD). The paper's figure-extraction ambiguity is documented in
+DESIGN.md; the ordering echelon < fair < coflow is the claim under test.
+"""
+
+import pytest
+
+from repro.analysis import comp_finish_time, format_table
+from repro.scheduling import (
+    CoflowMaddScheduler,
+    EchelonMaddScheduler,
+    FairSharingScheduler,
+    PipelineStageSpec,
+    ShortestFlowFirstScheduler,
+    single_link_pipeline_optimum,
+)
+from repro.simulator import Engine
+from repro.topology import two_hosts
+from repro.workloads import build_pipeline_segment
+
+RELEASES = [0.0, 1.0, 2.0]
+SIZES = [2.0, 2.0, 2.0]
+COMPUTES = [2.0, 2.0, 2.0]
+
+SCHEDULERS = [
+    ("fair", FairSharingScheduler),
+    ("sjf", ShortestFlowFirstScheduler),
+    ("coflow", CoflowMaddScheduler),
+    ("echelon", EchelonMaddScheduler),
+]
+
+
+def _run_once(scheduler_cls):
+    job = build_pipeline_segment("fig2", "h0", "h1", RELEASES, SIZES, COMPUTES)
+    engine = Engine(two_hosts(1.0), scheduler_cls())
+    job.submit_to(engine)
+    trace = engine.run()
+    return comp_finish_time(trace)
+
+
+@pytest.mark.parametrize("name,scheduler_cls", SCHEDULERS)
+def test_fig2_scheduler(benchmark, name, scheduler_cls):
+    result = benchmark(_run_once, scheduler_cls)
+    assert result > 0
+
+
+def test_fig2_table(benchmark, report):
+    stages = [
+        PipelineStageSpec(release_time=r, flow_size=s, compute_time=c)
+        for r, s, c in zip(RELEASES, SIZES, COMPUTES)
+    ]
+    optimum, _, _ = single_link_pipeline_optimum(stages, 1.0)
+
+    def sweep():
+        return {name: _run_once(cls) for name, cls in SCHEDULERS}
+
+    measured = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for name, _cls in SCHEDULERS:
+        value = measured[name]
+        rows.append([name, value, value / optimum])
+    rows.append(["oracle-optimum", optimum, 1.0])
+    report(
+        "E1_fig2_motivating",
+        format_table(
+            ["scheduler", "comp finish time", "vs optimum"],
+            rows,
+            title="Fig. 2 motivating example (paper: echelon=8, coflow worst)",
+        ),
+    )
+    # The paper's claims:
+    assert measured["echelon"] == pytest.approx(8.0)  # exact paper value
+    assert measured["echelon"] == pytest.approx(optimum)  # optimal (2c)
+    assert measured["echelon"] < measured["fair"]  # 2c beats 2a
+    assert measured["fair"] < measured["coflow"]  # 2b worse than 2a

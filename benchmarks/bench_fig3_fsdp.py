@@ -1,0 +1,107 @@
+"""E5 -- Fig. 3 / Eq. 7: FSDP under the EchelonFlow abstraction.
+
+The all-gather Coflows of one iteration form an EchelonFlow whose ideal
+finish times ramp by T_fwd / T_bwd (Eq. 7). We reproduce:
+
+* scheduler comparison -- echelon < fair < coflow on iteration time
+  ("staggered Coflow finish time", Table 1 row 5);
+* the Eq.-7 constant-distance arrangement vs the exact profiled table
+  (they coincide for homogeneous transformer stacks);
+* a prefetch-depth sweep: deeper prefetch widens the concurrent-allgather
+  window, which grows Coflow's penalty but not EchelonFlow's.
+"""
+
+import pytest
+
+from repro.analysis import comp_finish_time, format_table
+from repro.core.units import gbps, megabytes
+from repro.scheduling import (
+    CoflowMaddScheduler,
+    EchelonMaddScheduler,
+    FairSharingScheduler,
+    ShortestFlowFirstScheduler,
+)
+from repro.simulator import Engine
+from repro.topology import big_switch
+from repro.workloads import build_fsdp, uniform_model
+
+MODEL = uniform_model(
+    "u8",
+    8,
+    param_bytes_per_layer=megabytes(40),
+    activation_bytes=megabytes(20),
+    forward_time=0.004,
+)
+HOSTS = ["h0", "h1", "h2", "h3"]
+
+
+def _run(scheduler, prefetch_limit=2, exact_arrangement=False):
+    job = build_fsdp(
+        "fsdp",
+        MODEL,
+        HOSTS,
+        prefetch_limit=prefetch_limit,
+        exact_arrangement=exact_arrangement,
+    )
+    engine = Engine(big_switch(4, gbps(10)), scheduler)
+    job.submit_to(engine)
+    return comp_finish_time(engine.run())
+
+
+def test_fsdp_echelon(benchmark):
+    assert benchmark(_run, EchelonMaddScheduler()) > 0
+
+
+def test_fig3_scheduler_comparison(benchmark, report):
+    def sweep():
+        return {
+            "fair": _run(FairSharingScheduler()),
+            "sjf": _run(ShortestFlowFirstScheduler()),
+            "coflow": _run(CoflowMaddScheduler()),
+            "echelon (Eq.7)": _run(EchelonMaddScheduler()),
+            "echelon (exact table)": _run(
+                EchelonMaddScheduler(), exact_arrangement=True
+            ),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "E5_fig3_fsdp",
+        format_table(
+            ["scheduler", "comp finish time", "vs echelon"],
+            [
+                [name, value, value / results["echelon (Eq.7)"]]
+                for name, value in results.items()
+            ],
+            title="Fig. 3 / Eq. 7: FSDP iteration under each scheduler",
+        ),
+    )
+    assert results["echelon (Eq.7)"] < results["fair"]
+    assert results["fair"] < results["coflow"]
+    # Homogeneous layers: Eq. 7's constant distances equal the exact table.
+    assert results["echelon (exact table)"] == pytest.approx(
+        results["echelon (Eq.7)"], rel=0.02
+    )
+
+
+def test_fig3_prefetch_sweep(benchmark, report):
+    def sweep():
+        rows = []
+        for prefetch in (1, 2, 4):
+            coflow = _run(CoflowMaddScheduler(), prefetch_limit=prefetch)
+            echelon = _run(EchelonMaddScheduler(), prefetch_limit=prefetch)
+            rows.append([prefetch, coflow, echelon, coflow / echelon])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "E5b_fsdp_prefetch",
+        format_table(
+            ["prefetch depth", "coflow", "echelon", "coflow/echelon"],
+            rows,
+            title="FSDP: prefetch depth vs Coflow penalty",
+        ),
+    )
+    # Echelon never loses to Coflow at any prefetch depth.
+    for _prefetch, coflow, echelon, _ratio in rows:
+        assert echelon <= coflow + 1e-9

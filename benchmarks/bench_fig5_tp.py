@@ -1,0 +1,85 @@
+"""E7 -- Fig. 5 / Eq. 5: Tensor Parallelism is Coflow-compliant.
+
+Megatron-style TP all-reduces activations after every layer's forward and
+gradients after every layer's backward; each all-reduce barriers the next
+layer, so its flows form a Coflow. EchelonFlow must match Coflow exactly;
+a worker-count sweep shows the communication share growing with the TP
+degree (the reason TP stays inside fast domains in practice).
+"""
+
+import pytest
+
+from repro.analysis import comp_finish_time, format_table
+from repro.core.units import gbps, megabytes
+from repro.scheduling import (
+    CoflowMaddScheduler,
+    EchelonMaddScheduler,
+    FairSharingScheduler,
+)
+from repro.simulator import Engine
+from repro.topology import big_switch
+from repro.workloads import build_tp_megatron, uniform_model
+
+MODEL = uniform_model(
+    "u8",
+    8,
+    param_bytes_per_layer=megabytes(40),
+    activation_bytes=megabytes(20),
+    forward_time=0.004,
+)
+
+
+def _run(scheduler, n_workers=4):
+    workers = [f"h{i}" for i in range(n_workers)]
+    job = build_tp_megatron("tp", MODEL, workers)
+    engine = Engine(big_switch(n_workers, gbps(10)), scheduler)
+    job.submit_to(engine)
+    return comp_finish_time(engine.run())
+
+
+def test_tp_echelon(benchmark):
+    assert benchmark(_run, EchelonMaddScheduler()) > 0
+
+
+def test_fig5_compliance(benchmark, report):
+    def sweep():
+        return {
+            "fair": _run(FairSharingScheduler()),
+            "coflow": _run(CoflowMaddScheduler()),
+            "echelon": _run(EchelonMaddScheduler()),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert results["echelon"] == pytest.approx(results["coflow"], rel=1e-9)
+    report(
+        "E7_fig5_tp",
+        format_table(
+            ["scheduler", "comp finish time"],
+            [[k, v] for k, v in results.items()],
+            title="Fig. 5 / Eq. 5: TP per-layer all-reduces are Coflows",
+        ),
+    )
+
+
+def test_fig5_worker_scaling(benchmark, report):
+    def sweep():
+        rows = []
+        for n_workers in (2, 4, 8):
+            value = _run(EchelonMaddScheduler(), n_workers=n_workers)
+            compute_share = (
+                (MODEL.total_forward_time + MODEL.total_backward_time) / n_workers
+            ) / value
+            rows.append([n_workers, value, compute_share])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "E7b_tp_scaling",
+        format_table(
+            ["TP degree", "comp finish time", "compute share"],
+            rows,
+            title="TP: communication dominates as the degree grows",
+        ),
+    )
+    shares = [share for _n, _v, share in rows]
+    assert shares == sorted(shares, reverse=True)

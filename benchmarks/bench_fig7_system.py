@@ -1,0 +1,101 @@
+"""E11 -- Fig. 7 / Section 5: the EchelonFlow scheduling system.
+
+Runs training jobs through the full control plane -- framework adapters
+reporting EchelonFlows to per-job Agents, the cluster Coordinator computing
+allocations, and WFQ priority-queue enforcement at the backends -- and
+quantifies two things the sketch leaves open:
+
+* **control-plane traffic**: requests registered and coordinator
+  invocations per job (the algorithm "reruns per EchelonFlow
+  arrival/departure");
+* **enforcement fidelity**: how much the 8-queue quantization of Section 5
+  costs versus ideal coordinator rates.
+"""
+
+import pytest
+
+from repro.analysis import comp_finish_time, format_table
+from repro.core.units import gbps, megabytes
+from repro.system import run_cluster
+from repro.topology import big_switch
+from repro.workloads import build_dp_allreduce, build_fsdp, uniform_model
+
+MODEL = uniform_model(
+    "u8",
+    8,
+    param_bytes_per_layer=megabytes(40),
+    activation_bytes=megabytes(20),
+    forward_time=0.004,
+)
+
+
+def _jobs():
+    return [
+        (build_fsdp("fsdp-job", MODEL, ["h0", "h1", "h2", "h3"]), 0.0),
+        (
+            build_dp_allreduce(
+                "dp-job", MODEL, ["h4", "h5", "h6", "h7"], bucket_bytes=megabytes(80)
+            ),
+            0.01,
+        ),
+    ]
+
+
+def _run(enforce_with_queues, num_queues=8):
+    return run_cluster(
+        big_switch(8, gbps(10)),
+        _jobs(),
+        enforce_with_queues=enforce_with_queues,
+        num_queues=num_queues,
+    )
+
+
+def test_system_stack(benchmark):
+    run = benchmark(_run, False)
+    assert run.trace.end_time > 0
+
+
+def test_fig7_control_plane_and_enforcement(benchmark, report):
+    def sweep():
+        ideal = _run(False)
+        rows = [["ideal rates (no quantization)", comp_finish_time(ideal.trace)]]
+        for num_queues in (2, 4, 8, 16):
+            enforced = _run(True, num_queues=num_queues)
+            rows.append(
+                [f"WFQ enforcement, {num_queues} queues",
+                 comp_finish_time(enforced.trace)]
+            )
+        return ideal, rows
+
+    ideal, rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    coordinator = ideal.coordinator
+    n_requests = len(coordinator.request_log)
+    n_invocations = coordinator.invocations
+    assert n_requests == sum(len(job.echelonflows) for job, _t in _jobs())
+    assert n_invocations > 0
+
+    ideal_finish = rows[0][1]
+    eight_queue_finish = dict((label, v) for label, v in rows)[
+        "WFQ enforcement, 8 queues"
+    ]
+    # Section 5's 8-queue enforcement should stay within 25% of ideal.
+    assert eight_queue_finish <= 1.25 * ideal_finish
+    # More queues -> closer to ideal.
+    assert rows[-1][1] <= rows[1][1] + 1e-9
+
+    control = format_table(
+        ["control-plane quantity", "count"],
+        [
+            ["EchelonFlow requests registered", n_requests],
+            ["coordinator invocations", n_invocations],
+            ["bandwidth allocations issued", len(coordinator.allocation_log)],
+        ],
+        title="Fig. 7: control-plane traffic for a 2-job cluster",
+    )
+    enforcement = format_table(
+        ["configuration", "comp finish time"],
+        rows,
+        title="Section 5: WFQ priority-queue enforcement fidelity",
+    )
+    report("E11_fig7_system", control + "\n\n" + enforcement)

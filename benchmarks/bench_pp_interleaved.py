@@ -1,0 +1,94 @@
+"""E24 -- interleaved virtual stages: the PP variant sweep (extended).
+
+The paper notes later PP implementations reorder computation to shave the
+bubble; Megatron-LM's interleaved schedule splits each worker's stage
+into ``v`` virtual chunks. This bench sweeps ``v`` on both a fast and a
+contended network: interleaving buys bubble on fast networks but
+multiplies boundary traffic, so under contention the tradeoff *reverses*
+-- deeper interleaving loses once the network is the bottleneck, at every
+scheduler. Choosing the interleaving depth is a network decision.
+"""
+
+import pytest
+
+from repro.analysis import comp_finish_time, format_table, gpu_idleness
+from repro.core.units import gbps, megabytes
+from repro.scheduling import (
+    CoflowMaddScheduler,
+    EchelonMaddScheduler,
+    FairSharingScheduler,
+)
+from repro.simulator import Engine
+from repro.topology import big_switch
+from repro.workloads import build_pp_interleaved, uniform_model
+
+MODEL = uniform_model(
+    "u16",
+    16,
+    param_bytes_per_layer=megabytes(20),
+    activation_bytes=megabytes(20),
+    forward_time=0.002,
+)
+HOSTS = ["h0", "h1", "h2", "h3"]
+MICRO_BATCHES = 8
+
+
+def _run(virtual_stages, bandwidth, scheduler):
+    job = build_pp_interleaved(
+        "pp", MODEL, HOSTS, MICRO_BATCHES, virtual_stages=virtual_stages
+    )
+    engine = Engine(big_switch(4, bandwidth), scheduler)
+    job.submit_to(engine)
+    trace = engine.run()
+    report = gpu_idleness(trace, horizon=trace.end_time)
+    idle = 1.0 - report.total_busy / (len(HOSTS) * trace.end_time)
+    return comp_finish_time(trace), idle
+
+
+def test_interleaved_echelon(benchmark):
+    finish, _idle = benchmark(_run, 2, gbps(3), EchelonMaddScheduler())
+    assert finish > 0
+
+
+def test_virtual_stage_sweep(benchmark, report):
+    def sweep():
+        rows = []
+        for v in (1, 2, 4):
+            fast, fast_idle = _run(v, gbps(10000), FairSharingScheduler())
+            fair, _ = _run(v, gbps(3), FairSharingScheduler())
+            coflow, _ = _run(v, gbps(3), CoflowMaddScheduler())
+            echelon, _ = _run(v, gbps(3), EchelonMaddScheduler())
+            rows.append([v, fast, fast_idle, fair, coflow, echelon])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "E24_pp_interleaved",
+        format_table(
+            [
+                "virtual stages",
+                "fast-net iter time",
+                "fast-net idle share",
+                "3Gbps fair",
+                "3Gbps coflow",
+                "3Gbps echelon",
+            ],
+            rows,
+            title="Interleaved PP: bubble vs boundary-traffic tradeoff",
+        ),
+    )
+    # Fast network: interleaving monotonically shrinks bubble & makespan.
+    fast_times = [row[1] for row in rows]
+    idles = [row[2] for row in rows]
+    assert fast_times == sorted(fast_times, reverse=True)
+    assert idles == sorted(idles, reverse=True)
+    # Contended network: at every interleaving depth echelon is the best
+    # scheduler and coflow the worst ...
+    for _v, _fast, _idle, fair, coflow, echelon in rows:
+        assert echelon < fair < coflow
+    # ... but the tradeoff flips direction: the v-fold boundary traffic
+    # outweighs the bubble savings once the network is the bottleneck, so
+    # deeper interleaving *hurts* at 3 Gbps. Picking v is a network
+    # question, not just a compute one -- which is the point.
+    echelon_times = [row[5] for row in rows]
+    assert echelon_times == sorted(echelon_times)

@@ -1,0 +1,146 @@
+"""E8 -- Property 1: EchelonFlow scheduling minimizes completion times.
+
+Exact optimality is certified where an oracle exists (the single-link
+pipeline of Fig. 2); for full paradigms we certify near-optimality against
+the paradigm-agnostic lower bounds (device work, critical path, link work).
+The interesting number is the ratio measured/bound: 1.0 means provably
+optimal, and anything close means little is left on the table.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import comp_finish_time, format_table
+from repro.core.units import gbps, megabytes
+from repro.scheduling import (
+    EchelonMaddScheduler,
+    PipelineStageSpec,
+    makespan_lower_bounds,
+    single_link_pipeline_optimum,
+)
+from repro.simulator import Engine
+from repro.topology import big_switch, linear_chain, two_hosts
+from repro.workloads import (
+    build_dp_allreduce,
+    build_fsdp,
+    build_pp_gpipe,
+    build_pipeline_segment,
+    build_tp_megatron,
+    uniform_model,
+)
+
+MODEL = uniform_model(
+    "u8",
+    8,
+    param_bytes_per_layer=megabytes(40),
+    activation_bytes=megabytes(20),
+    forward_time=0.004,
+)
+HOSTS = ["h0", "h1", "h2", "h3"]
+
+
+def test_pipeline_segments_match_oracle(benchmark, report):
+    """Random single-link pipelines: echelon == optimum on every one."""
+    rng = random.Random(2022)
+
+    def sweep():
+        rows = []
+        for trial in range(12):
+            count = rng.randint(2, 6)
+            releases, t = [], 0.0
+            for _ in range(count):
+                releases.append(t)
+                t += rng.uniform(0.0, 2.0)
+            size = rng.uniform(0.5, 4.0)
+            compute = rng.uniform(0.5, 3.0)
+            sizes = [size] * count
+            computes = [compute] * count
+            stages = [
+                PipelineStageSpec(r, s, c)
+                for r, s, c in zip(releases, sizes, computes)
+            ]
+            optimum, _, _ = single_link_pipeline_optimum(stages, 1.0)
+            job = build_pipeline_segment(
+                f"seg{trial}", "h0", "h1", releases, sizes, computes
+            )
+            engine = Engine(two_hosts(1.0), EchelonMaddScheduler())
+            job.submit_to(engine)
+            measured = comp_finish_time(engine.run())
+            rows.append([trial, count, optimum, measured, measured / optimum])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for _trial, _count, optimum, measured, _ratio in rows:
+        assert measured == pytest.approx(optimum, rel=1e-6)
+    report(
+        "E8_property1_segments",
+        format_table(
+            ["trial", "micro-batches", "oracle optimum", "echelon", "ratio"],
+            rows,
+            title="Property 1: echelon == oracle on single-link pipelines",
+        ),
+    )
+
+
+def test_paradigms_near_lower_bounds(benchmark, report):
+    cases = {
+        "DP-AllReduce": (
+            lambda: build_dp_allreduce("j", MODEL, HOSTS, bucket_bytes=megabytes(80)),
+            lambda: big_switch(4, gbps(10)),
+        ),
+        "PP-GPipe": (
+            lambda: build_pp_gpipe("j", MODEL, HOSTS, num_micro_batches=8),
+            lambda: linear_chain(4, gbps(10)),
+        ),
+        "TP": (
+            lambda: build_tp_megatron("j", MODEL, HOSTS),
+            lambda: big_switch(4, gbps(10)),
+        ),
+        "FSDP": (
+            lambda: build_fsdp("j", MODEL, HOSTS),
+            lambda: big_switch(4, gbps(10)),
+        ),
+    }
+
+    def sweep():
+        rows = []
+        for label, (build_job, build_topo) in cases.items():
+            job = build_job()
+            topo = build_topo()
+            bounds = makespan_lower_bounds(job.dag, topo)
+            engine = Engine(topo, EchelonMaddScheduler())
+            job.submit_to(engine)
+            trace = engine.run()
+            measured = trace.end_time
+            rows.append(
+                [
+                    label,
+                    bounds.device_work,
+                    bounds.critical_path,
+                    bounds.link_work,
+                    measured,
+                    measured / bounds.best,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for label, _dw, _cp, _lw, measured, ratio in rows:
+        assert ratio >= 1.0 - 1e-9, label
+        assert ratio <= 2.0, f"{label} leaves too much on the table ({ratio:.2f}x)"
+    report(
+        "E8b_property1_bounds",
+        format_table(
+            [
+                "paradigm",
+                "device-work LB",
+                "critical-path LB",
+                "link-work LB",
+                "echelon makespan",
+                "vs best LB",
+            ],
+            rows,
+            title="Property 1: echelon vs makespan lower bounds",
+        ),
+    )

@@ -1,0 +1,144 @@
+"""E9 -- Property 2: EchelonFlow is a superset of Coflow.
+
+Three levels of evidence:
+
+1. **Allocation identity**: on an Eq.-5 (Coflow) arrangement the echelon
+   scheduler computes byte-for-byte the MADD rates Varys would.
+2. **CCT identity**: single Coflows complete at exactly ``Gamma`` under
+   both schedulers, across random instances.
+3. **Workload identity**: whole Coflow-compliant paradigms (DP) finish at
+   identical times under both schedulers.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core.coflow import bottleneck_duration
+from repro.core.echelonflow import make_coflow
+from repro.core.flow import Flow
+from repro.core.units import gbps, megabytes
+from repro.scheduling import CoflowMaddScheduler, EchelonMaddScheduler
+from repro.scheduling.base import SchedulerView
+from repro.simulator import Engine, TaskDag
+from repro.simulator.network import NetworkModel
+from repro.topology import ShortestPathRouter, big_switch
+from repro.workloads import build_dp_allreduce, uniform_model
+
+
+def _random_coflow(rng, n_hosts, n_flows):
+    hosts = [f"h{i}" for i in range(n_hosts)]
+    flows = []
+    for _ in range(n_flows):
+        src, dst = rng.sample(hosts, 2)
+        flows.append(Flow(src, dst, rng.uniform(1.0, 50.0), group_id="c", job_id="j"))
+    return flows
+
+
+def test_allocation_identity(benchmark, report):
+    rng = random.Random(7)
+
+    def sweep():
+        max_gap = 0.0
+        trials = 20
+        for _ in range(trials):
+            n_hosts = rng.randint(2, 6)
+            flows = _random_coflow(rng, n_hosts, rng.randint(1, 8))
+            coflow = make_coflow("c", flows)
+            topo = big_switch(n_hosts, 5.0)
+            network = NetworkModel(topo, ShortestPathRouter(topo))
+            for flow in coflow.flows:
+                state = network.inject(flow, 0.0)
+                coflow.observe_flow_start(flow, 0.0)
+                state.ideal_finish_time = coflow.ideal_finish_time_of(flow)
+            view = SchedulerView(
+                now=0.0, network=network, echelonflows={"c": coflow}
+            )
+            echelon = EchelonMaddScheduler(backfill=False).allocate(view)
+            varys = CoflowMaddScheduler(backfill=False).allocate(view)
+            for flow_id, rate in varys.items():
+                max_gap = max(max_gap, abs(echelon[flow_id] - rate))
+        return trials, max_gap
+
+    trials, max_gap = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert max_gap <= 1e-9
+    report(
+        "E9_property2_allocation",
+        format_table(
+            ["random coflows", "max |echelon - MADD| rate gap"],
+            [[trials, max_gap]],
+            title="Property 2: echelon on Eq.-5 arrangements IS MADD",
+        ),
+    )
+
+
+def test_cct_equals_gamma(benchmark, report):
+    rng = random.Random(13)
+
+    def run_coflow(flows, scheduler, n_hosts):
+        engine = Engine(big_switch(n_hosts, 5.0), scheduler)
+        coflow = make_coflow("c", flows)
+        dag = TaskDag("j")
+        dag.add_comm("x", list(coflow.flows))
+        engine.submit(dag, echelonflows=(coflow,))
+        return engine.run().end_time
+
+    def sweep():
+        rows = []
+        for trial in range(8):
+            n_hosts = rng.randint(3, 6)
+            flows = _random_coflow(rng, n_hosts, rng.randint(2, 10))
+            caps = {f"h{i}": 5.0 for i in range(n_hosts)}
+            gamma = bottleneck_duration(flows, caps, caps)
+            varys_flows = [
+                Flow(f.src, f.dst, f.size, group_id="c", job_id="j") for f in flows
+            ]
+            echelon_time = run_coflow(flows, EchelonMaddScheduler(), n_hosts)
+            varys_time = run_coflow(varys_flows, CoflowMaddScheduler(), n_hosts)
+            rows.append([trial, gamma, varys_time, echelon_time])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for _trial, gamma, varys_time, echelon_time in rows:
+        assert varys_time == pytest.approx(gamma, rel=1e-6)
+        assert echelon_time == pytest.approx(gamma, rel=1e-6)
+    report(
+        "E9b_property2_cct",
+        format_table(
+            ["trial", "Gamma (optimal CCT)", "Varys CCT", "echelon CCT"],
+            rows,
+            title="Property 2: single-Coflow CCT = Gamma under both schedulers",
+        ),
+    )
+
+
+def test_workload_identity_on_dp(benchmark, report):
+    model = uniform_model(
+        "u8",
+        8,
+        param_bytes_per_layer=megabytes(40),
+        activation_bytes=megabytes(20),
+        forward_time=0.004,
+    )
+    workers = ["h0", "h1", "h2", "h3"]
+
+    def run(scheduler):
+        job = build_dp_allreduce("j", model, workers, bucket_bytes=megabytes(80))
+        engine = Engine(big_switch(4, gbps(10)), scheduler)
+        job.submit_to(engine)
+        return engine.run().end_time
+
+    def sweep():
+        return run(CoflowMaddScheduler()), run(EchelonMaddScheduler())
+
+    coflow_time, echelon_time = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert echelon_time == pytest.approx(coflow_time, rel=1e-9)
+    report(
+        "E9c_property2_workload",
+        format_table(
+            ["scheduler", "DP job completion"],
+            [["coflow (Varys)", coflow_time], ["echelon", echelon_time]],
+            title="Property 2 at workload level: identical DP schedules",
+        ),
+    )

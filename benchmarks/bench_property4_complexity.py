@@ -1,0 +1,89 @@
+"""E10 -- Property 4: the adapted MADD keeps MADD's complexity.
+
+We measure wall-clock cost of one scheduling invocation (the coordinator's
+inner loop) for Varys' SEBF+MADD and for the EchelonFlow adaptation, as the
+number of active flows grows. The paper's claim is that the adaptation
+changes the *metric*, not the *complexity*: the echelon/coflow cost ratio
+should stay bounded (roughly constant) as instances grow.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core.arrangement import StaggeredArrangement
+from repro.core.echelonflow import EchelonFlow
+from repro.core.flow import Flow
+from repro.scheduling import CoflowMaddScheduler, EchelonMaddScheduler
+from repro.scheduling.base import SchedulerView
+from repro.simulator.network import NetworkModel
+from repro.topology import ShortestPathRouter, big_switch
+
+SIZES = (50, 100, 200, 400)
+GROUP_SIZE = 10
+
+
+def _build_view(n_flows, rng):
+    n_hosts = max(4, n_flows // 8)
+    topo = big_switch(n_hosts, 10.0)
+    network = NetworkModel(topo, ShortestPathRouter(topo))
+    echelonflows = {}
+    hosts = topo.hosts
+    for group_index in range(n_flows // GROUP_SIZE):
+        ef_id = f"g{group_index}"
+        ef = EchelonFlow(ef_id, StaggeredArrangement(0.5), job_id="j")
+        for j in range(GROUP_SIZE):
+            src, dst = rng.sample(hosts, 2)
+            flow = Flow(
+                src, dst, rng.uniform(1.0, 100.0), group_id=ef_id, index_in_group=j
+            )
+            ef.add_flow(flow)
+            state = network.inject(flow, 0.0)
+            ef.observe_flow_start(flow, 0.0)
+            state.ideal_finish_time = ef.ideal_finish_time_of(flow)
+        echelonflows[ef_id] = ef
+    return SchedulerView(now=0.0, network=network, echelonflows=echelonflows)
+
+
+def _time_allocations(scheduler, view, repeats=20):
+    start = time.perf_counter()
+    for _ in range(repeats):
+        scheduler.allocate(view)
+    return (time.perf_counter() - start) / repeats
+
+
+@pytest.mark.parametrize("n_flows", SIZES)
+def test_echelon_invocation_cost(benchmark, n_flows):
+    view = _build_view(n_flows, random.Random(n_flows))
+    scheduler = EchelonMaddScheduler()
+    benchmark(scheduler.allocate, view)
+
+
+def test_property4_scaling_table(benchmark, report):
+    def sweep():
+        rows = []
+        for n_flows in SIZES:
+            view = _build_view(n_flows, random.Random(n_flows))
+            coflow_cost = _time_allocations(CoflowMaddScheduler(), view)
+            echelon_cost = _time_allocations(EchelonMaddScheduler(), view)
+            rows.append(
+                [n_flows, coflow_cost * 1e3, echelon_cost * 1e3,
+                 echelon_cost / coflow_cost]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    ratios = [ratio for *_rest, ratio in rows]
+    # Same asymptotic complexity: the overhead ratio must not grow with
+    # instance size (allow generous noise).
+    assert max(ratios) <= 4.0 * max(1.0, min(ratios))
+    report(
+        "E10_property4_complexity",
+        format_table(
+            ["active flows", "MADD ms/invocation", "echelon ms/invocation", "ratio"],
+            rows,
+            title="Property 4: adapted MADD scales like MADD",
+        ),
+    )

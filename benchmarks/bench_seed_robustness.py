@@ -1,0 +1,112 @@
+"""E22 -- seed robustness: is the dynamic-cluster win statistically real?
+
+E15's dynamic-cluster comparison uses one arrival trace. Here the same
+experiment runs over ten seeds; per-seed paired differences (same arrival
+trace under both schedulers) feed a bootstrap CI, which is the right test
+for "echelon beats fair on this workload distribution", not just on one
+draw.
+"""
+
+import pytest
+
+from repro.analysis import format_table, paired_compare, replicate, summarize
+from repro.core.units import gbps, megabytes
+from repro.scheduling import (
+    CoflowMaddScheduler,
+    EchelonMaddScheduler,
+    FairSharingScheduler,
+)
+from repro.simulator import Engine
+from repro.topology import big_switch
+from repro.workloads import (
+    ClusterManager,
+    JobTemplate,
+    build_dp_allreduce,
+    build_fsdp,
+    poisson_arrivals,
+    uniform_model,
+)
+from repro.workloads.placement import ClusterPlacer
+
+MODEL = uniform_model(
+    "u8",
+    8,
+    param_bytes_per_layer=megabytes(25),
+    activation_bytes=megabytes(10),
+    forward_time=0.003,
+)
+TEMPLATES = [
+    JobTemplate(
+        "dp",
+        lambda jid, ws: build_dp_allreduce(
+            jid, MODEL, ws, bucket_bytes=megabytes(50)
+        ),
+        worker_count=4,
+        weight=2.0,
+    ),
+    JobTemplate(
+        "fsdp",
+        lambda jid, ws: build_fsdp(jid, MODEL, ws),
+        worker_count=4,
+        weight=1.0,
+    ),
+]
+SEEDS = list(range(10))
+
+
+def _mean_jct(scheduler, seed):
+    topology = big_switch(12, gbps(10))
+    engine = Engine(topology, scheduler)
+    manager = ClusterManager(engine, ClusterPlacer(topology))
+    manager.schedule(poisson_arrivals(TEMPLATES, rate=15.0, count=16, seed=seed))
+    engine.run()
+    return manager.mean_jct()
+
+
+def test_one_seed(benchmark):
+    assert benchmark(_mean_jct, EchelonMaddScheduler(), 0) > 0
+
+
+def test_seed_robustness(benchmark, report):
+    def sweep():
+        fair = replicate(lambda s: _mean_jct(FairSharingScheduler(), s), SEEDS)
+        coflow = replicate(lambda s: _mean_jct(CoflowMaddScheduler(), s), SEEDS)
+        echelon = replicate(lambda s: _mean_jct(EchelonMaddScheduler(), s), SEEDS)
+        return fair, coflow, echelon
+
+    fair, coflow, echelon = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    fair_summary = summarize(fair)
+    coflow_summary = summarize(coflow)
+    echelon_summary = summarize(echelon)
+    vs_fair = paired_compare(fair, echelon)
+    vs_coflow = paired_compare(coflow, echelon)
+
+    rows = [
+        ["fair", fair_summary.mean, fair_summary.ci_low, fair_summary.ci_high],
+        ["coflow", coflow_summary.mean, coflow_summary.ci_low, coflow_summary.ci_high],
+        ["echelon", echelon_summary.mean, echelon_summary.ci_low,
+         echelon_summary.ci_high],
+    ]
+    table = format_table(
+        ["scheduler", "mean JCT", "CI low", "CI high"],
+        rows,
+        title=f"Dynamic cluster over {len(SEEDS)} seeds (95% bootstrap CIs)",
+    )
+    pairing = format_table(
+        ["paired comparison", "mean diff", "CI low", "CI high", "wins/seeds"],
+        [
+            ["echelon - fair", vs_fair.mean_diff, vs_fair.ci_low, vs_fair.ci_high,
+             f"{vs_fair.wins}/{vs_fair.n}"],
+            ["echelon - coflow", vs_coflow.mean_diff, vs_coflow.ci_low,
+             vs_coflow.ci_high, f"{vs_coflow.wins}/{vs_coflow.n}"],
+        ],
+    )
+    report("E22_seed_robustness", table + "\n\n" + pairing)
+
+    # Echelon never loses on any seed against either baseline ...
+    assert vs_fair.wins + sum(
+        1 for a, b in zip(fair, echelon) if abs(b - a) < 1e-9
+    ) == len(SEEDS)
+    # ... and is at least as good on the mean.
+    assert echelon_summary.mean <= fair_summary.mean + 1e-9
+    assert echelon_summary.mean <= coflow_summary.mean + 1e-9

@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one paper artifact (table or figure), prints the
+reproduced rows/series, and writes them to ``benchmarks/results/<id>.txt``
+so EXPERIMENTS.md can reference stable outputs. pytest-benchmark measures
+the simulation cost itself.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report(results_dir):
+    """Write (and echo) a named experiment report."""
+
+    def _write(experiment_id: str, text: str) -> None:
+        path = results_dir / f"{experiment_id}.txt"
+        path.write_text(text + "\n")
+        print(f"\n=== {experiment_id} ===\n{text}")
+
+    return _write

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""When reality breaks the profile: a straggler stage in a pipeline.
+
+The arrangement function promises a computation pattern; then stage h1's
+GPU throttles to half speed. EchelonFlow's tardiness anchoring (Fig. 6b)
+means the downstream flows simply become maximally urgent and the
+schedule keeps the rest of the formation as tight as physics allows --
+the profile being stale degrades into "run flat out", never into a wrong
+ordering.
+
+Run:  python examples/straggler_recovery.py
+"""
+
+from repro import (
+    CoflowMaddScheduler,
+    EchelonMaddScheduler,
+    Engine,
+    FairSharingScheduler,
+    build_pp_gpipe,
+    comp_finish_time,
+    format_table,
+    get_model,
+    linear_chain,
+)
+from repro.core.units import gbps
+from repro.workloads import with_straggler
+
+STAGES = 4
+MICRO_BATCHES = 8
+MODEL = get_model("gpt2_xl", batch_scale=4.0)
+WORKERS = [f"h{i}" for i in range(STAGES)]
+BANDWIDTH = gbps(2)  # contended: the regime where scheduling matters
+
+
+def run_under(scheduler, straggler_factor):
+    job = build_pp_gpipe("gpt2", MODEL, WORKERS, num_micro_batches=MICRO_BATCHES)
+    if straggler_factor != 1.0:
+        # Slow one stage's device; the EchelonFlows keep claiming the
+        # *nominal* per-micro-batch distance, as a stale profile would.
+        job = with_straggler(job, "h1", straggler_factor)
+    engine = Engine(linear_chain(STAGES, BANDWIDTH), scheduler)
+    job.submit_to(engine)
+    return comp_finish_time(engine.run())
+
+
+def main():
+    rows = []
+    for factor in (1.0, 1.5, 2.0):
+        fair = run_under(FairSharingScheduler(), factor)
+        coflow = run_under(CoflowMaddScheduler(), factor)
+        echelon = run_under(EchelonMaddScheduler(), factor)
+        rows.append([f"{factor:g}x", fair, coflow, echelon, fair / echelon])
+    print(
+        format_table(
+            ["h1 slowdown", "fair", "coflow", "echelon", "echelon speedup vs fair"],
+            rows,
+            title=(
+                "GPT-2 XL pipeline with a straggler stage "
+                "(arrangements stay nominal)"
+            ),
+        )
+    )
+    nominal = rows[0][3]
+    worst = rows[-1][3]
+    print(
+        f"\nEchelon passes through {worst / nominal:.2f}x of the 2x compute "
+        f"slowdown -- stale profiles degrade gracefully, and the scheduling "
+        f"advantage over fair/coflow persists at every level."
+    )
+
+
+if __name__ == "__main__":
+    main()

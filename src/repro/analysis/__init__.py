@@ -1,0 +1,91 @@
+"""Measurement and reporting over simulation traces."""
+
+from .ascii_plot import bar_chart, series_plot
+from .export import (
+    chrome_trace,
+    flows_to_csv,
+    trace_to_dict,
+    trace_to_json,
+    write_trace,
+)
+from .fairness import (
+    isolated_completion_times,
+    jain_index,
+    shared_completion_times,
+    slowdowns,
+)
+from .matrix import ExperimentCase, MatrixResult, run_matrix, standard_battery
+from .metrics import (
+    IdlenessReport,
+    comp_finish_time,
+    flow_completion_times,
+    gpu_idleness,
+    iteration_time,
+    job_completion_time,
+    mean,
+    percentile,
+    pipeline_bubble_fraction,
+    speedup,
+    tardiness_report,
+)
+from .stats import (
+    PairedComparison,
+    Summary,
+    bootstrap_ci,
+    paired_compare,
+    replicate,
+    summarize,
+)
+from .tables import format_comparison, format_table
+from .validate import (
+    TraceValidationError,
+    validate_compute_spans,
+    validate_dag_order,
+    validate_flow_records,
+    validate_trace,
+)
+from .timeline import render_device_timeline, render_flow_timeline
+
+__all__ = [
+    "bar_chart",
+    "series_plot",
+    "trace_to_dict",
+    "trace_to_json",
+    "flows_to_csv",
+    "chrome_trace",
+    "write_trace",
+    "validate_trace",
+    "validate_flow_records",
+    "validate_compute_spans",
+    "validate_dag_order",
+    "TraceValidationError",
+    "ExperimentCase",
+    "MatrixResult",
+    "run_matrix",
+    "standard_battery",
+    "Summary",
+    "summarize",
+    "bootstrap_ci",
+    "PairedComparison",
+    "paired_compare",
+    "replicate",
+    "jain_index",
+    "slowdowns",
+    "isolated_completion_times",
+    "shared_completion_times",
+    "comp_finish_time",
+    "job_completion_time",
+    "iteration_time",
+    "gpu_idleness",
+    "IdlenessReport",
+    "pipeline_bubble_fraction",
+    "tardiness_report",
+    "flow_completion_times",
+    "mean",
+    "percentile",
+    "speedup",
+    "format_table",
+    "format_comparison",
+    "render_device_timeline",
+    "render_flow_timeline",
+]

@@ -1,0 +1,97 @@
+"""Terminal plots: horizontal bars and line series in plain ASCII.
+
+The repository is terminal-first (no matplotlib); sweeps read better as
+pictures than as digits. Two primitives cover the benches' needs:
+
+* :func:`bar_chart` -- labelled horizontal bars with value annotations.
+* :func:`series_plot` -- one or more (x, y) series on a shared character
+  grid, e.g. JCT vs interleaving depth per scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+_GLYPHS = "ox+*#@%&"
+
+
+def bar_chart(
+    items: Sequence[Tuple[str, float]],
+    width: int = 50,
+    title: Optional[str] = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bars scaled to the longest value."""
+    if not items:
+        raise ValueError("bar_chart needs at least one item")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    for _label, value in items:
+        if value < 0:
+            raise ValueError("bar_chart values must be non-negative")
+    peak = max(value for _label, value in items)
+    label_width = max(len(label) for label, _value in items)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in items:
+        filled = int(round(width * value / peak)) if peak > 0 else 0
+        bar = "#" * filled
+        lines.append(
+            f"{label:>{label_width}} |{bar:<{width}}| {value:.4g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def series_plot(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    title: Optional[str] = None,
+) -> str:
+    """Scatter/line plot of named series on one grid.
+
+    Each series gets a glyph; a legend maps glyphs back to names.
+    Overlapping points render as ``"*"``.
+    """
+    if not series:
+        raise ValueError("series_plot needs at least one series")
+    if width < 2 or height < 2:
+        raise ValueError("grid must be at least 2x2")
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ValueError("series_plot needs at least one point")
+    xs = [x for x, _y in points]
+    ys = [y for _x, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x: float, y: float) -> Tuple[int, int]:
+        col = int(round((x - x_low) / x_span * (width - 1)))
+        row = int(round((y - y_low) / y_span * (height - 1)))
+        return height - 1 - row, col
+
+    for index, (name, pts) in enumerate(sorted(series.items())):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        for x, y in pts:
+            row, col = cell(x, y)
+            grid[row][col] = "*" if grid[row][col] not in (" ", glyph) else glyph
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_high:>10.4g} +{'-' * width}+")
+    for row in grid:
+        lines.append(f"{'':>10} |{''.join(row)}|")
+    lines.append(f"{y_low:>10.4g} +{'-' * width}+")
+    lines.append(f"{'':>11}{x_low:<.4g}{'':>{max(1, width - 12)}}{x_high:.4g}")
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} = {name}"
+        for i, name in enumerate(sorted(series))
+    )
+    lines.append(f"{'':>11}{legend}")
+    return "\n".join(lines)

@@ -1,0 +1,191 @@
+"""Trace exporters: JSON, CSV, and Chrome trace-event format.
+
+``chrome_trace`` output loads directly into ``chrome://tracing`` /
+Perfetto: one row per device with compute spans, one row per link
+direction with flow spans, so the echelon formation is literally visible.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Optional
+
+from ..simulator.trace import SimulationTrace
+
+#: Trace-event timestamps are microseconds; our traces are seconds.
+_US = 1e6
+
+
+def trace_to_dict(trace: SimulationTrace) -> Dict:
+    """A plain-data summary of a trace (json.dumps-able)."""
+    return {
+        "end_time": trace.end_time,
+        "compute_spans": [
+            {
+                "task_id": span.task_id,
+                "device": span.device,
+                "start": span.start,
+                "end": span.end,
+                "job_id": span.job_id,
+                "tag": span.tag,
+            }
+            for span in trace.compute_spans
+        ],
+        "flows": [
+            {
+                "flow_id": record.flow.flow_id,
+                "src": record.flow.src,
+                "dst": record.flow.dst,
+                "size": record.flow.size,
+                "group_id": record.flow.group_id,
+                "index_in_group": record.flow.index_in_group,
+                "job_id": record.flow.job_id,
+                "tag": record.flow.tag,
+                "start": record.start,
+                "finish": record.finish,
+                "ideal_finish": record.ideal_finish,
+                "tardiness": record.tardiness,
+            }
+            for record in trace.flow_records
+        ],
+        "task_events": [
+            {
+                "task_id": event.task_id,
+                "kind": event.kind,
+                "time": event.time,
+                "job_id": event.job_id,
+            }
+            for event in trace.task_events
+        ],
+    }
+
+
+def trace_to_json(trace: SimulationTrace, indent: Optional[int] = None) -> str:
+    return json.dumps(trace_to_dict(trace), indent=indent, sort_keys=True)
+
+
+def flows_to_csv(trace: SimulationTrace) -> str:
+    """Flow records as CSV (one row per delivered flow)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        [
+            "flow_id",
+            "src",
+            "dst",
+            "size",
+            "group_id",
+            "index_in_group",
+            "job_id",
+            "start",
+            "finish",
+            "ideal_finish",
+            "tardiness",
+        ]
+    )
+    for record in trace.flow_records:
+        writer.writerow(
+            [
+                record.flow.flow_id,
+                record.flow.src,
+                record.flow.dst,
+                record.flow.size,
+                record.flow.group_id or "",
+                record.flow.index_in_group,
+                record.flow.job_id or "",
+                record.start,
+                record.finish,
+                "" if record.ideal_finish is None else record.ideal_finish,
+                "" if record.tardiness is None else record.tardiness,
+            ]
+        )
+    return buffer.getvalue()
+
+
+def chrome_trace(trace: SimulationTrace) -> str:
+    """Chrome trace-event JSON: devices and links as tracks.
+
+    Compute spans become complete events ("X") on a device track; each
+    flow becomes a complete event on its (src -> dst) track, with the
+    ideal finish time recorded as an instant event ("i") so the echelon
+    stagger and any tardiness are visible at a glance.
+    """
+    events: List[Dict] = []
+    device_pids: Dict[str, int] = {}
+    link_pids: Dict[str, int] = {}
+
+    def pid_of(table: Dict[str, int], name: str, base: int) -> int:
+        if name not in table:
+            table[name] = base + len(table)
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": table[name],
+                    "args": {"name": name},
+                }
+            )
+        return table[name]
+
+    for span in trace.compute_spans:
+        pid = pid_of(device_pids, f"device {span.device}", 1000)
+        events.append(
+            {
+                "name": span.tag or span.task_id,
+                "cat": "compute",
+                "ph": "X",
+                "pid": pid,
+                "tid": 0,
+                "ts": span.start * _US,
+                "dur": span.duration * _US,
+                "args": {"task_id": span.task_id, "job": span.job_id},
+            }
+        )
+    for record in trace.flow_records:
+        track = f"link {record.flow.src}->{record.flow.dst}"
+        pid = pid_of(link_pids, track, 2000)
+        events.append(
+            {
+                "name": record.flow.tag or f"flow {record.flow.flow_id}",
+                "cat": "flow",
+                "ph": "X",
+                "pid": pid,
+                "tid": record.flow.flow_id % 16,
+                "ts": record.start * _US,
+                "dur": (record.finish - record.start) * _US,
+                "args": {
+                    "bytes": record.flow.size,
+                    "group": record.flow.group_id,
+                    "tardiness": record.tardiness,
+                },
+            }
+        )
+        if record.ideal_finish is not None:
+            events.append(
+                {
+                    "name": "ideal finish",
+                    "cat": "flow",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": pid,
+                    "tid": record.flow.flow_id % 16,
+                    "ts": record.ideal_finish * _US,
+                }
+            )
+    return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"})
+
+
+def write_trace(trace: SimulationTrace, path: str, fmt: str = "json") -> None:
+    """Write a trace to ``path`` in 'json', 'csv', or 'chrome' format."""
+    if fmt == "json":
+        payload = trace_to_json(trace, indent=2)
+    elif fmt == "csv":
+        payload = flows_to_csv(trace)
+    elif fmt == "chrome":
+        payload = chrome_trace(trace)
+    else:
+        raise ValueError(f"unknown trace format {fmt!r}; use json/csv/chrome")
+    with open(path, "w") as handle:
+        handle.write(payload)

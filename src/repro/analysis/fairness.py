@@ -1,0 +1,94 @@
+"""Multi-tenant fairness metrics: slowdown and Jain's index.
+
+A scheduler that wins on mean JCT by starving one tenant is not a
+cluster-ready scheduler. The standard lenses:
+
+* **slowdown** of a job = its completion time on the shared cluster
+  divided by its completion time running *alone* on the same hardware;
+  1.0 means contention-free, large values mean the tenant paid for its
+  neighbours.
+* **Jain's fairness index** over per-tenant slowdowns:
+  ``(sum x)^2 / (n * sum x^2)`` -- 1.0 when all tenants are slowed
+  equally, ``1/n`` when one tenant absorbs everything.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..scheduling.base import Scheduler
+from ..simulator.engine import Engine
+from .metrics import job_completion_time
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index in [1/n, 1]."""
+    values = list(values)
+    if not values:
+        raise ValueError("Jain's index of an empty sequence")
+    if any(v < 0 for v in values):
+        raise ValueError("Jain's index requires non-negative values")
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares == 0:
+        return 1.0
+    return (total * total) / (len(values) * squares)
+
+
+def isolated_completion_times(
+    job_builders: Dict[str, Callable[[], object]],
+    build_topology: Callable[[], object],
+    make_scheduler: Callable[[], Scheduler],
+) -> Dict[str, float]:
+    """Each job's completion running alone on a fresh cluster."""
+    times: Dict[str, float] = {}
+    for name, build_job in job_builders.items():
+        job = build_job()
+        engine = Engine(build_topology(), make_scheduler())
+        job.submit_to(engine)
+        trace = engine.run()
+        times[name] = job_completion_time(trace, job.job_id)
+    return times
+
+
+def shared_completion_times(
+    job_builders: Dict[str, Callable[[], object]],
+    build_topology: Callable[[], object],
+    make_scheduler: Callable[[], Scheduler],
+) -> Dict[str, float]:
+    """All jobs' completions running together on one cluster."""
+    engine = Engine(build_topology(), make_scheduler())
+    jobs = []
+    for _name, build_job in job_builders.items():
+        job = build_job()
+        job.submit_to(engine)
+        jobs.append(job)
+    trace = engine.run()
+    return {job.job_id: job_completion_time(trace, job.job_id) for job in jobs}
+
+
+def slowdowns(
+    job_builders: Dict[str, Callable[[], object]],
+    build_topology: Callable[[], object],
+    make_scheduler: Callable[[], Scheduler],
+) -> Tuple[Dict[str, float], float]:
+    """Per-job slowdown (shared / isolated) and the Jain index over them.
+
+    The same scheduler runs both configurations, so the ratio isolates
+    *contention*, not scheduler quality in a vacuum. Builders must return
+    fresh jobs per call whose ``job_id`` matches their key.
+    """
+    isolated = isolated_completion_times(
+        job_builders, build_topology, make_scheduler
+    )
+    shared = shared_completion_times(job_builders, build_topology, make_scheduler)
+    if set(isolated) != set(shared):
+        raise ValueError(
+            "job ids differ between runs; builders must use their key as job id"
+        )
+    ratios = {}
+    for name in isolated:
+        if isolated[name] <= 0:
+            raise ValueError(f"job {name!r} has non-positive isolated time")
+        ratios[name] = shared[name] / isolated[name]
+    return ratios, jain_index(list(ratios.values()))

@@ -1,0 +1,183 @@
+"""Experiment matrices: run (workload x scheduler) grids and tabulate.
+
+Benches and the CLI repeatedly sweep a set of workloads over a set of
+schedulers; this module is that pattern, once. A case is a *fresh-build*
+recipe (EchelonFlows are single-use), a matrix run produces a result grid
+with per-cell metrics, and the formatter emits the paper-style table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..scheduling.base import Scheduler
+from ..simulator.engine import Engine
+from ..topology.graph import Topology
+from .metrics import comp_finish_time, job_completion_time
+from .tables import format_table
+from .validate import validate_trace
+
+
+@dataclass(frozen=True)
+class ExperimentCase:
+    """One workload recipe: fresh job + fresh topology per run."""
+
+    name: str
+    build_job: Callable[[], object]  # -> BuiltJob
+    build_topology: Callable[[], Topology]
+
+
+@dataclass
+class MatrixResult:
+    """The filled (case x scheduler) grid."""
+
+    cases: List[str]
+    schedulers: List[str]
+    #: values[case][scheduler] -> metric value.
+    values: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    metric_name: str = "comp finish time"
+
+    def value(self, case: str, scheduler: str) -> float:
+        return self.values[case][scheduler]
+
+    def best_scheduler(self, case: str) -> str:
+        row = self.values[case]
+        return min(sorted(row), key=lambda name: row[name])
+
+    def speedup(self, case: str, scheduler: str, baseline: str) -> float:
+        return self.values[case][baseline] / self.values[case][scheduler]
+
+    def to_table(self, title: Optional[str] = None) -> str:
+        headers = ["workload"] + self.schedulers + ["best"]
+        rows = []
+        for case in self.cases:
+            row: List[object] = [case]
+            row.extend(self.values[case][name] for name in self.schedulers)
+            row.append(self.best_scheduler(case))
+            rows.append(row)
+        return format_table(
+            headers, rows, title=title or f"Matrix: {self.metric_name}"
+        )
+
+
+def run_matrix(
+    cases: Sequence[ExperimentCase],
+    schedulers: Dict[str, Callable[[], Scheduler]],
+    metric: str = "comp_finish",
+    validate: bool = True,
+) -> MatrixResult:
+    """Run every case under every scheduler; returns the result grid.
+
+    ``metric``: "comp_finish" (last compute end) or "completion" (whole
+    job, including trailing communication).
+    """
+    if metric not in ("comp_finish", "completion"):
+        raise ValueError(f"unknown metric {metric!r}")
+    result = MatrixResult(
+        cases=[case.name for case in cases],
+        schedulers=list(schedulers),
+        metric_name=(
+            "comp finish time" if metric == "comp_finish" else "job completion time"
+        ),
+    )
+    for case in cases:
+        row: Dict[str, float] = {}
+        for scheduler_name, make_scheduler in schedulers.items():
+            job = case.build_job()
+            engine = Engine(case.build_topology(), make_scheduler())
+            job.submit_to(engine)
+            trace = engine.run()
+            if validate:
+                validate_trace(trace, dag=job.dag)
+            if metric == "comp_finish":
+                row[scheduler_name] = comp_finish_time(trace)
+            else:
+                row[scheduler_name] = job_completion_time(trace, job.job_id)
+        result.values[case.name] = row
+    return result
+
+
+def standard_battery(
+    model=None,
+    workers: int = 4,
+    bandwidth: Optional[float] = None,
+    micro_batches: int = 4,
+) -> List[ExperimentCase]:
+    """The canonical Table-1 battery plus the 1F1B and 3D-hybrid cases."""
+    from ..core.units import gbps, megabytes
+    from ..topology.fabrics import big_switch, linear_chain
+    from ..workloads import (
+        build_dp_allreduce,
+        build_dp_ps,
+        build_fsdp,
+        build_hybrid_3d,
+        build_pp_1f1b,
+        build_pp_gpipe,
+        build_tp_megatron,
+        grid_from_hosts,
+        uniform_model,
+    )
+
+    if model is None:
+        model = uniform_model(
+            "u8",
+            8,
+            param_bytes_per_layer=megabytes(40),
+            activation_bytes=megabytes(20),
+            forward_time=0.004,
+        )
+    if bandwidth is None:
+        bandwidth = gbps(10)
+    hosts = [f"h{i}" for i in range(workers)]
+    cases = [
+        ExperimentCase(
+            "dp-allreduce",
+            lambda: build_dp_allreduce(
+                "j", model, hosts, bucket_bytes=megabytes(80)
+            ),
+            lambda: big_switch(workers, bandwidth),
+        ),
+        ExperimentCase(
+            "dp-ps",
+            lambda: build_dp_ps(
+                "j", model, hosts, f"h{workers}", bucket_bytes=megabytes(80)
+            ),
+            lambda: big_switch(workers + 1, bandwidth),
+        ),
+        ExperimentCase(
+            "pp-gpipe",
+            lambda: build_pp_gpipe("j", model, hosts, micro_batches),
+            lambda: linear_chain(workers, bandwidth),
+        ),
+        ExperimentCase(
+            "pp-1f1b",
+            lambda: build_pp_1f1b("j", model, hosts, micro_batches),
+            lambda: linear_chain(workers, bandwidth),
+        ),
+        ExperimentCase(
+            "tp",
+            lambda: build_tp_megatron("j", model, hosts),
+            lambda: big_switch(workers, bandwidth),
+        ),
+        ExperimentCase(
+            "fsdp",
+            lambda: build_fsdp("j", model, hosts),
+            lambda: big_switch(workers, bandwidth),
+        ),
+    ]
+    if workers >= 4 and workers % 4 == 0:
+        grid_hosts = [f"h{i}" for i in range(2 * workers)]
+        cases.append(
+            ExperimentCase(
+                "hybrid-3d",
+                lambda: build_hybrid_3d(
+                    "j",
+                    model,
+                    grid_from_hosts(grid_hosts, dp=2, pp=2, tp=workers // 2),
+                    micro_batches,
+                ),
+                lambda: big_switch(2 * workers, bandwidth),
+            )
+        )
+    return cases

@@ -1,0 +1,136 @@
+"""Metrics over simulation traces: the numbers the paper's figures plot."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..core.echelonflow import EchelonFlow
+from ..core.tardiness import TardinessReport, evaluate_tardiness
+from ..simulator.trace import ComputeSpan, SimulationTrace
+
+
+def comp_finish_time(trace: SimulationTrace, job_id: Optional[str] = None) -> float:
+    """"Comp finish time" as in Fig. 2: when the last computation ends."""
+    return trace.last_compute_end(job_id)
+
+
+def job_completion_time(trace: SimulationTrace, job_id: str) -> float:
+    """Completion of every task (compute, comm, barrier) of a job."""
+    times = [e.time for e in trace.task_events if e.job_id == job_id]
+    if not times:
+        raise KeyError(f"no task events for job {job_id!r}")
+    return max(times)
+
+
+def iteration_time(
+    trace: SimulationTrace, job_id: str, iterations: int
+) -> float:
+    """Average per-iteration time of a multi-iteration job."""
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    return job_completion_time(trace, job_id) / iterations
+
+
+@dataclass(frozen=True)
+class IdlenessReport:
+    """GPU idleness: the grey areas of Fig. 1a."""
+
+    per_device_busy: Mapping[str, float]
+    per_device_span: Mapping[str, float]
+
+    @property
+    def total_busy(self) -> float:
+        return sum(self.per_device_busy.values())
+
+    @property
+    def total_span(self) -> float:
+        return sum(self.per_device_span.values())
+
+    @property
+    def idle_fraction(self) -> float:
+        """Aggregate idle share within each device's active window."""
+        span = self.total_span
+        if span <= 0:
+            return 0.0
+        return 1.0 - self.total_busy / span
+
+    def device_idle_fraction(self, device: str) -> float:
+        span = self.per_device_span.get(device, 0.0)
+        if span <= 0:
+            return 0.0
+        return 1.0 - self.per_device_busy[device] / span
+
+
+def gpu_idleness(
+    trace: SimulationTrace,
+    job_id: Optional[str] = None,
+    horizon: Optional[float] = None,
+) -> IdlenessReport:
+    """Busy/idle accounting per device.
+
+    Each device's span runs from its first task start to ``horizon`` (or its
+    last task end); idleness is the unused part of that window -- pipeline
+    bubbles, communication stalls, and barrier waits all land here.
+    """
+    spans: Dict[str, List[ComputeSpan]] = {}
+    for span in trace.compute_spans:
+        if job_id is not None and span.job_id != job_id:
+            continue
+        spans.setdefault(span.device, []).append(span)
+    busy: Dict[str, float] = {}
+    window: Dict[str, float] = {}
+    for device, device_spans in spans.items():
+        busy[device] = sum(s.duration for s in device_spans)
+        start = min(s.start for s in device_spans)
+        end = horizon if horizon is not None else max(s.end for s in device_spans)
+        window[device] = max(0.0, end - start)
+    return IdlenessReport(per_device_busy=busy, per_device_span=window)
+
+
+def pipeline_bubble_fraction(num_stages: int, num_micro_batches: int) -> float:
+    """GPipe's analytic bubble fraction ``(p - 1) / (m + p - 1)``."""
+    if num_stages < 1 or num_micro_batches < 1:
+        raise ValueError("stages and micro-batches must be positive")
+    return (num_stages - 1) / (num_micro_batches + num_stages - 1)
+
+
+def tardiness_report(
+    trace: SimulationTrace, echelonflows: Iterable[EchelonFlow]
+) -> TardinessReport:
+    """Eq. 2/4 tardiness over the EchelonFlows that completed in a trace."""
+    finish_times = trace.actual_finish_times()
+    completed = []
+    for echelonflow in echelonflows:
+        if all(f.flow_id in finish_times for f in echelonflow.flows):
+            completed.append(echelonflow)
+    return evaluate_tardiness(completed, finish_times)
+
+
+def flow_completion_times(trace: SimulationTrace) -> List[float]:
+    return [record.completion_time for record in trace.flow_records]
+
+
+def mean(values: Sequence[float]) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile, ``q`` in [0, 100]."""
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be within [0, 100], got {q}")
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("percentile of empty sequence")
+    rank = max(1, int(round(q / 100.0 * len(ordered))))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def speedup(baseline: float, measured: float) -> float:
+    """How much faster ``measured`` is than ``baseline`` (>1 = better)."""
+    if measured <= 0:
+        raise ValueError(f"measured time must be positive, got {measured}")
+    return baseline / measured

@@ -1,0 +1,131 @@
+"""Small statistics toolkit for multi-seed experiment reporting.
+
+Simulation is deterministic per seed; robustness claims need seed sweeps.
+These helpers summarize replicated runs: mean, sample standard deviation,
+percentile bootstrap confidence intervals, and paired comparisons (the
+right test when the same seeds run under two schedulers).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Replicated-measurement summary."""
+
+    n: int
+    mean: float
+    stdev: float
+    ci_low: float
+    ci_high: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.4g} [{self.ci_low:.4g}, {self.ci_high:.4g}] (n={self.n})"
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values)
+
+
+def _stdev(values: Sequence[float]) -> float:
+    if len(values) < 2:
+        return 0.0
+    mu = _mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (len(values) - 1))
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+    statistic: Callable[[Sequence[float]], float] = _mean,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap confidence interval for any statistic."""
+    values = list(values)
+    if not values:
+        raise ValueError("bootstrap over an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if resamples < 1:
+        raise ValueError(f"resamples must be >= 1, got {resamples}")
+    rng = random.Random(seed)
+    stats: List[float] = []
+    n = len(values)
+    for _ in range(resamples):
+        sample = [values[rng.randrange(n)] for _ in range(n)]
+        stats.append(statistic(sample))
+    stats.sort()
+    alpha = (1.0 - confidence) / 2.0
+    low_index = max(0, int(math.floor(alpha * resamples)))
+    high_index = min(resamples - 1, int(math.ceil((1.0 - alpha) * resamples)) - 1)
+    return stats[low_index], stats[high_index]
+
+
+def summarize(
+    values: Sequence[float], confidence: float = 0.95, seed: int = 0
+) -> Summary:
+    """Mean, stdev, and a bootstrap CI of the mean."""
+    values = list(values)
+    if not values:
+        raise ValueError("summarize over an empty sample")
+    low, high = bootstrap_ci(values, confidence=confidence, seed=seed)
+    return Summary(
+        n=len(values),
+        mean=_mean(values),
+        stdev=_stdev(values),
+        ci_low=low,
+        ci_high=high,
+    )
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Paired (same-seed) comparison of two schedulers."""
+
+    n: int
+    mean_diff: float  # mean(b - a): negative means b is faster
+    ci_low: float
+    ci_high: float
+    wins: int  # seeds where b < a
+
+    @property
+    def significant(self) -> bool:
+        """The CI excludes zero."""
+        return self.ci_high < 0.0 or self.ci_low > 0.0
+
+
+def paired_compare(
+    a: Sequence[float],
+    b: Sequence[float],
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> PairedComparison:
+    """Bootstrap the per-seed difference ``b - a``."""
+    if len(a) != len(b):
+        raise ValueError(f"paired samples differ in length: {len(a)} vs {len(b)}")
+    if not a:
+        raise ValueError("paired comparison over empty samples")
+    diffs = [y - x for x, y in zip(a, b)]
+    low, high = bootstrap_ci(diffs, confidence=confidence, seed=seed)
+    return PairedComparison(
+        n=len(diffs),
+        mean_diff=_mean(diffs),
+        ci_low=low,
+        ci_high=high,
+        wins=sum(1 for d in diffs if d < 0),
+    )
+
+
+def replicate(
+    run: Callable[[int], float], seeds: Sequence[int]
+) -> List[float]:
+    """Run a seeded experiment once per seed."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    return [run(seed) for seed in seeds]

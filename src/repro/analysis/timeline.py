@@ -1,0 +1,87 @@
+"""ASCII Gantt rendering of simulation traces (Fig. 1a-style timelines)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..simulator.trace import SimulationTrace
+
+
+def render_device_timeline(
+    trace: SimulationTrace,
+    devices: Optional[Sequence[str]] = None,
+    width: int = 72,
+    job_id: Optional[str] = None,
+    end_time: Optional[float] = None,
+) -> str:
+    """One row per device; digits mark micro-batch/priority, '.' idles.
+
+    Each compute span is labelled by the last character of its tag's
+    trailing integer when present (e.g. "F mb2" -> '2'), else '#'.
+    """
+    spans = [
+        s
+        for s in trace.compute_spans
+        if job_id is None or s.job_id == job_id
+    ]
+    if not spans:
+        return "(empty trace)"
+    if devices is None:
+        devices = sorted({s.device for s in spans})
+    horizon = end_time if end_time is not None else max(s.end for s in spans)
+    if horizon <= 0:
+        return "(zero-length trace)"
+    scale = width / horizon
+
+    def label_of(tag: str) -> str:
+        digits = "".join(ch for ch in tag if ch.isdigit())
+        return digits[-1] if digits else "#"
+
+    lines: List[str] = []
+    for device in devices:
+        row = ["."] * width
+        for span in spans:
+            if span.device != device:
+                continue
+            start = int(span.start * scale)
+            end = max(start + 1, int(span.end * scale))
+            for i in range(start, min(end, width)):
+                row[i] = label_of(span.tag)
+        lines.append(f"{device:>8} |{''.join(row)}|")
+    axis = f"{'':>8} 0{'':{width - 10}}t={horizon:.3g}"
+    lines.append(axis)
+    return "\n".join(lines)
+
+
+def render_flow_timeline(
+    trace: SimulationTrace,
+    group_id: Optional[str] = None,
+    width: int = 72,
+) -> str:
+    """One row per flow: '=' while transferring, with start/finish marks."""
+    records = trace.flow_records
+    if group_id is not None:
+        records = [r for r in records if r.flow.group_id == group_id]
+    if not records:
+        return "(no flows)"
+    horizon = max(r.finish for r in records)
+    if horizon <= 0:
+        return "(zero-length trace)"
+    scale = width / horizon
+    lines: List[str] = []
+    for record in sorted(records, key=lambda r: (r.start, r.flow.flow_id)):
+        row = [" "] * width
+        start = min(width - 1, int(record.start * scale))
+        end = min(width, max(start + 1, int(record.finish * scale)))
+        for i in range(start, end):
+            row[i] = "="
+        if record.ideal_finish is not None:
+            ideal = int(record.ideal_finish * scale)
+            if 0 <= ideal < width:
+                row[ideal] = "|" if row[ideal] == " " else "+"
+        name = f"f{record.flow.flow_id}"
+        lines.append(
+            f"{name:>8} [{''.join(row)}] "
+            f"{record.start:.3g}->{record.finish:.3g}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""Trace validators: machine-checkable correctness of a finished run.
+
+These are the invariants a simulation must satisfy regardless of
+scheduler or workload; tests and benches call :func:`validate_trace` on
+their results so that a subtly broken scheduler cannot silently produce
+plausible-looking numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.units import EPS
+from ..simulator.dag import TaskDag, TaskKind
+from ..simulator.trace import SimulationTrace
+
+
+class TraceValidationError(AssertionError):
+    """A trace violated a simulation invariant."""
+
+
+def _fail(message: str) -> None:
+    raise TraceValidationError(message)
+
+
+def validate_flow_records(trace: SimulationTrace) -> None:
+    """Per-flow sanity: causality and byte accounting."""
+    seen = set()
+    for record in trace.flow_records:
+        flow = record.flow
+        if flow.flow_id in seen:
+            _fail(f"flow {flow.flow_id} delivered twice")
+        seen.add(flow.flow_id)
+        if record.finish < record.start - EPS:
+            _fail(f"flow {flow.flow_id} finished before it started")
+        if record.finish > trace.end_time + 1e-6:
+            _fail(f"flow {flow.flow_id} finished after the trace ended")
+
+
+def validate_compute_spans(trace: SimulationTrace, slots: int = 1) -> None:
+    """Device serialization: never more than ``slots`` concurrent spans."""
+    by_device: Dict[str, List[Tuple[float, float]]] = {}
+    for span in trace.compute_spans:
+        if span.end < span.start - EPS:
+            _fail(f"span {span.task_id} ends before it starts")
+        by_device.setdefault(span.device, []).append((span.start, span.end))
+    tolerance = 1e-9
+    for device, intervals in by_device.items():
+        events: List[Tuple[float, int]] = []
+        for start, end in intervals:
+            events.append((start, 1))
+            events.append((end, -1))
+        events.sort(key=lambda item: (item[0], item[1]))
+        # Sweep with tolerance: events within `tolerance` of each other are
+        # simultaneous, and ends apply before starts within a batch so
+        # back-to-back execution never counts as overlap.
+        live = 0
+        index = 0
+        while index < len(events):
+            batch_time = events[index][0]
+            batch: List[int] = []
+            while index < len(events) and events[index][0] <= batch_time + tolerance:
+                batch.append(events[index][1])
+                index += 1
+            live += sum(delta for delta in batch if delta < 0)
+            live += sum(delta for delta in batch if delta > 0)
+            if live > slots:
+                _fail(
+                    f"device {device} ran {live} concurrent tasks "
+                    f"(slots={slots})"
+                )
+
+
+def validate_dag_order(trace: SimulationTrace, dag: TaskDag) -> None:
+    """Every task completed, after all of its dependencies."""
+    completion: Dict[str, float] = {}
+    for event in trace.task_events:
+        if event.job_id == dag.job_id:
+            completion[event.task_id] = event.time
+    for task in dag.tasks():
+        if task.task_id not in completion:
+            _fail(f"task {task.task_id!r} never completed")
+        for dep in task.deps:
+            if completion[dep] > completion[task.task_id] + EPS:
+                _fail(
+                    f"task {task.task_id!r} completed before its "
+                    f"dependency {dep!r}"
+                )
+    # Comm tasks complete exactly when their last flow lands.
+    flow_finish = trace.actual_finish_times()
+    for task in dag.tasks():
+        if task.kind is not TaskKind.COMM:
+            continue
+        last = max(flow_finish[f.flow_id] for f in task.flows)
+        if abs(completion[task.task_id] - last) > 1e-6:
+            _fail(
+                f"comm task {task.task_id!r} completed at "
+                f"{completion[task.task_id]} but its last flow landed at {last}"
+            )
+
+
+def validate_trace(
+    trace: SimulationTrace,
+    dag: Optional[TaskDag] = None,
+    slots: int = 1,
+) -> None:
+    """Run every validator; raises :class:`TraceValidationError` on breach."""
+    validate_flow_records(trace)
+    validate_compute_spans(trace, slots=slots)
+    if dag is not None:
+        validate_dag_order(trace, dag)

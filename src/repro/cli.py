@@ -1,0 +1,405 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+* ``fig2``        -- the motivating example under every scheduler.
+* ``table1``      -- the paradigm-compliance table.
+* ``run``         -- one training job under one scheduler, with optional
+                     timeline rendering and trace export.
+* ``cluster``     -- a dynamic Poisson-arrival multi-tenant cluster.
+* ``schedulers``  -- list registered schedulers.
+* ``models``      -- list the model zoo.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis import (
+    comp_finish_time,
+    format_table,
+    gpu_idleness,
+    render_device_timeline,
+    tardiness_report,
+    write_trace,
+)
+from .core.units import gbps, megabytes
+from .scheduling import make_scheduler, scheduler_names
+from .simulator import Engine
+from .topology import big_switch, linear_chain
+from .workloads import (
+    ClusterManager,
+    JobTemplate,
+    build_dp_allreduce,
+    build_dp_ps,
+    build_fsdp,
+    build_pp_1f1b,
+    build_pp_gpipe,
+    build_pipeline_segment,
+    build_tp_megatron,
+    get_model,
+    model_names,
+    poisson_arrivals,
+)
+from .workloads.placement import ClusterPlacer
+
+PARADIGMS = ("dp-allreduce", "dp-ps", "pp-gpipe", "pp-1f1b", "tp", "fsdp")
+
+
+def _build_job(args, workers: List[str]):
+    model = get_model(args.model, batch_scale=args.batch_scale)
+    if args.paradigm == "dp-allreduce":
+        return build_dp_allreduce(
+            "job",
+            model,
+            workers,
+            bucket_bytes=megabytes(args.bucket_mb),
+            iterations=args.iterations,
+        )
+    if args.paradigm == "dp-ps":
+        return build_dp_ps(
+            "job",
+            model,
+            workers[:-1],
+            workers[-1],
+            bucket_bytes=megabytes(args.bucket_mb),
+            iterations=args.iterations,
+        )
+    if args.paradigm == "pp-gpipe":
+        return build_pp_gpipe(
+            "job", model, workers, args.micro_batches, iterations=args.iterations
+        )
+    if args.paradigm == "pp-1f1b":
+        return build_pp_1f1b(
+            "job", model, workers, args.micro_batches, iterations=args.iterations
+        )
+    if args.paradigm == "tp":
+        return build_tp_megatron("job", model, workers, iterations=args.iterations)
+    if args.paradigm == "fsdp":
+        return build_fsdp("job", model, workers, iterations=args.iterations)
+    raise ValueError(f"unknown paradigm {args.paradigm!r}")
+
+
+def _topology_for(args, n_workers: int):
+    if args.paradigm in ("pp-gpipe", "pp-1f1b"):
+        return linear_chain(n_workers, gbps(args.bandwidth_gbps))
+    return big_switch(n_workers, gbps(args.bandwidth_gbps))
+
+
+def cmd_fig2(args) -> int:
+    from .topology import two_hosts
+
+    rows = []
+    for name in ("fair", "sjf", "coflow", "sincronia", "echelon"):
+        job = build_pipeline_segment(
+            "fig2", "h0", "h1", [0.0, 1.0, 2.0], [2.0] * 3, [2.0] * 3
+        )
+        engine = Engine(two_hosts(1.0), make_scheduler(name))
+        job.submit_to(engine)
+        trace = engine.run()
+        rows.append([name, comp_finish_time(trace)])
+    print(
+        format_table(
+            ["scheduler", "comp finish time"],
+            rows,
+            title="Fig. 2 motivating example (paper optimum: 8)",
+        )
+    )
+    return 0
+
+
+def cmd_table1(args) -> int:
+    from .workloads import uniform_model
+
+    model = uniform_model(
+        "u8",
+        8,
+        param_bytes_per_layer=megabytes(40),
+        activation_bytes=megabytes(20),
+        forward_time=0.004,
+    )
+    hosts = [f"h{i}" for i in range(4)]
+    cases = {
+        "DP-AllReduce": (
+            lambda: build_dp_allreduce("j", model, hosts, bucket_bytes=megabytes(80)),
+            lambda: big_switch(4, gbps(10)),
+        ),
+        "DP-PS": (
+            lambda: build_dp_ps("j", model, hosts, "h4", bucket_bytes=megabytes(80)),
+            lambda: big_switch(5, gbps(10)),
+        ),
+        "PP": (
+            lambda: build_pp_gpipe("j", model, hosts, 4),
+            lambda: linear_chain(4, gbps(10)),
+        ),
+        "TP": (
+            lambda: build_tp_megatron("j", model, hosts),
+            lambda: big_switch(4, gbps(10)),
+        ),
+        "FSDP": (
+            lambda: build_fsdp("j", model, hosts),
+            lambda: big_switch(4, gbps(10)),
+        ),
+    }
+    rows = []
+    for label, (build, topo) in cases.items():
+        measured = {}
+        for name in ("fair", "coflow", "echelon"):
+            job = build()
+            engine = Engine(topo(), make_scheduler(name))
+            job.submit_to(engine)
+            measured[name] = comp_finish_time(engine.run())
+        compliant = abs(measured["echelon"] - measured["coflow"]) <= 1e-6 * max(
+            measured.values()
+        )
+        rows.append(
+            [
+                label,
+                "yes" if compliant else "no",
+                measured["fair"],
+                measured["coflow"],
+                measured["echelon"],
+            ]
+        )
+    print(
+        format_table(
+            ["paradigm", "coflow-compliant", "fair", "coflow", "echelon"],
+            rows,
+            title="Table 1: Coflow compliance (measured)",
+        )
+    )
+    return 0
+
+
+def cmd_run(args) -> int:
+    workers = [f"h{i}" for i in range(args.workers)]
+    n_hosts = args.workers + (1 if args.paradigm == "dp-ps" else 0)
+    topology = _topology_for(args, n_hosts)
+    all_hosts = [f"h{i}" for i in range(n_hosts)]
+    job = _build_job(args, all_hosts if args.paradigm == "dp-ps" else workers)
+    engine = Engine(topology, make_scheduler(args.scheduler))
+    job.submit_to(engine)
+    trace = engine.run()
+
+    report = tardiness_report(trace, job.echelonflows)
+    idleness = gpu_idleness(trace, horizon=trace.end_time)
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["paradigm", job.paradigm],
+                ["scheduler", args.scheduler],
+                ["comp finish time (s)", comp_finish_time(trace)],
+                ["job completion (s)", trace.end_time],
+                ["flows delivered", len(trace.flow_records)],
+                ["worst EchelonFlow tardiness (s)", report.worst],
+                ["sum tardiness (s)", report.total],
+                [
+                    "GPU idle share",
+                    f"{1.0 - idleness.total_busy / (len(workers) * trace.end_time):.1%}",
+                ],
+            ],
+            title=f"{args.model} / {args.paradigm} on {args.workers} workers",
+        )
+    )
+    if args.timeline:
+        print()
+        print(render_device_timeline(trace, width=args.timeline_width))
+    if args.trace:
+        write_trace(trace, args.trace, fmt=args.trace_format)
+        print(f"\ntrace written to {args.trace} ({args.trace_format})")
+    return 0
+
+
+def cmd_cluster(args) -> int:
+    model = get_model(args.model, batch_scale=args.batch_scale)
+    templates = [
+        JobTemplate(
+            "dp",
+            lambda jid, ws: build_dp_allreduce(
+                jid, model, ws, bucket_bytes=megabytes(args.bucket_mb)
+            ),
+            worker_count=args.job_workers,
+            weight=2.0,
+        ),
+        JobTemplate(
+            "fsdp",
+            lambda jid, ws: build_fsdp(jid, model, ws),
+            worker_count=args.job_workers,
+            weight=1.0,
+        ),
+    ]
+    topology = big_switch(args.hosts, gbps(args.bandwidth_gbps))
+    engine = Engine(topology, make_scheduler(args.scheduler))
+    manager = ClusterManager(engine, ClusterPlacer(topology))
+    manager.schedule(poisson_arrivals(templates, args.rate, args.jobs, seed=args.seed))
+    engine.run()
+    records = manager.completed_records()
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["jobs completed", len(records)],
+                ["mean JCT (s)", manager.mean_jct()],
+                ["mean queueing delay (s)", manager.mean_queueing_delay()],
+                ["makespan (s)", engine.now],
+            ],
+            title=(
+                f"{args.jobs} Poisson arrivals at {args.rate}/s on "
+                f"{args.hosts} hosts ({args.scheduler})"
+            ),
+        )
+    )
+    return 0
+
+
+def cmd_matrix(args) -> int:
+    from .analysis import run_matrix, standard_battery
+    from .workloads import get_model
+
+    model = None
+    if args.model:
+        model = get_model(args.model, batch_scale=args.batch_scale)
+    schedulers = {
+        name: (lambda name=name: make_scheduler(name))
+        for name in args.schedulers.split(",")
+    }
+    result = run_matrix(
+        standard_battery(
+            model=model,
+            workers=args.workers,
+            bandwidth=gbps(args.bandwidth_gbps),
+            micro_batches=args.micro_batches,
+        ),
+        schedulers,
+        metric=args.metric,
+    )
+    print(result.to_table(title=f"{args.metric} across the standard battery"))
+    return 0
+
+
+def cmd_run_spec(args) -> int:
+    import json as _json
+
+    from .workloads import run_spec_file
+
+    results = run_spec_file(args.spec)
+    rows = [
+        [name, info["paradigm"], info["completion_time"], info["flows"]]
+        for name, info in results["jobs"].items()
+    ]
+    print(
+        format_table(
+            ["job", "paradigm", "completion time (s)", "flows"],
+            rows,
+            title=(
+                f"{args.spec}: makespan {results['makespan']:.4g}s, "
+                f"{results['scheduler_invocations']} scheduler invocations"
+            ),
+        )
+    )
+    if args.json:
+        print(_json.dumps(results, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_schedulers(args) -> int:
+    for name in scheduler_names():
+        print(name)
+    return 0
+
+
+def cmd_models(args) -> int:
+    for name in model_names():
+        model = get_model(name)
+        params_m = model.total_param_bytes / 4.0 / 1e6
+        print(f"{name}: {model.num_layers} layers, {params_m:.1f}M parameters")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EchelonFlow (HotNets '22) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("fig2", help="run the Fig. 2 motivating example")
+    sub.add_parser("table1", help="reproduce the Table 1 compliance matrix")
+    sub.add_parser("schedulers", help="list registered schedulers")
+    sub.add_parser("models", help="list the model zoo")
+
+    run = sub.add_parser("run", help="run one training job")
+    run.add_argument("--paradigm", choices=PARADIGMS, default="pp-gpipe")
+    run.add_argument("--scheduler", default="echelon")
+    run.add_argument("--model", default="bert_large")
+    run.add_argument("--workers", type=int, default=4)
+    run.add_argument("--micro-batches", type=int, default=4)
+    run.add_argument("--iterations", type=int, default=1)
+    run.add_argument("--bucket-mb", type=float, default=50.0)
+    run.add_argument("--bandwidth-gbps", type=float, default=10.0)
+    run.add_argument("--batch-scale", type=float, default=1.0)
+    run.add_argument("--timeline", action="store_true", help="render ASCII Gantt")
+    run.add_argument("--timeline-width", type=int, default=72)
+    run.add_argument("--trace", help="write the trace to this path")
+    run.add_argument(
+        "--trace-format", choices=("json", "csv", "chrome"), default="json"
+    )
+
+    matrix = sub.add_parser(
+        "matrix", help="run the standard workload battery across schedulers"
+    )
+    matrix.add_argument(
+        "--schedulers", default="fair,sjf,coflow,sincronia,echelon"
+    )
+    matrix.add_argument("--model", default=None)
+    matrix.add_argument("--workers", type=int, default=4)
+    matrix.add_argument("--micro-batches", type=int, default=4)
+    matrix.add_argument("--bandwidth-gbps", type=float, default=10.0)
+    matrix.add_argument("--batch-scale", type=float, default=1.0)
+    matrix.add_argument(
+        "--metric", choices=("comp_finish", "completion"), default="comp_finish"
+    )
+
+    run_spec = sub.add_parser(
+        "run-spec", help="run a declarative JSON experiment spec"
+    )
+    run_spec.add_argument("spec", help="path to the JSON spec file")
+    run_spec.add_argument("--json", action="store_true", help="also dump raw JSON")
+
+    cluster = sub.add_parser("cluster", help="dynamic multi-tenant cluster")
+    cluster.add_argument("--scheduler", default="echelon")
+    cluster.add_argument("--model", default="resnet50")
+    cluster.add_argument("--jobs", type=int, default=16)
+    cluster.add_argument("--rate", type=float, default=10.0)
+    cluster.add_argument("--hosts", type=int, default=12)
+    cluster.add_argument("--job-workers", type=int, default=4)
+    cluster.add_argument("--bucket-mb", type=float, default=50.0)
+    cluster.add_argument("--bandwidth-gbps", type=float, default=10.0)
+    cluster.add_argument("--batch-scale", type=float, default=1.0)
+    cluster.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+_COMMANDS = {
+    "fig2": cmd_fig2,
+    "table1": cmd_table1,
+    "run": cmd_run,
+    "run-spec": cmd_run_spec,
+    "matrix": cmd_matrix,
+    "cluster": cmd_cluster,
+    "schedulers": cmd_schedulers,
+    "models": cmd_models,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

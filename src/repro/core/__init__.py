@@ -1,0 +1,51 @@
+"""Core EchelonFlow abstraction: flows, arrangements, tardiness objectives."""
+
+from .arrangement import (
+    ArrangementFunction,
+    CoflowArrangement,
+    PhasedArrangement,
+    StaggeredArrangement,
+    TabledArrangement,
+    arrangement_from_compute_durations,
+)
+from .coflow import bottleneck_duration, coflow_completion_time, port_loads
+from .echelonflow import EchelonFlow, make_coflow, total_tardiness
+from .flow import Flow, FlowState
+from .tardiness import (
+    CompletionTimeObjective,
+    FlowOutcome,
+    SchedulingObjective,
+    TardinessObjective,
+    TardinessReport,
+    evaluate_tardiness,
+)
+from .units import EPS, gbps, gigabytes, mbps, megabytes, milliseconds
+
+__all__ = [
+    "ArrangementFunction",
+    "CoflowArrangement",
+    "StaggeredArrangement",
+    "PhasedArrangement",
+    "TabledArrangement",
+    "arrangement_from_compute_durations",
+    "EchelonFlow",
+    "make_coflow",
+    "total_tardiness",
+    "Flow",
+    "FlowState",
+    "FlowOutcome",
+    "SchedulingObjective",
+    "TardinessObjective",
+    "CompletionTimeObjective",
+    "TardinessReport",
+    "evaluate_tardiness",
+    "coflow_completion_time",
+    "bottleneck_duration",
+    "port_loads",
+    "EPS",
+    "gbps",
+    "mbps",
+    "megabytes",
+    "gigabytes",
+    "milliseconds",
+]

@@ -1,0 +1,91 @@
+"""Coflow compatibility layer (Property 2).
+
+Coflow [Chowdhury & Stoica, HotNets '12] groups semantically-related flows
+and minimizes the completion time of the last one. EchelonFlow subsumes it:
+a Coflow is an EchelonFlow whose arrangement is Eq. 5 (all ideal finish times
+equal the reference time). This module provides the traditional Coflow
+vocabulary -- completion time, bottleneck duration ``Gamma`` -- on top of the
+EchelonFlow types, so that Coflow baselines (Varys/MADD) and the superset
+proofs can be written in their native terms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple
+
+from .echelonflow import EchelonFlow, make_coflow
+from .flow import Flow, FlowState
+
+__all__ = ["make_coflow", "coflow_completion_time", "port_loads", "bottleneck_duration"]
+
+
+def coflow_completion_time(
+    coflow: EchelonFlow, actual_finish_times: Dict[int, float]
+) -> float:
+    """CCT: finish of the last flow minus the Coflow's reference time."""
+    if coflow.reference_time is None:
+        raise RuntimeError(f"coflow {coflow.ef_id} has not started")
+    last = max(actual_finish_times[flow.flow_id] for flow in coflow.flows)
+    return last - coflow.reference_time
+
+
+def port_loads(flows: Iterable[Flow]) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """Aggregate bytes per sending and per receiving host ("ports").
+
+    Varys models the fabric as one big switch where each host has an ingress
+    and an egress port; the load on a port is the total bytes crossing it.
+    """
+    egress: Dict[str, float] = {}
+    ingress: Dict[str, float] = {}
+    for flow in flows:
+        egress[flow.src] = egress.get(flow.src, 0.0) + flow.size
+        ingress[flow.dst] = ingress.get(flow.dst, 0.0) + flow.size
+    return egress, ingress
+
+
+def bottleneck_duration(
+    flows: Iterable[Flow],
+    egress_capacity: Mapping[str, float],
+    ingress_capacity: Mapping[str, float],
+) -> float:
+    """``Gamma``: the minimum possible CCT of a Coflow on a big switch.
+
+    ``Gamma = max(max_p load_egress(p)/cap(p), max_p load_ingress(p)/cap(p))``.
+    MADD allocates each flow the rate that finishes it exactly at ``Gamma``.
+    """
+    flows = list(flows)
+    egress, ingress = port_loads(flows)
+    gamma = 0.0
+    for port, load in egress.items():
+        capacity = egress_capacity[port]
+        if capacity <= 0:
+            raise ValueError(f"egress capacity of {port!r} must be positive")
+        gamma = max(gamma, load / capacity)
+    for port, load in ingress.items():
+        capacity = ingress_capacity[port]
+        if capacity <= 0:
+            raise ValueError(f"ingress capacity of {port!r} must be positive")
+        gamma = max(gamma, load / capacity)
+    return gamma
+
+
+def remaining_bottleneck_duration(
+    states: Iterable[FlowState],
+    egress_capacity: Mapping[str, float],
+    ingress_capacity: Mapping[str, float],
+) -> float:
+    """``Gamma`` over *remaining* bytes -- Varys' SEBF ordering key."""
+    egress: Dict[str, float] = {}
+    ingress: Dict[str, float] = {}
+    for state in states:
+        if state.finished:
+            continue
+        flow = state.flow
+        egress[flow.src] = egress.get(flow.src, 0.0) + state.remaining
+        ingress[flow.dst] = ingress.get(flow.dst, 0.0) + state.remaining
+    gamma = 0.0
+    for port, load in egress.items():
+        gamma = max(gamma, load / egress_capacity[port])
+    for port, load in ingress.items():
+        gamma = max(gamma, load / ingress_capacity[port])
+    return gamma

@@ -1,0 +1,169 @@
+"""Tardiness metrics and scheduling objectives (Eqs. 1-4).
+
+Definitions reproduced from the paper:
+
+* **Flow tardiness** (Def. 3.2, Eq. 1): ``t_f = e - d``, the actual finish
+  time exceeding the ideal finish time. Unlike flow completion time (FCT),
+  tardiness is anchored on the *arrangement*, so after a transient delay the
+  next EchelonFlow can recover the formation -- an FCT objective cannot
+  (ablation E14 demonstrates this).
+* **EchelonFlow tardiness** (Def. 3.3, Eq. 2): ``t_H = max_j (e_j - d_j)``.
+* **Single-EF objective** (Eq. 3): minimize ``t_H``.
+* **Multi-EF objective** (Eq. 4): minimize ``sum_i t_{H_i}`` (optionally
+  weighted).
+
+On NP-hardness (Property 3): Coflow scheduling is NP-hard even on a single
+big switch [Chowdhury et al., SIGCOMM '14, via concurrent open shop]; since
+Coflow is the Eq.-5 special case of EchelonFlow (Property 2), any algorithm
+solving EchelonFlow tardiness minimization exactly would solve Coflow CCT
+minimization exactly, so EchelonFlow scheduling is NP-hard as well. The
+schedulers in :mod:`repro.scheduling` are therefore heuristics (adapted MADD,
+Property 4), and :mod:`repro.scheduling.oracle` pays exponential cost to
+verify optimality on small instances only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from .echelonflow import EchelonFlow
+
+
+@dataclass(frozen=True)
+class FlowOutcome:
+    """Measured result of one flow under some schedule."""
+
+    flow_id: int
+    group_id: Optional[str]
+    start_time: float
+    finish_time: float
+    ideal_finish_time: Optional[float]
+
+    @property
+    def completion_time(self) -> float:
+        """Classic FCT: finish minus the flow's own start."""
+        return self.finish_time - self.start_time
+
+    @property
+    def tardiness(self) -> float:
+        """Eq. 1; requires an ideal finish time."""
+        if self.ideal_finish_time is None:
+            raise ValueError(f"flow {self.flow_id} has no ideal finish time")
+        return self.finish_time - self.ideal_finish_time
+
+
+@dataclass(frozen=True)
+class TardinessReport:
+    """Summary of Eq. 2-4 quantities over a set of EchelonFlows."""
+
+    per_echelonflow: Mapping[str, float]
+    total: float
+    weighted_total: float
+    worst: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        rows = ", ".join(f"{k}={v:.4g}" for k, v in sorted(self.per_echelonflow.items()))
+        return f"TardinessReport(total={self.total:.4g}, worst={self.worst:.4g}; {rows})"
+
+
+def evaluate_tardiness(
+    echelonflows: Iterable[EchelonFlow],
+    actual_finish_times: Dict[int, float],
+) -> TardinessReport:
+    """Compute the Eq. 2 tardiness of each EchelonFlow and Eq. 4 aggregates."""
+    per_ef: Dict[str, float] = {}
+    total = 0.0
+    weighted_total = 0.0
+    worst = float("-inf")
+    for echelonflow in echelonflows:
+        value = echelonflow.tardiness(actual_finish_times)
+        per_ef[echelonflow.ef_id] = value
+        total += value
+        weighted_total += echelonflow.weight * value
+        worst = max(worst, value)
+    if not per_ef:
+        worst = 0.0
+    return TardinessReport(
+        per_echelonflow=per_ef, total=total, weighted_total=weighted_total, worst=worst
+    )
+
+
+class SchedulingObjective:
+    """An objective ranks flows by urgency; used for the E14 ablation.
+
+    ``urgency(now, remaining, start, ideal)`` returns a deadline-like value:
+    smaller means more urgent. Schedulers that order or weight flows consult
+    the objective so that the tardiness-vs-FCT comparison is a one-line swap.
+    """
+
+    name = "abstract"
+
+    def urgency(
+        self,
+        now: float,
+        remaining: float,
+        start_time: float,
+        ideal_finish_time: Optional[float],
+    ) -> float:
+        raise NotImplementedError
+
+
+class TardinessObjective(SchedulingObjective):
+    """Urgency anchored on the arrangement's ideal finish time (Eq. 1).
+
+    Flows behind the formation (ideal finish in the past) become maximally
+    urgent, which is what lets a delayed pipeline catch back up.
+    """
+
+    name = "tardiness"
+
+    def urgency(
+        self,
+        now: float,
+        remaining: float,
+        start_time: float,
+        ideal_finish_time: Optional[float],
+    ) -> float:
+        if ideal_finish_time is None:
+            return now + remaining
+        return ideal_finish_time
+
+
+class CompletionTimeObjective(SchedulingObjective):
+    """Urgency anchored on each flow's own start time (classic FCT).
+
+    Under this objective a delayed flow's target simply shifts later -- the
+    schedule never tries to recover the computation arrangement. The paper's
+    Def. 3.2 discussion ("If optimizing with flow completion time, after
+    flows delay, later EchelonFlows cannot recover the arrangement") is
+    exactly the failure mode this objective exhibits in ablation E14.
+    """
+
+    name = "fct"
+
+    def urgency(
+        self,
+        now: float,
+        remaining: float,
+        start_time: float,
+        ideal_finish_time: Optional[float],
+    ) -> float:
+        return start_time + remaining
+
+
+def max_tardiness(outcomes: Sequence[FlowOutcome]) -> float:
+    """Eq. 2 over raw outcomes."""
+    if not outcomes:
+        return 0.0
+    return max(outcome.tardiness for outcome in outcomes)
+
+
+def sum_tardiness_by_group(outcomes: Sequence[FlowOutcome]) -> Dict[str, float]:
+    """Group outcomes by EchelonFlow and compute Eq. 2 per group."""
+    groups: Dict[str, List[FlowOutcome]] = {}
+    for outcome in outcomes:
+        if outcome.group_id is None:
+            continue
+        groups.setdefault(outcome.group_id, []).append(outcome)
+    return {group: max_tardiness(members) for group, members in groups.items()}

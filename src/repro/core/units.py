@@ -1,0 +1,72 @@
+"""Unit conventions and helpers used throughout the library.
+
+The simulator is unit-agnostic but the convention everywhere is:
+
+* time        -- seconds (floats)
+* data        -- bytes (floats; fluid model, fractional bytes are fine)
+* bandwidth   -- bytes per second
+
+Helpers below convert from the units papers usually quote (Gbps, MB, ...)
+into the canonical ones.
+"""
+
+from __future__ import annotations
+
+#: Numerical tolerance for time / rate comparisons inside the simulator.
+EPS = 1e-9
+
+#: A tolerance suitable for comparing accumulated byte counters.
+BYTE_EPS = 1e-6
+
+KB = 1024.0
+MB = 1024.0 * KB
+GB = 1024.0 * MB
+
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+
+
+def gbps(value: float) -> float:
+    """Convert gigabits per second into bytes per second."""
+    return value * GIGA / 8.0
+
+
+def mbps(value: float) -> float:
+    """Convert megabits per second into bytes per second."""
+    return value * MEGA / 8.0
+
+
+def bytes_per_second_to_gbps(rate: float) -> float:
+    """Convert bytes per second back into gigabits per second."""
+    return rate * 8.0 / GIGA
+
+
+def megabytes(value: float) -> float:
+    """Convert mebibytes into bytes."""
+    return value * MB
+
+
+def gigabytes(value: float) -> float:
+    """Convert gibibytes into bytes."""
+    return value * GB
+
+
+def milliseconds(value: float) -> float:
+    """Convert milliseconds into seconds."""
+    return value * 1e-3
+
+
+def microseconds(value: float) -> float:
+    """Convert microseconds into seconds."""
+    return value * 1e-6
+
+
+def approx_equal(a: float, b: float, tol: float = EPS) -> bool:
+    """Tolerant float comparison with absolute *and* relative slack."""
+    return abs(a - b) <= max(tol, tol * max(abs(a), abs(b)))
+
+
+def approx_leq(a: float, b: float, tol: float = EPS) -> bool:
+    """Tolerant ``a <= b`` with absolute and relative slack."""
+    return a <= b + max(tol, tol * max(abs(a), abs(b)))

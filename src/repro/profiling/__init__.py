@@ -1,0 +1,20 @@
+"""Profiling: extracting arrangement distances and modelling their error."""
+
+from .noise import biased_arrangement, perturb_arrangement
+from .profiler import (
+    ComputeProfile,
+    phased_arrangement_from_profile,
+    profile_job,
+    staggered_arrangement_from_profile,
+    tabled_arrangement_from_durations,
+)
+
+__all__ = [
+    "ComputeProfile",
+    "profile_job",
+    "staggered_arrangement_from_profile",
+    "phased_arrangement_from_profile",
+    "tabled_arrangement_from_durations",
+    "perturb_arrangement",
+    "biased_arrangement",
+]

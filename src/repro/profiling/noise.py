@@ -1,0 +1,90 @@
+"""Measurement-noise models for the profiling-sensitivity ablation (E13).
+
+The system sketch notes EchelonFlow "relies on accurate profiling of the
+computation time". These helpers corrupt an arrangement's distances the way
+noisy profiling would, so benches can measure how much scheduling quality
+degrades as profiling error grows -- while the *true* computation pattern
+stays fixed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..core.arrangement import (
+    ArrangementFunction,
+    PhasedArrangement,
+    StaggeredArrangement,
+    TabledArrangement,
+)
+
+
+def _noisy(value: float, relative_error: float, rng: random.Random) -> float:
+    """Multiply by a uniform factor in [1-e, 1+e], clamped non-negative."""
+    factor = 1.0 + rng.uniform(-relative_error, relative_error)
+    return max(0.0, value * factor)
+
+
+def perturb_arrangement(
+    arrangement: ArrangementFunction,
+    relative_error: float,
+    count: int,
+    rng: Optional[random.Random] = None,
+) -> ArrangementFunction:
+    """Return an arrangement whose profiled distances carry relative error.
+
+    The *increments* between consecutive offsets are perturbed (distances
+    are what profiling measures); cumulative offsets stay non-decreasing.
+    ``count`` is how many indices the consumer will address.
+    """
+    if relative_error < 0:
+        raise ValueError(f"relative_error must be >= 0, got {relative_error}")
+    if relative_error == 0:
+        return arrangement
+    rng = rng or random.Random(0)
+    if isinstance(arrangement, StaggeredArrangement):
+        return StaggeredArrangement(
+            distance=_noisy(arrangement.distance, relative_error, rng)
+        )
+    if isinstance(arrangement, PhasedArrangement):
+        return PhasedArrangement(
+            layers=arrangement.layers,
+            forward_distance=_noisy(
+                arrangement.forward_distance, relative_error, rng
+            ),
+            backward_distance=_noisy(
+                arrangement.backward_distance, relative_error, rng
+            ),
+        )
+    # Generic fallback: perturb increments of the offset table.
+    offsets = [arrangement.offset(j) for j in range(count)]
+    noisy_offsets = [offsets[0]]
+    for j in range(1, count):
+        increment = offsets[j] - offsets[j - 1]
+        noisy_offsets.append(noisy_offsets[-1] + _noisy(increment, relative_error, rng))
+    return TabledArrangement(tuple(noisy_offsets))
+
+
+def biased_arrangement(
+    arrangement: ArrangementFunction,
+    scale: float,
+    count: int,
+) -> ArrangementFunction:
+    """Systematic profiling bias: every distance scaled by ``scale``.
+
+    ``scale > 1`` models over-estimated compute times (too-lazy deadlines),
+    ``scale < 1`` under-estimation (too-eager deadlines).
+    """
+    if scale < 0:
+        raise ValueError(f"scale must be >= 0, got {scale}")
+    if isinstance(arrangement, StaggeredArrangement):
+        return StaggeredArrangement(distance=arrangement.distance * scale)
+    if isinstance(arrangement, PhasedArrangement):
+        return PhasedArrangement(
+            layers=arrangement.layers,
+            forward_distance=arrangement.forward_distance * scale,
+            backward_distance=arrangement.backward_distance * scale,
+        )
+    offsets = tuple(arrangement.offset(j) * scale for j in range(count))
+    return TabledArrangement(offsets)

@@ -1,0 +1,136 @@
+"""Computation profiling: extracting the "distance" of the arrangement.
+
+Section 3.1: "the 'distance' is the duration of each computation unit,
+which can be profiled by running a few training iterations". The profiler
+runs warm-up iterations of a job in the simulator, collects per-task
+compute spans from the trace, and fits the per-unit durations that
+arrangement functions need (``T`` for Eq. 6, ``T_fwd``/``T_bwd`` for
+Eq. 7).
+
+Real deployments would profile on the training framework; the mechanics --
+repeated measurements, aggregation, noise -- are identical, which is what
+the E13 sensitivity ablation exercises through :mod:`repro.profiling.noise`.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.arrangement import (
+    PhasedArrangement,
+    StaggeredArrangement,
+    arrangement_from_compute_durations,
+)
+from ..scheduling.fairshare import FairSharingScheduler
+from ..simulator.engine import Engine
+from ..simulator.trace import SimulationTrace
+from ..topology.graph import Topology
+
+
+@dataclass
+class ComputeProfile:
+    """Aggregated compute durations, keyed by (device, tag)."""
+
+    samples: Dict[Tuple[str, str], List[float]] = field(default_factory=dict)
+
+    @classmethod
+    def from_trace(cls, trace: SimulationTrace, job_id: Optional[str] = None) -> "ComputeProfile":
+        profile = cls()
+        for span in trace.compute_spans:
+            if job_id is not None and span.job_id != job_id:
+                continue
+            profile.samples.setdefault((span.device, span.tag), []).append(
+                span.duration
+            )
+        return profile
+
+    def merge(self, other: "ComputeProfile") -> None:
+        for key, values in other.samples.items():
+            self.samples.setdefault(key, []).extend(values)
+
+    def mean_duration(
+        self, device: Optional[str] = None, tag_prefix: str = ""
+    ) -> float:
+        """Mean duration over spans matching device and tag prefix."""
+        values: List[float] = []
+        for (span_device, tag), durations in self.samples.items():
+            if device is not None and span_device != device:
+                continue
+            if tag_prefix and not tag.startswith(tag_prefix):
+                continue
+            values.extend(durations)
+        if not values:
+            raise KeyError(
+                f"no profiled spans for device={device!r} tag_prefix={tag_prefix!r}"
+            )
+        return statistics.fmean(values)
+
+    def stddev(self, device: Optional[str] = None, tag_prefix: str = "") -> float:
+        values: List[float] = []
+        for (span_device, tag), durations in self.samples.items():
+            if device is not None and span_device != device:
+                continue
+            if tag_prefix and not tag.startswith(tag_prefix):
+                continue
+            values.extend(durations)
+        if len(values) < 2:
+            return 0.0
+        return statistics.stdev(values)
+
+
+def profile_job(
+    build_job: Callable[[], "object"],
+    topology: Topology,
+    warmup_runs: int = 2,
+) -> ComputeProfile:
+    """Run ``warmup_runs`` fresh instances of a job and aggregate spans.
+
+    ``build_job`` must return a fresh :class:`~repro.workloads.job.BuiltJob`
+    per call (EchelonFlows are single-use: their reference time pins on
+    first start). Profiling runs under plain fair sharing, as an unmodified
+    cluster would.
+    """
+    if warmup_runs < 1:
+        raise ValueError(f"warmup_runs must be >= 1, got {warmup_runs}")
+    profile = ComputeProfile()
+    for _ in range(warmup_runs):
+        job = build_job()
+        engine = Engine(topology, FairSharingScheduler())
+        job.submit_to(engine)
+        trace = engine.run()
+        profile.merge(ComputeProfile.from_trace(trace, job_id=job.job_id))
+    return profile
+
+
+def staggered_arrangement_from_profile(
+    profile: ComputeProfile,
+    consumer_device: str,
+    tag_prefix: str = "",
+) -> StaggeredArrangement:
+    """Eq. 6 arrangement with ``T`` = profiled consumer compute time."""
+    return StaggeredArrangement(
+        distance=profile.mean_duration(consumer_device, tag_prefix)
+    )
+
+
+def phased_arrangement_from_profile(
+    profile: ComputeProfile,
+    layers: int,
+    forward_tag: str = "F",
+    backward_tag: str = "B",
+) -> PhasedArrangement:
+    """Eq. 7 arrangement with profiled ``T_fwd`` and ``T_bwd``."""
+    return PhasedArrangement(
+        layers=layers,
+        forward_distance=profile.mean_duration(tag_prefix=forward_tag),
+        backward_distance=profile.mean_duration(tag_prefix=backward_tag),
+    )
+
+
+def tabled_arrangement_from_durations(
+    durations: Sequence[float],
+) -> "object":
+    """General profiled arrangement (PP variants beyond Eq. 6)."""
+    return arrangement_from_compute_durations(durations)

@@ -1,0 +1,105 @@
+"""Scheduler interface: what the paper's Coordinator computes.
+
+A scheduler is invoked by the engine whenever network state changes (flow
+arrival/departure or any task completion) and returns a complete rate
+allocation for the active flows, exactly like the Coordinator of Fig. 7
+returning "bandwidth allocations" for the agents to enforce.
+
+The :class:`SchedulerView` gives a scheduler everything the paper says the
+coordinator receives: per-flow info (size/remaining, src, dst, path) plus
+EchelonFlow membership and arrangement-derived ideal finish times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..core.echelonflow import EchelonFlow
+from ..core.flow import FlowState
+from ..simulator.allocation import FlowDemand
+from ..simulator.network import NetworkModel
+
+
+@dataclass
+class SchedulerView:
+    """Snapshot handed to a scheduler at decision time."""
+
+    now: float
+    network: NetworkModel
+    #: EchelonFlows registered with the coordinator, by group id.
+    echelonflows: Mapping[str, EchelonFlow] = field(default_factory=dict)
+
+    def active_states(self) -> List[FlowState]:
+        return self.network.active_states()
+
+    def demand_of(self, state: FlowState, weight: float = 1.0) -> FlowDemand:
+        return self.network.demand(state.flow.flow_id, weight)
+
+    def group_of(self, state: FlowState) -> Optional[EchelonFlow]:
+        if state.flow.group_id is None:
+            return None
+        return self.echelonflows.get(state.flow.group_id)
+
+    def states_by_group(self) -> Dict[Optional[str], List[FlowState]]:
+        """Active flows bucketed by EchelonFlow id (None = ungrouped)."""
+        groups: Dict[Optional[str], List[FlowState]] = {}
+        for state in self.active_states():
+            groups.setdefault(state.flow.group_id, []).append(state)
+        return groups
+
+    def ideal_finish_time(self, state: FlowState) -> Optional[float]:
+        """``d_j`` of a flow, from its EchelonFlow's arrangement.
+
+        Falls back to the state's cached value so schedulers keep working
+        when flows are injected directly (without a registered group).
+        """
+        group = self.group_of(state)
+        if group is not None and group.reference_time is not None:
+            return group.ideal_finish_time_of(state.flow)
+        return state.ideal_finish_time
+
+
+class Scheduler:
+    """Base class: allocate rates for every active flow.
+
+    Implementations must be work-conserving where possible and must respect
+    link capacities; the engine validates allocations in strict mode.
+    """
+
+    #: Human-readable name used in benchmark tables.
+    name = "abstract"
+
+    def allocate(self, view: SchedulerView) -> Dict[int, float]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}<{self.name}>"
+
+
+_SCHEDULER_REGISTRY: Dict[str, type] = {}
+
+
+def register_scheduler(cls: type) -> type:
+    """Class decorator: register a scheduler under its ``name``."""
+    name = getattr(cls, "name", None)
+    if not name or name == "abstract":
+        raise ValueError(f"scheduler {cls.__name__} needs a unique name")
+    if name in _SCHEDULER_REGISTRY:
+        raise ValueError(f"duplicate scheduler name {name!r}")
+    _SCHEDULER_REGISTRY[name] = cls
+    return cls
+
+
+def scheduler_names() -> List[str]:
+    return sorted(_SCHEDULER_REGISTRY)
+
+def make_scheduler(name: str, **kwargs) -> Scheduler:
+    """Instantiate a registered scheduler by name."""
+    try:
+        cls = _SCHEDULER_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduler {name!r}; available: {scheduler_names()}"
+        )
+    return cls(**kwargs)

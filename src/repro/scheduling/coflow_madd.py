@@ -1,0 +1,143 @@
+"""Coflow scheduling: Varys' SEBF + MADD, generalized to arbitrary paths.
+
+This is the Fig. 2b comparison point and the algorithmic substrate that
+Property 4 adapts. Two pieces:
+
+* **MADD** (Minimum Allocation for Desired Duration): give every flow of a
+  coflow the smallest rate finishing it exactly at the coflow's bottleneck
+  completion time ``Gamma``, so all flows finish together (the Coflow
+  philosophy the paper argues against for PP/FSDP).
+* **SEBF** (Smallest Effective Bottleneck First): order coflows by their
+  remaining ``Gamma``; earlier coflows allocate on fresher capacity.
+
+On a big switch ``Gamma`` is the classic port-load bound; on general
+topologies we use the equivalent per-link form
+``Gamma = max_link sum(remaining bytes crossing link) / capacity``.
+
+A final work-conserving backfill hands leftover capacity to flows in SEBF
+order so no link idles while a flow wants it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.flow import FlowState
+from ..core.units import EPS
+from ..simulator.allocation import (
+    FlowDemand,
+    greedy_priority_fill,
+    link_capacities,
+)
+from ..simulator.network import NetworkModel
+from .base import Scheduler, SchedulerView, register_scheduler
+
+
+def remaining_gamma(
+    states: List[FlowState],
+    network: NetworkModel,
+    available: Dict[Tuple[str, str], float],
+) -> float:
+    """Bottleneck completion time of a coflow on (residual) capacities.
+
+    ``inf`` when some needed link has no residual capacity at all.
+    """
+    load: Dict[Tuple[str, str], float] = {}
+    for state in states:
+        for link in network.path(state.flow.flow_id):
+            load[link.key] = load.get(link.key, 0.0) + state.remaining
+    gamma = 0.0
+    for key, total in load.items():
+        capacity = available.get(key)
+        if capacity is None:
+            continue
+        if capacity <= EPS:
+            return float("inf")
+        gamma = max(gamma, total / capacity)
+    return gamma
+
+
+def madd_rates(
+    states: List[FlowState],
+    network: NetworkModel,
+    available: Dict[Tuple[str, str], float],
+) -> Dict[int, float]:
+    """Minimum allocation finishing every flow at the coflow's ``Gamma``."""
+    gamma = remaining_gamma(states, network, available)
+    rates: Dict[int, float] = {}
+    if gamma == float("inf"):
+        return {state.flow.flow_id: 0.0 for state in states}
+    for state in states:
+        if gamma <= EPS:
+            rates[state.flow.flow_id] = 0.0
+        else:
+            rates[state.flow.flow_id] = state.remaining / gamma
+    return rates
+
+
+def _consume(
+    rates: Dict[int, float],
+    network: NetworkModel,
+    available: Dict[Tuple[str, str], float],
+) -> None:
+    for flow_id, rate in rates.items():
+        for link in network.path(flow_id):
+            if link.key in available:
+                available[link.key] = max(0.0, available[link.key] - rate)
+
+
+@register_scheduler
+class CoflowMaddScheduler(Scheduler):
+    """Varys: SEBF inter-coflow ordering + MADD intra-coflow allocation.
+
+    Ungrouped flows are treated as singleton coflows. ``backfill`` toggles
+    the work-conserving pass (on by default, as in Varys).
+    """
+
+    name = "coflow"
+
+    def __init__(self, backfill: bool = True) -> None:
+        self.backfill = backfill
+
+    def allocate(self, view: SchedulerView) -> Dict[int, float]:
+        network = view.network
+        groups = view.states_by_group()
+        coflows: List[Tuple[str, List[FlowState]]] = []
+        for group_id, states in groups.items():
+            if group_id is None:
+                for state in states:  # singleton pseudo-coflows
+                    coflows.append((f"_flow{state.flow.flow_id}", [state]))
+            else:
+                coflows.append((group_id, states))
+
+        available = self._full_capacities(network)
+        # SEBF: smallest remaining bottleneck first, on *full* capacities.
+        keyed = []
+        for group_id, states in coflows:
+            gamma = remaining_gamma(states, network, available)
+            keyed.append((gamma, group_id, states))
+        keyed.sort(key=lambda item: (item[0], item[1]))
+
+        rates: Dict[int, float] = {}
+        residual = dict(available)
+        ordered_states: List[FlowState] = []
+        for _gamma, _group_id, states in keyed:
+            group_rates = madd_rates(states, network, residual)
+            _consume(group_rates, network, residual)
+            rates.update(group_rates)
+            ordered_states.extend(
+                sorted(states, key=lambda s: (s.remaining, s.flow.flow_id))
+            )
+
+        if self.backfill:
+            demands = [view.demand_of(state) for state in ordered_states]
+            rates = greedy_priority_fill(demands, available=residual, base_rates=rates)
+        return rates
+
+    @staticmethod
+    def _full_capacities(network: NetworkModel) -> Dict[Tuple[str, str], float]:
+        capacities: Dict[Tuple[str, str], float] = {}
+        for state in network.active_states():
+            for link in network.path(state.flow.flow_id):
+                capacities[link.key] = link.capacity
+        return capacities

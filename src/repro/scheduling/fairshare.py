@@ -1,0 +1,31 @@
+"""Baseline: per-flow max-min fair sharing.
+
+This is "what the network grants" when nobody schedules -- every active flow
+gets its water-filling share, exactly the Fig. 2a baseline. TCP-like
+behaviour over long transfers converges to this allocation in the fluid
+limit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..simulator.allocation import max_min_fair
+from .base import Scheduler, SchedulerView, register_scheduler
+
+
+@register_scheduler
+class FairSharingScheduler(Scheduler):
+    """Weighted max-min fair sharing across all active flows."""
+
+    name = "fair"
+
+    def __init__(self, weight_by_job: Dict[str, float] = None) -> None:
+        self.weight_by_job = dict(weight_by_job or {})
+
+    def allocate(self, view: SchedulerView) -> Dict[int, float]:
+        demands = []
+        for state in view.active_states():
+            weight = self.weight_by_job.get(state.flow.job_id, 1.0)
+            demands.append(view.demand_of(state, weight=weight))
+        return max_min_fair(demands)

@@ -1,0 +1,128 @@
+"""Optimality references for Property 1 (E8).
+
+EchelonFlow scheduling is NP-hard in general (Property 3), so exact optima
+are only computed where structure allows:
+
+* :func:`single_link_pipeline_optimum` -- the Fig. 2 setting: one link, one
+  consumer that processes stages in order. An exchange argument shows an
+  optimal schedule transmits flows in consumption order, each contiguously
+  at full link rate; the completion recurrences below are therefore exact.
+* :func:`makespan_lower_bounds` -- paradigm-agnostic lower bounds on any
+  schedule's completion time: device work, DAG critical path, and per-link
+  communication work. The maximum of these bounds certifies near-optimality
+  of measured schedules without solving the NP-hard problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..simulator.dag import TaskDag, TaskKind
+from ..topology.graph import Topology
+from ..topology.routing import ShortestPathRouter
+
+
+@dataclass(frozen=True)
+class PipelineStageSpec:
+    """One micro-batch stage in the single-link pipeline model."""
+
+    release_time: float  # when the producer makes the data available
+    flow_size: float  # bytes to move across the link
+    compute_time: float  # consumer computation after the data lands
+
+
+def single_link_pipeline_optimum(
+    stages: Sequence[PipelineStageSpec], bandwidth: float
+) -> Tuple[float, List[float], List[float]]:
+    """Exact optimal completion for in-order consumption over one link.
+
+    Returns ``(comp_finish_time, flow_finish_times, compute_finish_times)``.
+
+    Optimal structure: the link serves flows in consumption order, each at
+    full rate, starting as soon as both the data is released and the link is
+    free (any idling or reordering can only delay the in-order consumer).
+    """
+    if bandwidth <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+    link_free = 0.0
+    consumer_free = 0.0
+    flow_finishes: List[float] = []
+    compute_finishes: List[float] = []
+    for stage in stages:
+        start = max(stage.release_time, link_free)
+        finish = start + stage.flow_size / bandwidth
+        link_free = finish
+        flow_finishes.append(finish)
+        compute_start = max(finish, consumer_free)
+        consumer_free = compute_start + stage.compute_time
+        compute_finishes.append(consumer_free)
+    comp_finish = compute_finishes[-1] if compute_finishes else 0.0
+    return comp_finish, flow_finishes, compute_finishes
+
+
+@dataclass(frozen=True)
+class MakespanBounds:
+    """Lower bounds on any feasible schedule's completion time."""
+
+    device_work: float
+    critical_path: float
+    link_work: float
+
+    @property
+    def best(self) -> float:
+        return max(self.device_work, self.critical_path, self.link_work)
+
+
+def makespan_lower_bounds(dag: TaskDag, topology: Topology) -> MakespanBounds:
+    """Three classic lower bounds for a DAG on a capacitated network.
+
+    * ``device_work``: no device can finish before its total assigned
+      compute time elapses.
+    * ``critical_path``: chain of compute durations plus *minimum* transfer
+      times (each flow at its path's full bottleneck rate, free network).
+    * ``link_work``: no link can carry its total bytes faster than capacity.
+    """
+    router = ShortestPathRouter(topology)
+
+    device_load: Dict[str, float] = {}
+    for task in dag.tasks():
+        if task.kind is TaskKind.COMPUTE and task.device is not None:
+            device_load[task.device] = device_load.get(task.device, 0.0) + task.duration
+    device_work = max(device_load.values(), default=0.0)
+
+    link_load: Dict[Tuple[str, str], float] = {}
+    link_caps: Dict[Tuple[str, str], float] = {}
+    min_transfer: Dict[str, float] = {}
+    for task in dag.tasks():
+        if task.kind is not TaskKind.COMM:
+            continue
+        slowest = 0.0
+        for flow in task.flows:
+            path = router.path(flow.src, flow.dst)
+            bottleneck = min(link.capacity for link in path)
+            slowest = max(slowest, flow.size / bottleneck)
+            for link in path:
+                link_load[link.key] = link_load.get(link.key, 0.0) + flow.size
+                link_caps[link.key] = link.capacity
+        min_transfer[task.task_id] = slowest
+    link_work = max(
+        (load / link_caps[key] for key, load in link_load.items()), default=0.0
+    )
+
+    finish: Dict[str, float] = {}
+    for task_id in dag.topological_order():
+        task = dag.task(task_id)
+        start = max((finish[dep] for dep in task.deps), default=0.0)
+        if task.kind is TaskKind.COMPUTE:
+            cost = task.duration
+        elif task.kind is TaskKind.COMM:
+            cost = min_transfer[task_id]
+        else:
+            cost = 0.0
+        finish[task_id] = start + cost
+    critical_path = max(finish.values(), default=0.0)
+
+    return MakespanBounds(
+        device_work=device_work, critical_path=critical_path, link_work=link_work
+    )

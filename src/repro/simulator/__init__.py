@@ -1,0 +1,41 @@
+"""Discrete-event co-simulation of compute DAGs and a fluid-flow network."""
+
+from .allocation import (
+    FlowDemand,
+    feasible,
+    greedy_priority_fill,
+    link_capacities,
+    max_min_fair,
+    residual_capacities,
+)
+from .compute import Device
+from .dag import Task, TaskDag, TaskKind
+from .engine import Engine, SimulationError, TIME_EPS
+from .events import Event, EventKind, EventQueue
+from .network import CapacityViolation, NetworkModel
+from .trace import ComputeSpan, FlowRecord, SimulationTrace, TaskEvent
+
+__all__ = [
+    "Engine",
+    "SimulationError",
+    "TIME_EPS",
+    "NetworkModel",
+    "CapacityViolation",
+    "TaskDag",
+    "Task",
+    "TaskKind",
+    "Device",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "FlowDemand",
+    "max_min_fair",
+    "greedy_priority_fill",
+    "feasible",
+    "residual_capacities",
+    "link_capacities",
+    "SimulationTrace",
+    "ComputeSpan",
+    "FlowRecord",
+    "TaskEvent",
+]

@@ -1,0 +1,189 @@
+"""Rate-allocation primitives shared by all schedulers.
+
+The fluid-flow model reduces scheduling to: given active flows, each pinned
+to a path of capacitated links, choose per-flow rates with per-link capacity
+constraints. This module implements the building blocks:
+
+* :func:`max_min_fair` -- progressive filling (classic water-filling), with
+  optional per-flow weights and per-flow rate caps.
+* :func:`greedy_priority_fill` -- strict-priority allocation in a given flow
+  order (used by SJF-style and backfill passes).
+* :func:`feasible` -- validate an allocation against link capacities.
+* :func:`residual_capacities` -- leftover capacity after an allocation.
+
+All functions are pure: they take explicit flow descriptors and return new
+rate dictionaries, which keeps them unit-testable and hypothesis-friendly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from ..core.units import EPS
+from ..topology.graph import Link
+
+
+@dataclass(frozen=True)
+class FlowDemand:
+    """What the allocator needs to know about one flow.
+
+    ``cap`` optionally limits the flow's rate (e.g. an application pacing
+    limit); ``weight`` scales its share under weighted max-min.
+    """
+
+    flow_id: int
+    path: Tuple[Link, ...]
+    weight: float = 1.0
+    cap: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ValueError(f"flow {self.flow_id} has an empty path")
+        if self.weight <= 0:
+            raise ValueError(f"flow {self.flow_id} weight must be positive")
+        if self.cap is not None and self.cap < 0:
+            raise ValueError(f"flow {self.flow_id} cap must be >= 0")
+
+
+def link_capacities(demands: Iterable[FlowDemand]) -> Dict[Tuple[str, str], float]:
+    """Collect the capacity of every link that appears on some path."""
+    capacities: Dict[Tuple[str, str], float] = {}
+    for demand in demands:
+        for link in demand.path:
+            capacities[link.key] = link.capacity
+    return capacities
+
+
+def feasible(
+    demands: Sequence[FlowDemand],
+    rates: Mapping[int, float],
+    tolerance: float = 1e-6,
+) -> bool:
+    """True when ``rates`` respects every link capacity (with slack)."""
+    usage: Dict[Tuple[str, str], float] = {}
+    capacities = link_capacities(demands)
+    for demand in demands:
+        rate = rates.get(demand.flow_id, 0.0)
+        if rate < -tolerance:
+            return False
+        if demand.cap is not None and rate > demand.cap + tolerance:
+            return False
+        for link in demand.path:
+            usage[link.key] = usage.get(link.key, 0.0) + rate
+    for key, used in usage.items():
+        capacity = capacities[key]
+        if used > capacity * (1.0 + tolerance) + tolerance:
+            return False
+    return True
+
+
+def residual_capacities(
+    demands: Sequence[FlowDemand],
+    rates: Mapping[int, float],
+) -> Dict[Tuple[str, str], float]:
+    """Capacity left on each link after the given allocation (clamped >= 0)."""
+    residual = link_capacities(demands)
+    for demand in demands:
+        rate = rates.get(demand.flow_id, 0.0)
+        for link in demand.path:
+            residual[link.key] = residual[link.key] - rate
+    return {key: max(0.0, value) for key, value in residual.items()}
+
+
+def max_min_fair(
+    demands: Sequence[FlowDemand],
+    available: Optional[Mapping[Tuple[str, str], float]] = None,
+) -> Dict[int, float]:
+    """Weighted max-min fair rates via progressive filling.
+
+    Water level rises uniformly (scaled by weight) for all unfrozen flows;
+    when a link saturates, flows crossing it freeze at their current rate.
+    Flow caps act as per-flow bottlenecks. Terminates in at most
+    ``len(demands)`` rounds since every round freezes at least one flow.
+    """
+    if not demands:
+        return {}
+    capacities = dict(available) if available is not None else link_capacities(demands)
+    # Links outside `available` (when provided) fall back to full capacity.
+    for demand in demands:
+        for link in demand.path:
+            capacities.setdefault(link.key, link.capacity)
+
+    rates: Dict[int, float] = {demand.flow_id: 0.0 for demand in demands}
+    active = {demand.flow_id: demand for demand in demands}
+    remaining = dict(capacities)
+
+    while active:
+        # How much can the water level rise before some constraint binds?
+        link_weight: Dict[Tuple[str, str], float] = {}
+        for demand in active.values():
+            for link in demand.path:
+                link_weight[link.key] = link_weight.get(link.key, 0.0) + demand.weight
+        rise = float("inf")
+        for key, weight_sum in link_weight.items():
+            if weight_sum > 0:
+                rise = min(rise, remaining[key] / weight_sum)
+        for demand in active.values():
+            if demand.cap is not None:
+                headroom = (demand.cap - rates[demand.flow_id]) / demand.weight
+                rise = min(rise, headroom)
+        if rise == float("inf"):
+            raise RuntimeError("unbounded max-min allocation (no constraints)")
+        rise = max(0.0, rise)
+
+        # Apply the rise and consume link capacity.
+        for demand in active.values():
+            rates[demand.flow_id] += rise * demand.weight
+            for link in demand.path:
+                remaining[link.key] -= rise * demand.weight
+        for key in remaining:
+            if remaining[key] < 0:
+                remaining[key] = 0.0
+
+        # Freeze flows on saturated links or at their caps.
+        frozen = []
+        for flow_id, demand in active.items():
+            at_cap = demand.cap is not None and rates[flow_id] >= demand.cap - EPS
+            on_full_link = any(remaining[link.key] <= EPS for link in demand.path)
+            if at_cap or on_full_link:
+                frozen.append(flow_id)
+        if not frozen:
+            # Numerical corner: force-freeze the most constrained flow.
+            frozen = [min(active)]
+        for flow_id in frozen:
+            del active[flow_id]
+    return rates
+
+
+def greedy_priority_fill(
+    ordered: Sequence[FlowDemand],
+    available: Optional[Mapping[Tuple[str, str], float]] = None,
+    base_rates: Optional[Mapping[int, float]] = None,
+) -> Dict[int, float]:
+    """Strict-priority allocation: each flow grabs its path bottleneck.
+
+    Flows are served in the given order; each receives the minimum residual
+    capacity along its path (bounded by its cap). With ``base_rates`` the
+    pass *adds* to an existing allocation -- this is the work-conserving
+    backfill step used after MADD.
+    """
+    demands = list(ordered)
+    residual = dict(available) if available is not None else link_capacities(demands)
+    for demand in demands:
+        for link in demand.path:
+            residual.setdefault(link.key, link.capacity)
+    rates: Dict[int, float] = dict(base_rates) if base_rates else {}
+    for demand in demands:
+        bottleneck = min(residual[link.key] for link in demand.path)
+        grant = max(0.0, bottleneck)
+        if demand.cap is not None:
+            already = rates.get(demand.flow_id, 0.0)
+            grant = min(grant, max(0.0, demand.cap - already))
+        if grant <= EPS:
+            rates.setdefault(demand.flow_id, 0.0)
+            continue
+        rates[demand.flow_id] = rates.get(demand.flow_id, 0.0) + grant
+        for link in demand.path:
+            residual[link.key] -= grant
+    return rates

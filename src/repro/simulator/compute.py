@@ -1,0 +1,139 @@
+"""Devices: serialized (or MIG-partitioned) compute execution.
+
+A :class:`Device` models one GPU. By default it runs at most one compute
+task at a time, picking the next task from its ready queue by (priority,
+enqueue order) -- idle gaps between tasks are the "bubbles" of Fig. 1a,
+recorded by the trace for the GPU-idleness metric.
+
+``slots > 1`` models MIG-style static partitioning (the GPU-sharing
+future-work direction of Section 5): up to ``slots`` tasks run
+concurrently, each on its isolated slice. MIG provides performance
+isolation, so co-resident tasks do not slow each other down; callers model
+smaller slices by scaling task durations when building the job. Tasks from
+the same job still serialize through their DAG dependencies, so sharing
+only interleaves *different* jobs' work.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .dag import Task
+
+_enqueue_counter = itertools.count()
+
+
+@dataclass(order=True)
+class _QueuedTask:
+    priority: int
+    sequence: int
+    task: Task = field(compare=False)
+
+
+class Device:
+    """A compute device with ``slots`` isolated execution slices."""
+
+    def __init__(self, name: str, slots: int = 1) -> None:
+        if slots < 1:
+            raise ValueError(f"device {name!r} needs >= 1 slots, got {slots}")
+        self.name = name
+        self.slots = slots
+        self._queue: List[_QueuedTask] = []
+        # Keyed by (job_id, task_id): task ids are only unique per job.
+        self._running: Dict[tuple, Task] = {}
+        self.busy_until: float = 0.0
+        #: Accumulated task-seconds, for utilization metrics.
+        self.busy_time: float = 0.0
+        self.last_finish_time: float = 0.0
+
+    def enqueue(self, task: Task) -> None:
+        if task.device != self.name:
+            raise ValueError(
+                f"task {task.task_id!r} targets device {task.device!r}, "
+                f"not {self.name!r}"
+            )
+        heapq.heappush(
+            self._queue, _QueuedTask(task.priority, next(_enqueue_counter), task)
+        )
+
+    @property
+    def running(self) -> Optional[Task]:
+        """The single running task (single-slot view).
+
+        With multiple slots use :attr:`running_tasks` instead.
+        """
+        if not self._running:
+            return None
+        if len(self._running) == 1:
+            return next(iter(self._running.values()))
+        raise RuntimeError(
+            f"device {self.name!r} has {len(self._running)} concurrent tasks; "
+            f"use running_tasks"
+        )
+
+    @property
+    def running_tasks(self) -> List[Task]:
+        return [
+            self._running[key]
+            for key in sorted(self._running, key=lambda k: (k[0] or "", k[1]))
+        ]
+
+    @property
+    def idle(self) -> bool:
+        return not self._running
+
+    @property
+    def free_slots(self) -> int:
+        return self.slots - len(self._running)
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self._queue)
+
+    def start_next(self, now: float) -> Optional[Tuple[Task, float]]:
+        """Begin the highest-priority queued task; returns (task, finish).
+
+        Returns ``None`` when every slot is busy or nothing is queued.
+        """
+        if self.free_slots == 0 or not self._queue:
+            return None
+        queued = heapq.heappop(self._queue)
+        task = queued.task
+        self._running[(task.job_id, task.task_id)] = task
+        finish = now + task.duration
+        self.busy_until = max(self.busy_until, finish)
+        self.busy_time += task.duration
+        return task, finish
+
+    def finish_task(self, task_id: str, now: float, job_id=None) -> Task:
+        """Retire a specific running task (multi-slot safe)."""
+        try:
+            task = self._running.pop((job_id, task_id))
+        except KeyError:
+            raise RuntimeError(
+                f"device {self.name!r} is not running task {task_id!r} "
+                f"of job {job_id!r}"
+            )
+        self.last_finish_time = now
+        return task
+
+    def finish_current(self, now: float) -> Task:
+        """Retire the single running task (single-slot convenience)."""
+        if not self._running:
+            raise RuntimeError(f"device {self.name!r} has nothing running")
+        if len(self._running) > 1:
+            raise RuntimeError(
+                f"device {self.name!r} has multiple running tasks; "
+                f"use finish_task"
+            )
+        job_id, task_id = next(iter(self._running))
+        return self.finish_task(task_id, now, job_id=job_id)
+
+    def utilization(self, horizon: float) -> float:
+        """Busy fraction over ``[0, horizon]`` (aggregated across slots)."""
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / (self.slots * horizon))

@@ -1,0 +1,212 @@
+"""Task DAGs: the computation pattern ("shape") of a training job.
+
+A job iteration is a DAG of tasks:
+
+* **compute** tasks occupy a device for a profiled duration; tasks mapped to
+  the same device serialize (one kernel at a time per GPU).
+* **comm** tasks emit one or more flows into the network and complete when
+  all of them have been delivered.
+* **barrier** tasks are zero-cost synchronization points (e.g. the
+  end-of-iteration barrier in Figs. 1/3/4/5).
+
+Paradigm builders in :mod:`repro.workloads` generate these DAGs; the engine
+in :mod:`repro.simulator.engine` executes them. The DAG is exactly the
+"computation dependencies (i.e., DAG) and times" that the paper says define
+a training paradigm's computation pattern.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.flow import Flow
+
+
+class TaskKind(enum.Enum):
+    COMPUTE = "compute"
+    COMM = "comm"
+    BARRIER = "barrier"
+
+
+@dataclass(frozen=True)
+class Task:
+    """One node of the job DAG. Immutable; runtime state lives in the engine."""
+
+    task_id: str
+    kind: TaskKind
+    deps: Tuple[str, ...] = ()
+    #: Compute tasks: the executing device and its profiled duration.
+    device: Optional[str] = None
+    duration: float = 0.0
+    #: Comm tasks: the flows this task injects when it becomes ready.
+    flows: Tuple[Flow, ...] = ()
+    #: Tie-break for device queues: lower runs first (micro-batch order).
+    priority: int = 0
+    job_id: Optional[str] = None
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind is TaskKind.COMPUTE:
+            if self.device is None:
+                raise ValueError(f"compute task {self.task_id!r} needs a device")
+            if self.duration < 0:
+                raise ValueError(
+                    f"compute task {self.task_id!r} has negative duration"
+                )
+        elif self.kind is TaskKind.COMM:
+            if not self.flows:
+                raise ValueError(f"comm task {self.task_id!r} has no flows")
+        elif self.kind is TaskKind.BARRIER:
+            if self.flows or self.device is not None:
+                raise ValueError(
+                    f"barrier task {self.task_id!r} cannot carry flows or a device"
+                )
+
+
+class TaskDag:
+    """A validated, append-only task DAG."""
+
+    def __init__(self, job_id: str) -> None:
+        self.job_id = job_id
+        self._tasks: Dict[str, Task] = {}
+        self._successors: Dict[str, List[str]] = {}
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    def _add(self, task: Task) -> Task:
+        if task.task_id in self._tasks:
+            raise ValueError(f"duplicate task id {task.task_id!r}")
+        for dep in task.deps:
+            if dep not in self._tasks:
+                raise KeyError(
+                    f"task {task.task_id!r} depends on unknown task {dep!r}; "
+                    f"add dependencies first"
+                )
+        self._tasks[task.task_id] = task
+        self._successors.setdefault(task.task_id, [])
+        for dep in task.deps:
+            self._successors[dep].append(task.task_id)
+        return task
+
+    def add_compute(
+        self,
+        task_id: str,
+        device: str,
+        duration: float,
+        deps: Iterable[str] = (),
+        priority: int = 0,
+        tag: str = "",
+    ) -> Task:
+        return self._add(
+            Task(
+                task_id=task_id,
+                kind=TaskKind.COMPUTE,
+                deps=tuple(deps),
+                device=device,
+                duration=duration,
+                priority=priority,
+                job_id=self.job_id,
+                tag=tag,
+            )
+        )
+
+    def add_comm(
+        self,
+        task_id: str,
+        flows: Sequence[Flow],
+        deps: Iterable[str] = (),
+        tag: str = "",
+    ) -> Task:
+        return self._add(
+            Task(
+                task_id=task_id,
+                kind=TaskKind.COMM,
+                deps=tuple(deps),
+                flows=tuple(flows),
+                job_id=self.job_id,
+                tag=tag,
+            )
+        )
+
+    def add_barrier(
+        self, task_id: str, deps: Iterable[str] = (), tag: str = ""
+    ) -> Task:
+        return self._add(
+            Task(
+                task_id=task_id,
+                kind=TaskKind.BARRIER,
+                deps=tuple(deps),
+                job_id=self.job_id,
+                tag=tag,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def task(self, task_id: str) -> Task:
+        return self._tasks[task_id]
+
+    def __contains__(self, task_id: str) -> bool:
+        return task_id in self._tasks
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def tasks(self) -> List[Task]:
+        return list(self._tasks.values())
+
+    def successors(self, task_id: str) -> List[str]:
+        return list(self._successors[task_id])
+
+    def roots(self) -> List[str]:
+        return [tid for tid, task in self._tasks.items() if not task.deps]
+
+    def devices(self) -> List[str]:
+        return sorted(
+            {task.device for task in self._tasks.values() if task.device is not None}
+        )
+
+    def all_flows(self) -> List[Flow]:
+        flows: List[Flow] = []
+        for task in self._tasks.values():
+            flows.extend(task.flows)
+        return flows
+
+    def topological_order(self) -> List[str]:
+        """Kahn's algorithm; insertion order ensures construction-time
+        acyclicity already, but this validates and gives a canonical order."""
+        indegree = {tid: len(task.deps) for tid, task in self._tasks.items()}
+        frontier = sorted(tid for tid, deg in indegree.items() if deg == 0)
+        order: List[str] = []
+        while frontier:
+            tid = frontier.pop(0)
+            order.append(tid)
+            for succ in self._successors[tid]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    frontier.append(succ)
+            frontier.sort()
+        if len(order) != len(self._tasks):
+            raise RuntimeError(f"DAG {self.job_id!r} contains a cycle")
+        return order
+
+    def critical_path_length(self) -> float:
+        """Lower bound on makespan ignoring device and network contention.
+
+        Comm tasks contribute zero here (infinite-bandwidth view); with
+        profiled flow times use the engine instead.
+        """
+        finish: Dict[str, float] = {}
+        for tid in self.topological_order():
+            task = self._tasks[tid]
+            start = max((finish[dep] for dep in task.deps), default=0.0)
+            finish[tid] = start + (
+                task.duration if task.kind is TaskKind.COMPUTE else 0.0
+            )
+        return max(finish.values(), default=0.0)

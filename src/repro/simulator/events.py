@@ -1,0 +1,107 @@
+"""Event taxonomy and the simulator's priority queue.
+
+The engine advances time between *discrete* events (task completions,
+scheduled arrivals, injected faults); network flow completions are derived
+from rates rather than queued, so they never go stale. Ties at the same
+timestamp are broken by (priority, sequence) for full determinism.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+
+class EventKind(enum.Enum):
+    JOB_ARRIVAL = "job_arrival"
+    COMPUTE_DONE = "compute_done"
+    TIMER = "timer"
+    FAULT = "fault"
+
+
+#: Lower number processes first among same-time events. Compute completions
+#: precede arrivals so a device freed at time t can pick up work arriving
+#: at t within one scheduling round.
+_KIND_PRIORITY = {
+    EventKind.COMPUTE_DONE: 0,
+    EventKind.FAULT: 1,
+    EventKind.JOB_ARRIVAL: 2,
+    EventKind.TIMER: 3,
+}
+
+_sequence = itertools.count()
+
+
+@dataclass(order=True)
+class Event:
+    """One discrete event. Ordering key: (time, kind priority, sequence)."""
+
+    time: float
+    priority: int = field(compare=True)
+    sequence: int = field(compare=True)
+    kind: EventKind = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+    callback: Optional[Callable[["Event"], None]] = field(compare=False, default=None)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventQueue:
+    """A heap of :class:`Event` with lazy cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+
+    def push(
+        self,
+        time: float,
+        kind: EventKind,
+        payload: Any = None,
+        callback: Optional[Callable[[Event], None]] = None,
+    ) -> Event:
+        if time != time or time == float("inf"):
+            raise ValueError(f"event time must be finite, got {time}")
+        event = Event(
+            time=time,
+            priority=_KIND_PRIORITY[kind],
+            sequence=next(_sequence),
+            kind=kind,
+            payload=payload,
+            callback=callback,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def peek_time(self) -> float:
+        """Time of the next live event, or ``inf`` when empty."""
+        self._drop_cancelled()
+        return self._heap[0].time if self._heap else float("inf")
+
+    def pop(self) -> Event:
+        self._drop_cancelled()
+        if not self._heap:
+            raise IndexError("pop from empty event queue")
+        return heapq.heappop(self._heap)
+
+    def pop_due(self, time: float, tolerance: float = 0.0) -> List[Event]:
+        """Pop every live event with ``event.time <= time + tolerance``."""
+        due: List[Event] = []
+        while True:
+            self._drop_cancelled()
+            if not self._heap or self._heap[0].time > time + tolerance:
+                break
+            due.append(heapq.heappop(self._heap))
+        return due
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        self._drop_cancelled()
+        return bool(self._heap)

@@ -1,0 +1,176 @@
+"""The fluid-flow network model.
+
+Active flows drain at scheduler-chosen rates between events. The model owns
+per-flow :class:`~repro.core.flow.FlowState`, the pinned path of each flow,
+and byte accounting; it validates that the scheduler's allocation respects
+link capacities before accepting it.
+
+The model is deliberately ignorant of *why* flows exist (jobs, EchelonFlows,
+collectives) -- it exposes exactly what the paper's coordinator would see:
+flow sizes, endpoints, paths, remaining bytes, and ideal finish times.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.flow import Flow, FlowState
+from ..core.units import EPS
+from ..topology.graph import Link, Topology
+from .allocation import FlowDemand, feasible
+
+
+class CapacityViolation(Exception):
+    """The scheduler proposed rates exceeding a link capacity."""
+
+
+class NetworkModel:
+    """Tracks active flows and enforces link-capacity-respecting rates."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        router,
+        strict: bool = True,
+    ) -> None:
+        self.topology = topology
+        self.router = router
+        self.strict = strict
+        self._active: Dict[int, FlowState] = {}
+        self._paths: Dict[int, Tuple[Link, ...]] = {}
+        self._completed: Dict[int, FlowState] = {}
+        #: Total bytes delivered, for conservation checks.
+        self.bytes_delivered = 0.0
+
+    # ------------------------------------------------------------------
+    # flow lifecycle
+    # ------------------------------------------------------------------
+
+    def inject(self, flow: Flow, now: float) -> FlowState:
+        """Admit a flow at time ``now``; its path is pinned immediately."""
+        if flow.flow_id in self._active or flow.flow_id in self._completed:
+            raise ValueError(f"flow {flow.flow_id} already injected")
+        path = self.router.path(flow.src, flow.dst, flow.flow_id)
+        state = FlowState(flow=flow, start_time=now, remaining=flow.size)
+        self._active[flow.flow_id] = state
+        self._paths[flow.flow_id] = path
+        return state
+
+    def active_states(self) -> List[FlowState]:
+        """Unfinished flows, sorted by flow id for determinism."""
+        return [self._active[fid] for fid in sorted(self._active)]
+
+    def state(self, flow_id: int) -> FlowState:
+        if flow_id in self._active:
+            return self._active[flow_id]
+        return self._completed[flow_id]
+
+    def path(self, flow_id: int) -> Tuple[Link, ...]:
+        return self._paths[flow_id]
+
+    def demand(self, flow_id: int, weight: float = 1.0) -> FlowDemand:
+        return FlowDemand(flow_id=flow_id, path=self._paths[flow_id], weight=weight)
+
+    def demands(self) -> List[FlowDemand]:
+        return [self.demand(fid) for fid in sorted(self._active)]
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    @property
+    def completed_states(self) -> List[FlowState]:
+        return [self._completed[fid] for fid in sorted(self._completed)]
+
+    # ------------------------------------------------------------------
+    # rates and time
+    # ------------------------------------------------------------------
+
+    def set_rates(self, rates: Mapping[int, float]) -> None:
+        """Apply a rate allocation; unlisted active flows idle at rate 0.
+
+        In ``strict`` mode an infeasible allocation raises
+        :class:`CapacityViolation`; otherwise rates are scaled down on each
+        oversubscribed link (modelling switch fair-queueing backpressure).
+        """
+        demands = self.demands()
+        clean: Dict[int, float] = {}
+        for flow_id in self._active:
+            rate = rates.get(flow_id, 0.0)
+            if rate < 0:
+                raise ValueError(f"negative rate for flow {flow_id}: {rate}")
+            clean[flow_id] = rate
+        if not feasible(demands, clean, tolerance=1e-6):
+            if self.strict:
+                raise CapacityViolation(
+                    "scheduler allocation violates link capacities"
+                )
+            clean = self._scale_to_capacity(clean)
+        for flow_id, rate in clean.items():
+            self._active[flow_id].rate = rate
+
+    def _scale_to_capacity(self, rates: Dict[int, float]) -> Dict[int, float]:
+        """Scale rates down uniformly per saturated link until feasible."""
+        scaled = dict(rates)
+        for _ in range(len(self._active) + 1):
+            usage: Dict[Tuple[str, str], float] = {}
+            for flow_id, rate in scaled.items():
+                for link in self._paths[flow_id]:
+                    usage[link.key] = usage.get(link.key, 0.0) + rate
+            worst_ratio = 1.0
+            worst_key: Optional[Tuple[str, str]] = None
+            for flow_id in scaled:
+                for link in self._paths[flow_id]:
+                    used = usage[link.key]
+                    if used > link.capacity * (1 + 1e-9):
+                        ratio = link.capacity / used
+                        if ratio < worst_ratio:
+                            worst_ratio, worst_key = ratio, link.key
+            if worst_key is None:
+                return scaled
+            for flow_id in scaled:
+                if any(link.key == worst_key for link in self._paths[flow_id]):
+                    scaled[flow_id] *= worst_ratio
+        return scaled
+
+    def earliest_finish_interval(self) -> float:
+        """Time until the first active flow completes at current rates."""
+        horizon = float("inf")
+        for state in self._active.values():
+            horizon = min(horizon, state.time_to_finish())
+        return horizon
+
+    def advance(self, dt: float, now: float) -> List[FlowState]:
+        """Drain all flows for ``dt`` and retire finished ones.
+
+        Returns the newly-finished flow states (sorted by flow id); their
+        ``finish_time`` is stamped ``now + dt``.
+        """
+        if dt < -EPS:
+            raise ValueError(f"cannot advance time by {dt}")
+        dt = max(0.0, dt)
+        finish_time = now + dt
+        finished: List[FlowState] = []
+        for flow_id in sorted(self._active):
+            state = self._active[flow_id]
+            before = state.remaining
+            state.advance(dt)
+            self.bytes_delivered += before - state.remaining
+            if state.finished:
+                state.finish_time = finish_time
+                state.rate = 0.0
+                finished.append(state)
+        for state in finished:
+            del self._active[state.flow.flow_id]
+            self._completed[state.flow.flow_id] = state
+        return finished
+
+    # ------------------------------------------------------------------
+    # port capacities (big-switch view for Varys/MADD)
+    # ------------------------------------------------------------------
+
+    def egress_capacities(self) -> Dict[str, float]:
+        return {h: self.topology.host_egress_capacity(h) for h in self.topology.hosts}
+
+    def ingress_capacities(self) -> Dict[str, float]:
+        return {h: self.topology.host_ingress_capacity(h) for h in self.topology.hosts}

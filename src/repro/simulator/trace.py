@@ -1,0 +1,92 @@
+"""Trace records emitted by the engine for analysis and rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.flow import Flow
+
+
+@dataclass(frozen=True)
+class ComputeSpan:
+    """One compute task execution on a device."""
+
+    task_id: str
+    device: str
+    start: float
+    end: float
+    job_id: Optional[str]
+    tag: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """One delivered flow, with its scheduling outcome."""
+
+    flow: Flow
+    start: float
+    finish: float
+    ideal_finish: Optional[float]
+
+    @property
+    def completion_time(self) -> float:
+        return self.finish - self.start
+
+    @property
+    def tardiness(self) -> Optional[float]:
+        if self.ideal_finish is None:
+            return None
+        return self.finish - self.ideal_finish
+
+
+@dataclass(frozen=True)
+class TaskEvent:
+    """Completion of any task (compute, comm, or barrier)."""
+
+    task_id: str
+    kind: str
+    time: float
+    job_id: Optional[str]
+
+
+@dataclass
+class SimulationTrace:
+    """Everything a run produced, in arrival order."""
+
+    compute_spans: List[ComputeSpan] = field(default_factory=list)
+    flow_records: List[FlowRecord] = field(default_factory=list)
+    task_events: List[TaskEvent] = field(default_factory=list)
+    end_time: float = 0.0
+
+    def flows_of_group(self, group_id: str) -> List[FlowRecord]:
+        return [r for r in self.flow_records if r.flow.group_id == group_id]
+
+    def flows_of_job(self, job_id: str) -> List[FlowRecord]:
+        return [r for r in self.flow_records if r.flow.job_id == job_id]
+
+    def spans_of_device(self, device: str) -> List[ComputeSpan]:
+        return [s for s in self.compute_spans if s.device == device]
+
+    def spans_of_job(self, job_id: str) -> List[ComputeSpan]:
+        return [s for s in self.compute_spans if s.job_id == job_id]
+
+    def task_completion(self, task_id: str) -> float:
+        for event in self.task_events:
+            if event.task_id == task_id:
+                return event.time
+        raise KeyError(f"task {task_id!r} never completed in this trace")
+
+    def last_compute_end(self, job_id: Optional[str] = None) -> float:
+        spans = self.compute_spans
+        if job_id is not None:
+            spans = [s for s in spans if s.job_id == job_id]
+        return max((s.end for s in spans), default=0.0)
+
+    def actual_finish_times(self) -> Dict[int, float]:
+        """flow_id -> finish time, the input to tardiness evaluation."""
+        return {r.flow.flow_id: r.finish for r in self.flow_records}

@@ -1,0 +1,32 @@
+"""The Fig. 7 system sketch: agents, coordinator, and queue enforcement."""
+
+from .agent import EchelonFlowAgent
+from .backend import QueueEnforcedScheduler, allocation_error, quantize_to_queue
+from .coordinator import CoordinatedScheduler, Coordinator
+from .framework import ClusterRun, FrameworkInstance, run_cluster
+from .messages import (
+    ArrangementDescriptor,
+    ArrangementKind,
+    BandwidthAllocation,
+    EchelonFlowRequest,
+    FlowInfo,
+    QueueAssignment,
+)
+
+__all__ = [
+    "EchelonFlowAgent",
+    "Coordinator",
+    "CoordinatedScheduler",
+    "QueueEnforcedScheduler",
+    "quantize_to_queue",
+    "allocation_error",
+    "FrameworkInstance",
+    "ClusterRun",
+    "run_cluster",
+    "ArrangementDescriptor",
+    "ArrangementKind",
+    "EchelonFlowRequest",
+    "FlowInfo",
+    "BandwidthAllocation",
+    "QueueAssignment",
+]

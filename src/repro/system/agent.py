@@ -1,0 +1,97 @@
+"""The EchelonFlow Agent: a shim between frameworks and backends (Fig. 7).
+
+Inspired by ByteScheduler, the agent sits under the DDLT framework: it
+receives EchelonFlow registrations through the EchelonFlow API, forwards
+them to the coordinator, and enforces the returned allocations by placing
+flow data into weighted priority queues of the message-passing backend.
+
+One agent serves one framework instance (one job); a cluster run has many
+agents sharing one coordinator, which is how EchelonFlow coordinates
+*across* jobs where prior DDLT schedulers optimized each job alone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.echelonflow import EchelonFlow
+from ..core.flow import Flow
+from .backend import quantize_to_queue, queue_weight
+from .coordinator import Coordinator
+from .messages import (
+    ArrangementDescriptor,
+    EchelonFlowRequest,
+    FlowInfo,
+    QueueAssignment,
+)
+
+
+class EchelonFlowAgent:
+    """Per-framework shim exposing the EchelonFlow API."""
+
+    def __init__(
+        self,
+        framework: str,
+        coordinator: Coordinator,
+        num_queues: int = 8,
+    ) -> None:
+        self.framework = framework
+        self.coordinator = coordinator
+        self.num_queues = num_queues
+        self.registered: Dict[str, EchelonFlow] = {}
+        self.enqueue_log: List[QueueAssignment] = []
+
+    # -- EchelonFlow API (called by the framework adapter) --------------
+
+    def report_echelonflow(self, echelonflow: EchelonFlow) -> EchelonFlow:
+        """Report one EchelonFlow: arrangement + per-flow size/src/dst.
+
+        Returns the coordinator-side EchelonFlow object that scheduling
+        will consult. The framework keeps emitting flows tagged with the
+        group id; no further coordination calls are needed per flow.
+        """
+        if echelonflow.ef_id in self.registered:
+            raise ValueError(
+                f"agent {self.framework!r} already reported {echelonflow.ef_id!r}"
+            )
+        flows = tuple(
+            FlowInfo(
+                flow_id=flow.flow_id,
+                src=flow.src,
+                dst=flow.dst,
+                size=flow.size,
+                index_in_group=flow.index_in_group,
+            )
+            for flow in echelonflow.flows
+        )
+        request = EchelonFlowRequest(
+            ef_id=echelonflow.ef_id,
+            job_id=echelonflow.job_id or self.framework,
+            framework=self.framework,
+            arrangement=ArrangementDescriptor.from_arrangement(
+                echelonflow.arrangement, echelonflow.index_count
+            ),
+            flows=flows,
+        )
+        registered = self.coordinator.register(request)
+        # The coordinator's object must see the same member flows the
+        # framework will emit.
+        for flow in echelonflow.flows:
+            registered.add_flow(flow)
+        self.registered[echelonflow.ef_id] = registered
+        return registered
+
+    # -- enforcement (called when allocations arrive) --------------------
+
+    def enqueue(self, flow: Flow, rate: float, egress_capacity: float) -> QueueAssignment:
+        """Place a flow's data into the priority queue matching its rate."""
+        share = rate / egress_capacity if egress_capacity > 0 else 0.0
+        queue = quantize_to_queue(share, self.num_queues)
+        assignment = QueueAssignment(
+            flow_id=flow.flow_id,
+            host=flow.src,
+            queue=queue,
+            weight=queue_weight(queue),
+        )
+        self.enqueue_log.append(assignment)
+        return assignment

@@ -1,0 +1,27 @@
+"""Network topologies, fabric builders, and routing."""
+
+from .fabrics import (
+    big_switch,
+    dumbbell,
+    fat_tree,
+    leaf_spine,
+    linear_chain,
+    two_hosts,
+)
+from .graph import Link, Topology
+from .routing import EcmpRouter, RoutingError, ShortestPathRouter, widest_bottleneck
+
+__all__ = [
+    "Topology",
+    "Link",
+    "big_switch",
+    "dumbbell",
+    "two_hosts",
+    "linear_chain",
+    "leaf_spine",
+    "fat_tree",
+    "ShortestPathRouter",
+    "EcmpRouter",
+    "RoutingError",
+    "widest_bottleneck",
+]

@@ -1,0 +1,182 @@
+"""Standard data-center fabric builders.
+
+Three fabrics cover all experiments:
+
+* :func:`big_switch` -- the non-blocking abstraction used by Varys and by the
+  paper's motivating example: every host hangs off one giant switch, so the
+  only contention points are host NICs ("ports").
+* :func:`leaf_spine` -- a two-tier Clos; oversubscription makes core links
+  contended, which exercises path-aware scheduling.
+* :func:`fat_tree` -- the classic k-ary fat tree for scalability studies.
+
+All builders name hosts ``h0, h1, ...`` so placement code can be generic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .graph import Topology
+
+
+def big_switch(
+    n_hosts: int,
+    host_bandwidth: float,
+    name: str = "big-switch",
+) -> Topology:
+    """A single non-blocking switch with ``n_hosts`` hosts.
+
+    Each host gets a full-duplex link of ``host_bandwidth`` to the switch;
+    the fabric itself never congests, matching the big-switch model in which
+    MADD's ``Gamma`` is exact.
+    """
+    if n_hosts < 1:
+        raise ValueError(f"need at least one host, got {n_hosts}")
+    topo = Topology(name)
+    topo.add_switch("core")
+    for i in range(n_hosts):
+        host = f"h{i}"
+        topo.add_host(host)
+        topo.add_duplex_link(host, "core", host_bandwidth)
+    return topo
+
+
+def two_hosts(link_bandwidth: float, name: str = "two-hosts") -> Topology:
+    """Two hosts joined by one full-duplex link -- the Fig. 2 setting."""
+    topo = Topology(name)
+    topo.add_host("h0")
+    topo.add_host("h1")
+    topo.add_duplex_link("h0", "h1", link_bandwidth)
+    return topo
+
+
+def linear_chain(
+    n_hosts: int, link_bandwidth: float, name: str = "chain"
+) -> Topology:
+    """Hosts in a line, matching a pipeline-parallel stage placement.
+
+    Host ``h{i}`` connects to ``h{i+1}`` with a full-duplex link. Pipeline
+    activations travel forward along the chain and gradients backward.
+    """
+    if n_hosts < 2:
+        raise ValueError(f"need at least two hosts, got {n_hosts}")
+    topo = Topology(name)
+    for i in range(n_hosts):
+        topo.add_host(f"h{i}")
+    for i in range(n_hosts - 1):
+        topo.add_duplex_link(f"h{i}", f"h{i + 1}", link_bandwidth)
+    return topo
+
+
+def dumbbell(
+    n_left: int,
+    n_right: int,
+    host_bandwidth: float,
+    bottleneck_bandwidth: float,
+    name: str = "dumbbell",
+) -> Topology:
+    """Two host groups joined by one shared bottleneck link.
+
+    The canonical congestion topology: all left-to-right traffic squeezes
+    through the middle, so cross-group flows always contend while
+    intra-group flows never do.
+    """
+    if n_left < 1 or n_right < 1:
+        raise ValueError("both sides need at least one host")
+    if bottleneck_bandwidth <= 0:
+        raise ValueError(
+            f"bottleneck bandwidth must be positive, got {bottleneck_bandwidth}"
+        )
+    topo = Topology(name)
+    topo.add_switch("sw-left")
+    topo.add_switch("sw-right")
+    topo.add_duplex_link("sw-left", "sw-right", bottleneck_bandwidth)
+    host_index = 0
+    for _ in range(n_left):
+        host = f"h{host_index}"
+        topo.add_host(host)
+        topo.add_duplex_link(host, "sw-left", host_bandwidth)
+        host_index += 1
+    for _ in range(n_right):
+        host = f"h{host_index}"
+        topo.add_host(host)
+        topo.add_duplex_link(host, "sw-right", host_bandwidth)
+        host_index += 1
+    return topo
+
+
+def leaf_spine(
+    n_leaves: int,
+    hosts_per_leaf: int,
+    host_bandwidth: float,
+    n_spines: int = 2,
+    oversubscription: float = 1.0,
+    name: str = "leaf-spine",
+) -> Topology:
+    """A two-tier leaf-spine Clos fabric.
+
+    Each leaf's total uplink capacity is ``hosts_per_leaf * host_bandwidth /
+    oversubscription`` split evenly across spines. ``oversubscription > 1``
+    makes the core a contention point.
+    """
+    if n_leaves < 1 or hosts_per_leaf < 1 or n_spines < 1:
+        raise ValueError("leaf/host/spine counts must all be positive")
+    if oversubscription <= 0:
+        raise ValueError(f"oversubscription must be positive, got {oversubscription}")
+    topo = Topology(name)
+    uplink = hosts_per_leaf * host_bandwidth / oversubscription / n_spines
+    for s in range(n_spines):
+        topo.add_switch(f"spine{s}")
+    host_index = 0
+    for leaf_index in range(n_leaves):
+        leaf = f"leaf{leaf_index}"
+        topo.add_switch(leaf)
+        for s in range(n_spines):
+            topo.add_duplex_link(leaf, f"spine{s}", uplink)
+        for _ in range(hosts_per_leaf):
+            host = f"h{host_index}"
+            topo.add_host(host)
+            topo.add_duplex_link(host, leaf, host_bandwidth)
+            host_index += 1
+    return topo
+
+
+def fat_tree(k: int, link_bandwidth: float, name: Optional[str] = None) -> Topology:
+    """A k-ary fat tree (k even): ``k^3/4`` hosts, uniform link capacity.
+
+    Nodes: ``(k/2)^2`` core switches, ``k`` pods each with ``k/2`` aggregation
+    and ``k/2`` edge switches, ``k/2`` hosts per edge switch.
+    """
+    if k < 2 or k % 2 != 0:
+        raise ValueError(f"fat tree arity must be even and >= 2, got {k}")
+    half = k // 2
+    topo = Topology(name or f"fat-tree-{k}")
+    core: List[str] = []
+    for i in range(half * half):
+        switch = f"core{i}"
+        topo.add_switch(switch)
+        core.append(switch)
+    host_index = 0
+    for pod in range(k):
+        aggs = []
+        edges = []
+        for a in range(half):
+            agg = f"p{pod}a{a}"
+            topo.add_switch(agg)
+            aggs.append(agg)
+        for e in range(half):
+            edge = f"p{pod}e{e}"
+            topo.add_switch(edge)
+            edges.append(edge)
+        for a, agg in enumerate(aggs):
+            for e in range(half):
+                topo.add_duplex_link(agg, edges[e], link_bandwidth)
+            for c in range(half):
+                topo.add_duplex_link(agg, core[a * half + c], link_bandwidth)
+        for edge in edges:
+            for _ in range(half):
+                host = f"h{host_index}"
+                topo.add_host(host)
+                topo.add_duplex_link(host, edge, link_bandwidth)
+                host_index += 1
+    return topo

@@ -1,0 +1,132 @@
+"""Routing: turn (src, dst) host pairs into link paths.
+
+Flow scheduling allocates rates on links along a fixed path, so routes are
+computed once per topology and cached. Two policies:
+
+* :class:`ShortestPathRouter` -- deterministic shortest path (ties broken by
+  node name for reproducibility).
+* :class:`EcmpRouter` -- equal-cost multi-path; picks among shortest paths by
+  a stable hash of the flow id, approximating per-flow ECMP spraying.
+
+Both return paths as tuples of :class:`~repro.topology.graph.Link`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .graph import Link, Topology
+
+
+class RoutingError(Exception):
+    """Raised when no path exists between requested endpoints."""
+
+
+def _all_shortest_paths(
+    topo: Topology, src: str, dst: str, limit: int = 16
+) -> List[Tuple[str, ...]]:
+    """Enumerate up to ``limit`` shortest hop-count node paths src -> dst.
+
+    A small custom BFS/Dijkstra keeps the dependency surface minimal and the
+    tie-breaking deterministic (lexicographic by node path).
+    """
+    if src == dst:
+        return [(src,)]
+    # BFS level computation.
+    dist: Dict[str, int] = {src: 0}
+    frontier = [src]
+    while frontier and dst not in dist:
+        next_frontier: List[str] = []
+        for node in frontier:
+            for link in topo.out_links(node):
+                if link.dst not in dist:
+                    dist[link.dst] = dist[node] + 1
+                    next_frontier.append(link.dst)
+        frontier = next_frontier
+    if dst not in dist:
+        raise RoutingError(f"no path from {src!r} to {dst!r}")
+    # Enumerate shortest paths by DFS over the BFS DAG, lexicographic order.
+    target_len = dist[dst]
+    paths: List[Tuple[str, ...]] = []
+
+    def extend(path: List[str]) -> None:
+        if len(paths) >= limit:
+            return
+        node = path[-1]
+        if node == dst:
+            paths.append(tuple(path))
+            return
+        if len(path) - 1 >= target_len:
+            return
+        for link in sorted(topo.out_links(node), key=lambda l: l.dst):
+            nxt = link.dst
+            if dist.get(nxt, -1) == len(path):
+                path.append(nxt)
+                extend(path)
+                path.pop()
+
+    extend([src])
+    return paths
+
+
+def _links_of(topo: Topology, node_path: Sequence[str]) -> Tuple[Link, ...]:
+    return tuple(
+        topo.link(node_path[i], node_path[i + 1]) for i in range(len(node_path) - 1)
+    )
+
+
+class ShortestPathRouter:
+    """Deterministic single shortest path per host pair, cached."""
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self._cache: Dict[Tuple[str, str], Tuple[Link, ...]] = {}
+
+    def path(self, src: str, dst: str, flow_id: Optional[int] = None) -> Tuple[Link, ...]:
+        self.topology.validate_endpoints(src, dst)
+        key = (src, dst)
+        if key not in self._cache:
+            node_paths = _all_shortest_paths(self.topology, src, dst, limit=1)
+            self._cache[key] = _links_of(self.topology, node_paths[0])
+        return self._cache[key]
+
+
+class EcmpRouter:
+    """Flow-hashed equal-cost multi-path routing.
+
+    All shortest paths between a host pair are enumerated once; a given flow
+    always hashes to the same path, matching switch ECMP behaviour where a
+    flow's five-tuple pins its path for its lifetime.
+    """
+
+    def __init__(self, topology: Topology, fanout_limit: int = 16) -> None:
+        self.topology = topology
+        self.fanout_limit = fanout_limit
+        self._cache: Dict[Tuple[str, str], List[Tuple[Link, ...]]] = {}
+
+    def paths(self, src: str, dst: str) -> List[Tuple[Link, ...]]:
+        key = (src, dst)
+        if key not in self._cache:
+            self.topology.validate_endpoints(src, dst)
+            node_paths = _all_shortest_paths(
+                self.topology, src, dst, limit=self.fanout_limit
+            )
+            self._cache[key] = [_links_of(self.topology, p) for p in node_paths]
+        return self._cache[key]
+
+    def path(self, src: str, dst: str, flow_id: Optional[int] = None) -> Tuple[Link, ...]:
+        candidates = self.paths(src, dst)
+        if flow_id is None:
+            return candidates[0]
+        # A deterministic small-prime hash keeps runs reproducible across
+        # processes (unlike built-in hash() with randomized seeds for str).
+        index = (flow_id * 2654435761) % len(candidates)
+        return candidates[index]
+
+
+def widest_bottleneck(path: Sequence[Link]) -> float:
+    """The minimum capacity along a path: a single flow's max rate."""
+    if not path:
+        raise ValueError("empty path has no bottleneck")
+    return min(link.capacity for link in path)

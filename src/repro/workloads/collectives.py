@@ -1,0 +1,216 @@
+"""Collective communication operators expanded into flow sets.
+
+The paper's system sketch treats backends (NCCL/MPI/Gloo) as machinery that
+turns collective calls into point-to-point flows; scheduling only sees the
+flows. This module is that expansion:
+
+* :func:`ring_all_reduce` -- reduce-scatter + all-gather on a ring:
+  ``2(m-1)`` steps, each with ``m`` neighbor transfers of ``bytes/m``
+  (matching Section 2.1's description of the m-worker ring).
+* :func:`ring_all_gather` / :func:`ring_reduce_scatter` -- the halves, used
+  directly by FSDP.
+* :func:`ps_push` / :func:`ps_pull` -- parameter-server star patterns.
+* :func:`direct_all_gather` -- each worker unicasts its shard to every
+  peer; single-step alternative for small worker counts.
+
+Every function returns ``List[List[Flow]]``: an ordered list of dependent
+steps, each a set of concurrent flows. Flows are tagged with the caller's
+EchelonFlow group and arrangement index so that "the flows in each
+collective form a Coflow" (Section 4) falls out naturally.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.flow import Flow
+
+StepList = List[List[Flow]]
+
+
+def _check_ring(hosts: Sequence[str]) -> None:
+    if len(hosts) < 2:
+        raise ValueError(f"a ring collective needs >= 2 hosts, got {len(hosts)}")
+    if len(set(hosts)) != len(hosts):
+        raise ValueError("ring hosts must be distinct")
+
+
+def _ring_steps(
+    hosts: Sequence[str],
+    num_steps: int,
+    shard_bytes: float,
+    group_id: Optional[str],
+    index_in_group: int,
+    job_id: Optional[str],
+    tag: str,
+) -> StepList:
+    steps: StepList = []
+    m = len(hosts)
+    for step in range(num_steps):
+        flows = [
+            Flow(
+                src=hosts[i],
+                dst=hosts[(i + 1) % m],
+                size=shard_bytes,
+                group_id=group_id,
+                index_in_group=index_in_group,
+                job_id=job_id,
+                tag=f"{tag}/step{step}",
+            )
+            for i in range(m)
+        ]
+        steps.append(flows)
+    return steps
+
+
+def ring_all_reduce(
+    hosts: Sequence[str],
+    total_bytes: float,
+    group_id: Optional[str] = None,
+    index_in_group: int = 0,
+    job_id: Optional[str] = None,
+    tag: str = "allreduce",
+) -> StepList:
+    """Bandwidth-optimal ring all-reduce: ``2(m-1)`` dependent steps.
+
+    Each step moves one ``total_bytes/m`` shard between every neighbor pair,
+    for the canonical ``2 * (m-1)/m * total_bytes`` per-host traffic.
+    """
+    _check_ring(hosts)
+    if total_bytes <= 0:
+        raise ValueError(f"total_bytes must be positive, got {total_bytes}")
+    m = len(hosts)
+    return _ring_steps(
+        hosts, 2 * (m - 1), total_bytes / m, group_id, index_in_group, job_id, tag
+    )
+
+
+def ring_all_gather(
+    hosts: Sequence[str],
+    shard_bytes: float,
+    group_id: Optional[str] = None,
+    index_in_group: int = 0,
+    job_id: Optional[str] = None,
+    tag: str = "allgather",
+) -> StepList:
+    """Ring all-gather: ``m-1`` steps of ``shard_bytes`` neighbor transfers."""
+    _check_ring(hosts)
+    if shard_bytes <= 0:
+        raise ValueError(f"shard_bytes must be positive, got {shard_bytes}")
+    return _ring_steps(
+        hosts, len(hosts) - 1, shard_bytes, group_id, index_in_group, job_id, tag
+    )
+
+
+def ring_reduce_scatter(
+    hosts: Sequence[str],
+    total_bytes: float,
+    group_id: Optional[str] = None,
+    index_in_group: int = 0,
+    job_id: Optional[str] = None,
+    tag: str = "reducescatter",
+) -> StepList:
+    """Ring reduce-scatter: ``m-1`` steps of ``total_bytes/m`` transfers."""
+    _check_ring(hosts)
+    if total_bytes <= 0:
+        raise ValueError(f"total_bytes must be positive, got {total_bytes}")
+    m = len(hosts)
+    return _ring_steps(
+        hosts, m - 1, total_bytes / m, group_id, index_in_group, job_id, tag
+    )
+
+
+def direct_all_gather(
+    hosts: Sequence[str],
+    shard_bytes: float,
+    group_id: Optional[str] = None,
+    index_in_group: int = 0,
+    job_id: Optional[str] = None,
+    tag: str = "allgather",
+) -> StepList:
+    """One-step all-gather: every host unicasts its shard to all peers."""
+    _check_ring(hosts)
+    if shard_bytes <= 0:
+        raise ValueError(f"shard_bytes must be positive, got {shard_bytes}")
+    flows = [
+        Flow(
+            src=src,
+            dst=dst,
+            size=shard_bytes,
+            group_id=group_id,
+            index_in_group=index_in_group,
+            job_id=job_id,
+            tag=f"{tag}/direct",
+        )
+        for src in hosts
+        for dst in hosts
+        if src != dst
+    ]
+    return [flows]
+
+
+def ps_push(
+    workers: Sequence[str],
+    server: str,
+    gradient_bytes: float,
+    group_id: Optional[str] = None,
+    index_in_group: int = 0,
+    job_id: Optional[str] = None,
+    tag: str = "ps-push",
+) -> StepList:
+    """Workers push gradients to the parameter server (one Coflow)."""
+    if server in workers:
+        raise ValueError(f"PS node {server!r} cannot also be a worker")
+    if gradient_bytes <= 0:
+        raise ValueError(f"gradient_bytes must be positive, got {gradient_bytes}")
+    flows = [
+        Flow(
+            src=worker,
+            dst=server,
+            size=gradient_bytes,
+            group_id=group_id,
+            index_in_group=index_in_group,
+            job_id=job_id,
+            tag=tag,
+        )
+        for worker in workers
+    ]
+    return [flows]
+
+
+def ps_pull(
+    workers: Sequence[str],
+    server: str,
+    weight_bytes: float,
+    group_id: Optional[str] = None,
+    index_in_group: int = 0,
+    job_id: Optional[str] = None,
+    tag: str = "ps-pull",
+) -> StepList:
+    """The PS broadcasts updated weights back to workers (one Coflow)."""
+    if server in workers:
+        raise ValueError(f"PS node {server!r} cannot also be a worker")
+    if weight_bytes <= 0:
+        raise ValueError(f"weight_bytes must be positive, got {weight_bytes}")
+    flows = [
+        Flow(
+            src=server,
+            dst=worker,
+            size=weight_bytes,
+            group_id=group_id,
+            index_in_group=index_in_group,
+            job_id=job_id,
+            tag=tag,
+        )
+        for worker in workers
+    ]
+    return [flows]
+
+
+def total_bytes(steps: StepList) -> float:
+    """Total payload of a collective across all steps."""
+    return sum(flow.size for step in steps for flow in step)
+
+
+def flow_count(steps: StepList) -> int:
+    return sum(len(step) for step in steps)

@@ -1,0 +1,245 @@
+"""Alternative all-reduce algorithms beyond the flat ring.
+
+Real backends (NCCL, Gloo, BlueConnect, Blink) pick among topologies:
+
+* :func:`tree_all_reduce` -- binary-tree reduce to a root, then broadcast
+  back down: latency-optimal (O(log m) steps), bandwidth-suboptimal (the
+  root's links carry the full payload).
+* :func:`halving_doubling_all_reduce` -- recursive halving (reduce-
+  scatter) then recursive doubling (all-gather) on power-of-two worker
+  counts: log2(m) exchange rounds with geometrically shrinking payloads.
+* :func:`hierarchical_all_reduce` -- BlueConnect-style decomposition for
+  oversubscribed fabrics: ring reduce-scatter inside each locality group,
+  ring all-reduce across group leaders, ring all-gather back inside the
+  groups. Cross-fabric traffic shrinks by the group size.
+
+All return the same ``List[List[Flow]]`` step structure as
+:mod:`repro.workloads.collectives`, so DAG builders and EchelonFlow
+grouping work unchanged -- from the scheduler's perspective these are just
+different Coflow shapes, which is exactly how the paper's backend-agnostic
+agent treats them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.flow import Flow
+from .collectives import (
+    StepList,
+    _check_ring,
+    ring_all_gather,
+    ring_all_reduce,
+    ring_reduce_scatter,
+)
+
+
+def tree_all_reduce(
+    hosts: Sequence[str],
+    total_bytes: float,
+    group_id: Optional[str] = None,
+    index_in_group: int = 0,
+    job_id: Optional[str] = None,
+    tag: str = "tree-allreduce",
+) -> StepList:
+    """Binary-tree reduce followed by binary-tree broadcast.
+
+    Reduce phase: at level ``k``, host ``i`` (with ``i % 2^(k+1) != 0``)
+    sends its partial sum (full ``total_bytes``) to host ``i - 2^k``.
+    Broadcast mirrors the tree back down.
+    """
+    _check_ring(hosts)
+    if total_bytes <= 0:
+        raise ValueError(f"total_bytes must be positive, got {total_bytes}")
+    m = len(hosts)
+    steps: StepList = []
+    # Reduce toward hosts[0].
+    stride = 1
+    while stride < m:
+        flows = []
+        for i in range(0, m, 2 * stride):
+            j = i + stride
+            if j < m:
+                flows.append(
+                    Flow(
+                        src=hosts[j],
+                        dst=hosts[i],
+                        size=total_bytes,
+                        group_id=group_id,
+                        index_in_group=index_in_group,
+                        job_id=job_id,
+                        tag=f"{tag}/reduce-s{stride}",
+                    )
+                )
+        if flows:
+            steps.append(flows)
+        stride *= 2
+    # Broadcast back down, mirroring the reduce tree.
+    stride //= 2
+    while stride >= 1:
+        flows = []
+        for i in range(0, m, 2 * stride):
+            j = i + stride
+            if j < m:
+                flows.append(
+                    Flow(
+                        src=hosts[i],
+                        dst=hosts[j],
+                        size=total_bytes,
+                        group_id=group_id,
+                        index_in_group=index_in_group,
+                        job_id=job_id,
+                        tag=f"{tag}/bcast-s{stride}",
+                    )
+                )
+        if flows:
+            steps.append(flows)
+        stride //= 2
+    return steps
+
+
+def halving_doubling_all_reduce(
+    hosts: Sequence[str],
+    total_bytes: float,
+    group_id: Optional[str] = None,
+    index_in_group: int = 0,
+    job_id: Optional[str] = None,
+    tag: str = "hd-allreduce",
+) -> StepList:
+    """Recursive halving/doubling; requires a power-of-two host count."""
+    _check_ring(hosts)
+    if total_bytes <= 0:
+        raise ValueError(f"total_bytes must be positive, got {total_bytes}")
+    m = len(hosts)
+    if m & (m - 1):
+        raise ValueError(f"halving-doubling needs a power-of-two count, got {m}")
+    steps: StepList = []
+    # Recursive halving (reduce-scatter): distance doubles, payload halves.
+    distance = 1
+    payload = total_bytes / 2.0
+    while distance < m:
+        flows = []
+        for i in range(m):
+            peer = i ^ distance
+            flows.append(
+                Flow(
+                    src=hosts[i],
+                    dst=hosts[peer],
+                    size=payload,
+                    group_id=group_id,
+                    index_in_group=index_in_group,
+                    job_id=job_id,
+                    tag=f"{tag}/halve-d{distance}",
+                )
+            )
+        steps.append(flows)
+        distance *= 2
+        payload /= 2.0
+    # Recursive doubling (all-gather): mirror with growing payloads.
+    distance = m // 2
+    payload = total_bytes / m
+    while distance >= 1:
+        flows = []
+        for i in range(m):
+            peer = i ^ distance
+            flows.append(
+                Flow(
+                    src=hosts[i],
+                    dst=hosts[peer],
+                    size=payload,
+                    group_id=group_id,
+                    index_in_group=index_in_group,
+                    job_id=job_id,
+                    tag=f"{tag}/double-d{distance}",
+                )
+            )
+        steps.append(flows)
+        distance //= 2
+        payload *= 2.0
+    return steps
+
+
+def hierarchical_all_reduce(
+    groups: Sequence[Sequence[str]],
+    total_bytes: float,
+    group_id: Optional[str] = None,
+    index_in_group: int = 0,
+    job_id: Optional[str] = None,
+    tag: str = "hier-allreduce",
+) -> StepList:
+    """Three-phase locality-aware all-reduce (BlueConnect-style).
+
+    ``groups`` partitions the workers by locality (e.g. one group per
+    leaf). Phase 1: ring reduce-scatter inside each group (concurrent
+    across groups). Phase 2: ring all-reduce of the scattered shards
+    across same-rank leaders. Phase 3: ring all-gather inside each group.
+    Cross-group traffic is ``1/|group|`` of a flat ring's.
+    """
+    groups = [tuple(g) for g in groups]
+    if len(groups) < 2:
+        raise ValueError("need at least two locality groups")
+    sizes = {len(g) for g in groups}
+    if len(sizes) != 1:
+        raise ValueError("locality groups must have equal sizes")
+    group_size = sizes.pop()
+    if group_size < 2:
+        raise ValueError("each locality group needs >= 2 hosts")
+    all_hosts = [h for g in groups for h in g]
+    if len(set(all_hosts)) != len(all_hosts):
+        raise ValueError("groups must be disjoint")
+    if total_bytes <= 0:
+        raise ValueError(f"total_bytes must be positive, got {total_bytes}")
+
+    kwargs = dict(
+        group_id=group_id, index_in_group=index_in_group, job_id=job_id
+    )
+    steps: StepList = []
+    # Phase 1: intra-group reduce-scatter, concurrent across groups.
+    phase1 = [
+        ring_reduce_scatter(g, total_bytes, tag=f"{tag}/rs-g{gi}", **kwargs)
+        for gi, g in enumerate(groups)
+    ]
+    for step_index in range(group_size - 1):
+        steps.append([f for per_group in phase1 for f in per_group[step_index]])
+    # Phase 2: cross-group ring all-reduce per shard-rank.
+    shard = total_bytes / group_size
+    phase2 = [
+        ring_all_reduce(
+            [g[rank] for g in groups], shard, tag=f"{tag}/xg-r{rank}", **kwargs
+        )
+        for rank in range(group_size)
+    ]
+    for step_index in range(2 * (len(groups) - 1)):
+        steps.append([f for per_rank in phase2 for f in per_rank[step_index]])
+    # Phase 3: intra-group all-gather.
+    phase3 = [
+        ring_all_gather(g, shard, tag=f"{tag}/ag-g{gi}", **kwargs)
+        for gi, g in enumerate(groups)
+    ]
+    for step_index in range(group_size - 1):
+        steps.append([f for per_group in phase3 for f in per_group[step_index]])
+    return steps
+
+
+ALLREDUCE_ALGORITHMS = {
+    "ring": ring_all_reduce,
+    "tree": tree_all_reduce,
+    "halving-doubling": halving_doubling_all_reduce,
+}
+
+
+def all_reduce(
+    algorithm: str,
+    hosts: Sequence[str],
+    total_bytes: float,
+    **kwargs,
+) -> StepList:
+    """Dispatch an all-reduce by algorithm name ('ring', 'tree', ...)."""
+    try:
+        builder = ALLREDUCE_ALGORITHMS[algorithm]
+    except KeyError:
+        raise KeyError(
+            f"unknown all-reduce algorithm {algorithm!r}; "
+            f"available: {sorted(ALLREDUCE_ALGORITHMS)}"
+        )
+    return builder(hosts, total_bytes, **kwargs)

@@ -1,0 +1,246 @@
+"""Data parallelism: AllReduce and Parameter Server variants (Fig. 4).
+
+Per iteration and per worker: forward pass, then per-bucket backward
+computations in reverse layer order, each releasing that bucket's gradient
+synchronization. The paper's Case I: the gradient flows of one bucket form
+a **Coflow** (Eq. 5 arrangement) because the optimizer step -- and hence the
+next iteration -- can only proceed once they all finish.
+
+* **AllReduce**: each bucket runs a ring all-reduce across workers.
+* **PS**: each bucket's push flows form one Coflow; the PS then updates and
+  the pull (weight broadcast) flows form another Coflow, "as the completion
+  of them all signifies the start of the next training iteration".
+
+Gradient bucketing overlaps communication with the remaining backward
+computation, which is why even Coflow-compliant DP benefits from scheduling
+across jobs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.arrangement import CoflowArrangement
+from ..core.echelonflow import EchelonFlow
+from ..simulator.dag import TaskDag
+from .collectives import ps_pull, ps_push, ring_all_reduce
+from .collectives_extra import all_reduce
+from .job import BuiltJob, add_collective, check_hosts
+from .model import ModelSpec
+
+
+def _bucket_backward_tasks(
+    dag: TaskDag,
+    model: ModelSpec,
+    worker: str,
+    iteration: int,
+    forward_task: str,
+    buckets,
+) -> List[str]:
+    """Per-bucket backward chain on one worker; returns bwd task ids."""
+    task_ids: List[str] = []
+    previous = forward_task
+    for bucket in buckets:
+        duration = sum(model.layers[i].backward_time for i in bucket.layer_indices)
+        task_id = f"it{iteration}/bwd/{worker}/b{bucket.index}"
+        dag.add_compute(
+            task_id,
+            device=worker,
+            duration=duration,
+            deps=[previous],
+            priority=bucket.index,
+            tag=f"bwd bucket {bucket.index}",
+        )
+        task_ids.append(task_id)
+        previous = task_id
+    return task_ids
+
+
+def build_dp_allreduce(
+    job_id: str,
+    model: ModelSpec,
+    workers: Sequence[str],
+    bucket_bytes: float,
+    iterations: int = 1,
+    update_time: float = 0.0,
+    algorithm: str = "ring",
+) -> BuiltJob:
+    """Data parallelism with per-bucket all-reduce.
+
+    ``algorithm`` selects the collective implementation ("ring", "tree",
+    or "halving-doubling"); the EchelonFlow grouping is identical either
+    way -- each bucket's flows form one Coflow.
+    """
+    workers = check_hosts(workers)
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    dag = TaskDag(job_id)
+    echelonflows: List[EchelonFlow] = []
+    buckets = model.gradient_buckets(bucket_bytes)
+    barrier_deps: List[str] = []
+
+    for iteration in range(iterations):
+        fwd_tasks = []
+        for worker in workers:
+            task_id = f"it{iteration}/fwd/{worker}"
+            dag.add_compute(
+                task_id,
+                device=worker,
+                duration=model.total_forward_time,
+                deps=barrier_deps,
+                tag="forward",
+            )
+            fwd_tasks.append(task_id)
+        sync_tails: List[str] = []
+        per_worker_bwd = {
+            worker: _bucket_backward_tasks(
+                dag, model, worker, iteration, fwd_task, buckets
+            )
+            for worker, fwd_task in zip(workers, fwd_tasks)
+        }
+        for bucket in buckets:
+            ef_id = f"{job_id}/it{iteration}/ar{bucket.index}"
+            steps = all_reduce(
+                algorithm,
+                workers,
+                bucket.param_bytes,
+                group_id=ef_id,
+                job_id=job_id,
+                tag=f"allreduce b{bucket.index}",
+            )
+            coflow = EchelonFlow(ef_id, CoflowArrangement(), job_id=job_id)
+            for step in steps:
+                for flow in step:
+                    coflow.add_flow(flow)
+            echelonflows.append(coflow)
+            deps = [per_worker_bwd[worker][bucket.index] for worker in workers]
+            tail = add_collective(dag, ef_id, steps, deps=deps)
+            sync_tails.append(tail)
+        if update_time > 0:
+            updates = []
+            for worker in workers:
+                task_id = f"it{iteration}/update/{worker}"
+                dag.add_compute(
+                    task_id,
+                    device=worker,
+                    duration=update_time,
+                    deps=sync_tails,
+                    tag="optimizer",
+                )
+                updates.append(task_id)
+            barrier_deps = updates
+        else:
+            barrier_id = f"it{iteration}/barrier"
+            dag.add_barrier(barrier_id, deps=sync_tails)
+            barrier_deps = [barrier_id]
+
+    return BuiltJob(
+        dag=dag,
+        echelonflows=echelonflows,
+        paradigm="dp-allreduce",
+        meta={
+            "workers": list(workers),
+            "buckets": len(buckets),
+            "iterations": iterations,
+            "model": model.name,
+        },
+    )
+
+
+def build_dp_ps(
+    job_id: str,
+    model: ModelSpec,
+    workers: Sequence[str],
+    server: str,
+    bucket_bytes: float,
+    iterations: int = 1,
+    update_time: float = 0.0,
+) -> BuiltJob:
+    """Data parallelism with a (logical) parameter server."""
+    workers = check_hosts(workers)
+    if server in workers:
+        raise ValueError(f"PS node {server!r} cannot also be a worker")
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    dag = TaskDag(job_id)
+    echelonflows: List[EchelonFlow] = []
+    buckets = model.gradient_buckets(bucket_bytes)
+    barrier_deps: List[str] = []
+
+    for iteration in range(iterations):
+        fwd_tasks = []
+        for worker in workers:
+            task_id = f"it{iteration}/fwd/{worker}"
+            dag.add_compute(
+                task_id,
+                device=worker,
+                duration=model.total_forward_time,
+                deps=barrier_deps,
+                tag="forward",
+            )
+            fwd_tasks.append(task_id)
+        per_worker_bwd = {
+            worker: _bucket_backward_tasks(
+                dag, model, worker, iteration, fwd_task, buckets
+            )
+            for worker, fwd_task in zip(workers, fwd_tasks)
+        }
+        pull_tails: List[str] = []
+        for bucket in buckets:
+            push_ef = f"{job_id}/it{iteration}/push{bucket.index}"
+            push_steps = ps_push(
+                workers,
+                server,
+                bucket.param_bytes,
+                group_id=push_ef,
+                job_id=job_id,
+                tag=f"push b{bucket.index}",
+            )
+            push_coflow = EchelonFlow(push_ef, CoflowArrangement(), job_id=job_id)
+            for flow in push_steps[0]:
+                push_coflow.add_flow(flow)
+            echelonflows.append(push_coflow)
+            deps = [per_worker_bwd[worker][bucket.index] for worker in workers]
+            push_tail = add_collective(dag, push_ef, push_steps, deps=deps)
+
+            update_id = f"it{iteration}/ps-update/b{bucket.index}"
+            dag.add_compute(
+                update_id,
+                device=server,
+                duration=update_time,
+                deps=[push_tail],
+                priority=bucket.index,
+                tag="ps update",
+            )
+
+            pull_ef = f"{job_id}/it{iteration}/pull{bucket.index}"
+            pull_steps = ps_pull(
+                workers,
+                server,
+                bucket.param_bytes,
+                group_id=pull_ef,
+                job_id=job_id,
+                tag=f"pull b{bucket.index}",
+            )
+            pull_coflow = EchelonFlow(pull_ef, CoflowArrangement(), job_id=job_id)
+            for flow in pull_steps[0]:
+                pull_coflow.add_flow(flow)
+            echelonflows.append(pull_coflow)
+            pull_tails.append(add_collective(dag, pull_ef, pull_steps, deps=[update_id]))
+
+        barrier_id = f"it{iteration}/barrier"
+        dag.add_barrier(barrier_id, deps=pull_tails)
+        barrier_deps = [barrier_id]
+
+    return BuiltJob(
+        dag=dag,
+        echelonflows=echelonflows,
+        paradigm="dp-ps",
+        meta={
+            "workers": list(workers),
+            "server": server,
+            "buckets": len(buckets),
+            "iterations": iterations,
+            "model": model.name,
+        },
+    )

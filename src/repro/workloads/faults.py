@@ -1,0 +1,110 @@
+"""Fault and perturbation utilities: stragglers and background traffic.
+
+Production clusters deviate from profiles: a device thermally throttles, a
+tenant's traffic bursts, a job starts late. These helpers perturb built
+jobs and engines so experiments can measure how schedules *recover* -- the
+core promise of tardiness-anchored deadlines (Fig. 6b).
+
+Note the difference from :mod:`repro.profiling.noise`: noise corrupts the
+*arrangement* while reality stays nominal; faults corrupt *reality* while
+the arrangement keeps claiming the nominal pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.flow import Flow
+from ..simulator.dag import TaskDag, TaskKind
+from ..simulator.engine import Engine
+from .job import BuiltJob
+
+
+def scale_device_durations(dag: TaskDag, device: str, factor: float) -> TaskDag:
+    """A copy of ``dag`` with every compute on ``device`` scaled by
+    ``factor`` (> 1 models a straggler GPU, < 1 a faster replacement).
+
+    Comm tasks keep their original Flow objects, so the returned DAG must
+    be submitted *instead of* the original, never alongside it.
+    """
+    if factor <= 0:
+        raise ValueError(f"scale factor must be positive, got {factor}")
+    scaled = TaskDag(dag.job_id)
+    for task_id in dag.topological_order():
+        task = dag.task(task_id)
+        if task.kind is TaskKind.COMPUTE:
+            duration = task.duration
+            if task.device == device:
+                duration *= factor
+            scaled.add_compute(
+                task_id,
+                device=task.device,
+                duration=duration,
+                deps=task.deps,
+                priority=task.priority,
+                tag=task.tag,
+            )
+        elif task.kind is TaskKind.COMM:
+            scaled.add_comm(task_id, list(task.flows), deps=task.deps, tag=task.tag)
+        else:
+            scaled.add_barrier(task_id, deps=task.deps, tag=task.tag)
+    return scaled
+
+
+def with_straggler(job: BuiltJob, device: str, factor: float) -> BuiltJob:
+    """The job with one straggler device; EchelonFlows are unchanged --
+    their arrangements still describe the *nominal* computation pattern,
+    exactly the mismatch a real straggler creates."""
+    return BuiltJob(
+        dag=scale_device_durations(job.dag, device, factor),
+        echelonflows=job.echelonflows,
+        paradigm=job.paradigm,
+        meta={**job.meta, "straggler": (device, factor)},
+    )
+
+
+def inject_background_stream(
+    engine: Engine,
+    src: str,
+    dst: str,
+    flow_size: float,
+    period: float,
+    count: int,
+    start_time: float = 0.0,
+    job_id: Optional[str] = None,
+) -> List[Flow]:
+    """Schedule ``count`` ungrouped flows of ``flow_size`` every ``period``.
+
+    Models a bursty co-tenant the coordinator knows nothing about (no
+    EchelonFlow registration). Returns the flows for later inspection.
+    """
+    if period <= 0:
+        raise ValueError(f"period must be positive, got {period}")
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    flows: List[Flow] = []
+    for k in range(count):
+        flow = Flow(src, dst, flow_size, job_id=job_id, tag=f"bg{k}")
+        engine.inject_background_flow(flow, at_time=start_time + k * period)
+        flows.append(flow)
+    return flows
+
+
+def pause_device(engine: Engine, device: str, at_time: float, duration: float) -> None:
+    """Occupy a device with a filler task (e.g. a co-located inference
+    burst or a GC pause) for ``duration`` starting at ``at_time``.
+
+    Implemented as a one-task job with maximal priority so it preempts
+    nothing running but blocks the queue while active.
+    """
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    dag = TaskDag(f"_pause/{device}/{at_time}")
+    dag.add_compute(
+        "pause",
+        device=device,
+        duration=duration,
+        priority=-(10 ** 9),  # runs as soon as the device frees up
+        tag="pause",
+    )
+    engine.submit(dag, at_time=at_time)

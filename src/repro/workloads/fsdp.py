@@ -1,0 +1,227 @@
+"""Fully-Sharded Data Parallelism (ZeRO-3 style, Fig. 3) -- Case III.
+
+Parameters are sharded across workers; before each layer's forward (and
+again before its backward) the full layer is reassembled with an
+all-gather, and after each layer's backward the gradient shards are
+dispatched with a reduce-scatter.
+
+EchelonFlow structure (Eq. 7): the flows of each all-gather form a Coflow;
+the ``2n`` all-gather Coflows of one iteration concatenate into a single
+EchelonFlow whose per-Coflow ideal finish times ramp by ``T_fwd`` through
+the forward phase and ``T_bwd`` through the backward phase. Member flows
+carry the Coflow's index as their arrangement index, so flows inside one
+all-gather share an ideal finish time while consecutive all-gathers are
+staggered -- "staggered Coflow finish time" in Table 1.
+
+Reduce-scatter flows per layer form independent Coflows, equivalent to DP
+gradient synchronization from the network's perspective.
+
+``prefetch_limit`` bounds how many layers ahead the all-gather pipeline may
+run (memory pressure in real FSDP); the communication/computation overlap
+it creates is exactly why simultaneous Coflow finish times are wrong here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.arrangement import (
+    CoflowArrangement,
+    PhasedArrangement,
+    TabledArrangement,
+)
+from ..core.echelonflow import EchelonFlow
+from ..simulator.dag import TaskDag
+from .collectives import ring_all_gather, ring_reduce_scatter
+from .job import BuiltJob, add_collective, check_hosts
+from .model import ModelSpec
+
+
+def fsdp_arrangement(model: ModelSpec, exact: bool = False):
+    """Eq. 7 arrangement for a model: forward ramp then backward ramp.
+
+    The paper's Eq. 7 uses two profiled constants ``T_fwd``/``T_bwd``; with
+    ``exact=True`` a :class:`TabledArrangement` uses the true per-layer
+    durations instead (useful for heterogeneous models).
+    """
+    n = model.num_layers
+    if not exact:
+        t_fwd = model.total_forward_time / n
+        t_bwd = model.total_backward_time / n
+        return PhasedArrangement(
+            layers=n, forward_distance=t_fwd, backward_distance=t_bwd
+        )
+    offsets = [0.0]
+    total = 0.0
+    for layer in model.layers[:-1]:
+        total += layer.forward_time
+        offsets.append(total)
+    # Transition into the backward phase: the last layer's forward gates
+    # the first backward all-gather.
+    total += model.layers[-1].forward_time
+    offsets.append(total)
+    for layer in list(reversed(model.layers))[:-1]:
+        total += layer.backward_time
+        offsets.append(total)
+    return TabledArrangement(tuple(offsets))
+
+
+def build_fsdp(
+    job_id: str,
+    model: ModelSpec,
+    workers: Sequence[str],
+    iterations: int = 1,
+    prefetch_limit: int = 2,
+    update_time: float = 0.0,
+    exact_arrangement: bool = False,
+) -> BuiltJob:
+    """ZeRO-3/FSDP job: layer-wise all-gather + reduce-scatter."""
+    workers = check_hosts(workers)
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    if prefetch_limit < 1:
+        raise ValueError(f"prefetch_limit must be >= 1, got {prefetch_limit}")
+    m = len(workers)
+    n = model.num_layers
+    dag = TaskDag(job_id)
+    echelonflows: List[EchelonFlow] = []
+    barrier_deps: List[str] = []
+
+    for it in range(iterations):
+        ag_ef = EchelonFlow(
+            f"{job_id}/it{it}/ag",
+            fsdp_arrangement(model, exact=exact_arrangement),
+            job_id=job_id,
+        )
+        echelonflows.append(ag_ef)
+
+        # ---------------- forward phase ----------------
+        # All-gathers are gated by *memory* (how far compute has advanced),
+        # not by each other: up to ``prefetch_limit`` layer gathers may be
+        # in flight concurrently, which is exactly the contention that
+        # makes simultaneous Coflow finish times wrong for FSDP (Fig. 3).
+        fwd_ag_tail: dict = {}
+        fwd_tasks = {worker: [] for worker in workers}
+        for li, layer in enumerate(model.layers):
+            deps = list(barrier_deps)
+            if li >= prefetch_limit:
+                # Memory bound: can't gather layer li until layer
+                # li - prefetch_limit's forward ran everywhere.
+                gate = li - prefetch_limit
+                deps.extend(f"it{it}/F{gate}/{w}" for w in workers)
+            steps = ring_all_gather(
+                workers,
+                max(layer.param_bytes / m, 1.0),
+                group_id=ag_ef.ef_id,
+                index_in_group=li,
+                job_id=job_id,
+                tag=f"ag fwd l{li}",
+            )
+            for step in steps:
+                for flow in step:
+                    ag_ef.add_flow(flow)
+            fwd_ag_tail[li] = add_collective(dag, f"it{it}/ag{li}", steps, deps=deps)
+            for worker in workers:
+                fdeps = [fwd_ag_tail[li]]
+                if li > 0:
+                    fdeps.append(f"it{it}/F{li - 1}/{worker}")
+                task_id = f"it{it}/F{li}/{worker}"
+                dag.add_compute(
+                    task_id,
+                    device=worker,
+                    duration=layer.forward_time,
+                    deps=fdeps,
+                    priority=li,
+                    tag=f"F l{li}",
+                )
+                fwd_tasks[worker].append(task_id)
+
+        # ---------------- backward phase ----------------
+        # Backward prefetch begins at the loss: the first
+        # ``prefetch_limit`` re-gathers are gated by the last forward
+        # compute, later ones by backward progress (memory again).
+        rs_tails: List[str] = []
+        bwd_ag_tail: dict = {}
+        for k, li in enumerate(reversed(range(n))):
+            layer = model.layers[li]
+            index = n + k
+            if k >= prefetch_limit:
+                gate_layer = n - 1 - (k - prefetch_limit)
+                deps = [f"it{it}/B{gate_layer}/{w}" for w in workers]
+            else:
+                deps = [f"it{it}/F{n - 1}/{w}" for w in workers]
+            steps = ring_all_gather(
+                workers,
+                max(layer.param_bytes / m, 1.0),
+                group_id=ag_ef.ef_id,
+                index_in_group=index,
+                job_id=job_id,
+                tag=f"ag bwd l{li}",
+            )
+            for step in steps:
+                for flow in step:
+                    ag_ef.add_flow(flow)
+            bwd_ag_tail[k] = add_collective(dag, f"it{it}/ag-b{li}", steps, deps=deps)
+
+            for worker in workers:
+                bdeps = [bwd_ag_tail[k]]
+                if k == 0:
+                    bdeps.append(f"it{it}/F{n - 1}/{worker}")
+                else:
+                    bdeps.append(f"it{it}/B{li + 1}/{worker}")
+                dag.add_compute(
+                    f"it{it}/B{li}/{worker}",
+                    device=worker,
+                    duration=layer.backward_time,
+                    deps=bdeps,
+                    priority=n + k,
+                    tag=f"B l{li}",
+                )
+
+            rs_ef_id = f"{job_id}/it{it}/rs{li}"
+            rs_steps = ring_reduce_scatter(
+                workers,
+                max(layer.param_bytes, 1.0),
+                group_id=rs_ef_id,
+                job_id=job_id,
+                tag=f"rs l{li}",
+            )
+            rs_ef = EchelonFlow(rs_ef_id, CoflowArrangement(), job_id=job_id)
+            for step in rs_steps:
+                for flow in step:
+                    rs_ef.add_flow(flow)
+            echelonflows.append(rs_ef)
+            rs_deps = [f"it{it}/B{li}/{w}" for w in workers]
+            rs_tails.append(add_collective(dag, rs_ef_id, rs_steps, deps=rs_deps))
+
+        tails = rs_tails + [f"it{it}/B0/{w}" for w in workers]
+        if update_time > 0:
+            updates = []
+            for worker in workers:
+                task_id = f"it{it}/update/{worker}"
+                dag.add_compute(
+                    task_id,
+                    device=worker,
+                    duration=update_time,
+                    deps=tails,
+                    tag="optimizer",
+                )
+                updates.append(task_id)
+            barrier_deps = updates
+        else:
+            barrier_id = f"it{it}/barrier"
+            dag.add_barrier(barrier_id, deps=tails)
+            barrier_deps = [barrier_id]
+
+    return BuiltJob(
+        dag=dag,
+        echelonflows=echelonflows,
+        paradigm="fsdp",
+        meta={
+            "workers": list(workers),
+            "layers": n,
+            "iterations": iterations,
+            "prefetch_limit": prefetch_limit,
+            "model": model.name,
+        },
+    )

@@ -1,0 +1,309 @@
+"""3D hybrid parallelism: TP x PP x DP in one job (Megatron-LM style).
+
+The paper's introduction motivates EchelonFlow with models like MT-NLG
+530B, which train with *all three* parallel dimensions at once:
+
+* **TP** inside a stage: each pipeline stage is sharded across a tensor-
+  parallel group; every layer's forward/backward ends in an all-reduce
+  within the group (Eq. 5 Coflows).
+* **PP** across stages: activations/gradients travel between consecutive
+  stages' TP groups as point-to-point transfers, micro-batch by
+  micro-batch (Eq. 6 staggered EchelonFlows per boundary and per
+  TP rank).
+* **DP** across replicas: after the pipeline flush, each stage's
+  parameter shard is all-reduced across the data-parallel replicas
+  (Eq. 5 Coflows, one per stage per bucket).
+
+The resulting EchelonFlow mix is exactly why a *unified* abstraction is
+needed: one job simultaneously emits same-finish Coflows and staggered
+EchelonFlows, and a scheduler keyed to either alone mis-handles the other.
+
+Worker grid: ``workers[replica][stage][tp_rank]``; helpers build it from
+a flat host list.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.arrangement import CoflowArrangement, StaggeredArrangement
+from ..core.echelonflow import EchelonFlow
+from ..core.flow import Flow
+from ..simulator.dag import TaskDag
+from .collectives import ring_all_reduce
+from .job import BuiltJob
+from .model import ModelSpec
+
+
+def grid_from_hosts(
+    hosts: Sequence[str], dp: int, pp: int, tp: int
+) -> List[List[List[str]]]:
+    """Shape a flat host list into the [replica][stage][tp_rank] grid.
+
+    Hosts are assigned TP-innermost (TP groups get adjacent hosts, the
+    standard locality-aware mapping).
+    """
+    needed = dp * pp * tp
+    if len(hosts) < needed:
+        raise ValueError(f"need {needed} hosts for dp={dp} pp={pp} tp={tp}")
+    if len(set(hosts[:needed])) != needed:
+        raise ValueError("hosts must be distinct")
+    grid: List[List[List[str]]] = []
+    index = 0
+    for _replica in range(dp):
+        stages: List[List[str]] = []
+        for _stage in range(pp):
+            stages.append(list(hosts[index : index + tp]))
+            index += tp
+        grid.append(stages)
+    return grid
+
+
+def build_hybrid_3d(
+    job_id: str,
+    model: ModelSpec,
+    grid: Sequence[Sequence[Sequence[str]]],
+    num_micro_batches: int,
+    iterations: int = 1,
+    dp_bucket_bytes: Optional[float] = None,
+) -> BuiltJob:
+    """Build a TP x PP x DP job over a worker grid.
+
+    ``grid[replica][stage][tp_rank]``; all replicas must share the same
+    (pp, tp) shape. Per-stage compute is divided by the TP degree and the
+    micro-batch count; TP all-reduces are emitted per stage per
+    micro-batch (fused over the stage's layers, the Megatron-LM
+    sequence-parallel fusion); DP gradient all-reduces are emitted per
+    stage after the flush.
+    """
+    grid = [list(map(list, replica)) for replica in grid]
+    if not grid:
+        raise ValueError("empty worker grid")
+    dp = len(grid)
+    pp = len(grid[0])
+    tp = len(grid[0][0]) if pp else 0
+    for replica in grid:
+        if len(replica) != pp or any(len(group) != tp for group in replica):
+            raise ValueError("all replicas must share the same (pp, tp) shape")
+    if pp < 1 or tp < 1:
+        raise ValueError("need at least one stage and one TP rank")
+    flat = [h for replica in grid for group in replica for h in group]
+    if len(set(flat)) != len(flat):
+        raise ValueError("grid hosts must be distinct")
+    if num_micro_batches < 1:
+        raise ValueError(f"need >= 1 micro-batches, got {num_micro_batches}")
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+
+    stages = model.pipeline_partition(pp) if pp > 1 else None
+    if stages is not None:
+        stage_fwd = [s.forward_time for s in stages]
+        stage_bwd = [s.backward_time for s in stages]
+        stage_act = [s.boundary_activation_bytes for s in stages]
+        stage_params = [
+            sum(model.layers[i].param_bytes for i in s.layer_indices) for s in stages
+        ]
+        stage_act_sync = [
+            sum(model.layers[i].activation_bytes for i in s.layer_indices)
+            for s in stages
+        ]
+    else:
+        stage_fwd = [model.total_forward_time]
+        stage_bwd = [model.total_backward_time]
+        stage_act = [model.layers[-1].activation_bytes]
+        stage_params = [model.total_param_bytes]
+        stage_act_sync = [sum(l.activation_bytes for l in model.layers)]
+
+    m_frac = 1.0 / num_micro_batches
+    dag = TaskDag(job_id)
+    echelonflows: List[EchelonFlow] = []
+    barrier_deps: List[str] = []
+
+    def fwd_task(it, r, s, m):
+        return f"it{it}/r{r}/F{s}.{m}"
+
+    def bwd_task(it, r, s, m):
+        return f"it{it}/r{r}/B{s}.{m}"
+
+    for it in range(iterations):
+        # Per-replica, per-boundary staggered EchelonFlows (PP traffic).
+        pp_fwd_efs: Dict[Tuple[int, int], EchelonFlow] = {}
+        pp_bwd_efs: Dict[Tuple[int, int], EchelonFlow] = {}
+        for r in range(dp):
+            for s in range(pp - 1):
+                ef = EchelonFlow(
+                    f"{job_id}/it{it}/r{r}/fwd{s}-{s + 1}",
+                    StaggeredArrangement(
+                        distance=stage_fwd[s + 1] * m_frac / tp
+                    ),
+                    job_id=job_id,
+                )
+                pp_fwd_efs[(r, s)] = ef
+                echelonflows.append(ef)
+                ef = EchelonFlow(
+                    f"{job_id}/it{it}/r{r}/bwd{s + 1}-{s}",
+                    StaggeredArrangement(distance=stage_bwd[s] * m_frac / tp),
+                    job_id=job_id,
+                )
+                pp_bwd_efs[(r, s)] = ef
+                echelonflows.append(ef)
+
+        # ---------------- forward ----------------
+        for r in range(dp):
+            replica = grid[r]
+            for s in range(pp):
+                for m in range(num_micro_batches):
+                    deps = list(barrier_deps)
+                    if m > 0:
+                        deps.append(fwd_task(it, r, s, m - 1))
+                    if s > 0:
+                        deps.append(f"it{it}/r{r}/act{s - 1}.{m}")
+                    # TP-sharded compute on every rank of the group.
+                    rank_tasks = []
+                    for k, worker in enumerate(replica[s]):
+                        task_id = f"{fwd_task(it, r, s, m)}/k{k}"
+                        dag.add_compute(
+                            task_id,
+                            device=worker,
+                            duration=stage_fwd[s] * m_frac / tp,
+                            deps=deps,
+                            priority=m,
+                            tag=f"F s{s} mb{m}",
+                        )
+                        rank_tasks.append(task_id)
+                    # TP activation all-reduce inside the group.
+                    if tp > 1:
+                        ef_id = f"{job_id}/it{it}/r{r}/as{s}.{m}"
+                        steps = ring_all_reduce(
+                            replica[s],
+                            max(stage_act_sync[s] * m_frac, 1.0),
+                            group_id=ef_id,
+                            job_id=job_id,
+                            tag=f"tp-as s{s} mb{m}",
+                        )
+                        coflow = EchelonFlow(ef_id, CoflowArrangement(), job_id=job_id)
+                        for step in steps:
+                            for flow in step:
+                                coflow.add_flow(flow)
+                        echelonflows.append(coflow)
+                        from .job import add_collective
+
+                        tail = add_collective(dag, ef_id, steps, deps=rank_tasks)
+                        join_deps = [tail]
+                    else:
+                        join_deps = rank_tasks
+                    dag.add_barrier(fwd_task(it, r, s, m), deps=join_deps)
+                    # PP activation transfer to the next stage (rank-wise).
+                    if s < pp - 1:
+                        flows = []
+                        for k in range(tp):
+                            flow = Flow(
+                                src=replica[s][k],
+                                dst=replica[s + 1][k],
+                                size=max(stage_act[s] * m_frac / tp, 1.0),
+                                group_id=pp_fwd_efs[(r, s)].ef_id,
+                                index_in_group=m,
+                                job_id=job_id,
+                                tag=f"act r{r} s{s}->s{s + 1} mb{m}",
+                            )
+                            pp_fwd_efs[(r, s)].add_flow(flow)
+                            flows.append(flow)
+                        dag.add_comm(
+                            f"it{it}/r{r}/act{s}.{m}",
+                            flows,
+                            deps=[fwd_task(it, r, s, m)],
+                            tag=f"act s{s} mb{m}",
+                        )
+
+        # ---------------- backward (GPipe flush order) ----------------
+        for r in range(dp):
+            replica = grid[r]
+            for s in reversed(range(pp)):
+                for k_rev, m in enumerate(reversed(range(num_micro_batches))):
+                    deps = []
+                    if k_rev > 0:
+                        deps.append(bwd_task(it, r, s, m + 1))
+                    if s == pp - 1:
+                        if k_rev == 0:
+                            deps.append(fwd_task(it, r, s, num_micro_batches - 1))
+                    else:
+                        deps.append(f"it{it}/r{r}/grad{s + 1}.{m}")
+                    rank_tasks = []
+                    for k, worker in enumerate(replica[s]):
+                        task_id = f"{bwd_task(it, r, s, m)}/k{k}"
+                        dag.add_compute(
+                            task_id,
+                            device=worker,
+                            duration=stage_bwd[s] * m_frac / tp,
+                            deps=deps,
+                            priority=num_micro_batches + k_rev,
+                            tag=f"B s{s} mb{m}",
+                        )
+                        rank_tasks.append(task_id)
+                    dag.add_barrier(bwd_task(it, r, s, m), deps=rank_tasks)
+                    if s > 0:
+                        flows = []
+                        for k in range(tp):
+                            flow = Flow(
+                                src=replica[s][k],
+                                dst=replica[s - 1][k],
+                                size=max(stage_act[s - 1] * m_frac / tp, 1.0),
+                                group_id=pp_bwd_efs[(r, s - 1)].ef_id,
+                                index_in_group=k_rev,
+                                job_id=job_id,
+                                tag=f"grad r{r} s{s}->s{s - 1} mb{m}",
+                            )
+                            pp_bwd_efs[(r, s - 1)].add_flow(flow)
+                            flows.append(flow)
+                        dag.add_comm(
+                            f"it{it}/r{r}/grad{s}.{m}",
+                            flows,
+                            deps=[bwd_task(it, r, s, m)],
+                            tag=f"grad s{s} mb{m}",
+                        )
+
+        # ---------------- DP gradient sync across replicas ----------------
+        sync_tails: List[str] = []
+        if dp > 1:
+            from .job import add_collective
+
+            for s in range(pp):
+                for k in range(tp):
+                    ef_id = f"{job_id}/it{it}/dp-ar/s{s}k{k}"
+                    ring_hosts = [grid[r][s][k] for r in range(dp)]
+                    steps = ring_all_reduce(
+                        ring_hosts,
+                        max(stage_params[s] / tp, 1.0),
+                        group_id=ef_id,
+                        job_id=job_id,
+                        tag=f"dp-ar s{s} k{k}",
+                    )
+                    coflow = EchelonFlow(ef_id, CoflowArrangement(), job_id=job_id)
+                    for step in steps:
+                        for flow in step:
+                            coflow.add_flow(flow)
+                    echelonflows.append(coflow)
+                    deps = [bwd_task(it, r, s, 0) for r in range(dp)]
+                    sync_tails.append(add_collective(dag, ef_id, steps, deps=deps))
+        else:
+            sync_tails = [
+                bwd_task(it, 0, s, 0) for s in range(pp)
+            ]
+
+        barrier_id = f"it{it}/barrier"
+        dag.add_barrier(barrier_id, deps=sync_tails)
+        barrier_deps = [barrier_id]
+
+    return BuiltJob(
+        dag=dag,
+        echelonflows=echelonflows,
+        paradigm="hybrid-3d",
+        meta={
+            "dp": dp,
+            "pp": pp,
+            "tp": tp,
+            "micro_batches": num_micro_batches,
+            "iterations": iterations,
+            "model": model.name,
+        },
+    )

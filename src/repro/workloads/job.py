@@ -1,0 +1,72 @@
+"""Common job-building machinery shared by all paradigm builders.
+
+A paradigm builder turns (model, placement, hyper-parameters) into a
+:class:`BuiltJob`: a task DAG plus the EchelonFlows that describe its
+communication pattern, exactly the information the framework reports to the
+EchelonFlow Agent in the system sketch ("the framework breaks down the
+workflow into EchelonFlows ... and reports the arrangement function and
+per-flow information").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.echelonflow import EchelonFlow
+from ..simulator.dag import TaskDag
+from .collectives import StepList
+
+
+@dataclass
+class BuiltJob:
+    """A ready-to-submit training job."""
+
+    dag: TaskDag
+    echelonflows: List[EchelonFlow] = field(default_factory=list)
+    #: Paradigm name ("dp-allreduce", "pp-gpipe", ...), for reporting.
+    paradigm: str = ""
+    #: Free-form metadata (iteration markers, profiled times, ...).
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def job_id(self) -> str:
+        return self.dag.job_id
+
+    def submit_to(self, engine, at_time: float = 0.0) -> None:
+        """Convenience: submit DAG and register EchelonFlows with an engine."""
+        engine.submit(self.dag, at_time=at_time, echelonflows=tuple(self.echelonflows))
+
+
+def add_collective(
+    dag: TaskDag,
+    task_prefix: str,
+    steps: StepList,
+    deps: Iterable[str] = (),
+    tag: str = "",
+) -> str:
+    """Append a multi-step collective to a DAG as chained comm tasks.
+
+    Step ``i`` depends on step ``i-1`` (ring algorithms are inherently
+    sequential); the first step takes the caller's ``deps``. Returns the
+    task id of the final step, which downstream tasks should depend on.
+    """
+    if not steps:
+        raise ValueError(f"collective {task_prefix!r} has no steps")
+    previous: Optional[str] = None
+    for step_index, flows in enumerate(steps):
+        task_id = f"{task_prefix}/s{step_index}"
+        step_deps = list(deps) if previous is None else [previous]
+        dag.add_comm(task_id, flows, deps=step_deps, tag=tag or task_prefix)
+        previous = task_id
+    assert previous is not None
+    return previous
+
+
+def check_hosts(hosts: Sequence[str], minimum: int = 2) -> Tuple[str, ...]:
+    hosts = tuple(hosts)
+    if len(hosts) < minimum:
+        raise ValueError(f"need at least {minimum} hosts, got {len(hosts)}")
+    if len(set(hosts)) != len(hosts):
+        raise ValueError("hosts must be distinct")
+    return hosts

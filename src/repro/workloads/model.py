@@ -1,0 +1,197 @@
+"""Neural-network model descriptions.
+
+Only the quantities that reach the network matter to flow scheduling: per-
+layer parameter bytes (gradient/weight traffic), activation bytes at layer
+boundaries (pipeline traffic), and profiled compute durations (the
+"distance" of the arrangement function). :class:`ModelSpec` carries exactly
+these, plus helpers for gradient bucketing (DP), stage partitioning (PP),
+and layer sharding (TP/FSDP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One layer (or fused block) of a model."""
+
+    name: str
+    param_bytes: float
+    activation_bytes: float
+    forward_time: float
+    backward_time: float
+
+    def __post_init__(self) -> None:
+        if self.param_bytes < 0 or self.activation_bytes < 0:
+            raise ValueError(f"layer {self.name!r} has negative sizes")
+        if self.forward_time < 0 or self.backward_time < 0:
+            raise ValueError(f"layer {self.name!r} has negative compute times")
+
+    def scaled(self, compute_scale: float = 1.0, size_scale: float = 1.0) -> "LayerSpec":
+        return replace(
+            self,
+            param_bytes=self.param_bytes * size_scale,
+            activation_bytes=self.activation_bytes * size_scale,
+            forward_time=self.forward_time * compute_scale,
+            backward_time=self.backward_time * compute_scale,
+        )
+
+
+@dataclass(frozen=True)
+class GradientBucket:
+    """A fused set of consecutive layers synchronized together (DP/FSDP)."""
+
+    index: int
+    layer_indices: Tuple[int, ...]
+    param_bytes: float
+
+
+@dataclass(frozen=True)
+class PipelineStagePartition:
+    """A contiguous slice of layers assigned to one pipeline stage."""
+
+    index: int
+    layer_indices: Tuple[int, ...]
+    forward_time: float
+    backward_time: float
+    #: Bytes crossing the boundary *out of* this stage in the forward pass.
+    boundary_activation_bytes: float
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """An ordered stack of layers."""
+
+    name: str
+    layers: Tuple[LayerSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ValueError(f"model {self.name!r} has no layers")
+        object.__setattr__(self, "layers", tuple(self.layers))
+
+    # ------------------------------------------------------------------
+    # aggregates
+    # ------------------------------------------------------------------
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def total_param_bytes(self) -> float:
+        return sum(layer.param_bytes for layer in self.layers)
+
+    @property
+    def total_forward_time(self) -> float:
+        return sum(layer.forward_time for layer in self.layers)
+
+    @property
+    def total_backward_time(self) -> float:
+        return sum(layer.backward_time for layer in self.layers)
+
+    def scaled(self, compute_scale: float = 1.0, size_scale: float = 1.0) -> "ModelSpec":
+        return ModelSpec(
+            name=self.name,
+            layers=tuple(
+                layer.scaled(compute_scale, size_scale) for layer in self.layers
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # partitioning helpers
+    # ------------------------------------------------------------------
+
+    def gradient_buckets(self, bucket_bytes: float) -> List[GradientBucket]:
+        """Fuse layers (in *backward* order) into buckets of ~bucket_bytes.
+
+        PyTorch DDP-style bucketing: gradients materialize from the last
+        layer backwards, so bucket 0 holds the deepest layers.
+        """
+        if bucket_bytes <= 0:
+            raise ValueError(f"bucket_bytes must be positive, got {bucket_bytes}")
+        buckets: List[GradientBucket] = []
+        current: List[int] = []
+        current_bytes = 0.0
+        for layer_index in reversed(range(self.num_layers)):
+            layer = self.layers[layer_index]
+            current.append(layer_index)
+            current_bytes += layer.param_bytes
+            if current_bytes >= bucket_bytes:
+                buckets.append(
+                    GradientBucket(len(buckets), tuple(current), current_bytes)
+                )
+                current, current_bytes = [], 0.0
+        if current:
+            buckets.append(GradientBucket(len(buckets), tuple(current), current_bytes))
+        return buckets
+
+    def pipeline_partition(self, num_stages: int) -> List[PipelineStagePartition]:
+        """Split layers into contiguous stages balanced by compute time."""
+        if num_stages <= 0:
+            raise ValueError(f"num_stages must be positive, got {num_stages}")
+        if num_stages > self.num_layers:
+            raise ValueError(
+                f"cannot split {self.num_layers} layers into {num_stages} stages"
+            )
+        total_time = self.total_forward_time + self.total_backward_time
+        target = total_time / num_stages
+        stages: List[PipelineStagePartition] = []
+        current: List[int] = []
+        current_time = 0.0
+        stage_index = 0
+        for layer_index, layer in enumerate(self.layers):
+            current.append(layer_index)
+            current_time += layer.forward_time + layer.backward_time
+            remaining_layers = self.num_layers - layer_index - 1
+            remaining_stages = num_stages - stage_index - 1
+            if (
+                current_time >= target and remaining_stages > 0
+            ) or remaining_layers == remaining_stages > 0:
+                stages.append(self._make_stage(stage_index, current))
+                current, current_time = [], 0.0
+                stage_index += 1
+        if current:
+            stages.append(self._make_stage(stage_index, current))
+        if len(stages) != num_stages:
+            raise RuntimeError(
+                f"partitioning produced {len(stages)} stages, wanted {num_stages}"
+            )
+        return stages
+
+    def _make_stage(self, index: int, layer_indices: List[int]) -> PipelineStagePartition:
+        layers = [self.layers[i] for i in layer_indices]
+        return PipelineStagePartition(
+            index=index,
+            layer_indices=tuple(layer_indices),
+            forward_time=sum(l.forward_time for l in layers),
+            backward_time=sum(l.backward_time for l in layers),
+            boundary_activation_bytes=layers[-1].activation_bytes,
+        )
+
+
+def uniform_model(
+    name: str,
+    num_layers: int,
+    param_bytes_per_layer: float,
+    activation_bytes: float,
+    forward_time: float,
+    backward_time: float = None,
+) -> ModelSpec:
+    """A homogeneous model: identical layers -- handy for controlled tests."""
+    if backward_time is None:
+        backward_time = 2.0 * forward_time  # the usual ~2x fwd rule of thumb
+    layers = tuple(
+        LayerSpec(
+            name=f"layer{i}",
+            param_bytes=param_bytes_per_layer,
+            activation_bytes=activation_bytes,
+            forward_time=forward_time,
+            backward_time=backward_time,
+        )
+        for i in range(num_layers)
+    )
+    return ModelSpec(name=name, layers=layers)

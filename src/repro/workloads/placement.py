@@ -1,0 +1,88 @@
+"""Job placement: assigning a job's workers to cluster hosts.
+
+Multi-tenant GPU clusters fragment (the paper cites Jeon et al.'s trace
+analysis), so jobs rarely get clean contiguous allocations. The policies
+here produce the host lists that paradigm builders consume.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..topology.graph import Topology
+
+
+class PlacementError(Exception):
+    """Not enough free hosts to place a job."""
+
+
+class ClusterPlacer:
+    """Tracks host occupancy and hands out placements."""
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self._free: List[str] = list(topology.hosts)
+        self._assignments: dict = {}
+
+    @property
+    def free_hosts(self) -> List[str]:
+        return list(self._free)
+
+    def assignment(self, job_id: str) -> List[str]:
+        return list(self._assignments[job_id])
+
+    def _take(self, job_id: str, hosts: Sequence[str]) -> List[str]:
+        for host in hosts:
+            self._free.remove(host)
+        self._assignments[job_id] = list(hosts)
+        return list(hosts)
+
+    def place_contiguous(self, job_id: str, count: int) -> List[str]:
+        """First-fit: the first ``count`` free hosts in topology order."""
+        if count > len(self._free):
+            raise PlacementError(
+                f"job {job_id!r} needs {count} hosts, only {len(self._free)} free"
+            )
+        return self._take(job_id, self._free[:count])
+
+    def place_spread(self, job_id: str, count: int, stride: int = 2) -> List[str]:
+        """Strided placement: every ``stride``-th free host (fragmentation)."""
+        if count > len(self._free):
+            raise PlacementError(
+                f"job {job_id!r} needs {count} hosts, only {len(self._free)} free"
+            )
+        picked: List[str] = []
+        index = 0
+        while len(picked) < count:
+            picked.append(self._free[index % len(self._free)])
+            index += stride
+            # Fall back to linear fill once strides wrap onto used slots.
+            while index < len(self._free) and self._free[index % len(self._free)] in picked:
+                index += 1
+        # Deduplicate preserving order (strides may collide on small pools).
+        seen = []
+        for host in picked:
+            if host not in seen:
+                seen.append(host)
+        remaining = [h for h in self._free if h not in seen]
+        while len(seen) < count:
+            seen.append(remaining.pop(0))
+        return self._take(job_id, seen[:count])
+
+    def place_random(
+        self, job_id: str, count: int, rng: Optional[random.Random] = None
+    ) -> List[str]:
+        """Uniform random placement (seeded for reproducibility)."""
+        if count > len(self._free):
+            raise PlacementError(
+                f"job {job_id!r} needs {count} hosts, only {len(self._free)} free"
+            )
+        rng = rng or random.Random(0)
+        hosts = rng.sample(self._free, count)
+        return self._take(job_id, hosts)
+
+    def release(self, job_id: str) -> None:
+        hosts = self._assignments.pop(job_id, [])
+        self._free.extend(hosts)
+        self._free.sort()

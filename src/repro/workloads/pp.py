@@ -1,0 +1,275 @@
+"""Pipeline parallelism (GPipe-style, Fig. 1) -- the paper's Case II.
+
+The model is partitioned into contiguous stages, one per worker; each
+mini-batch is split into micro-batches that stream through the stages.
+Activations flow forward between consecutive stages and activation
+gradients flow backward, as point-to-point transfers.
+
+EchelonFlows: all forward transfers between one worker pair in one
+iteration form an EchelonFlow with the Eq. 6 staggered arrangement -- flow
+``f_j`` (micro-batch ``j``) should ideally finish ``T`` after ``f_{j-1}``,
+where ``T`` is the *consumer's* per-micro-batch computation time (profiled).
+Backward transfers form the symmetric EchelonFlow with the consumer's
+backward time as the distance.
+
+:func:`build_pipeline_segment` is the two-worker slice of this pattern used
+by the Fig. 2 motivating example and the Fig. 6 intuition figure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.arrangement import StaggeredArrangement
+from ..core.echelonflow import EchelonFlow
+from ..core.flow import Flow
+from ..simulator.dag import TaskDag
+from .job import BuiltJob, check_hosts
+from .model import ModelSpec
+
+
+def build_pp_gpipe(
+    job_id: str,
+    model: ModelSpec,
+    workers: Sequence[str],
+    num_micro_batches: int,
+    iterations: int = 1,
+    update_time: float = 0.0,
+) -> BuiltJob:
+    """GPipe: forward all micro-batches, flush, backward in reverse order."""
+    workers = check_hosts(workers)
+    if num_micro_batches < 1:
+        raise ValueError(f"need >= 1 micro-batches, got {num_micro_batches}")
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+
+    num_stages = len(workers)
+    stages = model.pipeline_partition(num_stages)
+    m_frac = 1.0 / num_micro_batches
+    fwd_time = [stage.forward_time * m_frac for stage in stages]
+    bwd_time = [stage.backward_time * m_frac for stage in stages]
+    act_bytes = [stage.boundary_activation_bytes * m_frac for stage in stages]
+
+    dag = TaskDag(job_id)
+    echelonflows: List[EchelonFlow] = []
+    barrier_deps: List[str] = []
+
+    for it in range(iterations):
+        # Per-boundary EchelonFlows for this iteration (fresh reference each
+        # iteration: the job "recalibrates ... whenever a new EchelonFlow is
+        # generated").
+        fwd_efs = []
+        bwd_efs = []
+        for s in range(num_stages - 1):
+            fwd_ef = EchelonFlow(
+                f"{job_id}/it{it}/fwd{s}-{s + 1}",
+                StaggeredArrangement(distance=fwd_time[s + 1]),
+                job_id=job_id,
+            )
+            fwd_efs.append(fwd_ef)
+            bwd_ef = EchelonFlow(
+                f"{job_id}/it{it}/bwd{s + 1}-{s}",
+                StaggeredArrangement(distance=bwd_time[s]),
+                job_id=job_id,
+            )
+            bwd_efs.append(bwd_ef)
+        echelonflows.extend(fwd_efs)
+        echelonflows.extend(bwd_efs)
+
+        # Forward phase.
+        for s in range(num_stages):
+            for m in range(num_micro_batches):
+                deps = list(barrier_deps)
+                if m > 0:
+                    deps.append(f"it{it}/F{s}.{m - 1}")
+                if s > 0:
+                    deps.append(f"it{it}/actr{s - 1}.{m}/s0")
+                dag.add_compute(
+                    f"it{it}/F{s}.{m}",
+                    device=workers[s],
+                    duration=fwd_time[s],
+                    deps=deps,
+                    priority=m,
+                    tag=f"F mb{m}",
+                )
+                if s < num_stages - 1:
+                    flow = Flow(
+                        src=workers[s],
+                        dst=workers[s + 1],
+                        size=act_bytes[s],
+                        group_id=fwd_efs[s].ef_id,
+                        index_in_group=m,
+                        job_id=job_id,
+                        tag=f"act s{s}->s{s + 1} mb{m}",
+                    )
+                    fwd_efs[s].add_flow(flow)
+                    dag.add_comm(
+                        f"it{it}/actr{s}.{m}/s0",
+                        [flow],
+                        deps=[f"it{it}/F{s}.{m}"],
+                        tag=f"act mb{m}",
+                    )
+
+        # Backward phase: reverse micro-batch order per stage.
+        for s in reversed(range(num_stages)):
+            for k, m in enumerate(reversed(range(num_micro_batches))):
+                deps = []
+                if k > 0:
+                    deps.append(f"it{it}/B{s}.{m + 1}")
+                if s == num_stages - 1:
+                    if k == 0:
+                        deps.append(f"it{it}/F{s}.{num_micro_batches - 1}")
+                else:
+                    deps.append(f"it{it}/gradr{s + 1}.{m}/s0")
+                dag.add_compute(
+                    f"it{it}/B{s}.{m}",
+                    device=workers[s],
+                    duration=bwd_time[s],
+                    deps=deps,
+                    priority=num_micro_batches + k,
+                    tag=f"B mb{m}",
+                )
+                if s > 0:
+                    flow = Flow(
+                        src=workers[s],
+                        dst=workers[s - 1],
+                        size=act_bytes[s - 1],
+                        group_id=bwd_efs[s - 1].ef_id,
+                        index_in_group=k,
+                        job_id=job_id,
+                        tag=f"grad s{s}->s{s - 1} mb{m}",
+                    )
+                    bwd_efs[s - 1].add_flow(flow)
+                    dag.add_comm(
+                        f"it{it}/gradr{s}.{m}/s0",
+                        [flow],
+                        deps=[f"it{it}/B{s}.{m}"],
+                        tag=f"grad mb{m}",
+                    )
+
+        # Synchronous flush: every stage's last backward gates the update.
+        tails = [f"it{it}/B{s}.0" for s in range(num_stages)]
+        if update_time > 0:
+            updates = []
+            for s, worker in enumerate(workers):
+                task_id = f"it{it}/update/{worker}"
+                dag.add_compute(
+                    task_id,
+                    device=worker,
+                    duration=update_time,
+                    deps=tails,
+                    tag="optimizer",
+                )
+                updates.append(task_id)
+            barrier_deps = updates
+        else:
+            barrier_id = f"it{it}/barrier"
+            dag.add_barrier(barrier_id, deps=tails)
+            barrier_deps = [barrier_id]
+
+    return BuiltJob(
+        dag=dag,
+        echelonflows=echelonflows,
+        paradigm="pp-gpipe",
+        meta={
+            "workers": list(workers),
+            "stages": num_stages,
+            "micro_batches": num_micro_batches,
+            "iterations": iterations,
+            "model": model.name,
+            "fwd_time": fwd_time,
+            "bwd_time": bwd_time,
+        },
+    )
+
+
+def build_pipeline_segment(
+    job_id: str,
+    src: str,
+    dst: str,
+    release_times: Sequence[float],
+    flow_sizes: Sequence[float],
+    consumer_compute_times: Sequence[float],
+    distance: Optional[float] = None,
+) -> BuiltJob:
+    """A two-worker pipeline slice: the Fig. 2 / Fig. 6 setting.
+
+    The producer releases micro-batch ``j``'s activations at
+    ``release_times[j]`` (modelled as a chain of producer computes whose
+    durations are the release gaps); the consumer processes micro-batches in
+    order, taking ``consumer_compute_times[j]`` each. All transfers form one
+    EchelonFlow with the Eq. 6 staggered arrangement; ``distance`` defaults
+    to the (uniform) consumer compute time, as profiling would report.
+    """
+    if not (len(release_times) == len(flow_sizes) == len(consumer_compute_times)):
+        raise ValueError("release/size/compute lists must have equal lengths")
+    if not release_times:
+        raise ValueError("need at least one micro-batch")
+    if list(release_times) != sorted(release_times):
+        raise ValueError("release times must be non-decreasing")
+    if src == dst:
+        raise ValueError("producer and consumer must differ")
+    if distance is None:
+        distance = consumer_compute_times[0]
+
+    dag = TaskDag(job_id)
+    echelonflow = EchelonFlow(
+        f"{job_id}/ef", StaggeredArrangement(distance=distance), job_id=job_id
+    )
+
+    previous_release: Optional[str] = None
+    previous_compute: Optional[str] = None
+    last_release_time = 0.0
+    for m, (release, size, compute) in enumerate(
+        zip(release_times, flow_sizes, consumer_compute_times)
+    ):
+        gap = release - (last_release_time if previous_release else 0.0)
+        release_task = f"rel{m}"
+        deps = [previous_release] if previous_release else []
+        dag.add_compute(
+            release_task,
+            device=src,
+            duration=gap if previous_release else release,
+            deps=deps,
+            priority=m,
+            tag=f"produce mb{m}",
+        )
+        last_release_time = release
+        previous_release = release_task
+
+        flow = Flow(
+            src=src,
+            dst=dst,
+            size=size,
+            group_id=echelonflow.ef_id,
+            index_in_group=m,
+            job_id=job_id,
+            tag=f"act mb{m}",
+        )
+        echelonflow.add_flow(flow)
+        comm_task = f"xfer{m}"
+        dag.add_comm(comm_task, [flow], deps=[release_task], tag=f"xfer mb{m}")
+
+        compute_task = f"cons{m}"
+        compute_deps = [comm_task]
+        if previous_compute:
+            compute_deps.append(previous_compute)
+        dag.add_compute(
+            compute_task,
+            device=dst,
+            duration=compute,
+            deps=compute_deps,
+            priority=m,
+            tag=f"consume mb{m}",
+        )
+        previous_compute = compute_task
+
+    return BuiltJob(
+        dag=dag,
+        echelonflows=[echelonflow],
+        paradigm="pp-segment",
+        meta={
+            "micro_batches": len(release_times),
+            "distance": distance,
+        },
+    )

@@ -1,0 +1,314 @@
+"""1F1B pipeline parallelism (PipeDream-flush / Megatron-LM schedule).
+
+The paper notes that later PP implementations "create similar computation
+pipelines, while reordering computations and data transmissions based on
+the data dependency", and that their flow relations "can also be expressed
+as an arrangement function, albeit more complicated than Eq. 6". This
+module is that case: the synchronous 1F1B schedule.
+
+Schedule per stage ``s`` of ``p`` stages with ``m`` micro-batches:
+
+* **warm-up**: run ``p - s`` forward micro-batches;
+* **steady state**: alternate one backward, one forward (1B1F from the
+  stage's perspective) until forwards are exhausted;
+* **cool-down**: drain the remaining backwards.
+
+Compared to GPipe this caps in-flight activations at ``p - s`` instead of
+``m``, and it *interleaves* forward and backward traffic on every
+boundary, so the ideal finish times of a boundary's forward flows are no
+longer spaced uniformly by ``T_fwd``: once the consumer enters steady
+state each forward is consumed one full (``T_fwd + T_bwd``) cycle after
+the previous one. The arrangement is therefore a :class:`TabledArrangement`
+built from the consumer's simulated schedule -- exactly what profiling
+would produce.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.arrangement import TabledArrangement
+from ..core.echelonflow import EchelonFlow
+from ..core.flow import Flow
+from ..simulator.dag import TaskDag
+from .job import BuiltJob, check_hosts
+from .model import ModelSpec
+
+
+def one_f_one_b_order(
+    stage: int, num_stages: int, num_micro_batches: int
+) -> List[Tuple[str, int]]:
+    """The per-stage task order of synchronous 1F1B.
+
+    Returns a list of ("F" | "B", micro_batch) pairs. Warm-up depth is
+    ``min(num_stages - stage, num_micro_batches)``.
+    """
+    if not 0 <= stage < num_stages:
+        raise ValueError(f"stage {stage} out of range for {num_stages} stages")
+    if num_micro_batches < 1:
+        raise ValueError(f"need >= 1 micro-batches, got {num_micro_batches}")
+    warmup = min(num_stages - stage, num_micro_batches)
+    order: List[Tuple[str, int]] = []
+    forward_next = 0
+    backward_next = 0
+    for _ in range(warmup):
+        order.append(("F", forward_next))
+        forward_next += 1
+    while forward_next < num_micro_batches:
+        order.append(("B", backward_next))
+        backward_next += 1
+        order.append(("F", forward_next))
+        forward_next += 1
+    while backward_next < num_micro_batches:
+        order.append(("B", backward_next))
+        backward_next += 1
+    return order
+
+
+def _consumption_offsets(
+    order: Sequence[Tuple[str, int]],
+    kind: str,
+    fwd_time: float,
+    bwd_time: float,
+) -> List[float]:
+    """Ideal-finish offsets for the flows feeding tasks of ``kind``.
+
+    Offset ``j`` is the time (relative to the first such task's data
+    needs) at which the consumer *starts* the j-th task of that kind in an
+    ideally-fed pipeline -- i.e. the cumulative compute time of everything
+    the stage runs before it. This is the "more complicated than Eq. 6"
+    arrangement: constant ``T`` spacing during warm-up, ``T_f + T_b``
+    spacing in steady state.
+    """
+    offsets: List[float] = []
+    clock = 0.0
+    for task_kind, _mb in order:
+        if task_kind == kind:
+            offsets.append(clock)
+        clock += fwd_time if task_kind == "F" else bwd_time
+    if not offsets:
+        return offsets
+    base = offsets[0]
+    return [value - base for value in offsets]
+
+
+def _insert_in_topological_order(dag: TaskDag, pending: List[dict]) -> None:
+    """Add task specs to the DAG respecting their mutual dependencies.
+
+    Dependencies on tasks already present in the DAG (e.g. the previous
+    iteration's barrier) are treated as satisfied.
+    """
+    by_id = {spec["task_id"]: spec for spec in pending}
+    indegree = {
+        task_id: sum(1 for dep in spec["deps"] if dep in by_id)
+        for task_id, spec in by_id.items()
+    }
+    successors: Dict[str, List[str]] = {task_id: [] for task_id in by_id}
+    for task_id, spec in by_id.items():
+        for dep in spec["deps"]:
+            if dep in by_id:
+                successors[dep].append(task_id)
+    frontier = sorted(tid for tid, deg in indegree.items() if deg == 0)
+    added = 0
+    while frontier:
+        task_id = frontier.pop(0)
+        spec = by_id[task_id]
+        if spec["kind"] == "compute":
+            dag.add_compute(
+                task_id,
+                device=spec["device"],
+                duration=spec["duration"],
+                deps=spec["deps"],
+                priority=spec["priority"],
+                tag=spec["tag"],
+            )
+        else:
+            dag.add_comm(task_id, spec["flows"], deps=spec["deps"], tag=spec["tag"])
+        added += 1
+        newly_ready = []
+        for successor in successors[task_id]:
+            indegree[successor] -= 1
+            if indegree[successor] == 0:
+                newly_ready.append(successor)
+        frontier.extend(newly_ready)
+        frontier.sort()
+    if added != len(pending):
+        raise RuntimeError("1F1B task specs contain a dependency cycle")
+
+
+def build_pp_1f1b(
+    job_id: str,
+    model: ModelSpec,
+    workers: Sequence[str],
+    num_micro_batches: int,
+    iterations: int = 1,
+    update_time: float = 0.0,
+) -> BuiltJob:
+    """Synchronous 1F1B pipeline job with profiled TabledArrangements."""
+    workers = check_hosts(workers)
+    if num_micro_batches < 1:
+        raise ValueError(f"need >= 1 micro-batches, got {num_micro_batches}")
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+
+    num_stages = len(workers)
+    stages = model.pipeline_partition(num_stages)
+    m_frac = 1.0 / num_micro_batches
+    fwd_time = [s.forward_time * m_frac for s in stages]
+    bwd_time = [s.backward_time * m_frac for s in stages]
+    act_bytes = [s.boundary_activation_bytes * m_frac for s in stages]
+    orders = [
+        one_f_one_b_order(s, num_stages, num_micro_batches)
+        for s in range(num_stages)
+    ]
+
+    dag = TaskDag(job_id)
+    echelonflows: List[EchelonFlow] = []
+    barrier_deps: List[str] = []
+
+    for it in range(iterations):
+        fwd_efs: List[EchelonFlow] = []
+        bwd_efs: List[EchelonFlow] = []
+        for s in range(num_stages - 1):
+            consumer = s + 1
+            fwd_offsets = _consumption_offsets(
+                orders[consumer], "F", fwd_time[consumer], bwd_time[consumer]
+            )
+            fwd_efs.append(
+                EchelonFlow(
+                    f"{job_id}/it{it}/fwd{s}-{s + 1}",
+                    TabledArrangement(tuple(fwd_offsets)),
+                    job_id=job_id,
+                )
+            )
+            bwd_offsets = _consumption_offsets(
+                orders[s], "B", fwd_time[s], bwd_time[s]
+            )
+            bwd_efs.append(
+                EchelonFlow(
+                    f"{job_id}/it{it}/bwd{s + 1}-{s}",
+                    TabledArrangement(tuple(bwd_offsets)),
+                    job_id=job_id,
+                )
+            )
+        echelonflows.extend(fwd_efs)
+        echelonflows.extend(bwd_efs)
+
+        # Collect task specs first: 1F1B has forward references (a stage's
+        # backward depends on the downstream stage's gradient comm), so
+        # specs are inserted into the DAG in topological order afterwards.
+        pending: List[dict] = []
+
+        for s, order in enumerate(orders):
+            previous_task = None
+            for position, (kind, mb) in enumerate(order):
+                deps = list(barrier_deps)
+                if previous_task is not None:
+                    deps.append(previous_task)
+                if kind == "F":
+                    task_id = f"it{it}/F{s}.{mb}"
+                    if s > 0:
+                        deps.append(f"it{it}/actr{s - 1}.{mb}/s0")
+                    pending.append(
+                        {
+                            "task_id": task_id,
+                            "kind": "compute",
+                            "device": workers[s],
+                            "duration": fwd_time[s],
+                            "deps": deps,
+                            "priority": position,
+                            "tag": f"F mb{mb}",
+                        }
+                    )
+                    if s < num_stages - 1:
+                        flow = Flow(
+                            src=workers[s],
+                            dst=workers[s + 1],
+                            size=act_bytes[s],
+                            group_id=fwd_efs[s].ef_id,
+                            index_in_group=mb,  # forwards consumed in mb order
+                            job_id=job_id,
+                            tag=f"act s{s}->s{s + 1} mb{mb}",
+                        )
+                        fwd_efs[s].add_flow(flow)
+                        pending.append(
+                            {
+                                "task_id": f"it{it}/actr{s}.{mb}/s0",
+                                "kind": "comm",
+                                "flows": [flow],
+                                "deps": [task_id],
+                                "tag": f"act mb{mb}",
+                            }
+                        )
+                else:
+                    task_id = f"it{it}/B{s}.{mb}"
+                    if s < num_stages - 1:
+                        deps.append(f"it{it}/gradr{s + 1}.{mb}/s0")
+                    else:
+                        deps.append(f"it{it}/F{s}.{mb}")
+                    pending.append(
+                        {
+                            "task_id": task_id,
+                            "kind": "compute",
+                            "device": workers[s],
+                            "duration": bwd_time[s],
+                            "deps": deps,
+                            "priority": position,
+                            "tag": f"B mb{mb}",
+                        }
+                    )
+                    if s > 0:
+                        flow = Flow(
+                            src=workers[s],
+                            dst=workers[s - 1],
+                            size=act_bytes[s - 1],
+                            group_id=bwd_efs[s - 1].ef_id,
+                            index_in_group=mb,  # backwards in mb order too
+                            job_id=job_id,
+                            tag=f"grad s{s}->s{s - 1} mb{mb}",
+                        )
+                        bwd_efs[s - 1].add_flow(flow)
+                        pending.append(
+                            {
+                                "task_id": f"it{it}/gradr{s}.{mb}/s0",
+                                "kind": "comm",
+                                "flows": [flow],
+                                "deps": [task_id],
+                                "tag": f"grad mb{mb}",
+                            }
+                        )
+                previous_task = task_id
+
+        _insert_in_topological_order(dag, pending)
+
+        tails = [f"it{it}/B{s}.{num_micro_batches - 1}" for s in range(num_stages)]
+        if update_time > 0:
+            updates = []
+            for s, worker in enumerate(workers):
+                update_id = f"it{it}/update/{worker}"
+                dag.add_compute(
+                    update_id,
+                    device=worker,
+                    duration=update_time,
+                    deps=tails,
+                    tag="optimizer",
+                )
+                updates.append(update_id)
+            barrier_deps = updates
+        else:
+            barrier_id = f"it{it}/barrier"
+            dag.add_barrier(barrier_id, deps=tails)
+            barrier_deps = [barrier_id]
+
+    return BuiltJob(
+        dag=dag,
+        echelonflows=echelonflows,
+        paradigm="pp-1f1b",
+        meta={
+            "workers": list(workers),
+            "stages": num_stages,
+            "micro_batches": num_micro_batches,
+            "iterations": iterations,
+            "model": model.name,
+        },
+    )

@@ -1,0 +1,188 @@
+"""Interleaved pipeline parallelism (Megatron-LM virtual stages).
+
+Each worker hosts ``v`` non-contiguous model chunks instead of one
+contiguous stage: worker ``w`` runs chunks ``w, w+p, w+2p, ...`` of the
+``p*v``-chunk partition, so a micro-batch loops around the worker ring
+``v`` times per pass. Finer chunks shrink the pipeline fill/drain bubble
+by roughly ``1/v`` at the cost of ``v``-fold more boundary traffic --
+including a wrap-around hop from the last worker back to the first.
+
+EchelonFlows: one staggered (Eq. 6) group per chunk boundary and
+direction, distance = the consuming chunk's per-micro-batch time. With
+``v = 1`` this degenerates exactly to :func:`build_pp_gpipe`'s structure.
+The schedule is the flush (GPipe-style) variant of interleaving: all
+forwards, then all backwards -- the 1F1B-interleaved reordering of the
+same chunks is what `build_pp_1f1b` models for ``v = 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.arrangement import StaggeredArrangement
+from ..core.echelonflow import EchelonFlow
+from ..core.flow import Flow
+from ..simulator.dag import TaskDag
+from .job import BuiltJob, check_hosts
+from .model import ModelSpec
+
+
+def build_pp_interleaved(
+    job_id: str,
+    model: ModelSpec,
+    workers: Sequence[str],
+    num_micro_batches: int,
+    virtual_stages: int = 2,
+    iterations: int = 1,
+    update_time: float = 0.0,
+) -> BuiltJob:
+    """GPipe-flush pipeline over ``len(workers) * virtual_stages`` chunks."""
+    workers = check_hosts(workers)
+    if num_micro_batches < 1:
+        raise ValueError(f"need >= 1 micro-batches, got {num_micro_batches}")
+    if virtual_stages < 1:
+        raise ValueError(f"virtual_stages must be >= 1, got {virtual_stages}")
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+
+    p = len(workers)
+    num_chunks = p * virtual_stages
+    if num_chunks > model.num_layers:
+        raise ValueError(
+            f"{num_chunks} chunks exceed the model's {model.num_layers} layers"
+        )
+    chunks = model.pipeline_partition(num_chunks)
+    m_frac = 1.0 / num_micro_batches
+    fwd_time = [c.forward_time * m_frac for c in chunks]
+    bwd_time = [c.backward_time * m_frac for c in chunks]
+    act_bytes = [c.boundary_activation_bytes * m_frac for c in chunks]
+
+    def worker_of(chunk: int) -> str:
+        return workers[chunk % p]
+
+    dag = TaskDag(job_id)
+    echelonflows: List[EchelonFlow] = []
+    barrier_deps: List[str] = []
+
+    for it in range(iterations):
+        fwd_efs: Dict[int, EchelonFlow] = {}
+        bwd_efs: Dict[int, EchelonFlow] = {}
+        for c in range(num_chunks - 1):
+            fwd_efs[c] = EchelonFlow(
+                f"{job_id}/it{it}/fwd{c}-{c + 1}",
+                StaggeredArrangement(distance=fwd_time[c + 1]),
+                job_id=job_id,
+            )
+            bwd_efs[c] = EchelonFlow(
+                f"{job_id}/it{it}/bwd{c + 1}-{c}",
+                StaggeredArrangement(distance=bwd_time[c]),
+                job_id=job_id,
+            )
+        echelonflows.extend(fwd_efs.values())
+        echelonflows.extend(bwd_efs.values())
+
+        # Forward phase over all chunks.
+        for c in range(num_chunks):
+            for m in range(num_micro_batches):
+                deps = list(barrier_deps)
+                if m > 0:
+                    deps.append(f"it{it}/F{c}.{m - 1}")
+                if c > 0:
+                    deps.append(f"it{it}/actr{c - 1}.{m}")
+                dag.add_compute(
+                    f"it{it}/F{c}.{m}",
+                    device=worker_of(c),
+                    duration=fwd_time[c],
+                    deps=deps,
+                    # Earlier chunks and earlier micro-batches first.
+                    priority=c * num_micro_batches + m,
+                    tag=f"F c{c} mb{m}",
+                )
+                if c < num_chunks - 1:
+                    flow = Flow(
+                        src=worker_of(c),
+                        dst=worker_of(c + 1),
+                        size=max(act_bytes[c], 1.0),
+                        group_id=fwd_efs[c].ef_id,
+                        index_in_group=m,
+                        job_id=job_id,
+                        tag=f"act c{c}->c{c + 1} mb{m}",
+                    )
+                    fwd_efs[c].add_flow(flow)
+                    dag.add_comm(
+                        f"it{it}/actr{c}.{m}",
+                        [flow],
+                        deps=[f"it{it}/F{c}.{m}"],
+                        tag=f"act mb{m}",
+                    )
+
+        # Backward phase, reverse chunk and micro-batch order.
+        backward_base = num_chunks * num_micro_batches
+        for c in reversed(range(num_chunks)):
+            for k, m in enumerate(reversed(range(num_micro_batches))):
+                deps = []
+                if k > 0:
+                    deps.append(f"it{it}/B{c}.{m + 1}")
+                if c == num_chunks - 1:
+                    if k == 0:
+                        deps.append(f"it{it}/F{c}.{num_micro_batches - 1}")
+                else:
+                    deps.append(f"it{it}/gradr{c + 1}.{m}")
+                dag.add_compute(
+                    f"it{it}/B{c}.{m}",
+                    device=worker_of(c),
+                    duration=bwd_time[c],
+                    deps=deps,
+                    priority=backward_base + (num_chunks - 1 - c) * num_micro_batches + k,
+                    tag=f"B c{c} mb{m}",
+                )
+                if c > 0:
+                    flow = Flow(
+                        src=worker_of(c),
+                        dst=worker_of(c - 1),
+                        size=max(act_bytes[c - 1], 1.0),
+                        group_id=bwd_efs[c - 1].ef_id,
+                        index_in_group=k,
+                        job_id=job_id,
+                        tag=f"grad c{c}->c{c - 1} mb{m}",
+                    )
+                    bwd_efs[c - 1].add_flow(flow)
+                    dag.add_comm(
+                        f"it{it}/gradr{c}.{m}",
+                        [flow],
+                        deps=[f"it{it}/B{c}.{m}"],
+                        tag=f"grad mb{m}",
+                    )
+
+        tails = [f"it{it}/B{c}.0" for c in range(num_chunks)]
+        if update_time > 0:
+            updates = []
+            for worker in workers:
+                task_id = f"it{it}/update/{worker}"
+                dag.add_compute(
+                    task_id,
+                    device=worker,
+                    duration=update_time,
+                    deps=tails,
+                    tag="optimizer",
+                )
+                updates.append(task_id)
+            barrier_deps = updates
+        else:
+            barrier_id = f"it{it}/barrier"
+            dag.add_barrier(barrier_id, deps=tails)
+            barrier_deps = [barrier_id]
+
+    return BuiltJob(
+        dag=dag,
+        echelonflows=echelonflows,
+        paradigm="pp-interleaved",
+        meta={
+            "workers": list(workers),
+            "virtual_stages": virtual_stages,
+            "chunks": num_chunks,
+            "micro_batches": num_micro_batches,
+            "iterations": iterations,
+            "model": model.name,
+        },
+    )

@@ -1,0 +1,136 @@
+"""Tensor parallelism (Megatron-style, Fig. 5) -- Coflow-compliant Case I.
+
+Every layer's parameters are sharded across all workers; each layer's
+forward computation ends in an all-reduce of activations and each layer's
+backward computation ends in an all-reduce of gradients. The flows of each
+all-reduce "fall into a Coflow, as they altogether barrier computation in
+the next layer" -- so the arrangement is Eq. 5 per layer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.arrangement import CoflowArrangement
+from ..core.echelonflow import EchelonFlow
+from ..simulator.dag import TaskDag
+from .collectives import ring_all_reduce
+from .job import BuiltJob, add_collective, check_hosts
+from .model import ModelSpec
+
+
+def build_tp_megatron(
+    job_id: str,
+    model: ModelSpec,
+    workers: Sequence[str],
+    iterations: int = 1,
+    update_time: float = 0.0,
+    sync_every_layer: bool = True,
+) -> BuiltJob:
+    """Megatron TP: per-layer forward and backward all-reduces.
+
+    Compute is sharded: each worker runs ``1/m`` of every layer's time.
+    ``sync_every_layer=False`` fuses backward gradient all-reduces with the
+    following layer's compute dependency removed (a "relaxed" variant used
+    only in tests).
+    """
+    workers = check_hosts(workers)
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    m = len(workers)
+    dag = TaskDag(job_id)
+    echelonflows: List[EchelonFlow] = []
+    barrier_deps: List[str] = []
+
+    for it in range(iterations):
+        # Forward: layer computes on all workers, then activation all-reduce.
+        previous_sync: List[str] = list(barrier_deps)
+        for li, layer in enumerate(model.layers):
+            computes = []
+            for worker in workers:
+                task_id = f"it{it}/F{li}/{worker}"
+                dag.add_compute(
+                    task_id,
+                    device=worker,
+                    duration=layer.forward_time / m,
+                    deps=previous_sync,
+                    priority=li,
+                    tag=f"F layer{li}",
+                )
+                computes.append(task_id)
+            ef_id = f"{job_id}/it{it}/as{li}"
+            steps = ring_all_reduce(
+                workers,
+                max(layer.activation_bytes, 1.0),
+                group_id=ef_id,
+                job_id=job_id,
+                tag=f"act sync l{li}",
+            )
+            coflow = EchelonFlow(ef_id, CoflowArrangement(), job_id=job_id)
+            for step in steps:
+                for flow in step:
+                    coflow.add_flow(flow)
+            echelonflows.append(coflow)
+            tail = add_collective(dag, ef_id, steps, deps=computes)
+            previous_sync = [tail]
+
+        # Backward: reverse layer order, gradient all-reduce per layer.
+        for li in reversed(range(model.num_layers)):
+            layer = model.layers[li]
+            computes = []
+            for worker in workers:
+                task_id = f"it{it}/B{li}/{worker}"
+                dag.add_compute(
+                    task_id,
+                    device=worker,
+                    duration=layer.backward_time / m,
+                    deps=previous_sync,
+                    priority=model.num_layers + (model.num_layers - 1 - li),
+                    tag=f"B layer{li}",
+                )
+                computes.append(task_id)
+            ef_id = f"{job_id}/it{it}/gs{li}"
+            steps = ring_all_reduce(
+                workers,
+                max(layer.param_bytes / m, 1.0),
+                group_id=ef_id,
+                job_id=job_id,
+                tag=f"grad sync l{li}",
+            )
+            coflow = EchelonFlow(ef_id, CoflowArrangement(), job_id=job_id)
+            for step in steps:
+                for flow in step:
+                    coflow.add_flow(flow)
+            echelonflows.append(coflow)
+            tail = add_collective(dag, ef_id, steps, deps=computes)
+            previous_sync = [tail] if sync_every_layer else computes
+
+        barrier_id = f"it{it}/barrier"
+        if update_time > 0:
+            updates = []
+            for worker in workers:
+                task_id = f"it{it}/update/{worker}"
+                dag.add_compute(
+                    task_id,
+                    device=worker,
+                    duration=update_time,
+                    deps=previous_sync,
+                    tag="optimizer",
+                )
+                updates.append(task_id)
+            dag.add_barrier(barrier_id, deps=updates)
+        else:
+            dag.add_barrier(barrier_id, deps=previous_sync)
+        barrier_deps = [barrier_id]
+
+    return BuiltJob(
+        dag=dag,
+        echelonflows=echelonflows,
+        paradigm="tp-megatron",
+        meta={
+            "workers": list(workers),
+            "layers": model.num_layers,
+            "iterations": iterations,
+            "model": model.name,
+        },
+    )

@@ -1,0 +1,131 @@
+"""A zoo of realistically-sized model specs.
+
+Parameter counts follow the published architectures (AlexNet 61M ... GPT-2
+XL 1.5B); per-layer compute times come from a simple roofline: a layer
+touching ``P`` parameter bytes on a ``throughput``-bytes-per-second
+accelerator takes ``arithmetic_intensity * P / throughput`` seconds forward
+and twice that backward. Absolute times are synthetic, but the *ratios*
+between communication volume and computation time -- which decide every
+scheduling outcome -- track the real models.
+
+All sizes assume fp32 parameters (4 bytes) and fp16-ish activations unless
+noted; ``batch_scale`` inflates activations and compute with batch size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.units import MB
+from .model import LayerSpec, ModelSpec
+
+#: Effective parameter-bytes-per-second of the synthetic accelerator. One
+#: "V100-ish" device re-touches each parameter byte ~25x per sample; tuned
+#: so a ResNet-50 iteration lands near tens of milliseconds.
+_DEVICE_THROUGHPUT = 2.0e12
+_INTENSITY = 25.0
+
+BYTES_PER_PARAM = 4.0
+
+
+def _layer(
+    name: str,
+    params_m: float,
+    activation_mb: float,
+    batch_scale: float,
+    intensity: float = _INTENSITY,
+) -> LayerSpec:
+    param_bytes = params_m * 1e6 * BYTES_PER_PARAM
+    forward = intensity * param_bytes * batch_scale / _DEVICE_THROUGHPUT
+    return LayerSpec(
+        name=name,
+        param_bytes=param_bytes,
+        activation_bytes=activation_mb * MB * batch_scale,
+        forward_time=forward,
+        backward_time=2.0 * forward,
+    )
+
+
+def alexnet(batch_scale: float = 1.0) -> ModelSpec:
+    """AlexNet, ~61M parameters; conv trunk plus three fat FC layers."""
+    layers = [
+        _layer("conv1", 0.035, 4.0, batch_scale),
+        _layer("conv2", 0.31, 3.0, batch_scale),
+        _layer("conv3", 0.88, 2.5, batch_scale),
+        _layer("conv4", 1.33, 2.5, batch_scale),
+        _layer("conv5", 0.89, 1.5, batch_scale),
+        _layer("fc6", 37.75, 1.0, batch_scale),
+        _layer("fc7", 16.78, 1.0, batch_scale),
+        _layer("fc8", 4.1, 0.25, batch_scale),
+    ]
+    return ModelSpec("alexnet", tuple(layers))
+
+
+def vgg16(batch_scale: float = 1.0) -> ModelSpec:
+    """VGG-16, ~138M parameters; notoriously communication-heavy for DP."""
+    layers: List[LayerSpec] = []
+    conv_params = [0.04, 0.11, 0.22, 0.44, 0.88, 1.18, 2.36, 2.36, 2.36, 2.36, 2.36]
+    for i, params in enumerate(conv_params):
+        layers.append(_layer(f"conv{i + 1}", params, 6.0, batch_scale))
+    layers.append(_layer("fc1", 102.76, 2.0, batch_scale))
+    layers.append(_layer("fc2", 16.78, 1.0, batch_scale))
+    layers.append(_layer("fc3", 4.1, 0.25, batch_scale))
+    return ModelSpec("vgg16", tuple(layers))
+
+
+def resnet50(batch_scale: float = 1.0) -> ModelSpec:
+    """ResNet-50, ~25.6M parameters over 16 residual blocks + stem/head."""
+    layers: List[LayerSpec] = [_layer("stem", 0.12, 8.0, batch_scale)]
+    stage_blocks = [(3, 0.22), (4, 0.61), (6, 1.22), (3, 3.67)]
+    index = 0
+    for blocks, params in stage_blocks:
+        for _ in range(blocks):
+            layers.append(_layer(f"block{index}", params, 4.0, batch_scale))
+            index += 1
+    layers.append(_layer("head", 2.05, 0.1, batch_scale))
+    return ModelSpec("resnet50", tuple(layers))
+
+
+def bert_large(batch_scale: float = 1.0) -> ModelSpec:
+    """BERT-Large, ~340M parameters: embeddings + 24 transformer layers."""
+    layers: List[LayerSpec] = [_layer("embed", 31.8, 8.0, batch_scale, intensity=2.0)]
+    for i in range(24):
+        layers.append(_layer(f"xf{i}", 12.6, 8.0, batch_scale))
+    layers.append(_layer("pooler", 1.05, 0.5, batch_scale))
+    return ModelSpec("bert_large", tuple(layers))
+
+
+def gpt2_xl(batch_scale: float = 1.0) -> ModelSpec:
+    """GPT-2 XL, ~1.5B parameters: embeddings + 48 transformer layers."""
+    layers: List[LayerSpec] = [_layer("embed", 80.0, 12.0, batch_scale, intensity=2.0)]
+    for i in range(48):
+        layers.append(_layer(f"xf{i}", 29.5, 12.0, batch_scale))
+    return ModelSpec("gpt2_xl", tuple(layers))
+
+
+def tiny_mlp(batch_scale: float = 1.0) -> ModelSpec:
+    """A 4-layer toy model for fast tests."""
+    layers = [_layer(f"fc{i}", 1.0, 1.0, batch_scale) for i in range(4)]
+    return ModelSpec("tiny_mlp", tuple(layers))
+
+
+_ZOO = {
+    "alexnet": alexnet,
+    "vgg16": vgg16,
+    "resnet50": resnet50,
+    "bert_large": bert_large,
+    "gpt2_xl": gpt2_xl,
+    "tiny_mlp": tiny_mlp,
+}
+
+
+def model_names() -> List[str]:
+    return sorted(_ZOO)
+
+
+def get_model(name: str, batch_scale: float = 1.0) -> ModelSpec:
+    try:
+        builder = _ZOO[name]
+    except KeyError:
+        raise KeyError(f"unknown model {name!r}; available: {model_names()}")
+    return builder(batch_scale)

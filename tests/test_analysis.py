@@ -1,0 +1,134 @@
+"""Metrics, timeline rendering, and table formatting."""
+
+import pytest
+
+from repro.analysis import (
+    comp_finish_time,
+    flow_completion_times,
+    format_comparison,
+    format_table,
+    gpu_idleness,
+    iteration_time,
+    job_completion_time,
+    mean,
+    percentile,
+    pipeline_bubble_fraction,
+    render_device_timeline,
+    render_flow_timeline,
+    speedup,
+    tardiness_report,
+)
+from repro.core.flow import Flow
+from repro.scheduling import FairSharingScheduler
+from repro.simulator import Engine, TaskDag
+from repro.simulator.trace import ComputeSpan, SimulationTrace
+from repro.topology import two_hosts
+
+
+def _run_simple():
+    engine = Engine(two_hosts(2.0), FairSharingScheduler())
+    dag = TaskDag("j")
+    dag.add_compute("p", device="h0", duration=1.0, tag="produce 0")
+    dag.add_comm("x", [Flow("h0", "h1", 4.0, job_id="j")], deps=["p"])
+    dag.add_compute("c", device="h1", duration=1.0, deps=["x"], tag="consume 0")
+    engine.submit(dag)
+    return engine.run()
+
+
+class TestMetrics:
+    def test_comp_finish_and_job_completion(self):
+        trace = _run_simple()
+        assert comp_finish_time(trace) == pytest.approx(4.0)
+        assert job_completion_time(trace, "j") == pytest.approx(4.0)
+        with pytest.raises(KeyError):
+            job_completion_time(trace, "ghost")
+
+    def test_iteration_time(self):
+        trace = _run_simple()
+        assert iteration_time(trace, "j", 2) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            iteration_time(trace, "j", 0)
+
+    def test_gpu_idleness(self):
+        trace = _run_simple()
+        report = gpu_idleness(trace)
+        # h0 busy its whole window; h1's window is a single span.
+        assert report.device_idle_fraction("h0") == pytest.approx(0.0)
+        assert report.device_idle_fraction("h1") == pytest.approx(0.0)
+        report_h = gpu_idleness(trace, horizon=4.0)
+        # h0 busy 1.0 of [0, 4].
+        assert report_h.device_idle_fraction("h0") == pytest.approx(0.75)
+        assert 0.0 <= report_h.idle_fraction <= 1.0
+
+    def test_bubble_fraction_formula(self):
+        assert pipeline_bubble_fraction(4, 4) == pytest.approx(3.0 / 7.0)
+        assert pipeline_bubble_fraction(1, 8) == 0.0
+        with pytest.raises(ValueError):
+            pipeline_bubble_fraction(0, 4)
+
+    def test_flow_completion_times(self):
+        trace = _run_simple()
+        assert flow_completion_times(trace) == [pytest.approx(2.0)]
+
+    def test_stats_helpers(self):
+        assert mean([1.0, 3.0]) == 2.0
+        assert percentile([1, 2, 3, 4], 50) == 2
+        assert percentile([1, 2, 3, 4], 100) == 4
+        assert speedup(10.0, 5.0) == 2.0
+        with pytest.raises(ValueError):
+            mean([])
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 150)
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_tardiness_report_skips_incomplete_groups(self):
+        from repro.core.arrangement import CoflowArrangement
+        from repro.core.echelonflow import EchelonFlow
+
+        trace = _run_simple()
+        pending = EchelonFlow("pending", CoflowArrangement())
+        pending.add_flow(Flow("h0", "h1", 1.0, group_id="pending"))
+        report = tardiness_report(trace, [pending])
+        assert report.per_echelonflow == {}
+
+
+class TestRendering:
+    def test_device_timeline_renders_rows(self):
+        trace = _run_simple()
+        art = render_device_timeline(trace, width=40)
+        assert "h0" in art and "h1" in art
+        assert "|" in art
+
+    def test_device_timeline_empty(self):
+        assert "empty" in render_device_timeline(SimulationTrace())
+
+    def test_flow_timeline(self):
+        trace = _run_simple()
+        art = render_flow_timeline(trace, width=40)
+        assert "=" in art
+
+    def test_flow_timeline_empty(self):
+        assert "no flows" in render_flow_timeline(SimulationTrace())
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        table = format_table(
+            ["name", "value"],
+            [["fair", 1.23456], ["echelon", 0.5]],
+            title="T",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "fair" in table and "1.235" in table
+
+    def test_format_table_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_comparison(self):
+        line = format_comparison("fig2", 8, 8.0, note="exact")
+        assert "paper=8" in line and "measured=8.0" in line and "exact" in line

@@ -1,0 +1,129 @@
+"""Dynamic arrivals and the cluster manager."""
+
+import pytest
+
+from repro import Engine, big_switch
+from repro.core.units import gbps, megabytes
+from repro.scheduling import EchelonMaddScheduler, FairSharingScheduler
+from repro.workloads import (
+    ClusterManager,
+    JobTemplate,
+    build_dp_allreduce,
+    poisson_arrivals,
+    uniform_model,
+)
+from repro.workloads.placement import ClusterPlacer
+
+MODEL = uniform_model(
+    "u4",
+    4,
+    param_bytes_per_layer=megabytes(20),
+    activation_bytes=megabytes(5),
+    forward_time=0.01,
+)
+
+
+def _dp_template(name="dp", workers=2, weight=1.0):
+    return JobTemplate(
+        name,
+        lambda jid, ws: build_dp_allreduce(
+            jid, MODEL, ws, bucket_bytes=megabytes(40)
+        ),
+        worker_count=workers,
+        weight=weight,
+    )
+
+
+class TestPoissonArrivals:
+    def test_deterministic_given_seed(self):
+        template = _dp_template()
+        a = poisson_arrivals([template], rate=5.0, count=10, seed=3)
+        b = poisson_arrivals([template], rate=5.0, count=10, seed=3)
+        assert [x.time for x in a] == [x.time for x in b]
+        assert [x.job_id for x in a] == [x.job_id for x in b]
+
+    def test_times_increase(self):
+        times = [a.time for a in poisson_arrivals([_dp_template()], 2.0, 20, seed=1)]
+        assert times == sorted(times)
+        assert times[0] > 0
+
+    def test_rate_controls_spacing(self):
+        slow = poisson_arrivals([_dp_template()], rate=1.0, count=200, seed=5)
+        fast = poisson_arrivals([_dp_template()], rate=10.0, count=200, seed=5)
+        assert fast[-1].time < slow[-1].time
+
+    def test_mix_respects_weights(self):
+        common = _dp_template("common", weight=10.0)
+        rare = _dp_template("rare", weight=0.1)
+        arrivals = poisson_arrivals([common, rare], rate=1.0, count=300, seed=7)
+        names = [a.template.name for a in arrivals]
+        assert names.count("common") > names.count("rare")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals([_dp_template()], rate=0.0, count=1)
+        with pytest.raises(ValueError):
+            poisson_arrivals([_dp_template()], rate=1.0, count=0)
+        with pytest.raises(ValueError):
+            poisson_arrivals([], rate=1.0, count=1)
+        with pytest.raises(ValueError):
+            JobTemplate("bad", lambda j, w: None, worker_count=0)
+
+
+class TestClusterManager:
+    def _run(self, n_hosts, arrivals):
+        topo = big_switch(n_hosts, gbps(10))
+        engine = Engine(topo, EchelonMaddScheduler())
+        manager = ClusterManager(engine, ClusterPlacer(topo))
+        manager.schedule(arrivals)
+        engine.run()
+        return manager
+
+    def test_all_jobs_complete(self):
+        arrivals = poisson_arrivals([_dp_template(workers=2)], 10.0, 8, seed=2)
+        manager = self._run(4, arrivals)
+        assert len(manager.completed_records()) == 8
+        assert manager.pending == 0
+
+    def test_queueing_when_cluster_full(self):
+        # 4-worker jobs on a 4-host cluster: strictly one at a time.
+        arrivals = poisson_arrivals([_dp_template(workers=4)], 100.0, 5, seed=2)
+        manager = self._run(4, arrivals)
+        records = sorted(manager.completed_records(), key=lambda r: r.arrival.time)
+        # Later jobs waited for earlier ones: positive queueing delay.
+        assert records[-1].queueing_delay > 0
+        # No two jobs overlapped in service.
+        intervals = sorted((r.submitted_at, r.completed_at) for r in records)
+        for (s1, e1), (s2, _e2) in zip(intervals, intervals[1:]):
+            assert s2 >= e1 - 1e-9
+
+    def test_hosts_are_released_and_reused(self):
+        arrivals = poisson_arrivals([_dp_template(workers=4)], 100.0, 3, seed=4)
+        manager = self._run(4, arrivals)
+        used = {w for r in manager.completed_records() for w in r.workers}
+        assert used == {"h0", "h1", "h2", "h3"}
+
+    def test_jct_includes_queueing(self):
+        arrivals = poisson_arrivals([_dp_template(workers=4)], 100.0, 4, seed=9)
+        manager = self._run(4, arrivals)
+        for record in manager.completed_records():
+            service = record.completed_at - record.submitted_at
+            assert record.completion_time == pytest.approx(
+                service + record.queueing_delay
+            )
+
+    def test_duplicate_ids_rejected(self):
+        arrivals = poisson_arrivals([_dp_template()], 1.0, 2, seed=1)
+        topo = big_switch(4, gbps(10))
+        engine = Engine(topo, FairSharingScheduler())
+        manager = ClusterManager(engine, ClusterPlacer(topo))
+        manager.schedule(arrivals)
+        with pytest.raises(ValueError):
+            manager.schedule(arrivals)
+
+    def test_metrics_require_completions(self):
+        topo = big_switch(2, gbps(10))
+        engine = Engine(topo, FairSharingScheduler())
+        manager = ClusterManager(engine, ClusterPlacer(topo))
+        with pytest.raises(ValueError):
+            manager.mean_jct()

@@ -1,0 +1,71 @@
+"""ASCII bar charts and series plots."""
+
+import pytest
+
+from repro.analysis import bar_chart, series_plot
+
+
+class TestBarChart:
+    def test_longest_bar_fills_width(self):
+        art = bar_chart([("a", 1.0), ("b", 2.0)], width=10)
+        lines = art.splitlines()
+        assert "#" * 10 in lines[1]
+        assert "#" * 5 in lines[0]
+
+    def test_values_annotated_with_unit(self):
+        art = bar_chart([("x", 3.5)], unit="s")
+        assert "3.5s" in art
+
+    def test_title_and_label_alignment(self):
+        art = bar_chart([("long-label", 1.0), ("s", 2.0)], title="T")
+        lines = art.splitlines()
+        assert lines[0] == "T"
+        bars = [line.index("|") for line in lines[1:]]
+        assert len(set(bars)) == 1  # aligned
+
+    def test_zero_values_render(self):
+        art = bar_chart([("a", 0.0), ("b", 0.0)])
+        assert "| 0" in art.replace("  ", " ")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart([])
+        with pytest.raises(ValueError):
+            bar_chart([("a", -1.0)])
+        with pytest.raises(ValueError):
+            bar_chart([("a", 1.0)], width=0)
+
+
+class TestSeriesPlot:
+    def test_each_series_gets_a_glyph_and_legend(self):
+        art = series_plot(
+            {"alpha": [(0, 0), (1, 1)], "beta": [(0, 1), (1, 0)]},
+            width=20,
+            height=6,
+        )
+        assert "o = alpha" in art
+        assert "x = beta" in art
+        assert "o" in art and "x" in art
+
+    def test_axis_bounds_annotated(self):
+        art = series_plot({"s": [(2.0, 10.0), (8.0, 40.0)]}, width=20, height=5)
+        assert "40" in art and "10" in art
+        assert art.splitlines()[-2].strip().startswith("2")
+
+    def test_overlap_marks_star(self):
+        art = series_plot(
+            {"a": [(0.0, 0.0)], "b": [(0.0, 0.0)]}, width=10, height=4
+        )
+        assert "*" in art
+
+    def test_flat_series_does_not_divide_by_zero(self):
+        art = series_plot({"flat": [(0, 5.0), (1, 5.0)]}, width=10, height=4)
+        assert "5" in art
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            series_plot({})
+        with pytest.raises(ValueError):
+            series_plot({"empty": []})
+        with pytest.raises(ValueError):
+            series_plot({"s": [(0, 0)]}, width=1, height=1)

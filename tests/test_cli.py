@@ -1,0 +1,149 @@
+"""The command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_schedulers_lists_all(capsys):
+    assert main(["schedulers"]) == 0
+    out = capsys.readouterr().out
+    for name in ("fair", "sjf", "coflow", "sincronia", "echelon"):
+        assert name in out
+
+
+def test_models_lists_zoo(capsys):
+    assert main(["models"]) == 0
+    out = capsys.readouterr().out
+    assert "resnet50" in out and "gpt2_xl" in out
+    assert "1496.0M" in out  # GPT-2 XL ~1.5B params
+
+
+def test_fig2_reports_optimum(capsys):
+    assert main(["fig2"]) == 0
+    out = capsys.readouterr().out
+    assert "echelon" in out
+    assert "| 8 " in out or "| 8\n" in out
+
+
+def test_run_pp(capsys):
+    assert (
+        main(
+            [
+                "run",
+                "--paradigm",
+                "pp-gpipe",
+                "--model",
+                "tiny_mlp",
+                "--workers",
+                "2",
+                "--micro-batches",
+                "2",
+                "--timeline",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "comp finish time" in out
+    assert "|" in out  # the timeline rendered
+
+
+@pytest.mark.parametrize("paradigm", ["dp-allreduce", "dp-ps", "tp", "fsdp", "pp-1f1b"])
+def test_run_every_paradigm(capsys, paradigm):
+    assert (
+        main(
+            [
+                "run",
+                "--paradigm",
+                paradigm,
+                "--model",
+                "tiny_mlp",
+                "--workers",
+                "2",
+                "--micro-batches",
+                "2",
+            ]
+        )
+        == 0
+    )
+    assert "flows delivered" in capsys.readouterr().out
+
+
+def test_run_writes_trace(tmp_path, capsys):
+    path = tmp_path / "trace.json"
+    assert (
+        main(
+            [
+                "run",
+                "--paradigm",
+                "dp-allreduce",
+                "--model",
+                "tiny_mlp",
+                "--workers",
+                "2",
+                "--trace",
+                str(path),
+            ]
+        )
+        == 0
+    )
+    payload = json.loads(path.read_text())
+    assert payload["flows"]
+
+
+def test_cluster_command(capsys):
+    assert (
+        main(
+            [
+                "cluster",
+                "--model",
+                "tiny_mlp",
+                "--jobs",
+                "4",
+                "--hosts",
+                "4",
+                "--job-workers",
+                "2",
+                "--rate",
+                "50",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "jobs completed" in out and "| 4" in out
+
+
+def test_matrix_command(capsys):
+    assert (
+        main(
+            [
+                "matrix",
+                "--schedulers",
+                "fair,echelon",
+                "--model",
+                "tiny_mlp",
+                "--workers",
+                "2",
+                "--micro-batches",
+                "2",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "fsdp" in out and "pp-1f1b" in out
+    assert "fair" in out and "echelon" in out and "best" in out
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["bogus"])
+
+
+def test_parser_rejects_unknown_paradigm():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--paradigm", "quantum"])

@@ -1,0 +1,73 @@
+"""Coflow compatibility helpers (Property 2 vocabulary)."""
+
+import pytest
+
+from repro.core.coflow import (
+    bottleneck_duration,
+    coflow_completion_time,
+    port_loads,
+    remaining_bottleneck_duration,
+)
+from repro.core.echelonflow import make_coflow
+from repro.core.flow import Flow, FlowState
+
+
+def test_port_loads_aggregate_by_endpoint():
+    flows = [
+        Flow("a", "b", 10.0),
+        Flow("a", "c", 5.0),
+        Flow("b", "c", 2.0),
+    ]
+    egress, ingress = port_loads(flows)
+    assert egress == {"a": 15.0, "b": 2.0}
+    assert ingress == {"b": 10.0, "c": 7.0}
+
+
+def test_bottleneck_duration_gamma():
+    # Varys' Gamma on a big switch: max over port load / capacity.
+    flows = [Flow("a", "b", 12.0), Flow("a", "c", 4.0), Flow("d", "b", 6.0)]
+    caps = {"a": 2.0, "b": 2.0, "c": 2.0, "d": 2.0}
+    gamma = bottleneck_duration(flows, caps, caps)
+    # egress a: 16/2 = 8; ingress b: 18/2 = 9 -> Gamma = 9.
+    assert gamma == pytest.approx(9.0)
+
+
+def test_bottleneck_rejects_zero_capacity():
+    flows = [Flow("a", "b", 1.0)]
+    with pytest.raises(ValueError):
+        bottleneck_duration(flows, {"a": 0.0}, {"b": 1.0})
+
+
+def test_remaining_bottleneck_ignores_finished():
+    f1 = Flow("a", "b", 10.0)
+    f2 = Flow("a", "c", 10.0)
+    s1 = FlowState(flow=f1, start_time=0.0, remaining=0.0)
+    s2 = FlowState(flow=f2, start_time=0.0, remaining=4.0)
+    caps = {"a": 2.0, "b": 2.0, "c": 2.0}
+    gamma = remaining_bottleneck_duration([s1, s2], caps, caps)
+    assert gamma == pytest.approx(2.0)
+
+
+def test_coflow_completion_time():
+    flows = [Flow("a", "b", 1.0), Flow("a", "c", 1.0)]
+    coflow = make_coflow("c", flows)
+    coflow.set_reference_time(2.0)
+    finishes = {f.flow_id: t for f, t in zip(coflow.flows, (5.0, 9.0))}
+    assert coflow_completion_time(coflow, finishes) == pytest.approx(7.0)
+
+
+def test_coflow_completion_requires_reference():
+    coflow = make_coflow("c", [Flow("a", "b", 1.0)])
+    with pytest.raises(RuntimeError):
+        coflow_completion_time(coflow, {coflow.flows[0].flow_id: 1.0})
+
+
+def test_property2_tardiness_of_coflow_equals_cct():
+    """Minimizing a Coflow-arranged EF's tardiness minimizes its CCT."""
+    flows = [Flow("a", "b", 1.0), Flow("a", "c", 1.0), Flow("b", "c", 1.0)]
+    coflow = make_coflow("c", flows)
+    coflow.set_reference_time(3.0)
+    finishes = {f.flow_id: t for f, t in zip(coflow.flows, (4.0, 6.5, 5.0))}
+    assert coflow.tardiness(finishes) == pytest.approx(
+        coflow_completion_time(coflow, finishes)
+    )

@@ -1,0 +1,97 @@
+"""Property-based invariants of the collective expansions (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.collectives import (
+    ring_all_gather,
+    ring_all_reduce,
+    ring_reduce_scatter,
+)
+from repro.workloads.collectives_extra import (
+    halving_doubling_all_reduce,
+    tree_all_reduce,
+)
+
+hosts_strategy = st.integers(min_value=2, max_value=12).map(
+    lambda m: [f"h{i}" for i in range(m)]
+)
+payload_strategy = st.floats(min_value=1.0, max_value=1e9)
+
+
+@given(hosts_strategy, payload_strategy)
+@settings(max_examples=40, deadline=None)
+def test_ring_allreduce_per_host_traffic_is_bandwidth_optimal(hosts, payload):
+    m = len(hosts)
+    steps = ring_all_reduce(hosts, payload)
+    for host in hosts:
+        sent = sum(f.size for step in steps for f in step if f.src == host)
+        received = sum(f.size for step in steps for f in step if f.dst == host)
+        expected = 2 * (m - 1) / m * payload
+        assert sent == pytest.approx(expected)
+        assert received == pytest.approx(expected)
+
+
+@given(hosts_strategy, payload_strategy)
+@settings(max_examples=40, deadline=None)
+def test_ring_steps_use_every_host_exactly_once(hosts, payload):
+    steps = ring_all_reduce(hosts, payload)
+    for step in steps:
+        assert sorted(f.src for f in step) == sorted(hosts)
+        assert sorted(f.dst for f in step) == sorted(hosts)
+        for flow in step:
+            assert flow.src != flow.dst
+
+
+@given(hosts_strategy, payload_strategy)
+@settings(max_examples=40, deadline=None)
+def test_gather_and_scatter_are_traffic_mirrors(hosts, payload):
+    m = len(hosts)
+    gather = ring_all_gather(hosts, payload / m)
+    scatter = ring_reduce_scatter(hosts, payload)
+    gather_bytes = sum(f.size for step in gather for f in step)
+    scatter_bytes = sum(f.size for step in scatter for f in step)
+    assert gather_bytes == pytest.approx(scatter_bytes)
+    assert len(gather) == len(scatter) == m - 1
+
+
+@given(
+    st.integers(min_value=1, max_value=4).map(lambda k: [f"h{i}" for i in range(2 ** k)]),
+    payload_strategy,
+)
+@settings(max_examples=40, deadline=None)
+def test_halving_doubling_matches_ring_traffic(hosts, payload):
+    """Both bandwidth-optimal algorithms move identical per-host bytes."""
+    ring = ring_all_reduce(hosts, payload)
+    hd = halving_doubling_all_reduce(hosts, payload)
+    for host in hosts:
+        ring_sent = sum(f.size for step in ring for f in step if f.src == host)
+        hd_sent = sum(f.size for step in hd for f in step if f.src == host)
+        assert hd_sent == pytest.approx(ring_sent)
+
+
+@given(hosts_strategy, payload_strategy)
+@settings(max_examples=40, deadline=None)
+def test_tree_allreduce_is_connected_and_symmetric(hosts, payload):
+    steps = tree_all_reduce(hosts, payload)
+    # Reduce half mirrors the broadcast half.
+    half = len(steps) // 2
+    reduce_pairs = sorted((f.src, f.dst) for step in steps[:half] for f in step)
+    bcast_pairs = sorted((f.dst, f.src) for step in steps[half:] for f in step)
+    assert reduce_pairs == bcast_pairs
+    # Every non-root host appears in the reduce tree exactly once as a src.
+    senders = [f.src for step in steps[:half] for f in step]
+    assert sorted(senders) == sorted(set(senders))
+    assert set(senders) == set(hosts) - {hosts[0]}
+
+
+@given(hosts_strategy, payload_strategy, st.integers(min_value=0, max_value=7))
+@settings(max_examples=30, deadline=None)
+def test_group_tagging_propagates_everywhere(hosts, payload, index):
+    for builder in (ring_all_reduce, tree_all_reduce):
+        steps = builder(hosts, payload, group_id="g", index_in_group=index)
+        for step in steps:
+            for flow in step:
+                assert flow.group_id == "g"
+                assert flow.index_in_group == index

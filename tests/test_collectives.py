@@ -1,0 +1,102 @@
+"""Collective-to-flow expansion."""
+
+import pytest
+
+from repro.workloads.collectives import (
+    direct_all_gather,
+    flow_count,
+    ps_pull,
+    ps_push,
+    ring_all_gather,
+    ring_all_reduce,
+    ring_reduce_scatter,
+    total_bytes,
+)
+
+HOSTS = ["h0", "h1", "h2", "h3"]
+
+
+class TestRingAllReduce:
+    def test_step_and_flow_counts(self):
+        steps = ring_all_reduce(HOSTS, 100.0)
+        # 2(m-1) steps of m flows each.
+        assert len(steps) == 6
+        assert all(len(step) == 4 for step in steps)
+        assert flow_count(steps) == 24
+
+    def test_per_host_traffic_is_bandwidth_optimal(self):
+        m = len(HOSTS)
+        steps = ring_all_reduce(HOSTS, 100.0)
+        sent = {}
+        for step in steps:
+            for flow in step:
+                sent[flow.src] = sent.get(flow.src, 0.0) + flow.size
+        expected = 2 * (m - 1) / m * 100.0
+        for host in HOSTS:
+            assert sent[host] == pytest.approx(expected)
+
+    def test_neighbors_only(self):
+        steps = ring_all_reduce(HOSTS, 100.0)
+        for step in steps:
+            for flow in step:
+                src_index = HOSTS.index(flow.src)
+                assert flow.dst == HOSTS[(src_index + 1) % len(HOSTS)]
+
+    def test_group_tagging(self):
+        steps = ring_all_reduce(HOSTS, 100.0, group_id="g", index_in_group=3)
+        for step in steps:
+            for flow in step:
+                assert flow.group_id == "g"
+                assert flow.index_in_group == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ring_all_reduce(["h0"], 100.0)
+        with pytest.raises(ValueError):
+            ring_all_reduce(HOSTS, 0.0)
+        with pytest.raises(ValueError):
+            ring_all_reduce(["h0", "h0"], 100.0)
+
+
+class TestGatherScatter:
+    def test_all_gather_steps(self):
+        steps = ring_all_gather(HOSTS, 25.0)
+        assert len(steps) == 3
+        assert total_bytes(steps) == pytest.approx(3 * 4 * 25.0)
+
+    def test_reduce_scatter_shards(self):
+        steps = ring_reduce_scatter(HOSTS, 100.0)
+        assert len(steps) == 3
+        for step in steps:
+            for flow in step:
+                assert flow.size == pytest.approx(25.0)
+
+    def test_direct_all_gather_full_mesh(self):
+        steps = direct_all_gather(HOSTS, 10.0)
+        assert len(steps) == 1
+        assert len(steps[0]) == 12  # m(m-1)
+        pairs = {(f.src, f.dst) for f in steps[0]}
+        assert len(pairs) == 12
+
+
+class TestParameterServer:
+    def test_push_is_worker_to_server(self):
+        steps = ps_push(HOSTS, "ps", 10.0)
+        assert len(steps) == 1
+        assert {f.src for f in steps[0]} == set(HOSTS)
+        assert {f.dst for f in steps[0]} == {"ps"}
+
+    def test_pull_is_server_to_worker(self):
+        steps = ps_pull(HOSTS, "ps", 10.0)
+        assert {f.src for f in steps[0]} == {"ps"}
+        assert {f.dst for f in steps[0]} == set(HOSTS)
+
+    def test_server_cannot_be_worker(self):
+        with pytest.raises(ValueError):
+            ps_push(HOSTS, "h0", 10.0)
+        with pytest.raises(ValueError):
+            ps_pull(HOSTS, "h0", 10.0)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            ps_push(HOSTS, "ps", 0.0)

@@ -1,0 +1,143 @@
+"""Tree, halving-doubling, and hierarchical all-reduce variants."""
+
+import pytest
+
+from repro.core.units import EPS
+from repro.workloads.collectives import flow_count, total_bytes
+from repro.workloads.collectives_extra import (
+    ALLREDUCE_ALGORITHMS,
+    all_reduce,
+    halving_doubling_all_reduce,
+    hierarchical_all_reduce,
+    tree_all_reduce,
+)
+
+HOSTS8 = [f"h{i}" for i in range(8)]
+HOSTS4 = HOSTS8[:4]
+
+
+class TestTree:
+    def test_step_count_is_2log2(self):
+        steps = tree_all_reduce(HOSTS8, 100.0)
+        assert len(steps) == 6  # 3 reduce + 3 broadcast levels
+
+    def test_root_receives_and_sends_full_payload(self):
+        steps = tree_all_reduce(HOSTS4, 100.0)
+        for step in steps:
+            for flow in step:
+                assert flow.size == pytest.approx(100.0)
+
+    def test_reduce_converges_to_root(self):
+        steps = tree_all_reduce(HOSTS4, 100.0)
+        # Last reduce step: one flow into hosts[0].
+        reduce_last = steps[1]
+        assert len(reduce_last) == 1
+        assert reduce_last[0].dst == HOSTS4[0]
+
+    def test_broadcast_mirrors_reduce(self):
+        steps = tree_all_reduce(HOSTS4, 100.0)
+        reduce_pairs = {(f.src, f.dst) for step in steps[:2] for f in step}
+        bcast_pairs = {(f.dst, f.src) for step in steps[2:] for f in step}
+        assert reduce_pairs == bcast_pairs
+
+    def test_odd_host_count_works(self):
+        steps = tree_all_reduce(HOSTS8[:5], 10.0)
+        participants = {f.src for s in steps for f in s} | {
+            f.dst for s in steps for f in s
+        }
+        assert participants == set(HOSTS8[:5])
+
+
+class TestHalvingDoubling:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            halving_doubling_all_reduce(HOSTS8[:6], 10.0)
+
+    def test_step_count_is_2log2(self):
+        steps = halving_doubling_all_reduce(HOSTS8, 128.0)
+        assert len(steps) == 6
+
+    def test_payloads_halve_then_double(self):
+        steps = halving_doubling_all_reduce(HOSTS4, 128.0)
+        sizes = [step[0].size for step in steps]
+        assert sizes == [64.0, 32.0, 32.0, 64.0]
+
+    def test_every_host_active_every_step(self):
+        steps = halving_doubling_all_reduce(HOSTS4, 128.0)
+        for step in steps:
+            assert {f.src for f in step} == set(HOSTS4)
+
+    def test_total_traffic_is_bandwidth_optimal(self):
+        m = 8
+        steps = halving_doubling_all_reduce(HOSTS8, 128.0)
+        per_host = sum(
+            f.size for step in steps for f in step if f.src == "h0"
+        )
+        assert per_host == pytest.approx(2 * (m - 1) / m * 128.0)
+
+
+class TestHierarchical:
+    GROUPS = [["h0", "h1"], ["h2", "h3"]]
+
+    def test_phase_structure(self):
+        steps = hierarchical_all_reduce(self.GROUPS, 100.0)
+        # (g-1) rs + 2(G-1) cross + (g-1) ag = 1 + 2 + 1 = 4 steps.
+        assert len(steps) == 4
+
+    def test_cross_group_traffic_is_sharded(self):
+        steps = hierarchical_all_reduce(self.GROUPS, 100.0)
+        cross = [
+            f
+            for step in steps
+            for f in step
+            if ("xg" in f.tag)
+        ]
+        assert cross
+        for flow in cross:
+            assert flow.size == pytest.approx(50.0 / 2)  # shard/ring split
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hierarchical_all_reduce([["h0", "h1"]], 10.0)
+        with pytest.raises(ValueError):
+            hierarchical_all_reduce([["h0", "h1"], ["h2"]], 10.0)
+        with pytest.raises(ValueError):
+            hierarchical_all_reduce([["h0", "h1"], ["h1", "h2"]], 10.0)
+        with pytest.raises(ValueError):
+            hierarchical_all_reduce(self.GROUPS, 0.0)
+
+
+class TestDispatch:
+    def test_known_algorithms(self):
+        assert set(ALLREDUCE_ALGORITHMS) == {"ring", "tree", "halving-doubling"}
+        steps = all_reduce("tree", HOSTS4, 10.0)
+        assert steps
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(KeyError):
+            all_reduce("quantum", HOSTS4, 10.0)
+
+    def test_ring_and_hd_move_equal_bytes(self):
+        ring_steps = all_reduce("ring", HOSTS8, 128.0)
+        hd_steps = all_reduce("halving-doubling", HOSTS8, 128.0)
+        assert total_bytes(ring_steps) == pytest.approx(total_bytes(hd_steps))
+
+    def test_dp_job_with_each_algorithm_completes(self):
+        from repro import Engine, big_switch
+        from repro.scheduling import EchelonMaddScheduler
+        from repro.workloads import build_dp_allreduce, uniform_model
+
+        model = uniform_model("u4", 4, 100.0, 10.0, 1.0)
+        times = {}
+        for algorithm in ALLREDUCE_ALGORITHMS:
+            job = build_dp_allreduce(
+                "j", model, HOSTS4, bucket_bytes=200.0, algorithm=algorithm
+            )
+            engine = Engine(big_switch(4, 50.0), EchelonMaddScheduler())
+            job.submit_to(engine)
+            times[algorithm] = engine.run().end_time
+            assert engine.completed_jobs == ["j"]
+        # The tree's root links carry full payloads: strictly worse than
+        # the bandwidth-optimal algorithms on a non-blocking fabric.
+        assert times["tree"] > times["ring"]
+        assert times["halving-doubling"] == pytest.approx(times["ring"], rel=0.2)

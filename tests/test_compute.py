@@ -1,0 +1,72 @@
+"""Device serialization semantics."""
+
+import pytest
+
+from repro.simulator.compute import Device
+from repro.simulator.dag import Task, TaskKind
+
+
+def _task(task_id, device="gpu0", duration=1.0, priority=0):
+    return Task(
+        task_id=task_id,
+        kind=TaskKind.COMPUTE,
+        device=device,
+        duration=duration,
+        priority=priority,
+    )
+
+
+def test_start_next_runs_one_task():
+    device = Device("gpu0")
+    device.enqueue(_task("a", duration=2.0))
+    started = device.start_next(now=1.0)
+    assert started is not None
+    task, finish = started
+    assert task.task_id == "a"
+    assert finish == pytest.approx(3.0)
+    # Busy: cannot start another.
+    device.enqueue(_task("b"))
+    assert device.start_next(now=1.0) is None
+
+
+def test_priority_order_then_fifo():
+    device = Device("gpu0")
+    device.enqueue(_task("low", priority=5))
+    device.enqueue(_task("high", priority=1))
+    device.enqueue(_task("high2", priority=1))
+    task, _ = device.start_next(0.0)
+    assert task.task_id == "high"
+    device.finish_current(1.0)
+    task, _ = device.start_next(1.0)
+    assert task.task_id == "high2"
+
+
+def test_finish_current_requires_running():
+    device = Device("gpu0")
+    with pytest.raises(RuntimeError):
+        device.finish_current(0.0)
+
+
+def test_wrong_device_rejected():
+    device = Device("gpu0")
+    with pytest.raises(ValueError):
+        device.enqueue(_task("a", device="gpu1"))
+
+
+def test_busy_time_and_utilization():
+    device = Device("gpu0")
+    device.enqueue(_task("a", duration=3.0))
+    device.start_next(0.0)
+    device.finish_current(3.0)
+    assert device.busy_time == pytest.approx(3.0)
+    assert device.utilization(6.0) == pytest.approx(0.5)
+    assert device.utilization(0.0) == 0.0
+
+
+def test_idle_and_has_work_flags():
+    device = Device("gpu0")
+    assert device.idle and not device.has_work
+    device.enqueue(_task("a"))
+    assert device.has_work
+    device.start_next(0.0)
+    assert not device.idle and not device.has_work

@@ -1,0 +1,94 @@
+"""Task DAG construction and validation."""
+
+import pytest
+
+from repro.core.flow import Flow
+from repro.simulator.dag import Task, TaskDag, TaskKind
+
+
+def _flow():
+    return Flow("h0", "h1", 1.0)
+
+
+class TestConstruction:
+    def test_add_compute(self):
+        dag = TaskDag("job")
+        task = dag.add_compute("c0", device="h0", duration=2.0)
+        assert task.kind is TaskKind.COMPUTE
+        assert dag.task("c0").duration == 2.0
+
+    def test_add_comm_needs_flows(self):
+        dag = TaskDag("job")
+        with pytest.raises(ValueError):
+            dag.add_comm("x", [])
+
+    def test_compute_needs_device(self):
+        with pytest.raises(ValueError):
+            Task(task_id="t", kind=TaskKind.COMPUTE, device=None)
+
+    def test_negative_duration_rejected(self):
+        dag = TaskDag("job")
+        with pytest.raises(ValueError):
+            dag.add_compute("c0", device="h0", duration=-1.0)
+
+    def test_barrier_cannot_carry_payload(self):
+        with pytest.raises(ValueError):
+            Task(task_id="b", kind=TaskKind.BARRIER, device="h0")
+        with pytest.raises(ValueError):
+            Task(task_id="b", kind=TaskKind.BARRIER, flows=(_flow(),))
+
+    def test_duplicate_task_rejected(self):
+        dag = TaskDag("job")
+        dag.add_barrier("b")
+        with pytest.raises(ValueError):
+            dag.add_barrier("b")
+
+    def test_unknown_dependency_rejected(self):
+        dag = TaskDag("job")
+        with pytest.raises(KeyError):
+            dag.add_barrier("b", deps=["ghost"])
+
+
+class TestQueries:
+    def _diamond(self):
+        dag = TaskDag("job")
+        dag.add_compute("a", device="h0", duration=1.0)
+        dag.add_compute("b", device="h0", duration=2.0, deps=["a"])
+        dag.add_comm("c", [_flow()], deps=["a"])
+        dag.add_barrier("d", deps=["b", "c"])
+        return dag
+
+    def test_roots_and_successors(self):
+        dag = self._diamond()
+        assert dag.roots() == ["a"]
+        assert sorted(dag.successors("a")) == ["b", "c"]
+        assert dag.successors("d") == []
+
+    def test_topological_order(self):
+        dag = self._diamond()
+        order = dag.topological_order()
+        assert order.index("a") < order.index("b") < order.index("d")
+        assert order.index("c") < order.index("d")
+        assert len(order) == 4
+
+    def test_contains_and_len(self):
+        dag = self._diamond()
+        assert "a" in dag
+        assert "ghost" not in dag
+        assert len(dag) == 4
+
+    def test_devices_and_flows(self):
+        dag = self._diamond()
+        assert dag.devices() == ["h0"]
+        assert len(dag.all_flows()) == 1
+
+    def test_critical_path_ignores_comm(self):
+        dag = self._diamond()
+        # a(1) -> b(2) -> d(0): length 3; comm contributes 0.
+        assert dag.critical_path_length() == pytest.approx(3.0)
+
+    def test_empty_dag(self):
+        dag = TaskDag("job")
+        assert dag.roots() == []
+        assert dag.topological_order() == []
+        assert dag.critical_path_length() == 0.0

@@ -1,0 +1,224 @@
+"""The discrete-event engine: co-simulation semantics."""
+
+import pytest
+
+from repro.core.arrangement import StaggeredArrangement
+from repro.core.echelonflow import EchelonFlow
+from repro.core.flow import Flow
+from repro.scheduling import FairSharingScheduler
+from repro.simulator import Engine, SimulationError, TaskDag
+from repro.topology import big_switch, two_hosts
+
+
+def _engine(n_hosts=2, bw=10.0):
+    return Engine(big_switch(n_hosts, bw), FairSharingScheduler())
+
+
+class TestComputeExecution:
+    def test_single_compute(self):
+        engine = _engine()
+        dag = TaskDag("j")
+        dag.add_compute("c", device="h0", duration=2.5)
+        engine.submit(dag)
+        trace = engine.run()
+        assert trace.end_time == pytest.approx(2.5)
+        span = trace.compute_spans[0]
+        assert span.start == pytest.approx(0.0)
+        assert span.end == pytest.approx(2.5)
+
+    def test_device_serialization(self):
+        engine = _engine()
+        dag = TaskDag("j")
+        dag.add_compute("a", device="h0", duration=1.0)
+        dag.add_compute("b", device="h0", duration=1.0)
+        engine.submit(dag)
+        trace = engine.run()
+        spans = sorted(trace.compute_spans, key=lambda s: s.start)
+        assert spans[0].end <= spans[1].start + 1e-9
+
+    def test_parallel_devices(self):
+        engine = _engine()
+        dag = TaskDag("j")
+        dag.add_compute("a", device="h0", duration=2.0)
+        dag.add_compute("b", device="h1", duration=2.0)
+        engine.submit(dag)
+        trace = engine.run()
+        assert trace.end_time == pytest.approx(2.0)
+
+    def test_dependencies_respected(self):
+        engine = _engine()
+        dag = TaskDag("j")
+        dag.add_compute("a", device="h0", duration=1.0)
+        dag.add_compute("b", device="h1", duration=1.0, deps=["a"])
+        engine.submit(dag)
+        trace = engine.run()
+        assert trace.task_completion("b") == pytest.approx(2.0)
+
+    def test_zero_duration_compute(self):
+        engine = _engine()
+        dag = TaskDag("j")
+        dag.add_compute("a", device="h0", duration=0.0)
+        dag.add_compute("b", device="h0", duration=1.0, deps=["a"])
+        engine.submit(dag)
+        trace = engine.run()
+        assert trace.end_time == pytest.approx(1.0)
+
+
+class TestFlowExecution:
+    def test_single_flow_transfer_time(self):
+        engine = Engine(two_hosts(4.0), FairSharingScheduler())
+        dag = TaskDag("j")
+        dag.add_comm("x", [Flow("h0", "h1", 8.0, job_id="j")])
+        engine.submit(dag)
+        trace = engine.run()
+        record = trace.flow_records[0]
+        assert record.finish == pytest.approx(2.0)
+        assert trace.end_time == pytest.approx(2.0)
+
+    def test_comm_completes_when_all_flows_finish(self):
+        engine = _engine(n_hosts=3, bw=10.0)
+        dag = TaskDag("j")
+        dag.add_comm(
+            "x",
+            [Flow("h0", "h2", 10.0, job_id="j"), Flow("h1", "h2", 30.0, job_id="j")],
+        )
+        dag.add_barrier("done", deps=["x"])
+        engine.submit(dag)
+        trace = engine.run()
+        # Shared ingress at h2: fair split 5/5, small finishes at 2, big
+        # then gets 10 -> remaining 20/10 = 2 more: finish at 4.
+        assert trace.task_completion("done") == pytest.approx(4.0)
+
+    def test_compute_gated_by_flow(self):
+        engine = Engine(two_hosts(2.0), FairSharingScheduler())
+        dag = TaskDag("j")
+        dag.add_compute("produce", device="h0", duration=1.0)
+        dag.add_comm("x", [Flow("h0", "h1", 4.0, job_id="j")], deps=["produce"])
+        dag.add_compute("consume", device="h1", duration=0.5, deps=["x"])
+        engine.submit(dag)
+        trace = engine.run()
+        # 1.0 compute + 2.0 transfer + 0.5 compute.
+        assert trace.end_time == pytest.approx(3.5)
+
+    def test_flow_records_carry_start_times(self):
+        engine = Engine(two_hosts(1.0), FairSharingScheduler())
+        dag = TaskDag("j")
+        dag.add_compute("p", device="h0", duration=3.0)
+        dag.add_comm("x", [Flow("h0", "h1", 1.0, job_id="j")], deps=["p"])
+        engine.submit(dag)
+        trace = engine.run()
+        assert trace.flow_records[0].start == pytest.approx(3.0)
+
+
+class TestEchelonFlowBookkeeping:
+    def test_reference_pins_on_head_start(self):
+        engine = Engine(two_hosts(1.0), FairSharingScheduler())
+        ef = EchelonFlow("ef", StaggeredArrangement(2.0), job_id="j")
+        f0 = Flow("h0", "h1", 1.0, group_id="ef", index_in_group=0, job_id="j")
+        f1 = Flow("h0", "h1", 1.0, group_id="ef", index_in_group=1, job_id="j")
+        ef.add_flow(f0)
+        ef.add_flow(f1)
+        dag = TaskDag("j")
+        dag.add_compute("delay", device="h0", duration=1.5)
+        dag.add_comm("x0", [f0], deps=["delay"])
+        dag.add_comm("x1", [f1], deps=["x0"])
+        engine.submit(dag, echelonflows=(ef,))
+        trace = engine.run()
+        assert ef.reference_time == pytest.approx(1.5)
+        records = {r.flow.flow_id: r for r in trace.flow_records}
+        assert records[f0.flow_id].ideal_finish == pytest.approx(1.5)
+        assert records[f1.flow_id].ideal_finish == pytest.approx(3.5)
+
+    def test_duplicate_echelonflow_rejected(self):
+        engine = _engine()
+        ef = EchelonFlow("ef", StaggeredArrangement(1.0))
+        engine.register_echelonflow(ef)
+        with pytest.raises(ValueError):
+            engine.register_echelonflow(EchelonFlow("ef", StaggeredArrangement(1.0)))
+
+
+class TestSubmissionAndErrors:
+    def test_duplicate_job_rejected(self):
+        engine = _engine()
+        dag = TaskDag("j")
+        dag.add_barrier("b")
+        engine.submit(dag)
+        dag2 = TaskDag("j")
+        dag2.add_barrier("b")
+        with pytest.raises(ValueError):
+            engine.submit(dag2)
+
+    def test_submission_in_past_rejected(self):
+        engine = _engine()
+        dag = TaskDag("j")
+        dag.add_compute("c", device="h0", duration=1.0)
+        engine.submit(dag)
+        engine.run()
+        dag2 = TaskDag("j2")
+        dag2.add_barrier("b")
+        with pytest.raises(ValueError):
+            engine.submit(dag2, at_time=0.5)
+
+    def test_delayed_arrival(self):
+        engine = _engine()
+        dag = TaskDag("j")
+        dag.add_compute("c", device="h0", duration=1.0)
+        engine.submit(dag, at_time=5.0)
+        trace = engine.run()
+        assert trace.end_time == pytest.approx(6.0)
+
+    def test_job_completion_time(self):
+        engine = _engine()
+        dag = TaskDag("j")
+        dag.add_compute("c", device="h0", duration=2.0)
+        engine.submit(dag)
+        engine.run()
+        assert engine.job_completion_time("j") == pytest.approx(2.0)
+        assert engine.completed_jobs == ["j"]
+
+    def test_run_until_cuts_simulation(self):
+        engine = _engine()
+        dag = TaskDag("j")
+        dag.add_compute("a", device="h0", duration=1.0)
+        dag.add_compute("b", device="h0", duration=9.0, deps=["a"])
+        engine.submit(dag)
+        trace = engine.run(until=3.0)
+        assert trace.end_time == pytest.approx(3.0)
+        with pytest.raises(SimulationError):
+            engine.job_completion_time("j")
+
+
+class TestCallbacksAndBackground:
+    def test_timer_callback_fires(self):
+        engine = _engine()
+        dag = TaskDag("j")
+        dag.add_compute("c", device="h0", duration=3.0)
+        engine.submit(dag)
+        fired = []
+        engine.schedule_callback(1.0, lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == [pytest.approx(1.0)]
+
+    def test_background_flow_contends(self):
+        # Foreground flow alone takes 1s; an equal background flow sharing
+        # the h0 egress halves its rate, so both finish at 2s.
+        engine = _engine(n_hosts=3, bw=10.0)
+        dag = TaskDag("j")
+        dag.add_comm("x", [Flow("h0", "h1", 10.0, job_id="j")])
+        engine.submit(dag)
+        engine.inject_background_flow(Flow("h0", "h2", 10.0), at_time=0.0)
+        trace = engine.run()
+        foreground = [r for r in trace.flow_records if r.flow.job_id == "j"][0]
+        assert foreground.finish == pytest.approx(2.0)
+
+    def test_late_background_flow_slows_foreground(self):
+        # Background arrives at t=0.5: foreground has 5 bytes left, then
+        # shares 5/5 -> finishes at 0.5 + 1.0 = 1.5.
+        engine = _engine(n_hosts=3, bw=10.0)
+        dag = TaskDag("j")
+        dag.add_comm("x", [Flow("h0", "h1", 10.0, job_id="j")])
+        engine.submit(dag)
+        engine.inject_background_flow(Flow("h0", "h2", 100.0), at_time=0.5)
+        trace = engine.run()
+        foreground = [r for r in trace.flow_records if r.flow.job_id == "j"][0]
+        assert foreground.finish == pytest.approx(1.5)

@@ -1,0 +1,107 @@
+"""Engine edge cases: deadlock detection, round limits, ECMP routing."""
+
+import pytest
+
+from repro import Engine, leaf_spine, two_hosts
+from repro.core.flow import Flow
+from repro.scheduling import FairSharingScheduler
+from repro.scheduling.base import Scheduler
+from repro.simulator import SimulationError, TaskDag
+from repro.topology import EcmpRouter
+
+
+class _StarvingScheduler(Scheduler):
+    """Pathological: assigns zero rate to everything."""
+
+    name = "starving-test"
+
+    def allocate(self, view):
+        return {s.flow.flow_id: 0.0 for s in view.active_states()}
+
+
+class _OversubscribingScheduler(Scheduler):
+    """Pathological: assigns full link rate to every flow."""
+
+    name = "oversubscribing-test"
+
+    def allocate(self, view):
+        return {s.flow.flow_id: 1e12 for s in view.active_states()}
+
+
+def test_starving_scheduler_raises_deadlock():
+    engine = Engine(two_hosts(1.0), _StarvingScheduler())
+    dag = TaskDag("j")
+    dag.add_comm("x", [Flow("h0", "h1", 1.0, job_id="j")])
+    engine.submit(dag)
+    with pytest.raises(SimulationError, match="deadlock"):
+        engine.run()
+
+
+def test_oversubscription_raises_in_strict_mode():
+    from repro.simulator.network import CapacityViolation
+    from repro.topology import big_switch
+
+    engine = Engine(big_switch(3, 1.0), _OversubscribingScheduler())
+    dag = TaskDag("j")
+    dag.add_comm(
+        "x",
+        [Flow("h0", "h1", 1.0, job_id="j"), Flow("h0", "h2", 1.0, job_id="j")],
+    )
+    engine.submit(dag)
+    with pytest.raises(CapacityViolation):
+        engine.run()
+
+
+def test_lenient_mode_scales_oversubscription():
+    from repro.topology import big_switch
+
+    engine = Engine(
+        big_switch(3, 1.0), _OversubscribingScheduler(), strict_rates=False
+    )
+    dag = TaskDag("j")
+    dag.add_comm(
+        "x",
+        [Flow("h0", "h1", 1.0, job_id="j"), Flow("h0", "h2", 1.0, job_id="j")],
+    )
+    engine.submit(dag)
+    trace = engine.run()
+    # Scaled to fair share of the shared egress: both finish at 2.
+    assert trace.end_time == pytest.approx(2.0)
+
+
+def test_max_rounds_guard():
+    engine = Engine(two_hosts(1.0), FairSharingScheduler())
+    dag = TaskDag("j")
+    for index in range(5):
+        deps = [f"c{index - 1}"] if index else []
+        dag.add_compute(f"c{index}", device="h0", duration=1.0, deps=deps)
+    engine.submit(dag)
+    with pytest.raises(SimulationError, match="rounds"):
+        engine.run(max_rounds=2)
+
+
+def test_engine_with_ecmp_router():
+    topo = leaf_spine(2, 2, 10.0, n_spines=2)
+    engine = Engine(topo, FairSharingScheduler(), router=EcmpRouter(topo))
+    dag = TaskDag("j")
+    # Several cross-leaf flows spread over both spines.
+    flows = [Flow("h0", "h2", 5.0, job_id="j") for _ in range(4)]
+    dag.add_comm("x", flows)
+    engine.submit(dag)
+    trace = engine.run()
+    assert len(trace.flow_records) == 4
+    paths = {
+        tuple(l.key for l in engine.network.path(f.flow_id)) for f in flows
+    }
+    assert len(paths) >= 2  # hashing used more than one spine
+
+
+def test_trace_task_completion_lookup():
+    engine = Engine(two_hosts(1.0), FairSharingScheduler())
+    dag = TaskDag("j")
+    dag.add_compute("c", device="h0", duration=1.0)
+    engine.submit(dag)
+    trace = engine.run()
+    assert trace.task_completion("c") == pytest.approx(1.0)
+    with pytest.raises(KeyError):
+        trace.task_completion("ghost")

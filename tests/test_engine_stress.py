@@ -1,0 +1,171 @@
+"""Engine stress: random DAGs, determinism, and conservation (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Engine, big_switch
+from repro.analysis import validate_trace
+from repro.core.flow import Flow
+from repro.scheduling import (
+    CoflowMaddScheduler,
+    EchelonMaddScheduler,
+    FairSharingScheduler,
+    ShortestFlowFirstScheduler,
+)
+from repro.simulator import TaskDag
+
+N_HOSTS = 4
+HOSTS = [f"h{i}" for i in range(N_HOSTS)]
+
+
+@st.composite
+def random_dags(draw):
+    """Random well-formed DAGs mixing compute, comm, and barriers.
+
+    Each task may depend on any earlier task, so the graph is acyclic by
+    construction; flows pick random distinct endpoints.
+    """
+    n_tasks = draw(st.integers(min_value=1, max_value=14))
+    dag = TaskDag("j")
+    task_ids = []
+    for index in range(n_tasks):
+        n_deps = draw(st.integers(min_value=0, max_value=min(3, len(task_ids))))
+        deps = (
+            draw(
+                st.lists(
+                    st.sampled_from(task_ids),
+                    min_size=n_deps,
+                    max_size=n_deps,
+                    unique=True,
+                )
+            )
+            if task_ids
+            else []
+        )
+        kind = draw(st.sampled_from(["compute", "comm", "barrier"]))
+        task_id = f"t{index}"
+        if kind == "compute":
+            dag.add_compute(
+                task_id,
+                device=draw(st.sampled_from(HOSTS)),
+                duration=draw(st.floats(min_value=0.0, max_value=2.0)),
+                deps=deps,
+                priority=draw(st.integers(min_value=0, max_value=5)),
+            )
+        elif kind == "comm":
+            n_flows = draw(st.integers(min_value=1, max_value=3))
+            flows = []
+            for _ in range(n_flows):
+                src, dst = draw(
+                    st.sampled_from(
+                        [(a, b) for a in HOSTS for b in HOSTS if a != b]
+                    )
+                )
+                flows.append(
+                    Flow(
+                        src,
+                        dst,
+                        draw(st.floats(min_value=0.1, max_value=20.0)),
+                        job_id="j",
+                    )
+                )
+            dag.add_comm(task_id, flows, deps=deps)
+        else:
+            dag.add_barrier(task_id, deps=deps)
+        task_ids.append(task_id)
+    return dag
+
+
+def _dag_spec(dag):
+    """A rebuildable description (Flow objects are single-use per engine)."""
+    spec = []
+    for task in dag.tasks():
+        if task.flows:
+            flows = [(f.src, f.dst, f.size) for f in task.flows]
+        else:
+            flows = None
+        spec.append(
+            (task.task_id, task.kind.value, task.device, task.duration,
+             task.deps, task.priority, flows)
+        )
+    return spec
+
+
+def _rebuild(spec):
+    dag = TaskDag("j")
+    for task_id, kind, device, duration, deps, priority, flows in spec:
+        if kind == "compute":
+            dag.add_compute(
+                task_id, device=device, duration=duration, deps=deps,
+                priority=priority,
+            )
+        elif kind == "comm":
+            dag.add_comm(
+                task_id,
+                [Flow(src, dst, size, job_id="j") for src, dst, size in flows],
+                deps=deps,
+            )
+        else:
+            dag.add_barrier(task_id, deps=deps)
+    return dag
+
+
+@given(random_dags())
+@settings(max_examples=50, deadline=None)
+def test_random_dags_complete_and_validate(dag):
+    """Every random DAG runs to completion under every scheduler, and the
+    resulting trace satisfies all invariants."""
+    spec = _dag_spec(dag)
+    for scheduler_cls in (
+        FairSharingScheduler,
+        ShortestFlowFirstScheduler,
+        CoflowMaddScheduler,
+        EchelonMaddScheduler,
+    ):
+        engine = Engine(big_switch(N_HOSTS, 5.0), scheduler_cls())
+        rebuilt = _rebuild(spec)
+        engine.submit(rebuilt)
+        trace = engine.run()
+        assert engine.completed_jobs == ["j"]
+        validate_trace(trace, dag=rebuilt)
+        # Conservation: delivered bytes equal injected bytes.
+        injected = sum(f.size for f in rebuilt.all_flows())
+        assert engine.network.bytes_delivered == pytest.approx(
+            injected, rel=1e-6, abs=1e-6
+        )
+
+
+@given(random_dags())
+@settings(max_examples=25, deadline=None)
+def test_engine_is_deterministic(dag):
+    """Identical inputs produce bit-identical traces."""
+    spec = _dag_spec(dag)
+
+    def run():
+        engine = Engine(big_switch(N_HOSTS, 5.0), EchelonMaddScheduler())
+        engine.submit(_rebuild(spec))
+        trace = engine.run()
+        spans = [(s.task_id, s.device, s.start, s.end) for s in trace.compute_spans]
+        flows = [
+            (r.flow.src, r.flow.dst, r.flow.size, r.start, r.finish)
+            for r in trace.flow_records
+        ]
+        return spans, flows, trace.end_time
+
+    assert run() == run()
+
+
+@given(random_dags())
+@settings(max_examples=25, deadline=None)
+def test_makespan_never_beats_lower_bounds(dag):
+    from repro.scheduling import makespan_lower_bounds
+
+    spec = _dag_spec(dag)
+    topo = big_switch(N_HOSTS, 5.0)
+    rebuilt = _rebuild(spec)
+    bounds = makespan_lower_bounds(rebuilt, topo)
+    engine = Engine(topo, EchelonMaddScheduler())
+    engine.submit(rebuilt)
+    trace = engine.run()
+    assert trace.end_time >= bounds.best - 1e-6

@@ -1,0 +1,72 @@
+"""Event queue ordering and cancellation."""
+
+import pytest
+
+from repro.simulator.events import EventKind, EventQueue
+
+
+def test_pop_in_time_order():
+    queue = EventQueue()
+    queue.push(2.0, EventKind.TIMER, payload="b")
+    queue.push(1.0, EventKind.TIMER, payload="a")
+    queue.push(3.0, EventKind.TIMER, payload="c")
+    assert [queue.pop().payload for _ in range(3)] == ["a", "b", "c"]
+
+
+def test_same_time_kind_priority():
+    # Compute completions process before arrivals at the same instant.
+    queue = EventQueue()
+    queue.push(1.0, EventKind.JOB_ARRIVAL, payload="arrival")
+    queue.push(1.0, EventKind.COMPUTE_DONE, payload="compute")
+    assert queue.pop().payload == "compute"
+    assert queue.pop().payload == "arrival"
+
+
+def test_same_time_same_kind_fifo():
+    queue = EventQueue()
+    queue.push(1.0, EventKind.TIMER, payload=1)
+    queue.push(1.0, EventKind.TIMER, payload=2)
+    assert queue.pop().payload == 1
+    assert queue.pop().payload == 2
+
+
+def test_peek_time_and_len():
+    queue = EventQueue()
+    assert queue.peek_time() == float("inf")
+    assert not queue
+    queue.push(5.0, EventKind.TIMER)
+    assert queue.peek_time() == 5.0
+    assert len(queue) == 1
+
+
+def test_cancelled_events_are_skipped():
+    queue = EventQueue()
+    event = queue.push(1.0, EventKind.TIMER, payload="dead")
+    queue.push(2.0, EventKind.TIMER, payload="alive")
+    event.cancelled = True
+    assert queue.peek_time() == 2.0
+    assert len(queue) == 1
+    assert queue.pop().payload == "alive"
+
+
+def test_pop_due_collects_all_at_or_before():
+    queue = EventQueue()
+    queue.push(1.0, EventKind.TIMER, payload=1)
+    queue.push(1.0 + 1e-12, EventKind.TIMER, payload=2)
+    queue.push(2.0, EventKind.TIMER, payload=3)
+    due = queue.pop_due(1.0, tolerance=1e-9)
+    assert [e.payload for e in due] == [1, 2]
+    assert queue.peek_time() == 2.0
+
+
+def test_pop_empty_raises():
+    with pytest.raises(IndexError):
+        EventQueue().pop()
+
+
+def test_infinite_time_rejected():
+    queue = EventQueue()
+    with pytest.raises(ValueError):
+        queue.push(float("inf"), EventKind.TIMER)
+    with pytest.raises(ValueError):
+        queue.push(float("nan"), EventKind.TIMER)

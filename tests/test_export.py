@@ -1,0 +1,79 @@
+"""Trace exporters."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro import Engine, build_pipeline_segment, two_hosts
+from repro.analysis import (
+    chrome_trace,
+    flows_to_csv,
+    trace_to_dict,
+    trace_to_json,
+    write_trace,
+)
+from repro.scheduling import EchelonMaddScheduler
+
+
+@pytest.fixture(scope="module")
+def trace():
+    job = build_pipeline_segment(
+        "j", "h0", "h1", [0.0, 1.0, 2.0], [2.0] * 3, [2.0] * 3
+    )
+    engine = Engine(two_hosts(1.0), EchelonMaddScheduler())
+    job.submit_to(engine)
+    return engine.run()
+
+
+def test_trace_to_dict_structure(trace):
+    data = trace_to_dict(trace)
+    assert data["end_time"] == pytest.approx(8.0)
+    assert len(data["flows"]) == 3
+    flow = data["flows"][0]
+    assert {"flow_id", "src", "dst", "size", "start", "finish", "tardiness"} <= set(
+        flow
+    )
+    assert all(span["end"] >= span["start"] for span in data["compute_spans"])
+
+
+def test_trace_to_json_round_trips(trace):
+    payload = json.loads(trace_to_json(trace))
+    assert payload["end_time"] == pytest.approx(8.0)
+
+
+def test_flows_csv_parses(trace):
+    rows = list(csv.DictReader(io.StringIO(flows_to_csv(trace))))
+    assert len(rows) == 3
+    assert rows[0]["src"] == "h0"
+    tardiness = [float(row["tardiness"]) for row in rows]
+    assert all(t == pytest.approx(2.0) for t in tardiness)
+
+
+def test_chrome_trace_format(trace):
+    payload = json.loads(chrome_trace(trace))
+    events = payload["traceEvents"]
+    kinds = {event["ph"] for event in events}
+    assert "X" in kinds  # complete events
+    assert "i" in kinds  # ideal-finish instants
+    assert "M" in kinds  # track metadata
+    compute = [e for e in events if e.get("cat") == "compute"]
+    flows = [e for e in events if e.get("cat") == "flow" and e["ph"] == "X"]
+    assert len(compute) == len(trace.compute_spans)
+    assert len(flows) == 3
+    for event in flows:
+        assert event["dur"] > 0
+
+
+def test_write_trace_formats(trace, tmp_path):
+    for fmt, checker in (
+        ("json", json.loads),
+        ("chrome", json.loads),
+        ("csv", lambda text: list(csv.reader(io.StringIO(text)))),
+    ):
+        path = tmp_path / f"trace.{fmt}"
+        write_trace(trace, str(path), fmt=fmt)
+        checker(path.read_text())
+    with pytest.raises(ValueError):
+        write_trace(trace, str(tmp_path / "x"), fmt="yaml")

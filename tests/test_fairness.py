@@ -1,0 +1,98 @@
+"""Jain's index and slowdown metrics (E23 machinery)."""
+
+import pytest
+
+from repro.analysis import (
+    isolated_completion_times,
+    jain_index,
+    shared_completion_times,
+    slowdowns,
+)
+from repro.core.units import gbps, megabytes
+from repro.scheduling import EchelonMaddScheduler, FairSharingScheduler
+from repro.topology import big_switch
+from repro.workloads import build_dp_allreduce, uniform_model
+
+MODEL = uniform_model(
+    "u4",
+    4,
+    param_bytes_per_layer=megabytes(20),
+    activation_bytes=megabytes(5),
+    forward_time=0.005,
+)
+
+
+def _builders():
+    return {
+        "a": lambda: build_dp_allreduce(
+            "a", MODEL, ["h0", "h1"], bucket_bytes=megabytes(40)
+        ),
+        "b": lambda: build_dp_allreduce(
+            "b", MODEL, ["h2", "h3"], bucket_bytes=megabytes(40)
+        ),
+    }
+
+
+def _topo():
+    return big_switch(4, gbps(10))
+
+
+class TestJainIndex:
+    def test_perfectly_fair(self):
+        assert jain_index([2.0, 2.0, 2.0]) == pytest.approx(1.0)
+
+    def test_maximally_unfair(self):
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_bounds(self):
+        values = [1.0, 3.0, 2.0, 0.5]
+        index = jain_index(values)
+        assert 1.0 / len(values) <= index <= 1.0
+
+    def test_all_zero_is_fair(self):
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            jain_index([])
+        with pytest.raises(ValueError):
+            jain_index([1.0, -1.0])
+
+
+class TestSlowdowns:
+    def test_disjoint_jobs_have_unit_slowdown(self):
+        ratios, jain = slowdowns(_builders(), _topo, EchelonMaddScheduler)
+        # Disjoint hosts on a non-blocking fabric: no contention at all.
+        for ratio in ratios.values():
+            assert ratio == pytest.approx(1.0, rel=1e-6)
+        assert jain == pytest.approx(1.0, rel=1e-6)
+
+    def test_contending_jobs_slow_down(self):
+        # Same hosts via MIG would contend; simplest: overlapping workers.
+        builders = {
+            "a": lambda: build_dp_allreduce(
+                "a", MODEL, ["h0", "h1"], bucket_bytes=megabytes(40)
+            ),
+            "b": lambda: build_dp_allreduce(
+                "b", MODEL, ["h2", "h1"], bucket_bytes=megabytes(40)
+            ),
+        }
+        ratios, jain = slowdowns(builders, _topo, FairSharingScheduler)
+        assert max(ratios.values()) > 1.0
+        assert 0.0 < jain <= 1.0
+
+    def test_isolated_and_shared_helpers(self):
+        isolated = isolated_completion_times(_builders(), _topo, FairSharingScheduler)
+        shared = shared_completion_times(_builders(), _topo, FairSharingScheduler)
+        assert set(isolated) == set(shared) == {"a", "b"}
+        for name in isolated:
+            assert shared[name] >= isolated[name] - 1e-9
+
+    def test_mismatched_ids_rejected(self):
+        bad = {
+            "x": lambda: build_dp_allreduce(
+                "not-x", MODEL, ["h0", "h1"], bucket_bytes=megabytes(40)
+            )
+        }
+        with pytest.raises(ValueError):
+            slowdowns(bad, _topo, FairSharingScheduler)

@@ -1,0 +1,133 @@
+"""Straggler and background-traffic fault utilities."""
+
+import pytest
+
+from repro import Engine, big_switch, linear_chain, two_hosts
+from repro.core.units import gbps, megabytes
+from repro.scheduling import EchelonMaddScheduler, FairSharingScheduler
+from repro.workloads import (
+    build_pp_gpipe,
+    inject_background_stream,
+    pause_device,
+    scale_device_durations,
+    uniform_model,
+    with_straggler,
+)
+
+MODEL = uniform_model(
+    "u8",
+    8,
+    param_bytes_per_layer=megabytes(20),
+    activation_bytes=megabytes(10),
+    forward_time=0.004,
+)
+HOSTS = ["h0", "h1", "h2", "h3"]
+
+
+class TestScaleDeviceDurations:
+    def test_only_target_device_scaled(self):
+        job = build_pp_gpipe("j", MODEL, HOSTS, num_micro_batches=2)
+        scaled = scale_device_durations(job.dag, "h1", 2.0)
+        for task in job.dag.tasks():
+            twin = scaled.task(task.task_id)
+            if task.device == "h1":
+                assert twin.duration == pytest.approx(2.0 * task.duration)
+            elif task.device is not None:
+                assert twin.duration == pytest.approx(task.duration)
+
+    def test_structure_preserved(self):
+        job = build_pp_gpipe("j", MODEL, HOSTS, num_micro_batches=2)
+        scaled = scale_device_durations(job.dag, "h1", 1.5)
+        assert len(scaled) == len(job.dag)
+        assert scaled.topological_order() == job.dag.topological_order()
+
+    def test_invalid_factor(self):
+        job = build_pp_gpipe("j", MODEL, HOSTS, num_micro_batches=2)
+        with pytest.raises(ValueError):
+            scale_device_durations(job.dag, "h1", 0.0)
+
+
+class TestStraggler:
+    def _run(self, job):
+        engine = Engine(linear_chain(4, gbps(10)), EchelonMaddScheduler())
+        job.submit_to(engine)
+        return engine.run()
+
+    def test_straggler_slows_the_pipeline(self):
+        nominal = self._run(build_pp_gpipe("j", MODEL, HOSTS, 4)).last_compute_end()
+        straggled = self._run(
+            with_straggler(build_pp_gpipe("j", MODEL, HOSTS, 4), "h1", 2.0)
+        ).last_compute_end()
+        assert straggled > nominal
+
+    def test_arrangements_keep_the_nominal_pattern(self):
+        job = with_straggler(build_pp_gpipe("j", MODEL, HOSTS, 4), "h1", 2.0)
+        # The EchelonFlows are the original objects: their distances still
+        # describe the nominal (un-straggled) per-micro-batch time.
+        fwd_ef = next(ef for ef in job.echelonflows if "fwd0-1" in ef.ef_id)
+        assert fwd_ef.arrangement.distance == pytest.approx(
+            MODEL.total_forward_time / 4 / 4
+        )
+        self._run(job)  # still executes to completion
+
+    def test_echelon_still_beats_fair_with_straggler(self):
+        def run(scheduler):
+            job = with_straggler(
+                build_pp_gpipe("j", MODEL, HOSTS, 4), "h1", 1.5
+            )
+            engine = Engine(linear_chain(4, gbps(3)), scheduler)
+            job.submit_to(engine)
+            return engine.run().last_compute_end()
+
+        assert run(EchelonMaddScheduler()) <= run(FairSharingScheduler())
+
+
+class TestBackgroundStream:
+    def test_stream_slows_foreground(self):
+        def run(with_stream):
+            engine = Engine(two_hosts(1.0), FairSharingScheduler())
+            from repro.workloads import build_pipeline_segment
+
+            job = build_pipeline_segment(
+                "fg", "h0", "h1", [0.0, 1.0], [2.0, 2.0], [1.0, 1.0]
+            )
+            job.submit_to(engine)
+            if with_stream:
+                inject_background_stream(
+                    engine, "h0", "h1", flow_size=1.0, period=1.0, count=4
+                )
+            return engine.run().last_compute_end()
+
+        assert run(True) > run(False)
+
+    def test_validation(self):
+        engine = Engine(two_hosts(1.0), FairSharingScheduler())
+        with pytest.raises(ValueError):
+            inject_background_stream(engine, "h0", "h1", 1.0, period=0.0, count=2)
+        with pytest.raises(ValueError):
+            inject_background_stream(engine, "h0", "h1", 1.0, period=1.0, count=0)
+
+
+class TestPauseDevice:
+    def test_pause_delays_queued_work(self):
+        def run(with_pause):
+            engine = Engine(big_switch(1, 1.0), FairSharingScheduler())
+            from repro.simulator import TaskDag
+
+            dag = TaskDag("j")
+            dag.add_compute("a", device="h0", duration=1.0)
+            dag.add_compute("b", device="h0", duration=1.0, deps=["a"])
+            engine.submit(dag)
+            if with_pause:
+                pause_device(engine, "h0", at_time=0.5, duration=2.0)
+            engine.run()
+            return engine.job_completion_time("j")
+
+        assert run(False) == pytest.approx(2.0)
+        # The pause lands after task a (device busy), then blocks b.
+        assert run(True) == pytest.approx(4.0)
+
+    def test_validation(self):
+        engine = Engine(big_switch(1, 1.0), FairSharingScheduler())
+        with pytest.raises(ValueError):
+            pause_device(engine, "h0", 0.0, duration=0.0)

@@ -1,0 +1,154 @@
+"""MIG-style GPU sharing (Section 5 future work)."""
+
+import pytest
+
+from repro import Engine, big_switch
+from repro.core.units import gbps, megabytes
+from repro.scheduling import EchelonMaddScheduler, FairSharingScheduler
+from repro.simulator import TaskDag
+from repro.simulator.compute import Device
+from repro.simulator.dag import Task, TaskKind
+from repro.workloads import build_dp_allreduce, uniform_model
+
+MODEL = uniform_model(
+    "u4",
+    4,
+    param_bytes_per_layer=megabytes(20),
+    activation_bytes=megabytes(5),
+    forward_time=0.01,
+)
+
+
+def _task(task_id, duration=1.0, priority=0):
+    return Task(
+        task_id=task_id,
+        kind=TaskKind.COMPUTE,
+        device="gpu0",
+        duration=duration,
+        priority=priority,
+    )
+
+
+class TestMultiSlotDevice:
+    def test_slots_run_concurrently(self):
+        device = Device("gpu0", slots=2)
+        device.enqueue(_task("a", 2.0))
+        device.enqueue(_task("b", 2.0))
+        assert device.start_next(0.0) is not None
+        assert device.start_next(0.0) is not None
+        assert device.free_slots == 0
+        assert device.start_next(0.0) is None
+        assert len(device.running_tasks) == 2
+
+    def test_finish_task_by_id(self):
+        device = Device("gpu0", slots=2)
+        device.enqueue(_task("a"))
+        device.enqueue(_task("b"))
+        device.start_next(0.0)
+        device.start_next(0.0)
+        finished = device.finish_task("b", 1.0)
+        assert finished.task_id == "b"
+        assert device.free_slots == 1
+        with pytest.raises(RuntimeError):
+            device.finish_task("b", 1.0)
+
+    def test_running_property_guards_multi_slot(self):
+        device = Device("gpu0", slots=2)
+        device.enqueue(_task("a"))
+        device.enqueue(_task("b"))
+        device.start_next(0.0)
+        assert device.running.task_id == "a"
+        device.start_next(0.0)
+        with pytest.raises(RuntimeError):
+            _ = device.running
+
+    def test_finish_current_guards_multi_slot(self):
+        device = Device("gpu0", slots=2)
+        device.enqueue(_task("a"))
+        device.enqueue(_task("b"))
+        device.start_next(0.0)
+        device.start_next(0.0)
+        with pytest.raises(RuntimeError):
+            device.finish_current(1.0)
+
+    def test_utilization_normalized_by_slots(self):
+        device = Device("gpu0", slots=2)
+        device.enqueue(_task("a", 4.0))
+        device.start_next(0.0)
+        device.finish_task("a", 4.0)
+        assert device.utilization(4.0) == pytest.approx(0.5)
+
+    def test_slot_validation(self):
+        with pytest.raises(ValueError):
+            Device("gpu0", slots=0)
+
+
+class TestEngineWithSharedGpus:
+    def test_two_tasks_overlap_on_two_slots(self):
+        engine = Engine(big_switch(1, 1.0), FairSharingScheduler(), device_slots=2)
+        dag = TaskDag("j")
+        dag.add_compute("a", device="h0", duration=2.0)
+        dag.add_compute("b", device="h0", duration=2.0)
+        engine.submit(dag)
+        trace = engine.run()
+        assert trace.end_time == pytest.approx(2.0)
+
+    def test_single_slot_still_serializes(self):
+        engine = Engine(big_switch(1, 1.0), FairSharingScheduler(), device_slots=1)
+        dag = TaskDag("j")
+        dag.add_compute("a", device="h0", duration=2.0)
+        dag.add_compute("b", device="h0", duration=2.0)
+        engine.submit(dag)
+        trace = engine.run()
+        assert trace.end_time == pytest.approx(4.0)
+
+    def test_per_device_slot_mapping(self):
+        engine = Engine(
+            big_switch(2, 1.0),
+            FairSharingScheduler(),
+            device_slots={"h0": 2},  # h1 defaults to 1
+        )
+        dag = TaskDag("j")
+        for device, prefix in (("h0", "a"), ("h1", "b")):
+            dag.add_compute(f"{prefix}0", device=device, duration=2.0)
+            dag.add_compute(f"{prefix}1", device=device, duration=2.0)
+        engine.submit(dag)
+        trace = engine.run()
+        h0_spans = trace.spans_of_device("h0")
+        h1_spans = sorted(trace.spans_of_device("h1"), key=lambda s: s.start)
+        assert max(s.end for s in h0_spans) == pytest.approx(2.0)
+        assert h1_spans[1].start >= h1_spans[0].end - 1e-9
+
+    def test_two_jobs_share_mig_partitioned_hosts(self):
+        """Section 5 future work: two DP jobs co-resident on MIG slices.
+
+        Each job's compute runs on its own slice (no slowdown); only the
+        network is shared, and EchelonFlow scheduling still applies.
+        """
+        engine = Engine(
+            big_switch(2, gbps(10)), EchelonMaddScheduler(), device_slots=2
+        )
+        job_a = build_dp_allreduce("a", MODEL, ["h0", "h1"], bucket_bytes=1e9)
+        job_b = build_dp_allreduce("b", MODEL, ["h0", "h1"], bucket_bytes=1e9)
+        job_a.submit_to(engine)
+        job_b.submit_to(engine)
+        trace = engine.run()
+        assert sorted(engine.completed_jobs) == ["a", "b"]
+        # Compute of the two jobs overlaps on the shared hosts ...
+        a_spans = trace.spans_of_job("a")
+        b_spans = trace.spans_of_job("b")
+        overlap = any(
+            sa.start < sb.end and sb.start < sa.end
+            for sa in a_spans
+            for sb in b_spans
+            if sa.device == sb.device
+        )
+        assert overlap
+        # ... and completes faster than time-sliced single-slot sharing.
+        serial = Engine(
+            big_switch(2, gbps(10)), EchelonMaddScheduler(), device_slots=1
+        )
+        build_dp_allreduce("a", MODEL, ["h0", "h1"], bucket_bytes=1e9).submit_to(serial)
+        build_dp_allreduce("b", MODEL, ["h0", "h1"], bucket_bytes=1e9).submit_to(serial)
+        serial_trace = serial.run()
+        assert trace.end_time < serial_trace.end_time

@@ -1,0 +1,103 @@
+"""End-to-end reproduction of the Fig. 2 motivating example.
+
+Setting: a pipeline-parallel boundary. The producer releases micro-batch
+activations of 2B bytes at t = 0, 1, 2 over a B-bandwidth link; the consumer
+computes each micro-batch for 2 time units, in order.
+
+Expected (see EXPERIMENTS.md for the mapping to the paper's numbers):
+EchelonFlow = 8 exactly (matches the paper's optimal 8); fair sharing and
+Coflow are strictly worse, with Coflow worst -- the paper's headline
+ordering "Coflow ... even longer than bandwidth fair sharing".
+"""
+
+import pytest
+
+from repro.analysis import comp_finish_time, tardiness_report
+from repro.scheduling import (
+    CoflowMaddScheduler,
+    EchelonMaddScheduler,
+    FairSharingScheduler,
+    PipelineStageSpec,
+    ShortestFlowFirstScheduler,
+    single_link_pipeline_optimum,
+)
+from repro.simulator import Engine
+from repro.topology import two_hosts
+from repro.workloads import build_pipeline_segment
+
+RELEASES = [0.0, 1.0, 2.0]
+SIZES = [2.0, 2.0, 2.0]
+COMPUTES = [2.0, 2.0, 2.0]
+
+
+def _run(scheduler):
+    job = build_pipeline_segment(
+        "fig2", "h0", "h1", RELEASES, SIZES, COMPUTES
+    )
+    engine = Engine(two_hosts(1.0), scheduler)
+    job.submit_to(engine)
+    trace = engine.run()
+    return trace, job
+
+
+def test_echelonflow_achieves_the_paper_value_of_8():
+    trace, _job = _run(EchelonMaddScheduler())
+    assert comp_finish_time(trace) == pytest.approx(8.0)
+
+
+def test_echelonflow_matches_the_oracle_optimum():
+    stages = [
+        PipelineStageSpec(release_time=r, flow_size=s, compute_time=c)
+        for r, s, c in zip(RELEASES, SIZES, COMPUTES)
+    ]
+    optimum, _, _ = single_link_pipeline_optimum(stages, bandwidth=1.0)
+    trace, _job = _run(EchelonMaddScheduler())
+    assert comp_finish_time(trace) == pytest.approx(optimum)
+
+
+def test_echelonflow_flow_finishes_are_staggered():
+    trace, _job = _run(EchelonMaddScheduler())
+    finishes = sorted(r.finish for r in trace.flow_records)
+    assert finishes == [pytest.approx(2.0), pytest.approx(4.0), pytest.approx(6.0)]
+
+
+def test_fair_sharing_is_worse_than_echelon():
+    fair, _ = _run(FairSharingScheduler())
+    assert comp_finish_time(fair) == pytest.approx(9.5)
+
+
+def test_coflow_is_worst_even_worse_than_fair_sharing():
+    """The paper's key observation about Coflow on pipeline traffic."""
+    fair, _ = _run(FairSharingScheduler())
+    coflow, _ = _run(CoflowMaddScheduler())
+    echelon, _ = _run(EchelonMaddScheduler())
+    assert comp_finish_time(echelon) < comp_finish_time(fair)
+    assert comp_finish_time(fair) < comp_finish_time(coflow)
+
+
+def test_coflow_finishes_flows_simultaneously():
+    trace, _job = _run(CoflowMaddScheduler())
+    finishes = [r.finish for r in trace.flow_records]
+    assert max(finishes) - min(finishes) == pytest.approx(0.0, abs=1e-6)
+
+
+def test_echelon_tardiness_is_uniform_across_flows():
+    """All flows share the same tardiness: the formation is maintained."""
+    trace, job = _run(EchelonMaddScheduler())
+    tardies = [r.tardiness for r in trace.flow_records]
+    assert all(t == pytest.approx(2.0) for t in tardies)
+    report = tardiness_report(trace, job.echelonflows)
+    assert report.worst == pytest.approx(2.0)
+
+
+def test_echelon_tardiness_below_all_baselines():
+    results = {}
+    for scheduler in (
+        EchelonMaddScheduler(),
+        FairSharingScheduler(),
+        CoflowMaddScheduler(),
+        ShortestFlowFirstScheduler(),
+    ):
+        trace, job = _run(scheduler)
+        results[scheduler.name] = tardiness_report(trace, job.echelonflows).worst
+    assert results["echelon"] == min(results.values())

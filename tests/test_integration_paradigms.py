@@ -1,0 +1,119 @@
+"""Table 1 end-to-end: Coflow compliance per training paradigm.
+
+For Coflow-compliant paradigms (DP-AllReduce, DP-PS, TP) EchelonFlow
+scheduling should match Coflow scheduling; for PP and FSDP the staggered
+arrangements should strictly beat Coflow's simultaneous finishes.
+"""
+
+import pytest
+
+from repro.analysis import comp_finish_time
+from repro.core.units import gbps, megabytes
+from repro.scheduling import (
+    CoflowMaddScheduler,
+    EchelonMaddScheduler,
+    FairSharingScheduler,
+)
+from repro.simulator import Engine
+from repro.topology import big_switch, linear_chain
+from repro.workloads import (
+    build_dp_allreduce,
+    build_dp_ps,
+    build_fsdp,
+    build_pp_gpipe,
+    build_tp_megatron,
+    uniform_model,
+)
+
+MODEL = uniform_model(
+    "u8",
+    8,
+    param_bytes_per_layer=megabytes(40),
+    activation_bytes=megabytes(20),
+    forward_time=0.004,
+)
+HOSTS4 = ["h0", "h1", "h2", "h3"]
+
+
+def _measure(build, topo_factory, scheduler):
+    job = build()
+    engine = Engine(topo_factory(), scheduler)
+    job.submit_to(engine)
+    trace = engine.run()
+    assert engine.completed_jobs == [job.job_id]
+    return comp_finish_time(trace)
+
+
+def _sweep(build, topo_factory):
+    return {
+        name: _measure(build, topo_factory, scheduler)
+        for name, scheduler in (
+            ("fair", FairSharingScheduler()),
+            ("coflow", CoflowMaddScheduler()),
+            ("echelon", EchelonMaddScheduler()),
+        )
+    }
+
+
+class TestCoflowCompliantParadigms:
+    def test_dp_allreduce_echelon_equals_coflow(self):
+        results = _sweep(
+            lambda: build_dp_allreduce("j", MODEL, HOSTS4, bucket_bytes=megabytes(80)),
+            lambda: big_switch(4, gbps(10)),
+        )
+        assert results["echelon"] == pytest.approx(results["coflow"], rel=1e-6)
+
+    def test_dp_ps_echelon_equals_coflow(self):
+        results = _sweep(
+            lambda: build_dp_ps(
+                "j", MODEL, HOSTS4, "h4", bucket_bytes=megabytes(80)
+            ),
+            lambda: big_switch(5, gbps(10)),
+        )
+        assert results["echelon"] == pytest.approx(results["coflow"], rel=1e-6)
+
+    def test_tp_echelon_equals_coflow(self):
+        results = _sweep(
+            lambda: build_tp_megatron("j", MODEL, HOSTS4),
+            lambda: big_switch(4, gbps(10)),
+        )
+        assert results["echelon"] == pytest.approx(results["coflow"], rel=1e-6)
+
+
+class TestNonCompliantParadigms:
+    def test_pp_echelon_beats_both_and_coflow_is_worst(self):
+        results = _sweep(
+            lambda: build_pp_gpipe("j", MODEL, HOSTS4, num_micro_batches=4),
+            lambda: linear_chain(4, gbps(10)),
+        )
+        assert results["echelon"] < results["fair"]
+        assert results["fair"] < results["coflow"]
+
+    def test_fsdp_echelon_beats_both_and_coflow_is_worst(self):
+        results = _sweep(
+            lambda: build_fsdp("j", MODEL, HOSTS4),
+            lambda: big_switch(4, gbps(10)),
+        )
+        assert results["echelon"] < results["fair"]
+        assert results["fair"] < results["coflow"]
+
+    def test_fsdp_speedup_is_substantial(self):
+        results = _sweep(
+            lambda: build_fsdp("j", MODEL, HOSTS4),
+            lambda: big_switch(4, gbps(10)),
+        )
+        assert results["coflow"] / results["echelon"] > 1.2
+
+
+class TestMultiIterationStability:
+    def test_pp_iterations_scale_linearly_under_echelon(self):
+        def run(iterations):
+            job = build_pp_gpipe(
+                "j", MODEL, HOSTS4, num_micro_batches=4, iterations=iterations
+            )
+            engine = Engine(linear_chain(4, gbps(10)), EchelonMaddScheduler())
+            job.submit_to(engine)
+            return engine.run().end_time
+
+        t1, t3 = run(1), run(3)
+        assert t3 == pytest.approx(3 * t1, rel=0.05)

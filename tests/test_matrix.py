@@ -1,0 +1,96 @@
+"""Experiment matrices and the standard battery."""
+
+import pytest
+
+from repro.analysis import (
+    ExperimentCase,
+    MatrixResult,
+    run_matrix,
+    standard_battery,
+)
+from repro.core.units import gbps, megabytes
+from repro.scheduling import make_scheduler
+from repro.topology import big_switch
+from repro.workloads import build_dp_allreduce, uniform_model
+
+MODEL = uniform_model(
+    "u4",
+    4,
+    param_bytes_per_layer=megabytes(10),
+    activation_bytes=megabytes(5),
+    forward_time=0.002,
+)
+
+
+def _tiny_case(name="dp"):
+    return ExperimentCase(
+        name,
+        lambda: build_dp_allreduce(
+            "j", MODEL, ["h0", "h1"], bucket_bytes=megabytes(20)
+        ),
+        lambda: big_switch(2, gbps(10)),
+    )
+
+
+def test_run_matrix_fills_grid():
+    schedulers = {
+        "fair": lambda: make_scheduler("fair"),
+        "echelon": lambda: make_scheduler("echelon"),
+    }
+    result = run_matrix([_tiny_case()], schedulers)
+    assert result.cases == ["dp"]
+    assert set(result.values["dp"]) == {"fair", "echelon"}
+    assert result.value("dp", "fair") > 0
+
+
+def test_completion_metric_includes_trailing_comm():
+    schedulers = {"echelon": lambda: make_scheduler("echelon")}
+    comp = run_matrix([_tiny_case()], schedulers, metric="comp_finish")
+    full = run_matrix([_tiny_case()], schedulers, metric="completion")
+    assert full.value("dp", "echelon") > comp.value("dp", "echelon")
+
+
+def test_invalid_metric():
+    with pytest.raises(ValueError):
+        run_matrix([_tiny_case()], {}, metric="latency")
+
+
+def test_best_and_speedup():
+    result = MatrixResult(cases=["w"], schedulers=["a", "b"])
+    result.values["w"] = {"a": 2.0, "b": 1.0}
+    assert result.best_scheduler("w") == "b"
+    assert result.speedup("w", "b", baseline="a") == pytest.approx(2.0)
+
+
+def test_to_table_renders():
+    result = MatrixResult(cases=["w"], schedulers=["a"])
+    result.values["w"] = {"a": 1.5}
+    table = result.to_table(title="T")
+    assert "T" in table and "1.5" in table and "best" in table
+
+
+def test_standard_battery_shape():
+    cases = standard_battery(model=MODEL, workers=4, micro_batches=2)
+    names = [case.name for case in cases]
+    assert names == [
+        "dp-allreduce",
+        "dp-ps",
+        "pp-gpipe",
+        "pp-1f1b",
+        "tp",
+        "fsdp",
+        "hybrid-3d",
+    ]
+
+
+def test_standard_battery_small_worker_count_skips_hybrid():
+    cases = standard_battery(model=MODEL, workers=2, micro_batches=2)
+    assert "hybrid-3d" not in [case.name for case in cases]
+
+
+def test_battery_runs_end_to_end():
+    cases = standard_battery(model=MODEL, workers=2, micro_batches=2)
+    schedulers = {"echelon": lambda: make_scheduler("echelon")}
+    result = run_matrix(cases, schedulers)
+    for case in result.cases:
+        assert result.value(case, "echelon") > 0

@@ -1,0 +1,131 @@
+"""Grab-bag coverage: smaller API surfaces exercised directly."""
+
+import pytest
+
+from repro import Engine, big_switch, two_hosts
+from repro.core.flow import Flow
+from repro.scheduling import FairSharingScheduler
+from repro.simulator import TaskDag
+
+
+class TestTraceQueries:
+    def _trace(self):
+        engine = Engine(big_switch(3, 10.0), FairSharingScheduler())
+        dag_a = TaskDag("a")
+        dag_a.add_compute("c", device="h0", duration=1.0, tag="work 1")
+        dag_a.add_comm("x", [Flow("h0", "h1", 5.0, job_id="a", group_id="g")])
+        engine.submit(dag_a)
+        dag_b = TaskDag("b")
+        dag_b.add_compute("c", device="h2", duration=2.0)
+        engine.submit(dag_b)
+        engine.run()
+        return engine.trace
+
+    def test_flows_of_job_and_group(self):
+        trace = self._trace()
+        assert len(trace.flows_of_job("a")) == 1
+        assert len(trace.flows_of_job("b")) == 0
+        assert len(trace.flows_of_group("g")) == 1
+        assert len(trace.flows_of_group("ghost")) == 0
+
+    def test_spans_of_job_and_device(self):
+        trace = self._trace()
+        assert {s.job_id for s in trace.spans_of_job("a")} == {"a"}
+        assert {s.device for s in trace.spans_of_device("h2")} == {"h2"}
+        assert trace.last_compute_end("b") == pytest.approx(2.0)
+
+    def test_actual_finish_times_keys(self):
+        trace = self._trace()
+        finish_times = trace.actual_finish_times()
+        assert len(finish_times) == 1
+        (value,) = finish_times.values()
+        assert value == pytest.approx(0.5)  # 5 bytes over the 10 B/s NIC
+
+
+class TestTimelineOptions:
+    def _trace(self):
+        engine = Engine(two_hosts(1.0), FairSharingScheduler())
+        dag = TaskDag("j")
+        dag.add_compute("p", device="h0", duration=1.0, tag="produce 3")
+        dag.add_comm("x", [Flow("h0", "h1", 2.0, job_id="j", group_id="g")], deps=["p"])
+        dag.add_compute("c", device="h1", duration=1.0, deps=["x"], tag="consume")
+        engine.submit(dag)
+        engine.run()
+        return engine.trace
+
+    def test_device_subset_and_width(self):
+        from repro.analysis import render_device_timeline
+
+        art = render_device_timeline(self._trace(), devices=["h0"], width=30)
+        assert "h0" in art and "h1" not in art
+
+    def test_tag_digits_label_spans(self):
+        from repro.analysis import render_device_timeline
+
+        art = render_device_timeline(self._trace(), width=30)
+        assert "3" in art  # from "produce 3"
+        assert "#" in art  # from the digitless "consume"
+
+    def test_flow_timeline_group_filter(self):
+        from repro.analysis import render_flow_timeline
+
+        trace = self._trace()
+        assert "=" in render_flow_timeline(trace, group_id="g")
+        assert "no flows" in render_flow_timeline(trace, group_id="ghost")
+
+
+class TestQueueQuantizationLadder:
+    def test_more_queues_refine_the_ladder(self):
+        from repro.system import quantize_to_queue
+
+        shares = [2.0 ** -k for k in range(10)]
+        coarse = {quantize_to_queue(s, 2) for s in shares}
+        fine = {quantize_to_queue(s, 8) for s in shares}
+        assert len(fine) > len(coarse)
+
+    def test_weights_double_per_queue(self):
+        from repro.system.backend import queue_weight
+
+        assert queue_weight(3) == 8.0
+        assert queue_weight(0) == 1.0
+
+
+class TestPlacementEdges:
+    def test_spread_with_large_stride_still_fills(self):
+        from repro.topology import big_switch
+        from repro.workloads.placement import ClusterPlacer
+
+        placer = ClusterPlacer(big_switch(6, 1.0))
+        hosts = placer.place_spread("j", 5, stride=7)
+        assert len(set(hosts)) == 5
+
+    def test_release_unknown_job_is_noop(self):
+        from repro.topology import big_switch
+        from repro.workloads.placement import ClusterPlacer
+
+        placer = ClusterPlacer(big_switch(2, 1.0))
+        placer.release("ghost")
+        assert len(placer.free_hosts) == 2
+
+
+class TestSpecDpPsNeedsSpareHost:
+    def test_error_when_cluster_exactly_full(self):
+        from repro.workloads import SpecError, run_spec
+
+        spec = {
+            "topology": {"hosts": 2},
+            "jobs": [
+                {"name": "j", "paradigm": "dp-ps", "model": "tiny_mlp", "workers": 2}
+            ],
+        }
+        with pytest.raises(SpecError):
+            run_spec(spec)
+
+
+class TestCollectiveHelpers:
+    def test_total_bytes_and_flow_count(self):
+        from repro.workloads import flow_count, ring_all_reduce, total_bytes
+
+        steps = ring_all_reduce(["h0", "h1", "h2"], 30.0)
+        assert flow_count(steps) == 4 * 3  # 2(m-1) steps x m flows
+        assert total_bytes(steps) == pytest.approx(4 * 3 * 10.0)

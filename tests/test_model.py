@@ -1,0 +1,147 @@
+"""Model specs: bucketing and pipeline partitioning."""
+
+import pytest
+
+from repro.workloads.model import LayerSpec, ModelSpec, uniform_model
+from repro.workloads.zoo import (
+    alexnet,
+    bert_large,
+    get_model,
+    gpt2_xl,
+    model_names,
+    resnet50,
+    vgg16,
+)
+
+
+def test_uniform_model_shape():
+    model = uniform_model("u", 4, 100.0, 10.0, forward_time=1.0)
+    assert model.num_layers == 4
+    assert model.total_param_bytes == 400.0
+    assert model.total_forward_time == pytest.approx(4.0)
+    assert model.total_backward_time == pytest.approx(8.0)  # 2x default
+
+
+def test_layer_validation():
+    with pytest.raises(ValueError):
+        LayerSpec("bad", -1.0, 0.0, 1.0, 1.0)
+    with pytest.raises(ValueError):
+        LayerSpec("bad", 1.0, 0.0, -1.0, 1.0)
+
+
+def test_empty_model_rejected():
+    with pytest.raises(ValueError):
+        ModelSpec("empty", ())
+
+
+def test_scaled():
+    model = uniform_model("u", 2, 100.0, 10.0, forward_time=1.0)
+    scaled = model.scaled(compute_scale=2.0, size_scale=0.5)
+    assert scaled.total_forward_time == pytest.approx(4.0)
+    assert scaled.total_param_bytes == pytest.approx(100.0)
+
+
+class TestGradientBuckets:
+    def test_buckets_cover_all_layers_in_backward_order(self):
+        model = uniform_model("u", 6, 100.0, 10.0, forward_time=1.0)
+        buckets = model.gradient_buckets(bucket_bytes=250.0)
+        covered = [i for b in buckets for i in b.layer_indices]
+        assert sorted(covered) == list(range(6))
+        # Bucket 0 holds the deepest layers (backward order).
+        assert max(buckets[0].layer_indices) == 5
+
+    def test_bucket_sizes(self):
+        model = uniform_model("u", 6, 100.0, 10.0, forward_time=1.0)
+        buckets = model.gradient_buckets(bucket_bytes=250.0)
+        assert [b.param_bytes for b in buckets] == [300.0, 300.0]
+
+    def test_single_giant_bucket(self):
+        model = uniform_model("u", 3, 100.0, 10.0, forward_time=1.0)
+        buckets = model.gradient_buckets(bucket_bytes=1e9)
+        assert len(buckets) == 1
+        assert buckets[0].param_bytes == pytest.approx(300.0)
+
+    def test_invalid_bucket_bytes(self):
+        model = uniform_model("u", 2, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            model.gradient_buckets(0.0)
+
+
+class TestPipelinePartition:
+    def test_uniform_split(self):
+        model = uniform_model("u", 8, 100.0, 10.0, forward_time=1.0)
+        stages = model.pipeline_partition(4)
+        assert len(stages) == 4
+        assert all(len(s.layer_indices) == 2 for s in stages)
+        assert stages[0].forward_time == pytest.approx(2.0)
+
+    def test_stages_are_contiguous_and_complete(self):
+        model = vgg16()
+        stages = model.pipeline_partition(4)
+        flattened = [i for s in stages for i in s.layer_indices]
+        assert flattened == list(range(model.num_layers))
+
+    def test_balance_on_heterogeneous_model(self):
+        model = vgg16()
+        stages = model.pipeline_partition(4)
+        times = [s.forward_time + s.backward_time for s in stages]
+        total = model.total_forward_time + model.total_backward_time
+        largest_layer = max(l.forward_time + l.backward_time for l in model.layers)
+        # A contiguous partition can never beat the largest single layer;
+        # beyond that, greedy should stay within 2x of the ideal share.
+        assert max(times) <= max(largest_layer, 2.0 * total / 4) + 1e-9
+
+    def test_balance_on_homogeneous_transformer(self):
+        model = bert_large()
+        stages = model.pipeline_partition(4)
+        times = [s.forward_time + s.backward_time for s in stages]
+        total = model.total_forward_time + model.total_backward_time
+        assert max(times) <= 1.5 * total / 4
+
+    def test_boundary_activation_from_last_layer(self):
+        model = uniform_model("u", 4, 100.0, 10.0, forward_time=1.0)
+        stages = model.pipeline_partition(2)
+        assert stages[0].boundary_activation_bytes == pytest.approx(10.0)
+
+    def test_validation(self):
+        model = uniform_model("u", 2, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            model.pipeline_partition(0)
+        with pytest.raises(ValueError):
+            model.pipeline_partition(3)
+
+
+class TestZoo:
+    @pytest.mark.parametrize(
+        "builder,params_m",
+        [
+            (alexnet, 61),
+            (vgg16, 138),
+            (resnet50, 25.6),
+            (bert_large, 340),
+            (gpt2_xl, 1500),
+        ],
+    )
+    def test_parameter_counts_are_realistic(self, builder, params_m):
+        model = builder()
+        measured_m = model.total_param_bytes / 4.0 / 1e6
+        assert measured_m == pytest.approx(params_m, rel=0.1)
+
+    def test_backward_is_twice_forward(self):
+        model = resnet50()
+        assert model.total_backward_time == pytest.approx(
+            2.0 * model.total_forward_time
+        )
+
+    def test_batch_scale_inflates_compute(self):
+        small = resnet50(batch_scale=1.0)
+        large = resnet50(batch_scale=4.0)
+        assert large.total_forward_time == pytest.approx(
+            4.0 * small.total_forward_time
+        )
+
+    def test_get_model_and_names(self):
+        assert "resnet50" in model_names()
+        assert get_model("resnet50").name == "resnet50"
+        with pytest.raises(KeyError):
+            get_model("skynet")

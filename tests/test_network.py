@@ -1,0 +1,123 @@
+"""The fluid-flow network model."""
+
+import pytest
+
+from repro.core.flow import Flow
+from repro.simulator.network import CapacityViolation, NetworkModel
+from repro.topology import ShortestPathRouter, big_switch, two_hosts
+
+
+def _network(n_hosts=3, bw=10.0, strict=True):
+    topo = big_switch(n_hosts, bw)
+    return NetworkModel(topo, ShortestPathRouter(topo), strict=strict)
+
+
+def test_inject_assigns_path_and_state():
+    net = _network()
+    flow = Flow("h0", "h1", 100.0)
+    state = net.inject(flow, now=1.0)
+    assert state.start_time == 1.0
+    assert state.remaining == 100.0
+    assert [l.key for l in net.path(flow.flow_id)] == [
+        ("h0", "core"),
+        ("core", "h1"),
+    ]
+
+
+def test_double_injection_rejected():
+    net = _network()
+    flow = Flow("h0", "h1", 100.0)
+    net.inject(flow, 0.0)
+    with pytest.raises(ValueError):
+        net.inject(flow, 0.0)
+
+
+def test_set_rates_and_advance():
+    net = _network()
+    flow = Flow("h0", "h1", 100.0)
+    net.inject(flow, 0.0)
+    net.set_rates({flow.flow_id: 10.0})
+    finished = net.advance(5.0, now=0.0)
+    assert finished == []
+    assert net.state(flow.flow_id).remaining == pytest.approx(50.0)
+    finished = net.advance(5.0, now=5.0)
+    assert len(finished) == 1
+    assert finished[0].finish_time == pytest.approx(10.0)
+    assert net.active_count == 0
+    assert net.bytes_delivered == pytest.approx(100.0)
+
+
+def test_strict_mode_rejects_oversubscription():
+    net = _network(bw=10.0, strict=True)
+    f1 = Flow("h0", "h1", 10.0)
+    f2 = Flow("h0", "h2", 10.0)
+    net.inject(f1, 0.0)
+    net.inject(f2, 0.0)
+    with pytest.raises(CapacityViolation):
+        net.set_rates({f1.flow_id: 8.0, f2.flow_id: 8.0})
+
+
+def test_lenient_mode_scales_down():
+    net = _network(bw=10.0, strict=False)
+    f1 = Flow("h0", "h1", 10.0)
+    f2 = Flow("h0", "h2", 10.0)
+    net.inject(f1, 0.0)
+    net.inject(f2, 0.0)
+    net.set_rates({f1.flow_id: 8.0, f2.flow_id: 8.0})
+    total = net.state(f1.flow_id).rate + net.state(f2.flow_id).rate
+    assert total == pytest.approx(10.0)
+    # Scaling is proportional.
+    assert net.state(f1.flow_id).rate == pytest.approx(5.0)
+
+
+def test_negative_rate_rejected():
+    net = _network()
+    flow = Flow("h0", "h1", 10.0)
+    net.inject(flow, 0.0)
+    with pytest.raises(ValueError):
+        net.set_rates({flow.flow_id: -1.0})
+
+
+def test_unlisted_flows_idle():
+    net = _network()
+    flow = Flow("h0", "h1", 10.0)
+    net.inject(flow, 0.0)
+    net.set_rates({})
+    assert net.state(flow.flow_id).rate == 0.0
+    assert net.earliest_finish_interval() == float("inf")
+
+
+def test_earliest_finish_interval():
+    net = _network()
+    f1 = Flow("h0", "h1", 100.0)
+    f2 = Flow("h2", "h1", 10.0)
+    net.inject(f1, 0.0)
+    net.inject(f2, 0.0)
+    net.set_rates({f1.flow_id: 5.0, f2.flow_id: 5.0})
+    assert net.earliest_finish_interval() == pytest.approx(2.0)
+
+
+def test_two_hosts_direct_link():
+    topo = two_hosts(4.0)
+    net = NetworkModel(topo, ShortestPathRouter(topo))
+    flow = Flow("h0", "h1", 8.0)
+    net.inject(flow, 0.0)
+    net.set_rates({flow.flow_id: 4.0})
+    net.advance(2.0, 0.0)
+    assert net.completed_states[0].finish_time == pytest.approx(2.0)
+
+
+def test_port_capacity_views():
+    net = _network(n_hosts=2, bw=7.0)
+    assert net.egress_capacities() == {"h0": 7.0, "h1": 7.0}
+    assert net.ingress_capacities() == {"h0": 7.0, "h1": 7.0}
+
+
+def test_demands_sorted_by_flow_id():
+    net = _network()
+    f2 = Flow("h0", "h2", 10.0)
+    f1 = Flow("h0", "h1", 10.0)
+    net.inject(f2, 0.0)
+    net.inject(f1, 0.0)
+    demands = net.demands()
+    assert [d.flow_id for d in demands] == sorted([f1.flow_id, f2.flow_id])

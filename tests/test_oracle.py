@@ -1,0 +1,92 @@
+"""Optimality references (Property 1 machinery)."""
+
+import pytest
+
+from repro.scheduling.oracle import (
+    PipelineStageSpec,
+    makespan_lower_bounds,
+    single_link_pipeline_optimum,
+)
+from repro.core.flow import Flow
+from repro.simulator.dag import TaskDag
+from repro.topology import big_switch, two_hosts
+
+
+class TestSingleLinkPipelineOptimum:
+    def test_fig2_configuration_gives_eight(self):
+        """The exact Fig. 2c optimum: comp finish time 8."""
+        stages = [
+            PipelineStageSpec(release_time=t, flow_size=2.0, compute_time=2.0)
+            for t in (0.0, 1.0, 2.0)
+        ]
+        comp_finish, flow_finishes, compute_finishes = single_link_pipeline_optimum(
+            stages, bandwidth=1.0
+        )
+        assert flow_finishes == [pytest.approx(2.0), pytest.approx(4.0), pytest.approx(6.0)]
+        assert compute_finishes == [pytest.approx(4.0), pytest.approx(6.0), pytest.approx(8.0)]
+        assert comp_finish == pytest.approx(8.0)
+
+    def test_link_serializes_back_to_back_releases(self):
+        stages = [
+            PipelineStageSpec(release_time=0.0, flow_size=4.0, compute_time=1.0),
+            PipelineStageSpec(release_time=0.0, flow_size=4.0, compute_time=1.0),
+        ]
+        comp_finish, flow_finishes, _ = single_link_pipeline_optimum(stages, 2.0)
+        assert flow_finishes == [pytest.approx(2.0), pytest.approx(4.0)]
+        assert comp_finish == pytest.approx(5.0)
+
+    def test_compute_bound_pipeline(self):
+        # Tiny flows: completion driven by the consumer's serial compute.
+        stages = [
+            PipelineStageSpec(release_time=0.0, flow_size=0.001, compute_time=3.0)
+            for _ in range(4)
+        ]
+        comp_finish, _, _ = single_link_pipeline_optimum(stages, 1000.0)
+        assert comp_finish == pytest.approx(12.0, rel=1e-3)
+
+    def test_empty_and_validation(self):
+        assert single_link_pipeline_optimum([], 1.0)[0] == 0.0
+        with pytest.raises(ValueError):
+            single_link_pipeline_optimum([], 0.0)
+
+
+class TestMakespanLowerBounds:
+    def test_device_work_bound(self):
+        dag = TaskDag("j")
+        dag.add_compute("a", device="h0", duration=3.0)
+        dag.add_compute("b", device="h0", duration=4.0)
+        bounds = makespan_lower_bounds(dag, big_switch(2, 1.0))
+        assert bounds.device_work == pytest.approx(7.0)
+        assert bounds.best >= 7.0
+
+    def test_critical_path_includes_min_transfer(self):
+        dag = TaskDag("j")
+        dag.add_compute("a", device="h0", duration=1.0)
+        dag.add_comm("x", [Flow("h0", "h1", 4.0, job_id="j")], deps=["a"])
+        dag.add_compute("b", device="h1", duration=1.0, deps=["x"])
+        bounds = makespan_lower_bounds(dag, two_hosts(2.0))
+        # 1 + 4/2 + 1 = 4.
+        assert bounds.critical_path == pytest.approx(4.0)
+
+    def test_link_work_bound(self):
+        dag = TaskDag("j")
+        dag.add_comm("x", [Flow("h0", "h1", 10.0, job_id="j")])
+        dag.add_comm("y", [Flow("h0", "h1", 10.0, job_id="j")])
+        bounds = makespan_lower_bounds(dag, two_hosts(2.0))
+        assert bounds.link_work == pytest.approx(10.0)
+
+    def test_bounds_hold_for_simulated_schedule(self):
+        """Any simulated schedule completes no earlier than the bounds."""
+        from repro.scheduling import FairSharingScheduler
+        from repro.simulator import Engine
+
+        dag = TaskDag("j")
+        dag.add_compute("a", device="h0", duration=1.0)
+        dag.add_comm("x", [Flow("h0", "h1", 6.0, job_id="j")], deps=["a"])
+        dag.add_compute("b", device="h1", duration=2.0, deps=["x"])
+        topo = two_hosts(2.0)
+        bounds = makespan_lower_bounds(dag, topo)
+        engine = Engine(topo, FairSharingScheduler())
+        engine.submit(dag)
+        trace = engine.run()
+        assert trace.end_time >= bounds.best - 1e-9

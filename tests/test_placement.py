@@ -1,0 +1,60 @@
+"""Cluster placement policies."""
+
+import random
+
+import pytest
+
+from repro.topology import big_switch
+from repro.workloads.placement import ClusterPlacer, PlacementError
+
+
+def _placer(n=8):
+    return ClusterPlacer(big_switch(n, 1.0))
+
+
+def test_contiguous_takes_first_free():
+    placer = _placer()
+    assert placer.place_contiguous("a", 3) == ["h0", "h1", "h2"]
+    assert placer.place_contiguous("b", 2) == ["h3", "h4"]
+
+
+def test_exhaustion_raises():
+    placer = _placer(4)
+    placer.place_contiguous("a", 3)
+    with pytest.raises(PlacementError):
+        placer.place_contiguous("b", 2)
+
+
+def test_release_returns_hosts():
+    placer = _placer(4)
+    placer.place_contiguous("a", 3)
+    placer.release("a")
+    assert len(placer.free_hosts) == 4
+    placer.place_contiguous("b", 4)
+
+
+def test_spread_produces_distinct_hosts():
+    placer = _placer(8)
+    hosts = placer.place_spread("a", 4)
+    assert len(set(hosts)) == 4
+
+
+def test_random_is_seeded_and_distinct():
+    placer1 = _placer(8)
+    placer2 = _placer(8)
+    rng1 = random.Random(42)
+    rng2 = random.Random(42)
+    assert placer1.place_random("a", 4, rng1) == placer2.place_random("a", 4, rng2)
+
+
+def test_assignment_lookup():
+    placer = _placer(4)
+    placer.place_contiguous("a", 2)
+    assert placer.assignment("a") == ["h0", "h1"]
+
+
+def test_placed_hosts_leave_free_pool():
+    placer = _placer(4)
+    taken = placer.place_spread("a", 2)
+    for host in taken:
+        assert host not in placer.free_hosts

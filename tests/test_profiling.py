@@ -1,0 +1,114 @@
+"""Profiler and noise models."""
+
+import random
+
+import pytest
+
+from repro.core.arrangement import (
+    PhasedArrangement,
+    StaggeredArrangement,
+    TabledArrangement,
+)
+from repro.profiling import (
+    ComputeProfile,
+    biased_arrangement,
+    perturb_arrangement,
+    phased_arrangement_from_profile,
+    profile_job,
+    staggered_arrangement_from_profile,
+)
+from repro.topology import linear_chain
+from repro.workloads import build_pp_gpipe, uniform_model
+
+MODEL = uniform_model(
+    "u4", 4, param_bytes_per_layer=100.0, activation_bytes=4.0, forward_time=1.0
+)
+
+
+class TestComputeProfile:
+    def test_profile_job_extracts_durations(self):
+        profile = profile_job(
+            lambda: build_pp_gpipe("j", MODEL, ["h0", "h1"], num_micro_batches=2),
+            linear_chain(2, 1000.0),
+            warmup_runs=2,
+        )
+        # Stage 1 forward per micro-batch: 2 layers x 1.0 / 2 = 1.0.
+        assert profile.mean_duration("h1", "F") == pytest.approx(1.0)
+        assert profile.mean_duration("h1", "B") == pytest.approx(2.0)
+
+    def test_missing_samples_raise(self):
+        profile = ComputeProfile()
+        with pytest.raises(KeyError):
+            profile.mean_duration("ghost")
+
+    def test_stddev(self):
+        profile = ComputeProfile()
+        profile.samples[("d", "F")] = [1.0, 1.0]
+        assert profile.stddev("d", "F") == 0.0
+        profile.samples[("d", "F")] = [1.0]
+        assert profile.stddev("d", "F") == 0.0
+
+    def test_merge(self):
+        a = ComputeProfile(samples={("d", "x"): [1.0]})
+        b = ComputeProfile(samples={("d", "x"): [3.0]})
+        a.merge(b)
+        assert a.mean_duration("d", "x") == pytest.approx(2.0)
+
+    def test_arrangement_builders(self):
+        profile = ComputeProfile(
+            samples={("h1", "F l0"): [1.0, 1.0], ("h1", "B l0"): [2.0]}
+        )
+        staggered = staggered_arrangement_from_profile(profile, "h1", "F")
+        assert staggered.distance == pytest.approx(1.0)
+        phased = phased_arrangement_from_profile(profile, layers=3)
+        assert phased.forward_distance == pytest.approx(1.0)
+        assert phased.backward_distance == pytest.approx(2.0)
+
+    def test_warmup_validation(self):
+        with pytest.raises(ValueError):
+            profile_job(lambda: None, linear_chain(2, 1.0), warmup_runs=0)
+
+
+class TestNoise:
+    def test_zero_error_is_identity(self):
+        arrangement = StaggeredArrangement(2.0)
+        assert perturb_arrangement(arrangement, 0.0, 5) is arrangement
+
+    def test_perturbed_staggered_within_bounds(self):
+        rng = random.Random(7)
+        for _ in range(20):
+            noisy = perturb_arrangement(StaggeredArrangement(2.0), 0.25, 5, rng)
+            assert 1.5 <= noisy.distance <= 2.5
+
+    def test_perturbed_phased_keeps_shape(self):
+        noisy = perturb_arrangement(
+            PhasedArrangement(layers=3, forward_distance=1.0, backward_distance=2.0),
+            0.1,
+            6,
+            random.Random(0),
+        )
+        assert isinstance(noisy, PhasedArrangement)
+        assert noisy.layers == 3
+
+    def test_perturbed_table_remains_monotone(self):
+        table = TabledArrangement((0.0, 1.0, 3.0, 3.5))
+        noisy = perturb_arrangement(table, 0.5, 4, random.Random(3))
+        noisy.validate(4)
+
+    def test_negative_error_rejected(self):
+        with pytest.raises(ValueError):
+            perturb_arrangement(StaggeredArrangement(1.0), -0.1, 3)
+
+    def test_biased_scaling(self):
+        biased = biased_arrangement(StaggeredArrangement(2.0), 1.5, 4)
+        assert biased.distance == pytest.approx(3.0)
+        biased_phased = biased_arrangement(
+            PhasedArrangement(layers=2, forward_distance=1.0, backward_distance=2.0),
+            0.5,
+            4,
+        )
+        assert biased_phased.forward_distance == pytest.approx(0.5)
+        table = biased_arrangement(TabledArrangement((0.0, 2.0)), 2.0, 2)
+        assert table.offset(1) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            biased_arrangement(StaggeredArrangement(1.0), -1.0, 2)

@@ -1,0 +1,179 @@
+"""Property-based invariants across the whole stack (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import comp_finish_time
+from repro.core.arrangement import StaggeredArrangement, TabledArrangement
+from repro.core.echelonflow import EchelonFlow
+from repro.core.flow import Flow
+from repro.scheduling import (
+    CoflowMaddScheduler,
+    EchelonMaddScheduler,
+    FairSharingScheduler,
+    ShortestFlowFirstScheduler,
+)
+from repro.scheduling.oracle import PipelineStageSpec, single_link_pipeline_optimum
+from repro.simulator import Engine, TaskDag
+from repro.topology import big_switch, two_hosts
+from repro.workloads import build_pipeline_segment
+
+SCHEDULERS = [
+    FairSharingScheduler,
+    ShortestFlowFirstScheduler,
+    CoflowMaddScheduler,
+    EchelonMaddScheduler,
+]
+
+
+@st.composite
+def pipeline_instances(draw):
+    """Random Fig.-2-like single-boundary pipelines."""
+    count = draw(st.integers(min_value=1, max_value=5))
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=3.0),
+            min_size=count,
+            max_size=count,
+        )
+    )
+    releases = []
+    t = 0.0
+    for gap in gaps:
+        releases.append(t)
+        t += gap
+    sizes = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=5.0), min_size=count, max_size=count
+        )
+    )
+    computes = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=3.0), min_size=count, max_size=count
+        )
+    )
+    distance = draw(st.floats(min_value=0.0, max_value=3.0))
+    return releases, sizes, computes, distance
+
+
+def _run_pipeline(instance, scheduler):
+    releases, sizes, computes, distance = instance
+    job = build_pipeline_segment(
+        "p", "h0", "h1", releases, sizes, computes, distance=distance
+    )
+    engine = Engine(two_hosts(1.0), scheduler)
+    job.submit_to(engine)
+    trace = engine.run()
+    return trace
+
+
+@given(pipeline_instances())
+@settings(max_examples=40, deadline=None)
+def test_all_schedulers_deliver_all_bytes(instance):
+    """Conservation: every scheduler transfers exactly the injected bytes."""
+    releases, sizes, computes, distance = instance
+    for scheduler_cls in SCHEDULERS:
+        trace = _run_pipeline(instance, scheduler_cls())
+        assert len(trace.flow_records) == len(sizes)
+        for record in trace.flow_records:
+            assert record.finish >= record.start
+
+
+@given(pipeline_instances())
+@settings(max_examples=40, deadline=None)
+def test_echelon_matches_single_link_optimum(instance):
+    """Property 1 on the PP segment: with the exact profiled arrangement
+    (heterogeneous per-unit durations -> TabledArrangement), echelon
+    scheduling matches the oracle optimum on single-link instances."""
+    from repro.core.arrangement import arrangement_from_compute_durations
+
+    releases, sizes, computes, _distance = instance
+    stages = [
+        PipelineStageSpec(release_time=r, flow_size=s, compute_time=c)
+        for r, s, c in zip(releases, sizes, computes)
+    ]
+    optimum, _, _ = single_link_pipeline_optimum(stages, 1.0)
+    job = build_pipeline_segment("p", "h0", "h1", releases, sizes, computes)
+    job.echelonflows[0].arrangement = arrangement_from_compute_durations(computes)
+    engine = Engine(two_hosts(1.0), EchelonMaddScheduler())
+    job.submit_to(engine)
+    trace = engine.run()
+    assert comp_finish_time(trace) <= optimum + 1e-6
+
+
+@given(pipeline_instances())
+@settings(max_examples=40, deadline=None)
+def test_no_scheduler_beats_the_oracle(instance):
+    """The oracle is a true lower bound for every scheduler."""
+    releases, sizes, computes, _distance = instance
+    stages = [
+        PipelineStageSpec(release_time=r, flow_size=s, compute_time=c)
+        for r, s, c in zip(releases, sizes, computes)
+    ]
+    optimum, _, _ = single_link_pipeline_optimum(stages, 1.0)
+    for scheduler_cls in SCHEDULERS:
+        trace = _run_pipeline(instance, scheduler_cls())
+        assert comp_finish_time(trace) >= optimum - 1e-6
+
+
+@given(
+    st.lists(st.floats(min_value=0.5, max_value=20.0), min_size=1, max_size=6),
+    st.integers(min_value=2, max_value=5),
+)
+@settings(max_examples=30, deadline=None)
+def test_coflow_and_echelon_agree_on_pure_coflows(sizes, n_hosts):
+    """Property 2 at system level: a single Coflow completes at Gamma under
+    both Varys and the EchelonFlow scheduler."""
+    hosts = [f"h{i}" for i in range(n_hosts)]
+
+    def run(scheduler):
+        engine = Engine(big_switch(n_hosts, 2.0), scheduler)
+        ef = EchelonFlow("c", TabledArrangement((0.0,)), job_id="j")
+        flows = []
+        for i, size in enumerate(sizes):
+            src = hosts[i % n_hosts]
+            dst = hosts[(i + 1) % n_hosts]
+            flow = Flow(src, dst, size, group_id="c", index_in_group=0, job_id="j")
+            ef.add_flow(flow)
+            flows.append(flow)
+        dag = TaskDag("j")
+        dag.add_comm("x", flows)
+        engine.submit(dag, echelonflows=(ef,))
+        return engine.run().end_time
+
+    coflow_time = run(CoflowMaddScheduler())
+    echelon_time = run(EchelonMaddScheduler())
+    assert echelon_time == pytest.approx(coflow_time, rel=1e-6)
+
+
+@given(st.floats(min_value=0.1, max_value=5.0), st.floats(min_value=0.0, max_value=5.0))
+@settings(max_examples=30, deadline=None)
+def test_recalibration_achieves_optimal_max_tardiness(size, delay):
+    """Fig. 6b: delay the later releases; echelon scheduling still achieves
+    the minimum possible maximum tardiness (the oracle's in-order full-rate
+    transmission), so the formation recovers as well as physics allows."""
+    releases = [0.0, delay + 1.0, delay + 2.0]
+    computes = [2.0, 2.0, 2.0]
+    sizes = [size, size, size]
+    job = build_pipeline_segment(
+        "p", "h0", "h1", releases, sizes, computes, distance=2.0
+    )
+    engine = Engine(two_hosts(1.0), EchelonMaddScheduler())
+    job.submit_to(engine)
+    trace = engine.run()
+
+    stages = [
+        PipelineStageSpec(release_time=r, flow_size=s, compute_time=c)
+        for r, s, c in zip(releases, sizes, computes)
+    ]
+    _, oracle_finishes, _ = single_link_pipeline_optimum(stages, 1.0)
+    deadlines = [2.0 * j for j in range(3)]  # r = 0, distance 2
+    oracle_max_tardiness = max(
+        f - d for f, d in zip(oracle_finishes, deadlines)
+    )
+    measured = {r.flow.index_in_group: r for r in trace.flow_records}
+    measured_max_tardiness = max(
+        measured[j].finish - deadlines[j] for j in range(3)
+    )
+    assert measured_max_tardiness <= oracle_max_tardiness + 1e-6

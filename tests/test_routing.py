@@ -1,0 +1,91 @@
+"""Routers: shortest path, ECMP, determinism."""
+
+import pytest
+
+from repro.topology import (
+    EcmpRouter,
+    RoutingError,
+    ShortestPathRouter,
+    Topology,
+    big_switch,
+    fat_tree,
+    leaf_spine,
+    widest_bottleneck,
+)
+
+
+def test_shortest_path_on_big_switch():
+    topo = big_switch(3, 10.0)
+    router = ShortestPathRouter(topo)
+    path = router.path("h0", "h1")
+    assert [link.key for link in path] == [("h0", "core"), ("core", "h1")]
+
+
+def test_path_is_cached_and_stable():
+    topo = big_switch(3, 10.0)
+    router = ShortestPathRouter(topo)
+    assert router.path("h0", "h2") is router.path("h0", "h2")
+
+
+def test_no_path_raises():
+    topo = Topology("disconnected")
+    topo.add_host("a")
+    topo.add_host("b")
+    topo.add_host("c")
+    topo.add_duplex_link("a", "b", 1.0)
+    router = ShortestPathRouter(topo)
+    with pytest.raises(RoutingError):
+        router.path("a", "c")
+
+
+def test_router_validates_endpoints():
+    topo = big_switch(2, 1.0)
+    router = ShortestPathRouter(topo)
+    with pytest.raises(ValueError):
+        router.path("h0", "core")
+
+
+def test_ecmp_enumerates_multiple_shortest_paths():
+    topo = leaf_spine(2, 2, 10.0, n_spines=2)
+    router = EcmpRouter(topo)
+    # Cross-leaf pairs have one path per spine.
+    hosts = topo.hosts
+    cross = (hosts[0], hosts[2])
+    assert len(router.paths(*cross)) == 2
+
+
+def test_ecmp_is_deterministic_per_flow():
+    topo = leaf_spine(2, 2, 10.0, n_spines=2)
+    router = EcmpRouter(topo)
+    a = router.path("h0", "h2", flow_id=5)
+    b = router.path("h0", "h2", flow_id=5)
+    assert a == b
+
+
+def test_ecmp_spreads_flows_across_paths():
+    topo = leaf_spine(2, 2, 10.0, n_spines=4)
+    router = EcmpRouter(topo)
+    chosen = {router.path("h0", "h2", flow_id=i) for i in range(32)}
+    assert len(chosen) > 1
+
+
+def test_ecmp_on_fat_tree_paths_have_consistent_length():
+    topo = fat_tree(4, 1.0)
+    router = EcmpRouter(topo)
+    hosts = topo.hosts
+    paths = router.paths(hosts[0], hosts[-1])
+    lengths = {len(p) for p in paths}
+    assert len(lengths) == 1  # all shortest
+
+
+def test_widest_bottleneck():
+    topo = Topology("t")
+    topo.add_host("a")
+    topo.add_switch("s")
+    topo.add_host("b")
+    topo.add_link("a", "s", 5.0)
+    topo.add_link("s", "b", 2.0)
+    router = ShortestPathRouter(topo)
+    assert widest_bottleneck(router.path("a", "b")) == 2.0
+    with pytest.raises(ValueError):
+        widest_bottleneck([])

@@ -1,0 +1,124 @@
+"""Interval-based rescheduling (Section 5's second rerun policy)."""
+
+import pytest
+
+from repro import Engine, big_switch, two_hosts
+from repro.core.flow import Flow
+from repro.scheduling import EchelonMaddScheduler, FairSharingScheduler
+from repro.simulator import TaskDag
+
+
+def test_interval_validation():
+    with pytest.raises(ValueError):
+        Engine(two_hosts(1.0), FairSharingScheduler(), scheduling_interval=0.0)
+    with pytest.raises(ValueError):
+        Engine(two_hosts(1.0), FairSharingScheduler(), scheduling_interval=-1.0)
+
+
+def test_invocation_counter_counts():
+    engine = Engine(two_hosts(1.0), FairSharingScheduler())
+    dag = TaskDag("j")
+    dag.add_comm("x", [Flow("h0", "h1", 2.0, job_id="j")])
+    engine.submit(dag)
+    engine.run()
+    assert engine.scheduler_invocations >= 1
+
+
+def test_departures_do_not_reschedule_under_interval_mode():
+    """After a flow departs, survivors keep stale rates until the tick."""
+    engine = Engine(
+        big_switch(3, 10.0), FairSharingScheduler(), scheduling_interval=5.0
+    )
+    dag = TaskDag("j")
+    # Two flows share h0's egress: fair split 5/5. The small one departs
+    # at t=0.2; with a 5s tick the big one keeps rate 5 long afterwards.
+    dag.add_comm("x", [Flow("h0", "h1", 1.0, job_id="j")])
+    dag.add_comm("y", [Flow("h0", "h2", 10.0, job_id="j")])
+    engine.submit(dag)
+    trace = engine.run()
+    big = max(trace.flow_records, key=lambda r: r.flow.size)
+    # Per-event would finish at 0.2 + 9/10 = 1.1; stale 5 B/s gives 2.0.
+    assert big.finish == pytest.approx(2.0)
+
+
+def test_per_event_mode_uses_freed_capacity_immediately():
+    engine = Engine(big_switch(3, 10.0), FairSharingScheduler())
+    dag = TaskDag("j")
+    dag.add_comm("x", [Flow("h0", "h1", 1.0, job_id="j")])
+    dag.add_comm("y", [Flow("h0", "h2", 10.0, job_id="j")])
+    engine.submit(dag)
+    trace = engine.run()
+    big = max(trace.flow_records, key=lambda r: r.flow.size)
+    assert big.finish == pytest.approx(1.1)
+
+
+def test_tick_picks_up_freed_capacity():
+    engine = Engine(
+        big_switch(3, 10.0), FairSharingScheduler(), scheduling_interval=0.5
+    )
+    dag = TaskDag("j")
+    dag.add_comm("x", [Flow("h0", "h1", 1.0, job_id="j")])
+    dag.add_comm("y", [Flow("h0", "h2", 10.0, job_id="j")])
+    engine.submit(dag)
+    trace = engine.run()
+    big = max(trace.flow_records, key=lambda r: r.flow.size)
+    # Departure at 0.2; ticks at 0.5, 1.0, ... -> big flow: 5 B/s until
+    # 0.5 (2.5B done), then 10 B/s: remaining 7.5B -> finish 1.25.
+    assert big.finish == pytest.approx(1.25)
+
+
+def test_arrivals_still_reschedule_immediately():
+    """New flows must not wait for a tick (they'd otherwise sit at rate 0)."""
+    engine = Engine(
+        big_switch(3, 10.0), FairSharingScheduler(), scheduling_interval=100.0
+    )
+    dag = TaskDag("j")
+    dag.add_comm("x", [Flow("h0", "h1", 10.0, job_id="j")])
+    engine.submit(dag)
+    engine.inject_background_flow(Flow("h0", "h2", 1.0), at_time=0.3)
+    trace = engine.run()
+    background = min(trace.flow_records, key=lambda r: r.flow.size)
+    assert background.start == pytest.approx(0.3)
+    # It received a rate right away (fair split of h0 egress).
+    assert background.finish == pytest.approx(0.3 + 0.2)
+
+
+def test_idle_network_cancels_tick_and_ends_cleanly():
+    engine = Engine(
+        two_hosts(1.0), FairSharingScheduler(), scheduling_interval=50.0
+    )
+    dag = TaskDag("j")
+    dag.add_comm("x", [Flow("h0", "h1", 1.0, job_id="j")])
+    engine.submit(dag)
+    trace = engine.run()
+    # Without tick cancellation the run would drag to the 50s tick.
+    assert trace.end_time == pytest.approx(1.0)
+
+
+def test_interval_results_converge_to_per_event():
+    from repro.core.units import gbps, megabytes
+    from repro.workloads import build_fsdp, uniform_model
+
+    model = uniform_model(
+        "u4",
+        4,
+        param_bytes_per_layer=megabytes(20),
+        activation_bytes=megabytes(5),
+        forward_time=0.004,
+    )
+
+    def run(interval):
+        job = build_fsdp("j", model, ["h0", "h1", "h2", "h3"])
+        engine = Engine(
+            big_switch(4, gbps(10)),
+            EchelonMaddScheduler(),
+            scheduling_interval=interval,
+        )
+        job.submit_to(engine)
+        return engine.run().end_time
+
+    exact = run(None)
+    fine = run(1e-5)
+    coarse = run(0.05)
+    assert fine == pytest.approx(exact, rel=0.02)
+    assert coarse >= exact - 1e-9

@@ -1,0 +1,125 @@
+"""Sincronia BSSI ordering and scheduling."""
+
+import pytest
+
+from repro.core.echelonflow import make_coflow
+from repro.core.flow import Flow
+from repro.scheduling import SincroniaScheduler, bssi_order
+from repro.scheduling.base import SchedulerView
+from repro.simulator import Engine, TaskDag
+from repro.simulator.network import NetworkModel
+from repro.topology import ShortestPathRouter, big_switch, two_hosts
+
+
+def _network(topo, flows):
+    network = NetworkModel(topo, ShortestPathRouter(topo))
+    for flow in flows:
+        network.inject(flow, 0.0)
+    return network
+
+
+class TestBssiOrder:
+    def test_small_coflow_ranks_first_on_shared_port(self):
+        topo = two_hosts(1.0)
+        small = Flow("h0", "h1", 1.0, group_id="small")
+        large = Flow("h0", "h1", 100.0, group_id="large")
+        network = _network(topo, [small, large])
+        order = bssi_order(
+            {"small": [network.state(small.flow_id)], "large": [network.state(large.flow_id)]},
+            network,
+        )
+        assert order == ["small", "large"]
+
+    def test_weights_shift_the_order(self):
+        topo = two_hosts(1.0)
+        small = Flow("h0", "h1", 10.0, group_id="small")
+        large = Flow("h0", "h1", 20.0, group_id="large")
+        network = _network(topo, [small, large])
+        coflows = {
+            "small": [network.state(small.flow_id)],
+            "large": [network.state(large.flow_id)],
+        }
+        plain = bssi_order(coflows, network)
+        boosted = bssi_order(coflows, network, weights={"large": 100.0})
+        assert plain == ["small", "large"]
+        assert boosted == ["large", "small"]
+
+    def test_order_is_deterministic_and_complete(self):
+        topo = big_switch(4, 1.0)
+        flows = [
+            Flow("h0", "h1", 5.0, group_id=f"c{i}") for i in range(3)
+        ] + [Flow("h2", "h3", 7.0, group_id="c3")]
+        network = _network(topo, flows)
+        coflows = {}
+        for flow in flows:
+            coflows.setdefault(flow.group_id, []).append(network.state(flow.flow_id))
+        order_a = bssi_order(coflows, network)
+        order_b = bssi_order(coflows, network)
+        assert order_a == order_b
+        assert sorted(order_a) == ["c0", "c1", "c2", "c3"]
+
+    def test_empty(self):
+        topo = two_hosts(1.0)
+        network = _network(topo, [])
+        assert bssi_order({}, network) == []
+
+
+class TestSincroniaScheduler:
+    def test_allocation_respects_order(self):
+        topo = two_hosts(1.0)
+        small = Flow("h0", "h1", 1.0, group_id="small")
+        large = Flow("h0", "h1", 100.0, group_id="large")
+        network = _network(topo, [small, large])
+        view = SchedulerView(now=0.0, network=network)
+        rates = SincroniaScheduler().allocate(view)
+        assert rates[small.flow_id] == pytest.approx(1.0)
+        assert rates[large.flow_id] == pytest.approx(0.0)
+
+    def test_single_coflow_cct_matches_port_bound(self):
+        topo = big_switch(3, 2.0)
+        flows = [
+            Flow("h0", "h1", 8.0, group_id="c"),
+            Flow("h0", "h2", 4.0, group_id="c"),
+        ]
+        coflow = make_coflow("c", flows)
+        engine = Engine(topo, SincroniaScheduler())
+        dag = TaskDag("j")
+        dag.add_comm("x", list(coflow.flows))
+        engine.submit(dag, echelonflows=(coflow,))
+        trace = engine.run()
+        # Egress h0 carries 12 bytes at 2 B/s: work-conserving greedy keeps
+        # the port busy, finishing everything at 6.
+        assert trace.end_time == pytest.approx(6.0)
+
+    def test_better_than_fifo_on_mixed_sizes(self):
+        from repro.scheduling import FifoFlowScheduler
+
+        def run(scheduler):
+            topo = two_hosts(1.0)
+            engine = Engine(topo, scheduler)
+            # Large coflow arrives first, then a stream of small ones.
+            dag = TaskDag("j")
+            dag.add_comm("big", [Flow("h0", "h1", 50.0, group_id="big", job_id="j")])
+            engine.submit(dag)
+            for i in range(5):
+                small_dag = TaskDag(f"s{i}")
+                small_dag.add_comm(
+                    f"small{i}",
+                    [Flow("h0", "h1", 1.0, group_id=f"small{i}", job_id=f"s{i}")],
+                )
+                engine.submit(small_dag, at_time=1.0 + i)
+            trace = engine.run()
+            smalls = [
+                r.completion_time
+                for r in trace.flow_records
+                if r.flow.group_id.startswith("small")
+            ]
+            return sum(smalls) / len(smalls)
+
+        assert run(SincroniaScheduler()) < run(FifoFlowScheduler())
+
+    def test_registered(self):
+        from repro.scheduling import make_scheduler, scheduler_names
+
+        assert "sincronia" in scheduler_names()
+        assert isinstance(make_scheduler("sincronia"), SincroniaScheduler)

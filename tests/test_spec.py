@@ -1,0 +1,139 @@
+"""Declarative experiment specs."""
+
+import json
+
+import pytest
+
+from repro.workloads import SpecError, run_spec, run_spec_file
+
+
+def _base_spec(**overrides):
+    spec = {
+        "topology": {"kind": "big_switch", "hosts": 4, "bandwidth_gbps": 10},
+        "scheduler": {"name": "echelon"},
+        "jobs": [
+            {
+                "name": "j1",
+                "paradigm": "dp-allreduce",
+                "model": "tiny_mlp",
+                "workers": 2,
+                "bucket_mb": 2,
+            }
+        ],
+    }
+    spec.update(overrides)
+    return spec
+
+
+def test_minimal_spec_runs():
+    results = run_spec(_base_spec())
+    assert results["makespan"] > 0
+    assert results["jobs"]["j1"]["paradigm"] == "dp-allreduce"
+    assert results["jobs"]["j1"]["flows"] > 0
+
+
+def test_multiple_jobs_first_fit_hosts():
+    spec = _base_spec(
+        jobs=[
+            {"name": "a", "paradigm": "dp-allreduce", "model": "tiny_mlp",
+             "workers": 2, "bucket_mb": 2},
+            {"name": "b", "paradigm": "dp-allreduce", "model": "tiny_mlp",
+             "workers": 2, "bucket_mb": 2, "arrival": 0.001},
+        ]
+    )
+    results = run_spec(spec)
+    assert set(results["jobs"]) == {"a", "b"}
+
+
+def test_explicit_worker_lists():
+    spec = _base_spec()
+    spec["jobs"][0]["workers"] = ["h0", "h3"]
+    results = run_spec(spec)
+    assert results["jobs"]["j1"]["completion_time"] > 0
+
+
+@pytest.mark.parametrize(
+    "paradigm,extra",
+    [
+        ("dp-ps", {}),
+        ("pp-gpipe", {"micro_batches": 2}),
+        ("pp-1f1b", {"micro_batches": 2}),
+        ("tp", {}),
+        ("fsdp", {}),
+    ],
+)
+def test_every_paradigm_via_spec(paradigm, extra):
+    spec = _base_spec()
+    spec["topology"]["hosts"] = 5  # room for a PS
+    spec["jobs"][0].update({"paradigm": paradigm, **extra})
+    results = run_spec(spec)
+    assert results["jobs"]["j1"]["paradigm"].startswith(paradigm.split("-")[0])
+
+
+@pytest.mark.parametrize(
+    "topo",
+    [
+        {"kind": "linear_chain", "hosts": 4},
+        {"kind": "leaf_spine", "leaves": 2, "hosts_per_leaf": 2},
+        {"kind": "fat_tree", "k": 4},
+        {"kind": "dumbbell", "left": 2, "right": 2, "bottleneck_gbps": 5},
+    ],
+)
+def test_every_topology_kind(topo):
+    spec = _base_spec(topology=topo)
+    if topo["kind"] == "linear_chain":
+        spec["jobs"][0]["paradigm"] = "pp-gpipe"
+        spec["jobs"][0]["micro_batches"] = 2
+    results = run_spec(spec)
+    assert results["makespan"] > 0
+
+
+def test_scheduler_options_pass_through():
+    spec = _base_spec(scheduler={"name": "echelon", "ordering": "sebf"})
+    assert run_spec(spec)["scheduler"] == "echelon"
+
+
+def test_scheduling_interval_option():
+    spec = _base_spec(scheduling_interval=0.01)
+    assert run_spec(spec)["makespan"] > 0
+
+
+def test_spec_errors():
+    with pytest.raises(SpecError):
+        run_spec({"jobs": []})
+    with pytest.raises(SpecError):
+        run_spec(_base_spec(topology={"kind": "torus", "hosts": 4}))
+    bad = _base_spec()
+    bad["jobs"][0]["paradigm"] = "quantum"
+    with pytest.raises(SpecError):
+        run_spec(bad)
+    nameless = _base_spec()
+    del nameless["jobs"][0]["name"]
+    with pytest.raises(SpecError):
+        run_spec(nameless)
+    crowded = _base_spec()
+    crowded["jobs"][0]["workers"] = 99
+    with pytest.raises(SpecError):
+        run_spec(crowded)
+    unknown_hosts = _base_spec()
+    unknown_hosts["jobs"][0]["workers"] = ["h0", "ghost"]
+    with pytest.raises(SpecError):
+        run_spec(unknown_hosts)
+
+
+def test_run_spec_file(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(_base_spec()))
+    results = run_spec_file(str(path))
+    assert results["jobs"]["j1"]["completion_time"] > 0
+
+
+def test_cli_run_spec(tmp_path, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(_base_spec()))
+    assert main(["run-spec", str(path), "--json"]) == 0
+    out = capsys.readouterr().out
+    assert "makespan" in out and "j1" in out
+    assert '"completion_time"' in out

@@ -1,0 +1,77 @@
+"""Bootstrap statistics helpers."""
+
+import pytest
+
+from repro.analysis import (
+    bootstrap_ci,
+    paired_compare,
+    replicate,
+    summarize,
+)
+
+
+def test_summarize_basics():
+    summary = summarize([1.0, 2.0, 3.0, 4.0])
+    assert summary.n == 4
+    assert summary.mean == pytest.approx(2.5)
+    assert summary.stdev == pytest.approx(1.2909944, rel=1e-6)
+    assert summary.ci_low <= summary.mean <= summary.ci_high
+
+
+def test_ci_narrows_with_more_data():
+    narrow = summarize([10.0 + 0.01 * i for i in range(50)])
+    wide = summarize([10.0, 20.0, 0.0])
+    assert (narrow.ci_high - narrow.ci_low) < (wide.ci_high - wide.ci_low)
+
+
+def test_ci_contains_true_mean_for_tight_data():
+    low, high = bootstrap_ci([5.0] * 10)
+    assert low == pytest.approx(5.0)
+    assert high == pytest.approx(5.0)
+
+
+def test_bootstrap_deterministic_given_seed():
+    values = [1.0, 3.0, 2.0, 5.0]
+    assert bootstrap_ci(values, seed=1) == bootstrap_ci(values, seed=1)
+
+
+def test_bootstrap_validation():
+    with pytest.raises(ValueError):
+        bootstrap_ci([])
+    with pytest.raises(ValueError):
+        bootstrap_ci([1.0], confidence=1.5)
+    with pytest.raises(ValueError):
+        bootstrap_ci([1.0], resamples=0)
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_paired_compare_detects_consistent_improvement():
+    baseline = [1.0, 1.1, 0.9, 1.05, 0.95]
+    better = [x - 0.2 for x in baseline]
+    result = paired_compare(baseline, better)
+    assert result.mean_diff == pytest.approx(-0.2)
+    assert result.wins == 5
+    assert result.significant
+    assert result.ci_high < 0
+
+
+def test_paired_compare_no_difference_is_insignificant():
+    a = [1.0, 2.0, 3.0, 2.5, 1.5, 2.2]
+    b = [1.1, 1.9, 3.05, 2.4, 1.55, 2.1]
+    result = paired_compare(a, b)
+    assert not result.significant
+
+
+def test_paired_compare_validation():
+    with pytest.raises(ValueError):
+        paired_compare([1.0], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        paired_compare([], [])
+
+
+def test_replicate_runs_per_seed():
+    values = replicate(lambda seed: float(seed * seed), [1, 2, 3])
+    assert values == [1.0, 4.0, 9.0]
+    with pytest.raises(ValueError):
+        replicate(lambda seed: 0.0, [])

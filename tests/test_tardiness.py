@@ -1,0 +1,98 @@
+"""Tardiness metrics and objectives (Eqs. 1-4)."""
+
+import pytest
+
+from repro.core.arrangement import StaggeredArrangement
+from repro.core.echelonflow import EchelonFlow
+from repro.core.flow import Flow
+from repro.core.tardiness import (
+    CompletionTimeObjective,
+    FlowOutcome,
+    TardinessObjective,
+    evaluate_tardiness,
+    max_tardiness,
+    sum_tardiness_by_group,
+)
+
+
+def _outcome(flow_id, start, finish, ideal, group="g"):
+    return FlowOutcome(
+        flow_id=flow_id,
+        group_id=group,
+        start_time=start,
+        finish_time=finish,
+        ideal_finish_time=ideal,
+    )
+
+
+def test_flow_outcome_metrics():
+    outcome = _outcome(1, start=2.0, finish=7.0, ideal=5.0)
+    assert outcome.completion_time == pytest.approx(5.0)
+    assert outcome.tardiness == pytest.approx(2.0)
+
+
+def test_flow_outcome_tardiness_requires_ideal():
+    outcome = _outcome(1, start=0.0, finish=1.0, ideal=None)
+    with pytest.raises(ValueError):
+        _ = outcome.tardiness
+
+
+def test_max_tardiness():
+    outcomes = [
+        _outcome(1, 0.0, 3.0, 1.0),  # 2.0
+        _outcome(2, 0.0, 3.0, 2.5),  # 0.5
+    ]
+    assert max_tardiness(outcomes) == pytest.approx(2.0)
+    assert max_tardiness([]) == 0.0
+
+
+def test_sum_tardiness_by_group():
+    outcomes = [
+        _outcome(1, 0.0, 3.0, 1.0, group="a"),
+        _outcome(2, 0.0, 2.0, 1.0, group="a"),
+        _outcome(3, 0.0, 5.0, 5.0, group="b"),
+        FlowOutcome(4, None, 0.0, 9.0, 1.0),  # ungrouped: ignored
+    ]
+    per_group = sum_tardiness_by_group(outcomes)
+    assert per_group == {"a": pytest.approx(2.0), "b": pytest.approx(0.0)}
+
+
+def test_evaluate_tardiness_report():
+    ef1 = EchelonFlow("a", StaggeredArrangement(1.0), weight=2.0)
+    f1 = Flow("h0", "h1", 1.0, group_id="a", index_in_group=0)
+    f2 = Flow("h0", "h1", 1.0, group_id="a", index_in_group=1)
+    ef1.add_flow(f1)
+    ef1.add_flow(f2)
+    ef1.set_reference_time(0.0)  # ideals 0, 1
+    report = evaluate_tardiness([ef1], {f1.flow_id: 0.5, f2.flow_id: 1.2})
+    assert report.per_echelonflow["a"] == pytest.approx(0.5)
+    assert report.total == pytest.approx(0.5)
+    assert report.weighted_total == pytest.approx(1.0)
+    assert report.worst == pytest.approx(0.5)
+
+
+def test_evaluate_tardiness_empty():
+    report = evaluate_tardiness([], {})
+    assert report.total == 0.0
+    assert report.worst == 0.0
+
+
+class TestObjectives:
+    def test_tardiness_objective_uses_ideal(self):
+        objective = TardinessObjective()
+        assert objective.urgency(10.0, 5.0, 0.0, 3.0) == 3.0
+
+    def test_tardiness_objective_falls_back_without_ideal(self):
+        objective = TardinessObjective()
+        assert objective.urgency(10.0, 5.0, 0.0, None) == pytest.approx(15.0)
+
+    def test_fct_objective_ignores_ideal(self):
+        """The FCT anchor shifts with the flow's own start -- no recovery."""
+        objective = CompletionTimeObjective()
+        early = objective.urgency(0.0, 5.0, 0.0, 100.0)
+        late = objective.urgency(0.0, 5.0, 50.0, 100.0)
+        assert late - early == pytest.approx(50.0)
+
+    def test_names(self):
+        assert TardinessObjective().name == "tardiness"
+        assert CompletionTimeObjective().name == "fct"

@@ -1,0 +1,47 @@
+"""Unit-conversion helpers."""
+
+import math
+
+import pytest
+
+from repro.core import units
+
+
+def test_gbps_is_bytes_per_second():
+    assert units.gbps(8) == pytest.approx(1e9)
+
+
+def test_mbps_is_bytes_per_second():
+    assert units.mbps(8) == pytest.approx(1e6)
+
+
+def test_round_trip_gbps():
+    rate = units.gbps(25)
+    assert units.bytes_per_second_to_gbps(rate) == pytest.approx(25)
+
+
+def test_megabytes_gigabytes():
+    assert units.megabytes(1) == 1024.0 ** 2
+    assert units.gigabytes(1) == 1024.0 ** 3
+    assert units.gigabytes(1) == 1024 * units.megabytes(1)
+
+
+def test_milliseconds_microseconds():
+    assert units.milliseconds(3) == pytest.approx(0.003)
+    assert units.microseconds(5) == pytest.approx(5e-6)
+
+
+def test_approx_equal_absolute():
+    assert units.approx_equal(1.0, 1.0 + 1e-12)
+    assert not units.approx_equal(1.0, 1.1)
+
+
+def test_approx_equal_relative_for_large_values():
+    big = 1e15
+    assert units.approx_equal(big, big * (1 + 1e-12))
+
+
+def test_approx_leq():
+    assert units.approx_leq(1.0, 1.0)
+    assert units.approx_leq(1.0 + 1e-12, 1.0)
+    assert not units.approx_leq(1.1, 1.0)

@@ -1,0 +1,154 @@
+"""Trace validators, and cross-validation of all workloads via them."""
+
+import pytest
+
+from repro import Engine, big_switch, linear_chain, two_hosts
+from repro.analysis import TraceValidationError, validate_trace
+from repro.core.flow import Flow
+from repro.core.units import gbps, megabytes
+from repro.scheduling import (
+    CoflowMaddScheduler,
+    EchelonMaddScheduler,
+    FairSharingScheduler,
+    ShortestFlowFirstScheduler,
+    SincroniaScheduler,
+)
+from repro.simulator.trace import ComputeSpan, FlowRecord, SimulationTrace
+from repro.workloads import (
+    build_dp_allreduce,
+    build_fsdp,
+    build_pp_1f1b,
+    build_pp_gpipe,
+    build_tp_megatron,
+    uniform_model,
+)
+
+MODEL = uniform_model(
+    "u8",
+    8,
+    param_bytes_per_layer=megabytes(20),
+    activation_bytes=megabytes(10),
+    forward_time=0.004,
+)
+HOSTS = ["h0", "h1", "h2", "h3"]
+
+ALL_SCHEDULERS = [
+    FairSharingScheduler,
+    ShortestFlowFirstScheduler,
+    CoflowMaddScheduler,
+    SincroniaScheduler,
+    EchelonMaddScheduler,
+]
+
+BUILDERS = {
+    "dp": (
+        lambda: build_dp_allreduce("j", MODEL, HOSTS, bucket_bytes=megabytes(40)),
+        lambda: big_switch(4, gbps(10)),
+    ),
+    "pp": (
+        lambda: build_pp_gpipe("j", MODEL, HOSTS, num_micro_batches=4),
+        lambda: linear_chain(4, gbps(10)),
+    ),
+    "1f1b": (
+        lambda: build_pp_1f1b("j", MODEL, HOSTS, num_micro_batches=4),
+        lambda: linear_chain(4, gbps(10)),
+    ),
+    "tp": (
+        lambda: build_tp_megatron("j", MODEL, HOSTS),
+        lambda: big_switch(4, gbps(10)),
+    ),
+    "fsdp": (
+        lambda: build_fsdp("j", MODEL, HOSTS),
+        lambda: big_switch(4, gbps(10)),
+    ),
+}
+
+
+@pytest.mark.parametrize("workload", sorted(BUILDERS))
+@pytest.mark.parametrize("scheduler_cls", ALL_SCHEDULERS)
+def test_every_workload_trace_is_valid(workload, scheduler_cls):
+    """25 workload x scheduler combinations, all invariant-checked."""
+    build, topo = BUILDERS[workload]
+    job = build()
+    engine = Engine(topo(), scheduler_cls())
+    job.submit_to(engine)
+    trace = engine.run()
+    validate_trace(trace, dag=job.dag)
+
+
+class TestValidatorsCatchViolations:
+    def test_double_delivery(self):
+        flow = Flow("h0", "h1", 1.0)
+        trace = SimulationTrace(
+            flow_records=[
+                FlowRecord(flow=flow, start=0.0, finish=1.0, ideal_finish=None),
+                FlowRecord(flow=flow, start=0.0, finish=1.0, ideal_finish=None),
+            ],
+            end_time=1.0,
+        )
+        with pytest.raises(TraceValidationError):
+            validate_trace(trace)
+
+    def test_backwards_flow(self):
+        flow = Flow("h0", "h1", 1.0)
+        trace = SimulationTrace(
+            flow_records=[
+                FlowRecord(flow=flow, start=2.0, finish=1.0, ideal_finish=None)
+            ],
+            end_time=2.0,
+        )
+        with pytest.raises(TraceValidationError):
+            validate_trace(trace)
+
+    def test_flow_after_end(self):
+        flow = Flow("h0", "h1", 1.0)
+        trace = SimulationTrace(
+            flow_records=[
+                FlowRecord(flow=flow, start=0.0, finish=5.0, ideal_finish=None)
+            ],
+            end_time=1.0,
+        )
+        with pytest.raises(TraceValidationError):
+            validate_trace(trace)
+
+    def test_overlapping_compute_on_one_slot(self):
+        trace = SimulationTrace(
+            compute_spans=[
+                ComputeSpan("a", "gpu0", 0.0, 2.0, "j"),
+                ComputeSpan("b", "gpu0", 1.0, 3.0, "j"),
+            ],
+            end_time=3.0,
+        )
+        with pytest.raises(TraceValidationError):
+            validate_trace(trace)
+        # ... but fine with two slots.
+        validate_trace(trace, slots=2)
+
+    def test_back_to_back_spans_are_fine(self):
+        trace = SimulationTrace(
+            compute_spans=[
+                ComputeSpan("a", "gpu0", 0.0, 1.0, "j"),
+                ComputeSpan("b", "gpu0", 1.0, 2.0, "j"),
+            ],
+            end_time=2.0,
+        )
+        validate_trace(trace)
+
+    def test_missing_task_detected(self):
+        from repro.simulator import TaskDag
+
+        dag = TaskDag("j")
+        dag.add_barrier("never-runs")
+        trace = SimulationTrace(end_time=0.0)
+        with pytest.raises(TraceValidationError):
+            validate_trace(trace, dag=dag)
+
+
+def test_mig_traces_validate_with_slots():
+    engine = Engine(big_switch(2, gbps(10)), EchelonMaddScheduler(), device_slots=2)
+    job_a = build_dp_allreduce("a", MODEL, ["h0", "h1"], bucket_bytes=1e9)
+    job_b = build_dp_allreduce("b", MODEL, ["h0", "h1"], bucket_bytes=1e9)
+    job_a.submit_to(engine)
+    job_b.submit_to(engine)
+    trace = engine.run()
+    validate_trace(trace, slots=2)

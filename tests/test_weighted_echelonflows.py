@@ -1,0 +1,68 @@
+"""Weighted EchelonFlows: the Eq. 4 weighted-sum variant."""
+
+import pytest
+
+from repro.core.arrangement import CoflowArrangement
+from repro.core.echelonflow import EchelonFlow
+from repro.core.flow import Flow
+from repro.scheduling import EchelonMaddScheduler
+from repro.simulator import Engine, TaskDag
+from repro.topology import two_hosts
+
+
+def _competing_run(weight_a, weight_b):
+    """Two same-size coflows on one link; return (finish_a, finish_b)."""
+    engine = Engine(two_hosts(1.0), EchelonMaddScheduler())
+    flows = {}
+    for name, weight in (("a", weight_a), ("b", weight_b)):
+        ef = EchelonFlow(name, CoflowArrangement(), job_id=name, weight=weight)
+        flow = Flow("h0", "h1", 4.0, group_id=name, job_id=name)
+        ef.add_flow(flow)
+        flows[name] = flow
+        dag = TaskDag(name)
+        dag.add_comm("x", [flow])
+        engine.submit(dag, echelonflows=(ef,))
+    trace = engine.run()
+    finishes = {r.flow.group_id: r.finish for r in trace.flow_records}
+    return finishes["a"], finishes["b"]
+
+
+def test_equal_weights_tie_broken_by_id():
+    finish_a, finish_b = _competing_run(1.0, 1.0)
+    assert sorted([finish_a, finish_b]) == [pytest.approx(4.0), pytest.approx(8.0)]
+
+
+def test_heavier_echelonflow_finishes_first():
+    finish_a, finish_b = _competing_run(1.0, 5.0)
+    assert finish_b < finish_a
+    assert finish_b == pytest.approx(4.0)
+    assert finish_a == pytest.approx(8.0)
+
+
+def test_weight_flips_the_other_way():
+    finish_a, finish_b = _competing_run(5.0, 1.0)
+    assert finish_a < finish_b
+
+
+def test_weighted_sum_objective_improves():
+    """Serving the heavy group first lowers the weighted total (Eq. 4)."""
+
+    def weighted_total(weight_a, weight_b):
+        finish_a, finish_b = _competing_run(weight_a, weight_b)
+        # Both references are ~0, so tardiness == finish here.
+        return weight_a * finish_a + weight_b * finish_b
+
+    # With b heavy, scheduling must put b first: 5*4 + 1*8 = 28 < 5*8 + 4.
+    assert weighted_total(1.0, 5.0) == pytest.approx(28.0)
+
+
+def test_weights_do_not_break_single_group():
+    engine = Engine(two_hosts(1.0), EchelonMaddScheduler())
+    ef = EchelonFlow("solo", CoflowArrangement(), job_id="j", weight=42.0)
+    flow = Flow("h0", "h1", 3.0, group_id="solo", job_id="j")
+    ef.add_flow(flow)
+    dag = TaskDag("j")
+    dag.add_comm("x", [flow])
+    engine.submit(dag, echelonflows=(ef,))
+    trace = engine.run()
+    assert trace.end_time == pytest.approx(3.0)

@@ -1,0 +1,106 @@
+"""DP-AllReduce and DP-PS workload builders (Fig. 4, Case I)."""
+
+import pytest
+
+from repro.scheduling import FairSharingScheduler
+from repro.simulator import Engine, TaskKind
+from repro.topology import big_switch
+from repro.workloads import build_dp_allreduce, build_dp_ps, uniform_model
+
+MODEL = uniform_model(
+    "u4", 4, param_bytes_per_layer=100.0, activation_bytes=10.0, forward_time=1.0
+)
+WORKERS = ["h0", "h1", "h2"]
+
+
+class TestDpAllReduce:
+    def test_every_echelonflow_is_a_coflow(self):
+        job = build_dp_allreduce("j", MODEL, WORKERS, bucket_bytes=200.0)
+        assert job.paradigm == "dp-allreduce"
+        assert job.echelonflows
+        assert all(ef.is_coflow() for ef in job.echelonflows)
+
+    def test_one_coflow_per_bucket(self):
+        job = build_dp_allreduce("j", MODEL, WORKERS, bucket_bytes=200.0)
+        buckets = MODEL.gradient_buckets(200.0)
+        assert len(job.echelonflows) == len(buckets)
+
+    def test_dag_executes(self):
+        job = build_dp_allreduce("j", MODEL, WORKERS, bucket_bytes=200.0)
+        engine = Engine(big_switch(3, 50.0), FairSharingScheduler())
+        job.submit_to(engine)
+        trace = engine.run()
+        # Forward (4) + backward (8) serialized per worker, plus comm.
+        assert trace.last_compute_end() >= 12.0
+        assert engine.completed_jobs == ["j"]
+
+    def test_iterations_chain_through_barrier(self):
+        one = build_dp_allreduce("j", MODEL, WORKERS, bucket_bytes=1e9, iterations=1)
+        two = build_dp_allreduce("j", MODEL, WORKERS, bucket_bytes=1e9, iterations=2)
+
+        def run(job):
+            engine = Engine(big_switch(3, 50.0), FairSharingScheduler())
+            job.submit_to(engine)
+            return engine.run().end_time
+
+        t1, t2 = run(one), run(two)
+        assert t2 == pytest.approx(2 * t1, rel=1e-6)
+
+    def test_update_time_adds_compute(self):
+        without = build_dp_allreduce("j", MODEL, WORKERS, bucket_bytes=1e9)
+        with_update = build_dp_allreduce(
+            "j", MODEL, WORKERS, bucket_bytes=1e9, update_time=0.5
+        )
+        def run(job):
+            engine = Engine(big_switch(3, 50.0), FairSharingScheduler())
+            job.submit_to(engine)
+            return engine.run().end_time
+        assert run(with_update) == pytest.approx(run(without) + 0.5)
+
+    def test_allreduce_waits_for_all_workers_bucket_backward(self):
+        job = build_dp_allreduce("j", MODEL, WORKERS, bucket_bytes=1e9)
+        dag = job.dag
+        first_step = next(
+            t for t in dag.tasks() if t.kind is TaskKind.COMM and "/s0" in t.task_id
+        )
+        assert len(first_step.deps) == len(WORKERS)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_dp_allreduce("j", MODEL, ["h0"], bucket_bytes=100.0)
+        with pytest.raises(ValueError):
+            build_dp_allreduce("j", MODEL, WORKERS, bucket_bytes=100.0, iterations=0)
+
+
+class TestDpPs:
+    def test_push_and_pull_coflows(self):
+        job = build_dp_ps("j", MODEL, WORKERS, "h3", bucket_bytes=200.0)
+        buckets = MODEL.gradient_buckets(200.0)
+        assert len(job.echelonflows) == 2 * len(buckets)
+        assert all(ef.is_coflow() for ef in job.echelonflows)
+        pushes = [ef for ef in job.echelonflows if "push" in ef.ef_id]
+        pulls = [ef for ef in job.echelonflows if "pull" in ef.ef_id]
+        assert len(pushes) == len(pulls) == len(buckets)
+
+    def test_flow_directions(self):
+        job = build_dp_ps("j", MODEL, WORKERS, "h3", bucket_bytes=1e9)
+        for ef in job.echelonflows:
+            for flow in ef.flows:
+                if "push" in ef.ef_id:
+                    assert flow.dst == "h3"
+                else:
+                    assert flow.src == "h3"
+
+    def test_dag_executes_with_server_update(self):
+        job = build_dp_ps(
+            "j", MODEL, WORKERS, "h3", bucket_bytes=200.0, update_time=0.1
+        )
+        engine = Engine(big_switch(4, 50.0), FairSharingScheduler())
+        job.submit_to(engine)
+        trace = engine.run()
+        server_spans = trace.spans_of_device("h3")
+        assert len(server_spans) == len(MODEL.gradient_buckets(200.0))
+
+    def test_server_must_not_be_worker(self):
+        with pytest.raises(ValueError):
+            build_dp_ps("j", MODEL, WORKERS, "h0", bucket_bytes=100.0)

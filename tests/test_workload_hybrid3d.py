@@ -1,0 +1,137 @@
+"""3D hybrid parallelism (TP x PP x DP) workload builder."""
+
+import pytest
+
+from repro.core.arrangement import CoflowArrangement, StaggeredArrangement
+from repro.core.units import gbps, megabytes
+from repro.scheduling import (
+    CoflowMaddScheduler,
+    EchelonMaddScheduler,
+    FairSharingScheduler,
+)
+from repro.simulator import Engine
+from repro.topology import big_switch
+from repro.workloads import build_hybrid_3d, grid_from_hosts, uniform_model
+
+MODEL = uniform_model(
+    "u8",
+    8,
+    param_bytes_per_layer=megabytes(40),
+    activation_bytes=megabytes(20),
+    forward_time=0.004,
+)
+HOSTS8 = [f"h{i}" for i in range(8)]
+
+
+class TestGrid:
+    def test_shape_and_tp_innermost(self):
+        grid = grid_from_hosts(HOSTS8, dp=2, pp=2, tp=2)
+        assert grid == [
+            [["h0", "h1"], ["h2", "h3"]],
+            [["h4", "h5"], ["h6", "h7"]],
+        ]
+
+    def test_insufficient_hosts(self):
+        with pytest.raises(ValueError):
+            grid_from_hosts(HOSTS8, dp=2, pp=2, tp=4)
+
+    def test_duplicate_hosts_rejected(self):
+        with pytest.raises(ValueError):
+            grid_from_hosts(["h0", "h0", "h1", "h2"], dp=1, pp=2, tp=2)
+
+
+class TestBuilder:
+    def _job(self, **kwargs):
+        grid = grid_from_hosts(HOSTS8, dp=2, pp=2, tp=2)
+        defaults = dict(num_micro_batches=4)
+        defaults.update(kwargs)
+        return build_hybrid_3d("j", MODEL, grid, **defaults)
+
+    def test_echelonflow_mix(self):
+        """One job emits both arrangement families simultaneously."""
+        job = self._job()
+        staggered = [
+            ef for ef in job.echelonflows
+            if isinstance(ef.arrangement, StaggeredArrangement)
+        ]
+        coflows = [
+            ef for ef in job.echelonflows
+            if isinstance(ef.arrangement, CoflowArrangement)
+        ]
+        # 2 replicas x 1 boundary x 2 directions = 4 staggered EFs.
+        assert len(staggered) == 4
+        # TP syncs: 2 replicas x 2 stages x 4 mbs = 16; DP ar: 2x2 = 4.
+        assert len(coflows) == 16 + 4
+
+    def test_flow_counts(self):
+        job = self._job()
+        pp_flows = sum(
+            ef.cardinality
+            for ef in job.echelonflows
+            if isinstance(ef.arrangement, StaggeredArrangement)
+        )
+        # Per boundary per direction: 4 mbs x 2 tp ranks = 8 flows;
+        # 2 replicas x 2 directions -> 32.
+        assert pp_flows == 32
+
+    def test_executes_under_every_scheduler(self):
+        for scheduler in (
+            FairSharingScheduler(),
+            CoflowMaddScheduler(),
+            EchelonMaddScheduler(),
+        ):
+            job = self._job()
+            engine = Engine(big_switch(8, gbps(10)), scheduler)
+            job.submit_to(engine)
+            engine.run()
+            assert engine.completed_jobs == ["j"]
+
+    def test_echelon_not_worse_than_coflow(self):
+        def run(scheduler):
+            job = self._job()
+            engine = Engine(big_switch(8, gbps(10)), scheduler)
+            job.submit_to(engine)
+            return engine.run().end_time
+
+        assert run(EchelonMaddScheduler()) <= run(CoflowMaddScheduler()) * 1.001
+
+    def test_dp1_skips_gradient_sync(self):
+        grid = grid_from_hosts(HOSTS8[:4], dp=1, pp=2, tp=2)
+        job = build_hybrid_3d("j", MODEL, grid, num_micro_batches=2)
+        assert not any("dp-ar" in ef.ef_id for ef in job.echelonflows)
+        engine = Engine(big_switch(4, gbps(10)), EchelonMaddScheduler())
+        job.submit_to(engine)
+        engine.run()
+        assert engine.completed_jobs == ["j"]
+
+    def test_tp_compute_sharding(self):
+        job = self._job()
+        engine = Engine(big_switch(8, gbps(10)), FairSharingScheduler())
+        job.submit_to(engine)
+        trace = engine.run()
+        fwd = [s for s in trace.compute_spans if s.tag.startswith("F")]
+        # Stage forward 0.016s over tp=2 and 4 micro-batches: 0.002 each.
+        assert fwd[0].duration == pytest.approx(0.016 / 2 / 4)
+
+    def test_replicas_are_symmetric(self):
+        job = self._job()
+        engine = Engine(big_switch(8, gbps(10)), FairSharingScheduler())
+        job.submit_to(engine)
+        trace = engine.run()
+        r0_last = max(
+            s.end for s in trace.compute_spans if s.device in ("h0", "h1", "h2", "h3")
+        )
+        r1_last = max(
+            s.end for s in trace.compute_spans if s.device in ("h4", "h5", "h6", "h7")
+        )
+        assert r0_last == pytest.approx(r1_last, rel=1e-6)
+
+    def test_validation(self):
+        grid = grid_from_hosts(HOSTS8, dp=2, pp=2, tp=2)
+        with pytest.raises(ValueError):
+            build_hybrid_3d("j", MODEL, grid, num_micro_batches=0)
+        with pytest.raises(ValueError):
+            build_hybrid_3d("j", MODEL, [], num_micro_batches=2)
+        ragged = [[["h0", "h1"]], [["h2"]]]
+        with pytest.raises(ValueError):
+            build_hybrid_3d("j", MODEL, ragged, num_micro_batches=2)

@@ -1,0 +1,136 @@
+"""Pipeline parallelism builders (Fig. 1, Case II)."""
+
+import pytest
+
+from repro.core.arrangement import StaggeredArrangement
+from repro.scheduling import EchelonMaddScheduler, FairSharingScheduler
+from repro.simulator import Engine
+from repro.topology import linear_chain, two_hosts
+from repro.workloads import build_pipeline_segment, build_pp_gpipe, uniform_model
+
+MODEL = uniform_model(
+    "u8", 8, param_bytes_per_layer=100.0, activation_bytes=8.0, forward_time=1.0
+)
+
+
+class TestGpipe:
+    def test_echelonflows_are_staggered(self):
+        job = build_pp_gpipe("j", MODEL, ["h0", "h1", "h2", "h3"], 4)
+        assert job.paradigm == "pp-gpipe"
+        # One fwd + one bwd EF per boundary.
+        assert len(job.echelonflows) == 2 * 3
+        for ef in job.echelonflows:
+            assert isinstance(ef.arrangement, StaggeredArrangement)
+            assert not ef.is_coflow()
+            assert ef.cardinality == 4  # one flow per micro-batch
+
+    def test_distance_is_consumer_compute_time(self):
+        job = build_pp_gpipe("j", MODEL, ["h0", "h1"], num_micro_batches=4)
+        fwd_ef = next(ef for ef in job.echelonflows if "fwd" in ef.ef_id)
+        # Consumer = stage 1: 4 layers x 1.0 fwd / 4 micro-batches.
+        assert fwd_ef.arrangement.distance == pytest.approx(1.0)
+        bwd_ef = next(ef for ef in job.echelonflows if "bwd" in ef.ef_id)
+        # Consumer = stage 0: backward time 4 layers x 2.0 / 4 mbs.
+        assert bwd_ef.arrangement.distance == pytest.approx(2.0)
+
+    def test_executes_and_completes(self):
+        job = build_pp_gpipe("j", MODEL, ["h0", "h1"], num_micro_batches=4)
+        engine = Engine(linear_chain(2, 1000.0), FairSharingScheduler())
+        job.submit_to(engine)
+        trace = engine.run()
+        assert engine.completed_jobs == ["j"]
+        # Fast network: makespan close to the GPipe pipeline formula
+        # (m + p - 1) * (T_f) for forward plus backward counterpart.
+        fwd = 1.0  # per-stage per-microbatch forward
+        bwd = 2.0
+        ideal = (4 + 2 - 1) * fwd + (4 + 2 - 1) * bwd
+        assert trace.last_compute_end() == pytest.approx(ideal, rel=0.01)
+
+    def test_micro_batch_order_is_preserved_per_stage(self):
+        job = build_pp_gpipe("j", MODEL, ["h0", "h1"], num_micro_batches=3)
+        engine = Engine(linear_chain(2, 1000.0), FairSharingScheduler())
+        job.submit_to(engine)
+        trace = engine.run()
+        fwd_spans = [
+            s for s in trace.compute_spans if s.device == "h1" and s.tag.startswith("F")
+        ]
+        starts = [s.start for s in sorted(fwd_spans, key=lambda s: s.tag)]
+        assert starts == sorted(starts)
+
+    def test_gpipe_flush_before_backward(self):
+        """No backward compute may start before the stage's last forward."""
+        job = build_pp_gpipe("j", MODEL, ["h0", "h1"], num_micro_batches=3)
+        engine = Engine(linear_chain(2, 1000.0), FairSharingScheduler())
+        job.submit_to(engine)
+        trace = engine.run()
+        last_fwd = max(
+            s.end for s in trace.compute_spans
+            if s.device == "h1" and s.tag.startswith("F")
+        )
+        first_bwd = min(
+            s.start for s in trace.compute_spans
+            if s.device == "h1" and s.tag.startswith("B")
+        )
+        assert first_bwd >= last_fwd - 1e-9
+
+    def test_multi_iteration(self):
+        job = build_pp_gpipe("j", MODEL, ["h0", "h1"], 2, iterations=2)
+        engine = Engine(linear_chain(2, 1000.0), FairSharingScheduler())
+        job.submit_to(engine)
+        trace = engine.run()
+        assert engine.completed_jobs == ["j"]
+        assert len(job.echelonflows) == 2 * 1 * 2  # 2 iters x 1 boundary x 2 dirs
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_pp_gpipe("j", MODEL, ["h0"], 4)
+        with pytest.raises(ValueError):
+            build_pp_gpipe("j", MODEL, ["h0", "h1"], 0)
+
+
+class TestPipelineSegment:
+    def test_fig2_under_echelon_is_optimal(self):
+        job = build_pipeline_segment(
+            "j",
+            "h0",
+            "h1",
+            release_times=[0.0, 1.0, 2.0],
+            flow_sizes=[2.0, 2.0, 2.0],
+            consumer_compute_times=[2.0, 2.0, 2.0],
+        )
+        engine = Engine(two_hosts(1.0), EchelonMaddScheduler())
+        job.submit_to(engine)
+        trace = engine.run()
+        assert trace.last_compute_end() == pytest.approx(8.0)
+
+    def test_release_times_respected(self):
+        job = build_pipeline_segment(
+            "j",
+            "h0",
+            "h1",
+            release_times=[0.5, 2.5],
+            flow_sizes=[1.0, 1.0],
+            consumer_compute_times=[0.1, 0.1],
+        )
+        engine = Engine(two_hosts(1000.0), FairSharingScheduler())
+        job.submit_to(engine)
+        trace = engine.run()
+        starts = sorted(r.start for r in trace.flow_records)
+        assert starts[0] == pytest.approx(0.5)
+        assert starts[1] == pytest.approx(2.5)
+
+    def test_distance_defaults_to_first_compute(self):
+        job = build_pipeline_segment(
+            "j", "h0", "h1", [0.0, 1.0], [1.0, 1.0], [3.0, 3.0]
+        )
+        assert job.echelonflows[0].arrangement.distance == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_pipeline_segment("j", "h0", "h1", [0.0], [1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            build_pipeline_segment("j", "h0", "h1", [], [], [])
+        with pytest.raises(ValueError):
+            build_pipeline_segment("j", "h0", "h1", [2.0, 1.0], [1.0, 1.0], [1.0, 1.0])
+        with pytest.raises(ValueError):
+            build_pipeline_segment("j", "h0", "h0", [0.0], [1.0], [1.0])

@@ -1,0 +1,144 @@
+"""1F1B pipeline schedule: ordering, arrangement, and execution."""
+
+import pytest
+
+from repro.core.arrangement import TabledArrangement
+from repro.scheduling import (
+    CoflowMaddScheduler,
+    EchelonMaddScheduler,
+    FairSharingScheduler,
+)
+from repro.simulator import Engine
+from repro.topology import linear_chain
+from repro.workloads import build_pp_1f1b, build_pp_gpipe, one_f_one_b_order, uniform_model
+from repro.core.units import gbps, megabytes
+
+MODEL = uniform_model(
+    "u8",
+    8,
+    param_bytes_per_layer=megabytes(40),
+    activation_bytes=megabytes(20),
+    forward_time=0.004,
+)
+HOSTS = ["h0", "h1", "h2", "h3"]
+
+
+class TestOrder:
+    def test_last_stage_alternates_strictly(self):
+        order = one_f_one_b_order(3, 4, 6)
+        kinds = [kind for kind, _mb in order]
+        assert kinds == ["F", "B"] * 6
+
+    def test_first_stage_warmup_depth(self):
+        order = one_f_one_b_order(0, 4, 6)
+        # Warm-up = p - s = 4 forwards before the first backward.
+        assert [kind for kind, _ in order[:4]] == ["F"] * 4
+        assert order[4] == ("B", 0)
+
+    def test_every_micro_batch_appears_once_each_way(self):
+        for stage in range(4):
+            order = one_f_one_b_order(stage, 4, 6)
+            forwards = [mb for kind, mb in order if kind == "F"]
+            backwards = [mb for kind, mb in order if kind == "B"]
+            assert forwards == list(range(6))
+            assert backwards == list(range(6))
+
+    def test_backward_never_precedes_its_forward(self):
+        for stage in range(4):
+            order = one_f_one_b_order(stage, 4, 6)
+            seen_forward = set()
+            for kind, mb in order:
+                if kind == "F":
+                    seen_forward.add(mb)
+                else:
+                    assert mb in seen_forward
+
+    def test_fewer_micro_batches_than_stages(self):
+        order = one_f_one_b_order(0, 4, 2)
+        assert [kind for kind, _ in order] == ["F", "F", "B", "B"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            one_f_one_b_order(4, 4, 2)
+        with pytest.raises(ValueError):
+            one_f_one_b_order(0, 4, 0)
+
+
+class TestBuilder:
+    def test_arrangements_are_tabled_and_non_uniform(self):
+        job = build_pp_1f1b("j", MODEL, HOSTS, num_micro_batches=6)
+        assert job.paradigm == "pp-1f1b"
+        fwd_ef = next(ef for ef in job.echelonflows if "fwd0-1" in ef.ef_id)
+        assert isinstance(fwd_ef.arrangement, TabledArrangement)
+        offsets = [fwd_ef.arrangement.offset(j) for j in range(6)]
+        gaps = [b - a for a, b in zip(offsets, offsets[1:])]
+        # Warm-up gaps are T_fwd; steady-state gaps are T_fwd + T_bwd --
+        # "more complicated than Eq. 6".
+        assert len(set(round(g, 12) for g in gaps)) > 1
+
+    def test_executes_and_matches_analytic_makespan_on_fast_network(self):
+        job = build_pp_1f1b("j", MODEL, HOSTS, num_micro_batches=8)
+        engine = Engine(linear_chain(4, gbps(100000)), FairSharingScheduler())
+        job.submit_to(engine)
+        trace = engine.run()
+        # Synchronous 1F1B makespan equals GPipe's for equal stage times:
+        # (m + p - 1) * (T_f + T_b).
+        t_f = MODEL.total_forward_time / 4 / 8
+        t_b = MODEL.total_backward_time / 4 / 8
+        ideal = (8 + 4 - 1) * (t_f + t_b)
+        assert trace.last_compute_end() == pytest.approx(ideal, rel=0.01)
+
+    def test_in_flight_activations_bounded(self):
+        """1F1B's point: stage s never holds more than p - s live fwds."""
+        job = build_pp_1f1b("j", MODEL, HOSTS, num_micro_batches=8)
+        engine = Engine(linear_chain(4, gbps(100000)), FairSharingScheduler())
+        job.submit_to(engine)
+        trace = engine.run()
+        spans = [
+            s for s in trace.compute_spans if s.device == "h0"
+        ]
+        live = 0
+        peak = 0
+        for span in sorted(spans, key=lambda s: s.start):
+            if span.tag.startswith("F"):
+                live += 1
+                peak = max(peak, live)
+            else:
+                live -= 1
+        assert peak <= 4  # p - 0
+
+    def test_echelon_beats_baselines_under_contention(self):
+        def run(scheduler):
+            job = build_pp_1f1b("j", MODEL, HOSTS, num_micro_batches=8)
+            engine = Engine(linear_chain(4, gbps(3)), scheduler)
+            job.submit_to(engine)
+            return engine.run().last_compute_end()
+
+        echelon = run(EchelonMaddScheduler())
+        fair = run(FairSharingScheduler())
+        coflow = run(CoflowMaddScheduler())
+        assert echelon < fair < coflow
+
+    def test_1f1b_not_slower_than_gpipe(self):
+        def run(builder):
+            job = builder("j", MODEL, HOSTS, num_micro_batches=8)
+            engine = Engine(linear_chain(4, gbps(3)), EchelonMaddScheduler())
+            job.submit_to(engine)
+            return engine.run().last_compute_end()
+
+        assert run(build_pp_1f1b) <= run(build_pp_gpipe) + 1e-9
+
+    def test_multi_iteration(self):
+        job = build_pp_1f1b("j", MODEL, HOSTS, 4, iterations=2, update_time=0.001)
+        engine = Engine(linear_chain(4, gbps(10)), EchelonMaddScheduler())
+        job.submit_to(engine)
+        engine.run()
+        assert engine.completed_jobs == ["j"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_pp_1f1b("j", MODEL, ["h0"], 4)
+        with pytest.raises(ValueError):
+            build_pp_1f1b("j", MODEL, HOSTS, 0)
+        with pytest.raises(ValueError):
+            build_pp_1f1b("j", MODEL, HOSTS, 4, iterations=0)

@@ -1,0 +1,107 @@
+"""Interleaved (virtual-stage) pipeline parallelism."""
+
+import pytest
+
+from repro.analysis import gpu_idleness, validate_trace
+from repro.core.units import gbps, megabytes
+from repro.scheduling import (
+    CoflowMaddScheduler,
+    EchelonMaddScheduler,
+    FairSharingScheduler,
+)
+from repro.simulator import Engine
+from repro.topology import big_switch
+from repro.workloads import build_pp_gpipe, build_pp_interleaved, uniform_model
+
+MODEL = uniform_model(
+    "u16",
+    16,
+    param_bytes_per_layer=megabytes(20),
+    activation_bytes=megabytes(20),
+    forward_time=0.002,
+)
+HOSTS = ["h0", "h1", "h2", "h3"]
+
+
+def _run(job, bandwidth=gbps(10000), scheduler=None):
+    engine = Engine(big_switch(4, bandwidth), scheduler or FairSharingScheduler())
+    job.submit_to(engine)
+    return engine.run()
+
+
+class TestStructure:
+    def test_chunks_cycle_around_the_worker_ring(self):
+        job = build_pp_interleaved("j", MODEL, HOSTS, 2, virtual_stages=2)
+        trace = _run(job)
+        validate_trace(trace, dag=job.dag)
+        # Chunk c runs on worker c % p: chunk 5 on h1.
+        span = next(s for s in trace.compute_spans if s.tag == "F c5 mb0")
+        assert span.device == "h1"
+
+    def test_wraparound_boundary_traffic(self):
+        job = build_pp_interleaved("j", MODEL, HOSTS, 2, virtual_stages=2)
+        # Boundary chunk 3 -> chunk 4 wraps from h3 back to h0.
+        wrap = [f for f in job.dag.all_flows() if "c3->c4" in f.tag]
+        assert wrap and all(f.src == "h3" and f.dst == "h0" for f in wrap)
+
+    def test_v1_matches_gpipe_makespan(self):
+        interleaved = build_pp_interleaved("j", MODEL, HOSTS, 4, virtual_stages=1)
+        gpipe = build_pp_gpipe("j", MODEL, HOSTS, 4)
+        assert _run(interleaved).end_time == pytest.approx(
+            _run(gpipe).end_time, rel=1e-6
+        )
+
+    def test_boundary_count(self):
+        job = build_pp_interleaved("j", MODEL, HOSTS, 3, virtual_stages=2)
+        # 2 directions x (p*v - 1) boundaries.
+        assert len(job.echelonflows) == 2 * (4 * 2 - 1)
+
+
+class TestBubbleReduction:
+    def test_idle_share_shrinks_with_virtual_stages(self):
+        idles = []
+        for v in (1, 2, 4):
+            job = build_pp_interleaved("j", MODEL, HOSTS, 4, virtual_stages=v)
+            trace = _run(job)
+            report = gpu_idleness(trace, horizon=trace.end_time)
+            idles.append(1.0 - report.total_busy / (4 * trace.end_time))
+        assert idles[0] > idles[1] > idles[2]
+
+    def test_makespan_shrinks_with_virtual_stages(self):
+        times = []
+        for v in (1, 2, 4):
+            job = build_pp_interleaved("j", MODEL, HOSTS, 4, virtual_stages=v)
+            times.append(_run(job).end_time)
+        assert times[0] > times[1] > times[2]
+
+
+class TestScheduling:
+    def test_echelon_beats_baselines_under_contention(self):
+        def run(scheduler):
+            job = build_pp_interleaved("j", MODEL, HOSTS, 8, virtual_stages=2)
+            return _run(job, bandwidth=gbps(3), scheduler=scheduler).last_compute_end()
+
+        echelon = run(EchelonMaddScheduler())
+        fair = run(FairSharingScheduler())
+        coflow = run(CoflowMaddScheduler())
+        assert echelon < fair < coflow
+
+    def test_multi_iteration_completes(self):
+        job = build_pp_interleaved(
+            "j", MODEL, HOSTS, 2, virtual_stages=2, iterations=2, update_time=1e-4
+        )
+        engine = Engine(big_switch(4, gbps(10)), EchelonMaddScheduler())
+        job.submit_to(engine)
+        engine.run()
+        assert engine.completed_jobs == ["j"]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        build_pp_interleaved("j", MODEL, HOSTS, 0, virtual_stages=2)
+    with pytest.raises(ValueError):
+        build_pp_interleaved("j", MODEL, HOSTS, 2, virtual_stages=0)
+    with pytest.raises(ValueError):
+        build_pp_interleaved("j", MODEL, HOSTS, 2, virtual_stages=8)  # > layers
+    with pytest.raises(ValueError):
+        build_pp_interleaved("j", MODEL, HOSTS, 2, virtual_stages=2, iterations=0)

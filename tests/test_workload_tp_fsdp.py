@@ -1,0 +1,131 @@
+"""TP (Fig. 5) and FSDP (Fig. 3) workload builders."""
+
+import pytest
+
+from repro.core.arrangement import PhasedArrangement, TabledArrangement
+from repro.scheduling import FairSharingScheduler
+from repro.simulator import Engine
+from repro.topology import big_switch
+from repro.workloads import (
+    build_fsdp,
+    build_tp_megatron,
+    fsdp_arrangement,
+    uniform_model,
+)
+
+MODEL = uniform_model(
+    "u4", 4, param_bytes_per_layer=100.0, activation_bytes=10.0, forward_time=1.0
+)
+WORKERS = ["h0", "h1", "h2"]
+
+
+class TestTensorParallel:
+    def test_two_allreduces_per_layer(self):
+        job = build_tp_megatron("j", MODEL, WORKERS)
+        assert job.paradigm == "tp-megatron"
+        # One activation sync per layer forward + one gradient sync backward.
+        assert len(job.echelonflows) == 2 * MODEL.num_layers
+        assert all(ef.is_coflow() for ef in job.echelonflows)
+
+    def test_compute_is_sharded(self):
+        job = build_tp_megatron("j", MODEL, WORKERS)
+        engine = Engine(big_switch(3, 1e6), FairSharingScheduler())
+        job.submit_to(engine)
+        trace = engine.run()
+        fwd = [s for s in trace.compute_spans if s.tag.startswith("F")]
+        assert fwd[0].duration == pytest.approx(1.0 / 3)
+
+    def test_layers_serialize_through_allreduce(self):
+        job = build_tp_megatron("j", MODEL, WORKERS)
+        engine = Engine(big_switch(3, 50.0), FairSharingScheduler())
+        job.submit_to(engine)
+        trace = engine.run()
+        f_ends = {}
+        for span in trace.compute_spans:
+            if span.tag.startswith("F layer"):
+                layer = int(span.tag.split("layer")[1])
+                f_ends.setdefault(layer, []).append(span)
+        # Layer 1 forward cannot start before layer 0's all-reduce, which
+        # cannot start before layer 0's forward ends everywhere.
+        l0_end = max(s.end for s in f_ends[0])
+        l1_start = min(s.start for s in f_ends[1])
+        assert l1_start > l0_end
+
+    def test_completes(self):
+        job = build_tp_megatron("j", MODEL, WORKERS, iterations=2)
+        engine = Engine(big_switch(3, 50.0), FairSharingScheduler())
+        job.submit_to(engine)
+        engine.run()
+        assert engine.completed_jobs == ["j"]
+
+
+class TestFsdpArrangement:
+    def test_eq7_mean_distances(self):
+        arrangement = fsdp_arrangement(MODEL)
+        assert isinstance(arrangement, PhasedArrangement)
+        assert arrangement.forward_distance == pytest.approx(1.0)
+        assert arrangement.backward_distance == pytest.approx(2.0)
+
+    def test_exact_arrangement_tracks_layers(self):
+        arrangement = fsdp_arrangement(MODEL, exact=True)
+        assert isinstance(arrangement, TabledArrangement)
+        # Forward offsets 0,1,2,3; backward starts at 4 and steps by 2.
+        offsets = [arrangement.offset(i) for i in range(8)]
+        assert offsets == [0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 10.0]
+
+
+class TestFsdp:
+    def test_structure(self):
+        job = build_fsdp("j", MODEL, WORKERS)
+        assert job.paradigm == "fsdp"
+        ag_efs = [ef for ef in job.echelonflows if ef.ef_id.endswith("/ag")]
+        rs_efs = [ef for ef in job.echelonflows if "/rs" in ef.ef_id]
+        assert len(ag_efs) == 1
+        assert len(rs_efs) == MODEL.num_layers
+        assert not ag_efs[0].is_coflow()  # staggered Coflow finish times
+        assert all(ef.is_coflow() for ef in rs_efs)
+
+    def test_ag_indices_cover_both_phases(self):
+        job = build_fsdp("j", MODEL, WORKERS)
+        ag = next(ef for ef in job.echelonflows if ef.ef_id.endswith("/ag"))
+        indices = {f.index_in_group for f in ag.flows}
+        assert indices == set(range(2 * MODEL.num_layers))
+
+    def test_flows_at_same_index_form_intra_ef_coflow(self):
+        job = build_fsdp("j", MODEL, WORKERS)
+        ag = next(ef for ef in job.echelonflows if ef.ef_id.endswith("/ag"))
+        ag.set_reference_time(0.0)
+        per_index = {}
+        for flow in ag.flows:
+            per_index.setdefault(flow.index_in_group, set()).add(
+                ag.ideal_finish_time_of(flow)
+            )
+        assert all(len(ideals) == 1 for ideals in per_index.values())
+
+    def test_prefetch_limit_bounds_concurrent_gathers(self):
+        job = build_fsdp("j", MODEL, WORKERS, prefetch_limit=1)
+        engine = Engine(big_switch(3, 20.0), FairSharingScheduler())
+        job.submit_to(engine)
+        trace = engine.run()
+        # With prefetch 1, ag for layer 1 cannot finish before F0 starts,
+        # i.e. gathers do not all run up front.
+        ag1_first = min(
+            r.start for r in trace.flow_records if r.flow.tag.startswith("ag fwd l1")
+        )
+        f0_start = min(
+            s.start for s in trace.compute_spans if s.tag == "F l0"
+        )
+        assert ag1_first >= f0_start - 1e-9
+
+    def test_completes_with_updates(self):
+        job = build_fsdp("j", MODEL, WORKERS, update_time=0.1)
+        engine = Engine(big_switch(3, 50.0), FairSharingScheduler())
+        job.submit_to(engine)
+        engine.run()
+        assert engine.completed_jobs == ["j"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_fsdp("j", MODEL, WORKERS, prefetch_limit=0)
+        with pytest.raises(ValueError):
+            build_fsdp("j", MODEL, WORKERS, iterations=0)
