@@ -118,6 +118,30 @@ def test_multijob_scheduler_comparison(benchmark, report):
     assert max_jcts["echelon-protective"] <= min(max_jcts.values()) * 1.02
 
 
+def test_multijob_obs_metrics(results_dir):
+    """Emit the obs-layer metrics report for the echelon run: invocation
+    counts by trigger cause, per-link utilization on the oversubscribed
+    core, and per-EchelonFlow tardiness -- diffable across PRs."""
+    import json
+
+    from repro.obs import Instrumentation, ProfiledScheduler, build_metrics_report
+
+    obs = Instrumentation()
+    scheduler = ProfiledScheduler(EchelonMaddScheduler(), registry=obs.registry)
+    engine = Engine(_topology(), scheduler, instrumentation=obs)
+    jobs = _jobs()
+    for job in jobs:
+        job.submit_to(engine)
+    trace = engine.run()
+    metrics = build_metrics_report(trace, instrumentation=obs, profiler=scheduler)
+    path = results_dir / "E12_multijob_metrics.json"
+    path.write_text(json.dumps(metrics, indent=2, sort_keys=True, default=str) + "\n")
+    assert metrics["scheduler"]["invocations"] > 0
+    assert metrics["scheduler"]["by_cause"]
+    assert metrics["links"]
+    assert metrics["echelonflows"]
+
+
 def test_multijob_ordering_ablation(benchmark, report):
     def sweep():
         rows = []

@@ -20,6 +20,8 @@ The engine supports both rerun policies. Two findings:
   schedule.
 """
 
+import json
+
 import pytest
 
 from repro.analysis import format_table
@@ -125,6 +127,39 @@ def test_interval_tradeoff(benchmark, report):
     tick_rows = rows[1:]
     invocation_counts = [row[2] for row in tick_rows]
     assert invocation_counts == sorted(invocation_counts, reverse=True)
+
+
+def test_interval_obs_metrics(results_dir):
+    """Emit the obs-layer metrics report for both rerun policies, so the
+    E21 invocation/wall-clock numbers are diffable across PRs."""
+    from repro.obs import Instrumentation, ProfiledScheduler, build_metrics_report
+
+    def run(scheduling_interval):
+        obs = Instrumentation()
+        scheduler = ProfiledScheduler(EchelonMaddScheduler(), registry=obs.registry)
+        topology = big_switch(12, gbps(10))
+        engine = Engine(
+            topology,
+            scheduler,
+            scheduling_interval=scheduling_interval,
+            instrumentation=obs,
+        )
+        manager = ClusterManager(engine, ClusterPlacer(topology))
+        manager.schedule(poisson_arrivals(TEMPLATES, rate=20.0, count=24, seed=7))
+        trace = engine.run()
+        full = build_metrics_report(trace, instrumentation=obs, profiler=scheduler)
+        # Keep only the sections that diff meaningfully across PRs; the
+        # per-group breakdowns for 24 Poisson-arriving jobs are churn.
+        return {k: full[k] for k in ("version", "run", "scheduler", "links", "flows")}
+
+    metrics = {"per_event": run(None), "tick_50ms": run(0.05)}
+    path = results_dir / "E21_scheduling_interval_metrics.json"
+    path.write_text(json.dumps(metrics, indent=2, sort_keys=True, default=str) + "\n")
+    per_event = metrics["per_event"]["scheduler"]
+    tick = metrics["tick_50ms"]["scheduler"]
+    assert per_event["invocations"] > tick["invocations"]
+    assert "tick" in tick["by_cause"]
+    assert metrics["per_event"]["links"]
 
 
 def test_decision_reuse_across_iterations(benchmark, report):

@@ -104,13 +104,11 @@ def flows_to_csv(trace: SimulationTrace) -> str:
     return buffer.getvalue()
 
 
-def chrome_trace(trace: SimulationTrace) -> str:
-    """Chrome trace-event JSON: devices and links as tracks.
+def chrome_trace_events(trace: SimulationTrace) -> List[Dict]:
+    """The trace-event list behind :func:`chrome_trace`.
 
-    Compute spans become complete events ("X") on a device track; each
-    flow becomes a complete event on its (src -> dst) track, with the
-    ideal finish time recorded as an instant event ("i") so the echelon
-    stagger and any tardiness are visible at a glance.
+    Exposed separately so callers (notably :mod:`repro.obs.chrome`) can
+    append extra events -- counter tracks, metadata -- before wrapping.
     """
     events: List[Dict] = []
     device_pids: Dict[str, int] = {}
@@ -174,6 +172,18 @@ def chrome_trace(trace: SimulationTrace) -> str:
                     "ts": record.ideal_finish * _US,
                 }
             )
+    return events
+
+
+def chrome_trace(trace: SimulationTrace) -> str:
+    """Chrome trace-event JSON: devices and links as tracks.
+
+    Compute spans become complete events ("X") on a device track; each
+    flow becomes a complete event on its (src -> dst) track, with the
+    ideal finish time recorded as an instant event ("i") so the echelon
+    stagger and any tardiness are visible at a glance.
+    """
+    events = chrome_trace_events(trace)
     return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"})
 
 

@@ -8,8 +8,21 @@ Commands
 * ``run``         -- one training job under one scheduler, with optional
                      timeline rendering and trace export.
 * ``cluster``     -- a dynamic Poisson-arrival multi-tenant cluster.
+* ``obs``         -- summarize a saved JSONL observability log.
 * ``schedulers``  -- list registered schedulers.
 * ``models``      -- list the model zoo.
+
+Observability (see docs/observability.md): ``fig2``, ``run``,
+``run-spec``, and ``cluster`` accept ``--emit-trace PATH`` (a
+Perfetto-loadable Chrome trace), ``--metrics-out PATH`` (a metrics
+summary JSON: scheduler invocations by trigger cause, per-link peak/mean
+utilization, per-EchelonFlow tardiness), and ``--events-out PATH`` (a
+structured JSONL event log for ``repro obs``). For example::
+
+    python -m repro run --paradigm fsdp --emit-trace trace.json \
+        --metrics-out metrics.json
+    python -m repro fig2 --emit-trace fig2.json
+    python -m repro obs events.jsonl
 """
 
 from __future__ import annotations
@@ -47,6 +60,78 @@ from .workloads import (
 from .workloads.placement import ClusterPlacer
 
 PARADIGMS = ("dp-allreduce", "dp-ps", "pp-gpipe", "pp-1f1b", "tp", "fsdp")
+
+_OBS_FLAG_ATTRS = ("emit_trace", "metrics_out", "events_out")
+
+
+def _add_obs_flags(parser) -> None:
+    parser.add_argument(
+        "--emit-trace",
+        metavar="PATH",
+        help="write a Chrome trace-event JSON (open in Perfetto)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write a metrics-summary JSON report",
+    )
+    parser.add_argument(
+        "--events-out",
+        metavar="PATH",
+        help="write a structured JSONL event log (summarize with 'repro obs')",
+    )
+
+
+def _obs_for(args):
+    """An Instrumentation when any obs flag was given, else None.
+
+    ``None`` keeps the engine's hot path entirely uninstrumented -- the
+    zero-overhead default.
+    """
+    if not any(getattr(args, attr, None) for attr in _OBS_FLAG_ATTRS):
+        return None
+    from .obs import Instrumentation, JsonlEventLog
+
+    # The Chrome exporter reads scheduler instants from the event log, so
+    # keep one whenever a trace or an explicit log was requested.
+    needs_log = bool(
+        getattr(args, "events_out", None) or getattr(args, "emit_trace", None)
+    )
+    return Instrumentation(event_log=JsonlEventLog() if needs_log else None)
+
+
+def _wrap_profiled(args, scheduler, obs):
+    """Wrap ``scheduler`` for profiling when a metrics report was asked."""
+    if obs is None or not getattr(args, "metrics_out", None):
+        return scheduler, None
+    from .obs import ProfiledScheduler
+
+    profiled = ProfiledScheduler(scheduler, registry=obs.registry)
+    return profiled, profiled
+
+
+def _emit_observability(
+    args, trace, obs, profiler=None, scheduler_invocations=None
+) -> None:
+    if obs is None:
+        return
+    from .obs import build_metrics_report, export_chrome_trace, write_metrics_report
+
+    if getattr(args, "emit_trace", None):
+        export_chrome_trace(trace, args.emit_trace, obs)
+        print(f"chrome trace written to {args.emit_trace} (open in Perfetto)")
+    if getattr(args, "metrics_out", None):
+        report = build_metrics_report(
+            trace,
+            instrumentation=obs,
+            profiler=profiler,
+            scheduler_invocations=scheduler_invocations,
+        )
+        write_metrics_report(report, args.metrics_out)
+        print(f"metrics report written to {args.metrics_out}")
+    if getattr(args, "events_out", None) and obs.event_log is not None:
+        obs.event_log.write(args.events_out)
+        print(f"event log written to {args.events_out}")
 
 
 def _build_job(args, workers: List[str]):
@@ -92,15 +177,31 @@ def _topology_for(args, n_workers: int):
 def cmd_fig2(args) -> int:
     from .topology import two_hosts
 
+    # Observability flags instrument the echelon run (the paper's policy).
+    obs = _obs_for(args)
     rows = []
     for name in ("fair", "sjf", "coflow", "sincronia", "echelon"):
         job = build_pipeline_segment(
             "fig2", "h0", "h1", [0.0, 1.0, 2.0], [2.0] * 3, [2.0] * 3
         )
-        engine = Engine(two_hosts(1.0), make_scheduler(name))
+        observed = obs if name == "echelon" else None
+        scheduler, profiler = (
+            _wrap_profiled(args, make_scheduler(name), observed)
+            if observed is not None
+            else (make_scheduler(name), None)
+        )
+        engine = Engine(two_hosts(1.0), scheduler, instrumentation=observed)
         job.submit_to(engine)
         trace = engine.run()
         rows.append([name, comp_finish_time(trace)])
+        if observed is not None:
+            _emit_observability(
+                args,
+                trace,
+                observed,
+                profiler=profiler,
+                scheduler_invocations=engine.scheduler_invocations,
+            )
     print(
         format_table(
             ["scheduler", "comp finish time"],
@@ -180,7 +281,9 @@ def cmd_run(args) -> int:
     topology = _topology_for(args, n_hosts)
     all_hosts = [f"h{i}" for i in range(n_hosts)]
     job = _build_job(args, all_hosts if args.paradigm == "dp-ps" else workers)
-    engine = Engine(topology, make_scheduler(args.scheduler))
+    obs = _obs_for(args)
+    scheduler, profiler = _wrap_profiled(args, make_scheduler(args.scheduler), obs)
+    engine = Engine(topology, scheduler, instrumentation=obs)
     job.submit_to(engine)
     trace = engine.run()
 
@@ -211,6 +314,13 @@ def cmd_run(args) -> int:
     if args.trace:
         write_trace(trace, args.trace, fmt=args.trace_format)
         print(f"\ntrace written to {args.trace} ({args.trace_format})")
+    _emit_observability(
+        args,
+        trace,
+        obs,
+        profiler=profiler,
+        scheduler_invocations=engine.scheduler_invocations,
+    )
     return 0
 
 
@@ -233,10 +343,12 @@ def cmd_cluster(args) -> int:
         ),
     ]
     topology = big_switch(args.hosts, gbps(args.bandwidth_gbps))
-    engine = Engine(topology, make_scheduler(args.scheduler))
+    obs = _obs_for(args)
+    scheduler, profiler = _wrap_profiled(args, make_scheduler(args.scheduler), obs)
+    engine = Engine(topology, scheduler, instrumentation=obs)
     manager = ClusterManager(engine, ClusterPlacer(topology))
     manager.schedule(poisson_arrivals(templates, args.rate, args.jobs, seed=args.seed))
-    engine.run()
+    trace = engine.run()
     records = manager.completed_records()
     print(
         format_table(
@@ -252,6 +364,13 @@ def cmd_cluster(args) -> int:
                 f"{args.hosts} hosts ({args.scheduler})"
             ),
         )
+    )
+    _emit_observability(
+        args,
+        trace,
+        obs,
+        profiler=profiler,
+        scheduler_invocations=engine.scheduler_invocations,
     )
     return 0
 
@@ -286,7 +405,19 @@ def cmd_run_spec(args) -> int:
 
     from .workloads import run_spec_file
 
-    results = run_spec_file(args.spec)
+    obs = _obs_for(args)
+    profiler = None
+    if obs is not None:
+        results, trace, engine = run_spec_file(
+            args.spec,
+            instrumentation=obs,
+            profile=bool(args.metrics_out),
+            detail=True,
+        )
+        if args.metrics_out:
+            profiler = engine.scheduler
+    else:
+        results = run_spec_file(args.spec)
     rows = [
         [name, info["paradigm"], info["completion_time"], info["flows"]]
         for name, info in results["jobs"].items()
@@ -303,6 +434,51 @@ def cmd_run_spec(args) -> int:
     )
     if args.json:
         print(_json.dumps(results, indent=2, sort_keys=True))
+    if obs is not None:
+        _emit_observability(
+            args,
+            trace,
+            obs,
+            profiler=profiler,
+            scheduler_invocations=results["scheduler_invocations"],
+        )
+    return 0
+
+
+def cmd_obs(args) -> int:
+    import json as _json
+
+    from .obs import summarize_jsonl
+
+    try:
+        summary = summarize_jsonl(args.log)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot summarize {args.log}: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    rows = [["events", summary["events"]]]
+    span = summary.get("time_span")
+    if span:
+        rows.append(["time span (s)", f"{span['start']:g} .. {span['end']:g}"])
+    for kind, count in summary["by_kind"].items():
+        rows.append([f"events: {kind}", count])
+    scheduler = summary["scheduler"]
+    rows.append(["scheduler invocations", scheduler["invocations"]])
+    for cause, count in scheduler["by_cause"].items():
+        rows.append([f"  cause: {cause}", count])
+    flows = summary["flows"]
+    rows.append(["flows delivered", flows["delivered"]])
+    if "worst_tardiness" in flows:
+        rows.append(["worst tardiness (s)", flows["worst_tardiness"]])
+        rows.append(["mean tardiness (s)", flows["mean_tardiness"]])
+    links = summary.get("links")
+    if links:
+        rows.append(["links observed", links["count"]])
+        for key, peak in list(links["peak_utilization"].items())[:8]:
+            rows.append([f"  peak util {key}", f"{peak:.1%}"])
+    print(format_table(["metric", "value"], rows, title=f"obs summary: {args.log}"))
     return 0
 
 
@@ -327,10 +503,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("fig2", help="run the Fig. 2 motivating example")
+    fig2 = sub.add_parser("fig2", help="run the Fig. 2 motivating example")
+    _add_obs_flags(fig2)
     sub.add_parser("table1", help="reproduce the Table 1 compliance matrix")
     sub.add_parser("schedulers", help="list registered schedulers")
     sub.add_parser("models", help="list the model zoo")
+
+    obs = sub.add_parser(
+        "obs", help="summarize a saved JSONL observability log"
+    )
+    obs.add_argument("log", help="path to a JSONL log (from --events-out)")
+    obs.add_argument("--json", action="store_true", help="dump raw JSON")
 
     run = sub.add_parser("run", help="run one training job")
     run.add_argument("--paradigm", choices=PARADIGMS, default="pp-gpipe")
@@ -348,6 +531,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--trace-format", choices=("json", "csv", "chrome"), default="json"
     )
+    _add_obs_flags(run)
 
     matrix = sub.add_parser(
         "matrix", help="run the standard workload battery across schedulers"
@@ -369,6 +553,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_spec.add_argument("spec", help="path to the JSON spec file")
     run_spec.add_argument("--json", action="store_true", help="also dump raw JSON")
+    _add_obs_flags(run_spec)
 
     cluster = sub.add_parser("cluster", help="dynamic multi-tenant cluster")
     cluster.add_argument("--scheduler", default="echelon")
@@ -381,6 +566,7 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--bandwidth-gbps", type=float, default=10.0)
     cluster.add_argument("--batch-scale", type=float, default=1.0)
     cluster.add_argument("--seed", type=int, default=0)
+    _add_obs_flags(cluster)
     return parser
 
 
@@ -391,6 +577,7 @@ _COMMANDS = {
     "run-spec": cmd_run_spec,
     "matrix": cmd_matrix,
     "cluster": cmd_cluster,
+    "obs": cmd_obs,
     "schedulers": cmd_schedulers,
     "models": cmd_models,
 }

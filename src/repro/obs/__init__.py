@@ -1,0 +1,45 @@
+"""Observability: metrics, profiling, timelines, and trace export.
+
+The layer every performance claim in this repo is measured with:
+
+* :class:`MetricsRegistry` -- labeled counters/gauges/histograms with
+  snapshot and merge (:mod:`repro.obs.registry`);
+* :class:`Instrumentation` -- engine/network observer recording link
+  utilization timelines, event counts, and live EchelonFlow tardiness
+  (:mod:`repro.obs.instrumentation`);
+* :class:`ProfiledScheduler` -- invocation profiling middleware for any
+  scheduler (:mod:`repro.obs.profiling`);
+* exporters -- JSONL event logs (:mod:`repro.obs.jsonl`), metrics
+  reports (:mod:`repro.obs.report`), and Perfetto-loadable Chrome
+  traces (:mod:`repro.obs.chrome`).
+
+Instrumentation is strictly opt-in: an engine constructed without an
+:class:`Instrumentation` pays one ``is None`` check per hook site.
+"""
+
+from .chrome import chrome_trace_dict, export_chrome_trace
+from .instrumentation import Instrumentation, LinkTimeline
+from .jsonl import JsonlEventLog, read_jsonl, summarize_events, summarize_jsonl
+from .profiling import InvocationRecord, ProfiledScheduler, rate_vector_churn
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .report import build_metrics_report, write_metrics_report
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Instrumentation",
+    "LinkTimeline",
+    "ProfiledScheduler",
+    "InvocationRecord",
+    "rate_vector_churn",
+    "JsonlEventLog",
+    "read_jsonl",
+    "summarize_events",
+    "summarize_jsonl",
+    "chrome_trace_dict",
+    "export_chrome_trace",
+    "build_metrics_report",
+    "write_metrics_report",
+]

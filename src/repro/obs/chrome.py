@@ -1,0 +1,142 @@
+"""Chrome trace-event (Perfetto-loadable) export with live metrics.
+
+Builds on :func:`repro.analysis.export.chrome_trace_events` -- compute
+spans per device, flow lifetimes per link -- and, when an
+:class:`~repro.obs.instrumentation.Instrumentation` is supplied, adds:
+
+* one counter track ("C" events) per observed link plotting its
+  utilization fraction over time, and
+* instant events for scheduler invocations, colour-coded by trigger
+  cause via the event name.
+
+Open the output at https://ui.perfetto.dev (or ``chrome://tracing``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from ..analysis.export import chrome_trace_events
+from ..simulator.trace import SimulationTrace
+from .instrumentation import Instrumentation
+
+#: Trace-event timestamps are microseconds; our traces are seconds.
+_US = 1e6
+
+#: pid for the synthetic "network utilization" process row.
+_UTILIZATION_PID = 3000
+#: pid for the synthetic "scheduler" process row.
+_SCHEDULER_PID = 3500
+
+
+def _utilization_counters(instrumentation: Instrumentation) -> List[Dict]:
+    timeline = instrumentation.link_timeline
+    if timeline is None:
+        return []
+    events: List[Dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _UTILIZATION_PID,
+            "args": {"name": "link utilization"},
+        }
+    ]
+    for key in sorted(timeline.segments):
+        series = timeline.utilization_series(key)
+        if not series:
+            continue
+        previous_end = None
+        for start, end, utilization in series:
+            if previous_end is not None and start > previous_end:
+                # The link went idle between segments.
+                events.append(
+                    {
+                        "name": key,
+                        "ph": "C",
+                        "pid": _UTILIZATION_PID,
+                        "ts": previous_end * _US,
+                        "args": {"utilization": 0.0},
+                    }
+                )
+            events.append(
+                {
+                    "name": key,
+                    "ph": "C",
+                    "pid": _UTILIZATION_PID,
+                    "ts": start * _US,
+                    "args": {"utilization": utilization},
+                }
+            )
+            previous_end = end
+        if previous_end is not None:
+            events.append(
+                {
+                    "name": key,
+                    "ph": "C",
+                    "pid": _UTILIZATION_PID,
+                    "ts": previous_end * _US,
+                    "args": {"utilization": 0.0},
+                }
+            )
+    return events
+
+
+def _scheduler_instants(instrumentation: Instrumentation) -> List[Dict]:
+    log = instrumentation.event_log
+    if log is None:
+        return []
+    events: List[Dict] = []
+    header_emitted = False
+    for record in log.events:
+        if record.get("ev") != "reschedule":
+            continue
+        if not header_emitted:
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": _SCHEDULER_PID,
+                    "args": {"name": "scheduler invocations"},
+                }
+            )
+            header_emitted = True
+        events.append(
+            {
+                "name": f"reschedule:{record.get('cause', 'unknown')}",
+                "cat": "scheduler",
+                "ph": "i",
+                "s": "p",
+                "pid": _SCHEDULER_PID,
+                "tid": 0,
+                "ts": record["t"] * _US,
+                "args": {"active_flows": record.get("active_flows")},
+            }
+        )
+    return events
+
+
+def chrome_trace_dict(
+    trace: SimulationTrace,
+    instrumentation: Optional[Instrumentation] = None,
+) -> Dict:
+    """The full trace-event document as plain data."""
+    events = chrome_trace_events(trace)
+    if instrumentation is not None:
+        events.extend(_utilization_counters(instrumentation))
+        events.extend(_scheduler_instants(instrumentation))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"end_time_s": trace.end_time},
+    }
+
+
+def export_chrome_trace(
+    trace: SimulationTrace,
+    path: str,
+    instrumentation: Optional[Instrumentation] = None,
+) -> None:
+    """Write a Perfetto-loadable trace JSON to ``path``."""
+    with open(path, "w") as handle:
+        json.dump(chrome_trace_dict(trace, instrumentation), handle)

@@ -1,0 +1,266 @@
+"""Run-time instrumentation: what the engine records when observed.
+
+An :class:`Instrumentation` object plugs into the engine (and, through
+it, the network model) and passively records:
+
+* per-link utilization/saturation timelines, sampled on every fluid
+  advance and merged into piecewise-constant segments;
+* per-round event counts and scheduler invocations by trigger cause
+  (arrival / departure / compute / tick / timer);
+* per-EchelonFlow *live* tardiness, appended the moment each member
+  flow delivers -- the running view of Eq. 1-4 rather than the
+  post-hoc report;
+* optional structured JSONL events for offline analysis.
+
+Everything funnels into a :class:`~repro.obs.registry.MetricsRegistry`
+so reports and merges come for free. The engine holds ``None`` when not
+observed and guards each hook with one attribute check, which keeps the
+un-instrumented hot path allocation-free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .jsonl import JsonlEventLog
+from .registry import MetricsRegistry
+
+#: Rates closer than this (relative) are merged into one timeline segment.
+_RATE_TOL = 1e-9
+
+
+class LinkTimeline:
+    """Piecewise-constant utilization history of every observed link.
+
+    Samples arrive as (now, dt, rate-per-link); consecutive samples at
+    the same rate coalesce, so a flow draining steadily for a thousand
+    engine rounds costs one segment, not a thousand.
+    """
+
+    def __init__(self) -> None:
+        #: link key "src->dst" -> list of [start, end, rate] segments.
+        self.segments: Dict[str, List[List[float]]] = {}
+        self.capacities: Dict[str, float] = {}
+
+    @staticmethod
+    def link_key(src: str, dst: str) -> str:
+        return f"{src}->{dst}"
+
+    def record(self, now: float, dt: float, usage: Mapping) -> None:
+        """Record one fluid advance: ``usage`` maps Link -> total rate."""
+        if dt <= 0:
+            return
+        end = now + dt
+        for link, rate in usage.items():
+            key = self.link_key(link.src, link.dst)
+            self.capacities[key] = link.capacity
+            series = self.segments.setdefault(key, [])
+            if series:
+                last = series[-1]
+                if (
+                    abs(last[1] - now) <= _RATE_TOL
+                    and abs(last[2] - rate) <= _RATE_TOL * max(1.0, abs(rate))
+                ):
+                    last[1] = end
+                    continue
+            series.append([now, end, rate])
+
+    def utilization_series(self, key: str) -> List[Tuple[float, float, float]]:
+        """(start, end, utilization-fraction) segments of one link."""
+        capacity = self.capacities.get(key)
+        if not capacity:
+            return []
+        return [(s, e, r / capacity) for s, e, r in self.segments.get(key, [])]
+
+    def stats(self, horizon: Optional[float] = None) -> Dict[str, Dict[str, float]]:
+        """Per-link peak/mean utilization and busy time.
+
+        ``mean_utilization`` is time-weighted over ``horizon`` (the run
+        length); when omitted, over the link's own observed window.
+        """
+        out: Dict[str, Dict[str, float]] = {}
+        for key, series in sorted(self.segments.items()):
+            capacity = self.capacities[key]
+            peak = 0.0
+            byte_integral = 0.0
+            busy = 0.0
+            observed_end = 0.0
+            for start, end, rate in series:
+                duration = end - start
+                peak = max(peak, rate / capacity)
+                byte_integral += rate * duration
+                if rate > 0:
+                    busy += duration
+                observed_end = max(observed_end, end)
+            window = horizon if horizon and horizon > 0 else observed_end
+            out[key] = {
+                "capacity": capacity,
+                "peak_utilization": peak,
+                "mean_utilization": (
+                    byte_integral / (capacity * window) if window > 0 else 0.0
+                ),
+                "busy_seconds": busy,
+                "bytes_carried": byte_integral,
+            }
+        return out
+
+
+class Instrumentation:
+    """Observer attached to an engine run; see module docstring.
+
+    Parameters
+    ----------
+    registry:
+        Accumulation target; a fresh one is created when omitted.
+    sample_links:
+        Record per-link utilization timelines (the dominant memory cost;
+        disable for huge runs where only counters matter).
+    event_log:
+        A :class:`JsonlEventLog` to stream structured events into, or
+        ``None`` for no log.
+    log_link_samples:
+        Also mirror link utilization samples into the event log (off by
+        default: one event per engine round gets bulky).
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        sample_links: bool = True,
+        event_log: Optional[JsonlEventLog] = None,
+        log_link_samples: bool = False,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.link_timeline = LinkTimeline() if sample_links else None
+        self.event_log = event_log
+        self.log_link_samples = log_link_samples
+        #: group id -> [(finish time, tardiness)] in delivery order.
+        self.tardiness_series: Dict[str, List[Tuple[float, float]]] = {}
+        self.rounds = 0
+
+    # -- engine-facing hooks -------------------------------------------
+
+    def on_flow_injected(self, flow, now: float) -> None:
+        self.registry.counter("flows_injected_total").inc()
+        if self.event_log is not None:
+            self.event_log.append(
+                "flow_injected",
+                now,
+                flow_id=flow.flow_id,
+                src=flow.src,
+                dst=flow.dst,
+                size=flow.size,
+                group=flow.group_id,
+                job=flow.job_id,
+            )
+
+    def on_flow_finished(self, record, now: float) -> None:
+        flow = record.flow
+        self.registry.counter("flows_delivered_total").inc()
+        self.registry.counter("flow_bytes_delivered_total").inc(flow.size)
+        self.registry.histogram("flow_completion_seconds").observe(
+            record.completion_time
+        )
+        tardiness = record.tardiness
+        if tardiness is not None and flow.group_id is not None:
+            self.tardiness_series.setdefault(flow.group_id, []).append(
+                (record.finish, tardiness)
+            )
+            self.registry.histogram(
+                "flow_tardiness_seconds", group=flow.group_id
+            ).observe(tardiness)
+        if self.event_log is not None:
+            self.event_log.append(
+                "flow_finished",
+                now,
+                flow_id=flow.flow_id,
+                group=flow.group_id,
+                job=flow.job_id,
+                start=record.start,
+                finish=record.finish,
+                ideal_finish=record.ideal_finish,
+                tardiness=tardiness,
+            )
+
+    def on_compute_span(self, span) -> None:
+        self.registry.counter("compute_spans_total", device=span.device).inc()
+        self.registry.counter("compute_busy_seconds_total").inc(span.duration)
+
+    def on_reschedule(
+        self, now: float, cause: str, active_flows: int
+    ) -> None:
+        # Named distinctly from the ProfiledScheduler's
+        # "scheduler_invocations_total" so a shared registry never
+        # double-counts when both layers observe the same engine.
+        self.registry.counter("engine_reschedules_total", cause=cause).inc()
+        self.registry.gauge("active_flows").set(active_flows)
+        self.registry.histogram(
+            "scheduler_active_flows",
+            buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024),
+        ).observe(active_flows)
+        if self.event_log is not None:
+            self.event_log.append(
+                "reschedule", now, cause=cause, active_flows=active_flows
+            )
+
+    def on_round(self, now: float, n_events: int, n_finished_flows: int) -> None:
+        self.rounds += 1
+        self.registry.counter("engine_rounds_total").inc()
+        if n_events:
+            self.registry.counter("engine_events_total").inc(n_events)
+        if n_finished_flows:
+            self.registry.counter("engine_flow_completions_total").inc(
+                n_finished_flows
+            )
+
+    def on_job_arrival(self, job_id: str, now: float) -> None:
+        self.registry.counter("jobs_arrived_total").inc()
+        if self.event_log is not None:
+            self.event_log.append("job_arrival", now, job=job_id)
+
+    def on_job_completed(self, job_id: str, now: float) -> None:
+        self.registry.counter("jobs_completed_total").inc()
+        if self.event_log is not None:
+            self.event_log.append("job_completed", now, job=job_id)
+
+    # -- network-facing hook (NetworkModel.observer) --------------------
+
+    def on_network_advance(self, now: float, dt: float, usage: Mapping) -> None:
+        """``usage`` maps :class:`~repro.topology.graph.Link` -> rate."""
+        if self.link_timeline is not None:
+            self.link_timeline.record(now, dt, usage)
+        if self.event_log is not None and self.log_link_samples and usage:
+            self.event_log.append(
+                "link_sample",
+                now,
+                dt=dt,
+                links={
+                    LinkTimeline.link_key(link.src, link.dst): rate / link.capacity
+                    for link, rate in usage.items()
+                },
+            )
+
+    # -- derived views --------------------------------------------------
+
+    def link_stats(self, horizon: Optional[float] = None) -> Dict[str, Dict[str, float]]:
+        if self.link_timeline is None:
+            return {}
+        return self.link_timeline.stats(horizon)
+
+    def reschedules_by_cause(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for labels in self.registry.labels_of("engine_reschedules_total"):
+            cause = labels.get("cause", "unknown")
+            counts[cause] = counts.get(cause, 0) + int(
+                self.registry.counter_value(
+                    "engine_reschedules_total", cause=cause
+                )
+            )
+        return dict(sorted(counts.items()))
+
+    def worst_tardiness_by_group(self) -> Dict[str, float]:
+        return {
+            group: max(t for _, t in series)
+            for group, series in sorted(self.tardiness_series.items())
+            if series
+        }

@@ -1,0 +1,128 @@
+"""Structured JSONL event logging and offline summarisation.
+
+Every instrumented run can stream its lifecycle events -- flow
+injections/deliveries, scheduler invocations, network advances -- to an
+append-only log, one JSON object per line. The format is deliberately
+flat ({"ev": kind, "t": sim-time, ...fields}) so logs grep well and load
+into pandas/jq without a schema. ``summarize_events`` recovers the
+headline numbers from a saved log, powering ``python -m repro obs``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Iterator, List, Optional
+
+
+class JsonlEventLog:
+    """An in-memory structured event log, written out as JSONL.
+
+    Events accumulate as plain dicts; ``write`` (or ``dump``) serialises
+    one object per line. When ``capacity`` is set the log keeps only the
+    most recent events (a ring), bounding memory on very long runs.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.events: List[Dict] = []
+        #: Events appended over the lifetime (>= len(events) with a ring).
+        self.total_appended = 0
+
+    def append(self, ev: str, t: float, **fields) -> None:
+        record = {"ev": ev, "t": t}
+        record.update(fields)
+        self.events.append(record)
+        self.total_appended += 1
+        if self.capacity is not None and len(self.events) > self.capacity:
+            del self.events[: len(self.events) - self.capacity]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def dump(self) -> str:
+        return "".join(
+            json.dumps(event, sort_keys=True, default=str) + "\n"
+            for event in self.events
+        )
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.dump())
+
+
+def read_jsonl(path: str) -> List[Dict]:
+    """Load a JSONL event log; blank lines are skipped."""
+    events = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: invalid JSON ({exc})")
+    return events
+
+
+def summarize_events(events: Iterable[Dict]) -> Dict:
+    """Headline statistics of a JSONL event stream.
+
+    Returns counts per event kind, the simulated time span, scheduler
+    invocations by trigger cause, flow delivery/tardiness aggregates, and
+    per-link peak utilization when ``link_sample`` events are present.
+    """
+    by_kind: Dict[str, int] = {}
+    causes: Dict[str, int] = {}
+    t_min = float("inf")
+    t_max = float("-inf")
+    flows_delivered = 0
+    tardiness: List[float] = []
+    link_peak: Dict[str, float] = {}
+    for event in events:
+        kind = event.get("ev", "?")
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+        t = event.get("t")
+        if isinstance(t, (int, float)):
+            t_min = min(t_min, t)
+            t_max = max(t_max, t)
+        if kind == "reschedule":
+            cause = event.get("cause", "unknown")
+            causes[cause] = causes.get(cause, 0) + 1
+        elif kind == "flow_finished":
+            flows_delivered += 1
+            value = event.get("tardiness")
+            if isinstance(value, (int, float)):
+                tardiness.append(value)
+        elif kind == "link_sample":
+            for link, utilization in (event.get("links") or {}).items():
+                link_peak[link] = max(link_peak.get(link, 0.0), utilization)
+    summary: Dict = {
+        "events": sum(by_kind.values()),
+        "by_kind": dict(sorted(by_kind.items())),
+        "time_span": None
+        if t_min == float("inf")
+        else {"start": t_min, "end": t_max},
+        "scheduler": {
+            "invocations": sum(causes.values()),
+            "by_cause": dict(sorted(causes.items())),
+        },
+        "flows": {"delivered": flows_delivered},
+    }
+    if tardiness:
+        summary["flows"]["worst_tardiness"] = max(tardiness)
+        summary["flows"]["mean_tardiness"] = sum(tardiness) / len(tardiness)
+    if link_peak:
+        summary["links"] = {
+            "count": len(link_peak),
+            "peak_utilization": dict(
+                sorted(link_peak.items(), key=lambda kv: -kv[1])
+            ),
+        }
+    return summary
+
+
+def summarize_jsonl(path: str) -> Dict:
+    return summarize_events(read_jsonl(path))

@@ -1,0 +1,125 @@
+"""The metrics-summary report: one JSON document per observed run.
+
+Collects everything the acceptance bar asks for -- scheduler invocation
+counts by trigger cause, per-link peak/mean utilization, per-EchelonFlow
+tardiness summaries -- plus flow/compute aggregates and the raw registry
+snapshot, into a single json.dumps-able dict. The CLI writes it to
+``--metrics-out``; benchmarks diff it against the committed baselines in
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from ..simulator.trace import SimulationTrace
+from .instrumentation import Instrumentation
+from .profiling import ProfiledScheduler
+
+#: Bumped when the report layout changes incompatibly.
+REPORT_VERSION = 1
+
+
+def _tardiness_summaries(trace: SimulationTrace) -> Dict[str, Dict]:
+    """Per-EchelonFlow tardiness stats straight from the flow records."""
+    by_group: Dict[str, Dict] = {}
+    for record in trace.flow_records:
+        group = record.flow.group_id
+        if group is None or record.tardiness is None:
+            continue
+        entry = by_group.setdefault(
+            group,
+            {
+                "flows": 0,
+                "worst_tardiness": float("-inf"),
+                "sum_tardiness": 0.0,
+                "last_finish": 0.0,
+            },
+        )
+        entry["flows"] += 1
+        entry["worst_tardiness"] = max(entry["worst_tardiness"], record.tardiness)
+        entry["sum_tardiness"] += record.tardiness
+        entry["last_finish"] = max(entry["last_finish"], record.finish)
+    for entry in by_group.values():
+        entry["mean_tardiness"] = entry["sum_tardiness"] / entry["flows"]
+    return dict(sorted(by_group.items()))
+
+
+def _flow_aggregates(trace: SimulationTrace) -> Dict:
+    records = trace.flow_records
+    if not records:
+        return {"delivered": 0}
+    completion_times = sorted(r.completion_time for r in records)
+    n = len(completion_times)
+    return {
+        "delivered": n,
+        "bytes": sum(r.flow.size for r in records),
+        "mean_completion_seconds": sum(completion_times) / n,
+        "p99_completion_seconds": completion_times[
+            min(n - 1, int(0.99 * n))
+        ],
+    }
+
+
+def build_metrics_report(
+    trace: SimulationTrace,
+    instrumentation: Optional[Instrumentation] = None,
+    profiler: Optional[ProfiledScheduler] = None,
+    scheduler_invocations: Optional[int] = None,
+    extra: Optional[Dict] = None,
+) -> Dict:
+    """Assemble the metrics-summary document for one run.
+
+    Every section degrades gracefully: without a profiler the scheduler
+    section falls back to the engine's raw invocation count; without
+    instrumentation the link section is empty.
+    """
+    report: Dict = {
+        "version": REPORT_VERSION,
+        "run": {
+            "end_time": trace.end_time,
+            "compute_spans": len(trace.compute_spans),
+            "task_events": len(trace.task_events),
+        },
+        "flows": _flow_aggregates(trace),
+        "echelonflows": _tardiness_summaries(trace),
+    }
+    if profiler is not None:
+        report["scheduler"] = profiler.summary()
+    else:
+        scheduler_section: Dict = {}
+        if scheduler_invocations is not None:
+            scheduler_section["invocations"] = scheduler_invocations
+        if instrumentation is not None:
+            by_cause = instrumentation.reschedules_by_cause()
+            if by_cause:
+                scheduler_section.setdefault(
+                    "invocations", sum(by_cause.values())
+                )
+                scheduler_section["by_cause"] = by_cause
+        if scheduler_section:
+            report["scheduler"] = scheduler_section
+    if instrumentation is not None:
+        report["links"] = instrumentation.link_stats(horizon=trace.end_time)
+        report["registry"] = instrumentation.registry.snapshot()
+        if instrumentation.tardiness_series:
+            report["live_tardiness"] = {
+                group: {
+                    "samples": len(series),
+                    "worst": max(t for _, t in series),
+                    "final": series[-1][1],
+                }
+                for group, series in sorted(
+                    instrumentation.tardiness_series.items()
+                )
+            }
+    if extra:
+        report.update(extra)
+    return report
+
+
+def write_metrics_report(report: Dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")

@@ -29,6 +29,12 @@ class SchedulerView:
     network: NetworkModel
     #: EchelonFlows registered with the coordinator, by group id.
     echelonflows: Mapping[str, EchelonFlow] = field(default_factory=dict)
+    #: Why the coordinator is being re-invoked right now: "arrival",
+    #: "departure", "compute", "tick", "timer", or ``None`` when the
+    #: caller did not attribute the invocation (direct scheduler calls).
+    #: Profiling middleware and the Fig. 7 coordinator use this to count
+    #: invocations per rerun policy; algorithms are free to ignore it.
+    trigger_cause: Optional[str] = None
 
     def active_states(self) -> List[FlowState]:
         return self.network.active_states()

@@ -35,6 +35,13 @@ from .trace import ComputeSpan, FlowRecord, SimulationTrace, TaskEvent
 #: Events closer together than this are processed in the same round.
 TIME_EPS = 1e-9
 
+#: When several state changes coalesce into one scheduling round, the
+#: invocation is attributed to the highest-precedence cause: a flow
+#: arrival outranks a departure, which outranks a bare compute
+#: completion, the interval tick, and generic timers.
+_CAUSE_PRECEDENCE = ("arrival", "departure", "compute", "tick", "timer")
+_CAUSE_RANK = {cause: rank for rank, cause in enumerate(_CAUSE_PRECEDENCE)}
+
 
 class SimulationError(Exception):
     """Raised on deadlock or an internally inconsistent run."""
@@ -51,6 +58,7 @@ class Engine:
         strict_rates: bool = True,
         device_slots=1,
         scheduling_interval: Optional[float] = None,
+        instrumentation=None,
     ) -> None:
         """``device_slots`` sets per-device MIG slot counts: an int applies
         to every device, a mapping overrides per device name.
@@ -62,6 +70,13 @@ class Engine:
         and on a fixed tick -- Section 5's "per scheduling interval" mode,
         which trades bandwidth left idle between ticks for far fewer
         coordinator invocations.
+
+        ``instrumentation``: an optional
+        :class:`repro.obs.instrumentation.Instrumentation` observer; the
+        engine notifies it of flow/job lifecycle events and scheduler
+        invocations, and installs it as the network model's observer for
+        link-utilization sampling. ``None`` (default) records nothing
+        and costs one attribute check per hook site.
         """
         self.topology = topology
         self.scheduler = scheduler
@@ -82,6 +97,11 @@ class Engine:
         self._tasks_left: Dict[str, int] = {}
         self._completed_jobs: List[str] = []
         self._needs_reschedule = False
+        #: Causes accumulated since the last scheduler invocation.
+        self._pending_causes: set = set()
+        self.obs = instrumentation
+        if instrumentation is not None:
+            self.network.observer = instrumentation
         if scheduling_interval is not None and scheduling_interval <= 0:
             raise ValueError(
                 f"scheduling_interval must be positive, got {scheduling_interval}"
@@ -146,8 +166,15 @@ class Engine:
     # internals: task lifecycle
     # ------------------------------------------------------------------
 
+    def _request_reschedule(self, cause: str) -> None:
+        """Mark the scheduler stale, remembering why (for profiling)."""
+        self._needs_reschedule = True
+        self._pending_causes.add(cause)
+
     def _start_job(self, job_id: str) -> None:
         dag = self._dags[job_id]
+        if self.obs is not None:
+            self.obs.on_job_arrival(job_id, self.now)
         self._tasks_left[job_id] = len(dag)
         for task in dag.tasks():
             key = (job_id, task.task_id)
@@ -187,7 +214,9 @@ class Engine:
                         other.ideal_finish_time = group.ideal_finish_time_of(
                             other.flow
                         )
-        self._needs_reschedule = True
+        if self.obs is not None:
+            self.obs.on_flow_injected(flow, self.now)
+        self._request_reschedule("arrival")
 
     def _try_start_device(self, device: Device) -> None:
         # Fill every free slot (one pass suffices: start_next returns None
@@ -212,6 +241,8 @@ class Engine:
         self._tasks_left[job_id] -= 1
         if self._tasks_left[job_id] == 0:
             self._completed_jobs.append(job_id)
+            if self.obs is not None:
+                self.obs.on_job_completed(job_id, self.now)
             for callback in self.job_completion_callbacks:
                 callback(job_id)
         for successor_id in dag.successors(task.task_id):
@@ -223,19 +254,20 @@ class Engine:
     def _on_compute_done(self, task: Task) -> None:
         device = self.devices[task.device]
         device.finish_task(task.task_id, self.now, job_id=task.job_id)
-        self.trace.compute_spans.append(
-            ComputeSpan(
-                task_id=task.task_id,
-                device=task.device,
-                start=self.now - task.duration,
-                end=self.now,
-                job_id=task.job_id,
-                tag=task.tag,
-            )
+        span = ComputeSpan(
+            task_id=task.task_id,
+            device=task.device,
+            start=self.now - task.duration,
+            end=self.now,
+            job_id=task.job_id,
+            tag=task.tag,
         )
+        self.trace.compute_spans.append(span)
+        if self.obs is not None:
+            self.obs.on_compute_span(span)
         self._complete_task(self._dags[task.job_id], task)
         self._try_start_device(device)
-        self._needs_reschedule = True
+        self._request_reschedule("compute")
 
     def _arm_tick(self) -> None:
         if self._tick_armed or self.scheduling_interval is None:
@@ -244,7 +276,7 @@ class Engine:
 
         def _tick(_event) -> None:
             self._tick_armed = False
-            self._needs_reschedule = True
+            self._request_reschedule("tick")
 
         self._tick_event = self.events.push(
             self.now + self.scheduling_interval, EventKind.TIMER, callback=_tick
@@ -262,14 +294,15 @@ class Engine:
         group = self.echelonflows.get(flow.group_id) if flow.group_id else None
         if group is not None and group.reference_time is not None:
             ideal = group.ideal_finish_time_of(flow)
-        self.trace.flow_records.append(
-            FlowRecord(
-                flow=flow,
-                start=state.start_time,
-                finish=state.finish_time if state.finish_time is not None else self.now,
-                ideal_finish=ideal,
-            )
+        record = FlowRecord(
+            flow=flow,
+            start=state.start_time,
+            finish=state.finish_time if state.finish_time is not None else self.now,
+            ideal_finish=ideal,
         )
+        self.trace.flow_records.append(record)
+        if self.obs is not None:
+            self.obs.on_flow_finished(record, self.now)
         owner = self._flow_owner.pop(flow.flow_id, None)
         if owner is not None:
             self._comm_outstanding[owner] -= 1
@@ -279,7 +312,7 @@ class Engine:
                 self._complete_task(dag, dag.task(task_id))
         if self.scheduling_interval is None:
             # Per-event policy: departures trigger an immediate rerun.
-            self._needs_reschedule = True
+            self._request_reschedule("departure")
         # Interval policy: the freed capacity waits for the next tick
         # (already armed by the last reschedule).
 
@@ -288,15 +321,31 @@ class Engine:
     # ------------------------------------------------------------------
 
     def _reschedule(self) -> None:
+        cause = self._primary_cause()
         view = SchedulerView(
-            now=self.now, network=self.network, echelonflows=self.echelonflows
+            now=self.now,
+            network=self.network,
+            echelonflows=self.echelonflows,
+            trigger_cause=cause,
         )
         rates = self.scheduler.allocate(view)
         self.network.set_rates(rates)
         self._needs_reschedule = False
+        self._pending_causes.clear()
         self.scheduler_invocations += 1
+        if self.obs is not None:
+            self.obs.on_reschedule(self.now, cause, self.network.active_count)
         if self.network.active_count:
             self._arm_tick()
+
+    def _primary_cause(self) -> str:
+        """The highest-precedence pending cause (see _CAUSE_PRECEDENCE)."""
+        if not self._pending_causes:
+            return "unknown"
+        return min(
+            self._pending_causes,
+            key=lambda c: _CAUSE_RANK.get(c, len(_CAUSE_PRECEDENCE)),
+        )
 
     def run(self, until: float = float("inf"), max_rounds: int = 10_000_000) -> SimulationTrace:
         """Run to completion (or ``until``); returns the trace.
@@ -340,16 +389,19 @@ class Engine:
             for state in finished_flows:
                 self._on_flow_finished(state)
 
-            for event in self.events.pop_due(self.now, TIME_EPS):
+            due_events = self.events.pop_due(self.now, TIME_EPS)
+            for event in due_events:
                 if event.kind is EventKind.JOB_ARRIVAL:
                     self._start_job(event.payload)
-                    self._needs_reschedule = True
+                    self._request_reschedule("arrival")
                 elif event.kind is EventKind.COMPUTE_DONE:
                     self._on_compute_done(event.payload)
                 elif event.kind in (EventKind.TIMER, EventKind.FAULT):
                     if event.callback is not None:
                         event.callback(event)
-                    self._needs_reschedule = True
+                    self._request_reschedule("timer")
+            if self.obs is not None:
+                self.obs.on_round(self.now, len(due_events), len(finished_flows))
 
             # An idle network does not need its tick any more; it re-arms
             # on the next injection's reschedule.

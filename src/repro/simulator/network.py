@@ -41,6 +41,10 @@ class NetworkModel:
         self._completed: Dict[int, FlowState] = {}
         #: Total bytes delivered, for conservation checks.
         self.bytes_delivered = 0.0
+        #: Optional observer (repro.obs Instrumentation): notified with
+        #: (now, dt, {Link: aggregate rate}) on every nonzero advance.
+        #: ``None`` keeps the fluid loop free of accounting overhead.
+        self.observer = None
 
     # ------------------------------------------------------------------
     # flow lifecycle
@@ -133,6 +137,21 @@ class NetworkModel:
                     scaled[flow_id] *= worst_ratio
         return scaled
 
+    def link_usage(self) -> Dict[Link, float]:
+        """Aggregate allocated rate per link across the active flows.
+
+        Only links carrying at least one nonzero-rate flow appear; the
+        engine's observer turns this into the utilization timeline.
+        """
+        usage: Dict[Link, float] = {}
+        for flow_id, state in self._active.items():
+            rate = state.rate
+            if rate <= 0.0:
+                continue
+            for link in self._paths[flow_id]:
+                usage[link] = usage.get(link, 0.0) + rate
+        return usage
+
     def earliest_finish_interval(self) -> float:
         """Time until the first active flow completes at current rates."""
         horizon = float("inf")
@@ -149,6 +168,8 @@ class NetworkModel:
         if dt < -EPS:
             raise ValueError(f"cannot advance time by {dt}")
         dt = max(0.0, dt)
+        if self.observer is not None and dt > 0.0 and self._active:
+            self.observer.on_network_advance(now, dt, self.link_usage())
         finish_time = now + dt
         finished: List[FlowState] = []
         for flow_id in sorted(self._active):

@@ -56,30 +56,120 @@ class TaskEvent:
 
 @dataclass
 class SimulationTrace:
-    """Everything a run produced, in arrival order."""
+    """Everything a run produced, in arrival order.
+
+    The accessor methods are backed by lazily-built indexes: each index
+    remembers how many records it has absorbed and folds in only the
+    suffix appended since its last use, so repeated lookups in analysis
+    and benchmark loops are O(1) amortized instead of re-scanning the
+    full record lists. Appending through the public lists (as the engine
+    does) needs no invalidation hook; replacing a list wholesale resets
+    the affected index.
+    """
 
     compute_spans: List[ComputeSpan] = field(default_factory=list)
     flow_records: List[FlowRecord] = field(default_factory=list)
     task_events: List[TaskEvent] = field(default_factory=list)
     end_time: float = 0.0
+    # Lazy indexes: {key: records} plus a high-water mark of absorbed
+    # entries. Excluded from init/repr/compare -- pure caches.
+    _task_index: Dict[str, float] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _task_indexed: int = field(default=0, init=False, repr=False, compare=False)
+    _task_tail: Optional[TaskEvent] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _flows_by_group: Dict[Optional[str], List[FlowRecord]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _flows_by_job: Dict[Optional[str], List[FlowRecord]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _flows_indexed: int = field(default=0, init=False, repr=False, compare=False)
+    _flow_tail: Optional[FlowRecord] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _spans_by_device: Dict[str, List[ComputeSpan]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _spans_by_job: Dict[Optional[str], List[ComputeSpan]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _spans_indexed: int = field(default=0, init=False, repr=False, compare=False)
+    _span_tail: Optional[ComputeSpan] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    # -- index maintenance ---------------------------------------------
+
+    def _index_stale(self, records: List, indexed: int, tail) -> bool:
+        """True when ``records`` is not an append-extension of the indexed
+        prefix: shorter than the high-water mark, or its element at the
+        mark's tail position is no longer the object we last absorbed."""
+        if indexed > len(records):
+            return True
+        return indexed > 0 and records[indexed - 1] is not tail
+
+    def _sync_flow_index(self) -> None:
+        records = self.flow_records
+        if self._index_stale(records, self._flows_indexed, self._flow_tail):
+            self._flows_by_group.clear()
+            self._flows_by_job.clear()
+            self._flows_indexed = 0
+        for record in records[self._flows_indexed :]:
+            self._flows_by_group.setdefault(record.flow.group_id, []).append(record)
+            self._flows_by_job.setdefault(record.flow.job_id, []).append(record)
+        self._flows_indexed = len(records)
+        self._flow_tail = records[-1] if records else None
+
+    def _sync_span_index(self) -> None:
+        spans = self.compute_spans
+        if self._index_stale(spans, self._spans_indexed, self._span_tail):
+            self._spans_by_device.clear()
+            self._spans_by_job.clear()
+            self._spans_indexed = 0
+        for span in spans[self._spans_indexed :]:
+            self._spans_by_device.setdefault(span.device, []).append(span)
+            self._spans_by_job.setdefault(span.job_id, []).append(span)
+        self._spans_indexed = len(spans)
+        self._span_tail = spans[-1] if spans else None
+
+    def _sync_task_index(self) -> None:
+        events = self.task_events
+        if self._index_stale(events, self._task_indexed, self._task_tail):
+            self._task_index.clear()
+            self._task_indexed = 0
+        for event in events[self._task_indexed :]:
+            # First completion wins, matching the original linear scan.
+            self._task_index.setdefault(event.task_id, event.time)
+        self._task_indexed = len(events)
+        self._task_tail = events[-1] if events else None
+
+    # -- accessors ------------------------------------------------------
 
     def flows_of_group(self, group_id: str) -> List[FlowRecord]:
-        return [r for r in self.flow_records if r.flow.group_id == group_id]
+        self._sync_flow_index()
+        return list(self._flows_by_group.get(group_id, ()))
 
     def flows_of_job(self, job_id: str) -> List[FlowRecord]:
-        return [r for r in self.flow_records if r.flow.job_id == job_id]
+        self._sync_flow_index()
+        return list(self._flows_by_job.get(job_id, ()))
 
     def spans_of_device(self, device: str) -> List[ComputeSpan]:
-        return [s for s in self.compute_spans if s.device == device]
+        self._sync_span_index()
+        return list(self._spans_by_device.get(device, ()))
 
     def spans_of_job(self, job_id: str) -> List[ComputeSpan]:
-        return [s for s in self.compute_spans if s.job_id == job_id]
+        self._sync_span_index()
+        return list(self._spans_by_job.get(job_id, ()))
 
     def task_completion(self, task_id: str) -> float:
-        for event in self.task_events:
-            if event.task_id == task_id:
-                return event.time
-        raise KeyError(f"task {task_id!r} never completed in this trace")
+        self._sync_task_index()
+        try:
+            return self._task_index[task_id]
+        except KeyError:
+            raise KeyError(f"task {task_id!r} never completed in this trace")
 
     def last_compute_end(self, job_id: Optional[str] = None) -> float:
         spans = self.compute_spans

@@ -21,12 +21,21 @@ from .messages import BandwidthAllocation, EchelonFlowRequest
 class Coordinator:
     """Registers EchelonFlows and computes cluster-wide allocations."""
 
-    def __init__(self, algorithm: Optional[Scheduler] = None) -> None:
+    def __init__(
+        self, algorithm: Optional[Scheduler] = None, registry=None
+    ) -> None:
+        """``registry`` is an optional
+        :class:`repro.obs.registry.MetricsRegistry`; when provided the
+        coordinator publishes its invocation counts there as
+        ``coordinator_invocations_total{cause=...}``."""
         self.algorithm = algorithm or EchelonMaddScheduler()
         self.echelonflows: Dict[str, EchelonFlow] = {}
         self.request_log: List[EchelonFlowRequest] = []
         self.allocation_log: List[BandwidthAllocation] = []
         self.invocations = 0
+        #: Reruns per trigger cause, the Section 5 cost accounting.
+        self.invocations_by_cause: Dict[str, int] = {}
+        self.registry = registry
 
     # -- the agent-facing RPC surface ----------------------------------
 
@@ -48,6 +57,14 @@ class Coordinator:
 
     def allocate(self, view: SchedulerView) -> Dict[int, float]:
         self.invocations += 1
+        cause = getattr(view, "trigger_cause", None) or "unknown"
+        self.invocations_by_cause[cause] = (
+            self.invocations_by_cause.get(cause, 0) + 1
+        )
+        if self.registry is not None:
+            self.registry.counter(
+                "coordinator_invocations_total", cause=cause
+            ).inc()
         rates = self.algorithm.allocate(view)
         self.allocation_log.append(
             BandwidthAllocation(issued_at=view.now, rates=dict(rates))
@@ -72,6 +89,9 @@ class CoordinatedScheduler(Scheduler):
         merged = dict(view.echelonflows)
         merged.update(self.coordinator.echelonflows)
         coordinator_view = SchedulerView(
-            now=view.now, network=view.network, echelonflows=merged
+            now=view.now,
+            network=view.network,
+            echelonflows=merged,
+            trigger_cause=view.trigger_cause,
         )
         return self.coordinator.allocate(coordinator_view)

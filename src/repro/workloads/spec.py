@@ -147,19 +147,39 @@ def _build_job(job_spec: Dict, workers: List[str], extra_host: Optional[str]) ->
     )
 
 
-def run_spec(spec: Dict) -> Dict:
-    """Build and run a spec; returns plain-data per-job results."""
+def run_spec(
+    spec: Dict,
+    *,
+    instrumentation=None,
+    profile: bool = False,
+    detail: bool = False,
+):
+    """Build and run a spec; returns plain-data per-job results.
+
+    ``instrumentation`` (a :class:`repro.obs.Instrumentation`) observes
+    the run; ``profile`` wraps the scheduler in a
+    :class:`repro.obs.ProfiledScheduler` (reachable afterwards as
+    ``engine.scheduler``). With ``detail=True`` the return value is the
+    triple ``(results, trace, engine)`` instead of just ``results``, so
+    callers can export traces and metrics reports.
+    """
     if "jobs" not in spec or not spec["jobs"]:
         raise SpecError("spec needs a non-empty 'jobs' list")
     topology = _build_topology(spec.get("topology", {"hosts": 4}))
     scheduler_spec = dict(spec.get("scheduler", {"name": "echelon"}))
     scheduler_name = scheduler_spec.pop("name", "echelon")
     scheduler = make_scheduler(scheduler_name, **scheduler_spec)
+    if profile:
+        from ..obs import ProfiledScheduler
+
+        registry = instrumentation.registry if instrumentation is not None else None
+        scheduler = ProfiledScheduler(scheduler, registry=registry)
     engine = Engine(
         topology,
         scheduler,
         scheduling_interval=spec.get("scheduling_interval"),
         device_slots=spec.get("device_slots", 1),
+        instrumentation=instrumentation,
     )
     hosts = topology.hosts
     cursor = 0
@@ -189,11 +209,13 @@ def run_spec(spec: Dict) -> Dict:
             "completion_time": completion - arrival,
             "flows": len(trace.flows_of_job(job.job_id)),
         }
+    if detail:
+        return results, trace, engine
     return results
 
 
-def run_spec_file(path: str) -> Dict:
-    """Load a JSON spec from disk and run it."""
+def run_spec_file(path: str, **kwargs):
+    """Load a JSON spec from disk and run it (kwargs as in run_spec)."""
     with open(path) as handle:
         spec = json.load(handle)
-    return run_spec(spec)
+    return run_spec(spec, **kwargs)

@@ -139,6 +139,138 @@ def test_matrix_command(capsys):
     assert "fair" in out and "echelon" in out and "best" in out
 
 
+def test_run_emits_chrome_trace_and_metrics(tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "metrics.json"
+    events_path = tmp_path / "events.jsonl"
+    assert (
+        main(
+            [
+                "run",
+                "--paradigm",
+                "fsdp",
+                "--model",
+                "tiny_mlp",
+                "--workers",
+                "2",
+                "--emit-trace",
+                str(trace_path),
+                "--metrics-out",
+                str(metrics_path),
+                "--events-out",
+                str(events_path),
+            ]
+        )
+        == 0
+    )
+    document = json.loads(trace_path.read_text())
+    assert document["traceEvents"]
+    assert any(e["ph"] == "X" for e in document["traceEvents"])
+    metrics = json.loads(metrics_path.read_text())
+    assert metrics["scheduler"]["invocations"] > 0
+    assert metrics["scheduler"]["by_cause"]
+    assert metrics["links"]
+    assert all(
+        0 <= link["peak_utilization"] <= 1 + 1e-9
+        for link in metrics["links"].values()
+    )
+    assert events_path.read_text().strip()
+
+
+def test_fig2_emit_trace(tmp_path, capsys):
+    path = tmp_path / "fig2.json"
+    assert main(["fig2", "--emit-trace", str(path)]) == 0
+    document = json.loads(path.read_text())
+    assert document["traceEvents"]
+
+
+def test_cluster_metrics_out(tmp_path, capsys):
+    path = tmp_path / "metrics.json"
+    assert (
+        main(
+            [
+                "cluster",
+                "--model",
+                "tiny_mlp",
+                "--jobs",
+                "2",
+                "--hosts",
+                "4",
+                "--job-workers",
+                "2",
+                "--rate",
+                "50",
+                "--metrics-out",
+                str(path),
+            ]
+        )
+        == 0
+    )
+    metrics = json.loads(path.read_text())
+    assert metrics["scheduler"]["invocations"] > 0
+
+
+def test_run_spec_obs_flags(tmp_path, capsys):
+    spec = tmp_path / "spec.json"
+    spec.write_text(
+        json.dumps(
+            {
+                "topology": {"kind": "big_switch", "hosts": 2,
+                             "bandwidth_gbps": 10},
+                "jobs": [
+                    {"name": "j", "paradigm": "fsdp", "model": "tiny_mlp",
+                     "workers": 2}
+                ],
+            }
+        )
+    )
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "metrics.json"
+    assert (
+        main(
+            [
+                "run-spec",
+                str(spec),
+                "--emit-trace",
+                str(trace_path),
+                "--metrics-out",
+                str(metrics_path),
+            ]
+        )
+        == 0
+    )
+    assert json.loads(trace_path.read_text())["traceEvents"]
+    assert json.loads(metrics_path.read_text())["scheduler"]["by_cause"]
+
+
+def test_obs_subcommand_summarizes_log(tmp_path, capsys):
+    events_path = tmp_path / "events.jsonl"
+    assert (
+        main(
+            [
+                "run",
+                "--paradigm",
+                "dp-allreduce",
+                "--model",
+                "tiny_mlp",
+                "--workers",
+                "2",
+                "--events-out",
+                str(events_path),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    assert main(["obs", str(events_path)]) == 0
+    out = capsys.readouterr().out
+    assert "scheduler invocations" in out
+    assert "flows delivered" in out
+    assert main(["obs", str(events_path), "--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["scheduler"]["invocations"] > 0
+
+
 def test_parser_rejects_unknown_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["bogus"])

@@ -1,0 +1,100 @@
+"""SimulationTrace's lazy indexes: O(1) lookups that track appends."""
+
+import pytest
+
+from repro.core.flow import Flow
+from repro.simulator.trace import (
+    ComputeSpan,
+    FlowRecord,
+    SimulationTrace,
+    TaskEvent,
+)
+
+
+def _record(src, dst, group_id=None, job_id=None, finish=1.0):
+    flow = Flow(src=src, dst=dst, size=10.0, group_id=group_id, job_id=job_id)
+    return FlowRecord(flow=flow, start=0.0, finish=finish, ideal_finish=None)
+
+
+def _span(task_id, device, job_id=None, start=0.0, end=1.0):
+    return ComputeSpan(
+        task_id=task_id, device=device, start=start, end=end, job_id=job_id
+    )
+
+
+class TestTaskIndex:
+    def test_lookup_and_missing(self):
+        trace = SimulationTrace()
+        trace.task_events.append(TaskEvent("t0", "compute", 1.5, "j"))
+        trace.task_events.append(TaskEvent("t1", "comm", 2.5, "j"))
+        assert trace.task_completion("t0") == 1.5
+        assert trace.task_completion("t1") == 2.5
+        with pytest.raises(KeyError):
+            trace.task_completion("nope")
+
+    def test_first_completion_wins(self):
+        trace = SimulationTrace()
+        trace.task_events.append(TaskEvent("t", "compute", 1.0, "a"))
+        trace.task_events.append(TaskEvent("t", "compute", 9.0, "b"))
+        assert trace.task_completion("t") == 1.0
+
+    def test_index_absorbs_appends_after_first_use(self):
+        trace = SimulationTrace()
+        trace.task_events.append(TaskEvent("t0", "compute", 1.0, "j"))
+        assert trace.task_completion("t0") == 1.0
+        trace.task_events.append(TaskEvent("t1", "compute", 2.0, "j"))
+        assert trace.task_completion("t1") == 2.0
+
+    def test_index_resets_when_list_replaced(self):
+        trace = SimulationTrace()
+        trace.task_events.append(TaskEvent("t0", "compute", 1.0, "j"))
+        assert trace.task_completion("t0") == 1.0
+        trace.task_events = [TaskEvent("t9", "compute", 9.0, "j")]
+        assert trace.task_completion("t9") == 9.0
+        with pytest.raises(KeyError):
+            trace.task_completion("t0")
+
+
+class TestGroupingIndexes:
+    def test_flows_group_and_job(self):
+        trace = SimulationTrace()
+        trace.flow_records.append(_record("h0", "h1", group_id="g0", job_id="a"))
+        trace.flow_records.append(_record("h1", "h2", group_id="g1", job_id="a"))
+        trace.flow_records.append(_record("h2", "h3", group_id="g0", job_id="b"))
+        assert len(trace.flows_of_group("g0")) == 2
+        assert len(trace.flows_of_group("g1")) == 1
+        assert trace.flows_of_group("missing") == []
+        assert len(trace.flows_of_job("a")) == 2
+        assert len(trace.flows_of_job("b")) == 1
+
+    def test_flow_index_tracks_appends(self):
+        trace = SimulationTrace()
+        trace.flow_records.append(_record("h0", "h1", group_id="g"))
+        assert len(trace.flows_of_group("g")) == 1
+        trace.flow_records.append(_record("h1", "h0", group_id="g"))
+        assert len(trace.flows_of_group("g")) == 2
+
+    def test_returned_lists_are_copies(self):
+        trace = SimulationTrace()
+        trace.flow_records.append(_record("h0", "h1", group_id="g"))
+        trace.flows_of_group("g").append("junk")
+        assert len(trace.flows_of_group("g")) == 1
+
+    def test_spans_by_device_and_job(self):
+        trace = SimulationTrace()
+        trace.compute_spans.append(_span("t0", "h0", job_id="a"))
+        trace.compute_spans.append(_span("t1", "h1", job_id="a"))
+        trace.compute_spans.append(_span("t2", "h0", job_id="b"))
+        assert [s.task_id for s in trace.spans_of_device("h0")] == ["t0", "t2"]
+        assert len(trace.spans_of_job("a")) == 2
+        trace.compute_spans.append(_span("t3", "h0", job_id="b"))
+        assert len(trace.spans_of_device("h0")) == 3
+
+    def test_preserves_record_order(self):
+        trace = SimulationTrace()
+        for i in range(5):
+            trace.flow_records.append(
+                _record("h0", "h1", group_id="g", finish=float(i))
+            )
+        finishes = [r.finish for r in trace.flows_of_group("g")]
+        assert finishes == sorted(finishes)
