@@ -1,0 +1,289 @@
+#!/usr/bin/env python
+"""Scale sweep: incremental vs. reference simulation core.
+
+Sweeps the number of simultaneously-active flows (default 100 -> 10k) on a
+multi-job big-switch scenario and times a full engine run twice per point:
+once with ``incremental=True`` (finish-time heap, residual link accounting,
+dirty-set rates, persistent scheduler view) and once with
+``incremental=False`` (identical semantics, full scans per event -- the
+pre-refactor cost model). Both runs produce the same simulation by
+construction; the report records wall-clock seconds and the speedup.
+
+The scenario is shaped so the hot path dominates: all flows are injected
+up front (one arrival round), the engine runs in scheduling-interval mode
+(so the coordinator reruns on ticks, not per departure), and flow sizes
+are drawn from a seeded RNG so the n completions stagger into n separate
+rounds. Per round the reference core pays O(active) three times over
+(advance scan, earliest-finish scan, zero-advance scan) -- O(n^2) for the
+run -- while the incremental core pays O(log n).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py                 # full sweep
+    PYTHONPATH=src python benchmarks/bench_scale.py --sizes 100,1000
+    PYTHONPATH=src python benchmarks/bench_scale.py --smoke         # CI guard
+
+``--smoke`` runs one small point a few times and compares the
+*time ratio* (incremental / reference) against the checked-in baseline
+(``benchmarks/results/bench_scale_baseline.json``); the ratio is
+machine-independent to first order, so the step fails only when the
+incremental core itself regresses (> 2x the baseline ratio), not when CI
+hardware is slow. Exit code 1 on regression or equivalence mismatch.
+
+See ``docs/performance.md`` for how to read the JSON report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro.core.flow import Flow
+from repro.scheduling import EchelonMaddScheduler, FairSharingScheduler
+from repro.simulator import Engine
+from repro.topology import big_switch
+
+RESULTS_DIR = ROOT / "benchmarks" / "results"
+REPORT_PATH = RESULTS_DIR / "bench_scale.json"
+BASELINE_PATH = RESULTS_DIR / "bench_scale_baseline.json"
+
+N_HOSTS = 64
+N_JOBS = 8
+GROUP_SIZE = 16
+#: Coordinator rerun tick (interval mode); sized so a run sees a handful
+#: of ticks, keeping scheduler cost (identical in both modes) a rounding
+#: error next to the per-event hot path being measured.
+TICK = 0.5
+#: Regression threshold for --smoke: fail when the incremental/reference
+#: time ratio exceeds the checked-in baseline ratio by more than this.
+SMOKE_FACTOR = 2.0
+SMOKE_FLOWS = 400
+SMOKE_REPEATS = 3
+
+
+def _make_scheduler(name: str):
+    if name == "fair":
+        return FairSharingScheduler()
+    if name == "echelon":
+        return EchelonMaddScheduler()
+    raise ValueError(f"unknown scheduler {name!r} (choose fair or echelon)")
+
+
+def build_engine(n_flows: int, incremental: bool, seed: int, scheduler: str) -> Engine:
+    """A multi-job all-to-all scenario with ``n_flows`` concurrent flows.
+
+    Host bandwidth scales with n so each flow's fair rate stays ~1 and
+    the simulated horizon stays ~O(1) regardless of scale. Flows carry
+    job ids and group ids (8 jobs, 16-flow groups) so the network's
+    group-bucket maintenance is part of what gets measured.
+    """
+    bandwidth = max(1.0, n_flows / N_HOSTS)
+    topology = big_switch(N_HOSTS, host_bandwidth=bandwidth, name="bench-scale")
+    engine = Engine(
+        topology,
+        _make_scheduler(scheduler),
+        scheduling_interval=TICK,
+        incremental=incremental,
+    )
+    rng = random.Random(seed)
+    for i in range(n_flows):
+        src = i % N_HOSTS
+        dst = (i + 1 + (i // N_HOSTS) % (N_HOSTS - 1)) % N_HOSTS
+        if dst == src:
+            dst = (dst + 1) % N_HOSTS
+        job = i % N_JOBS
+        engine.inject_background_flow(
+            Flow(
+                src=f"h{src}",
+                dst=f"h{dst}",
+                size=1.0 + rng.random(),
+                group_id=f"job{job}/g{i // (N_JOBS * GROUP_SIZE)}",
+                index_in_group=(i // N_JOBS) % GROUP_SIZE,
+                job_id=f"job{job}",
+                tag="bench",
+            ),
+            at_time=0.0,
+        )
+    return engine
+
+
+def run_once(n_flows: int, incremental: bool, seed: int, scheduler: str) -> dict:
+    engine = build_engine(n_flows, incremental, seed, scheduler)
+    start = time.perf_counter()
+    trace = engine.run()
+    elapsed = time.perf_counter() - start
+    return {
+        "seconds": elapsed,
+        "completed": len(trace.flow_records),
+        "end_time": trace.end_time,
+        "bytes_delivered": engine.network.bytes_delivered,
+        "scheduler_invocations": engine.scheduler_invocations,
+    }
+
+
+def _check_equivalent(n_flows: int, ref: dict, inc: dict) -> list:
+    """Both modes must have simulated the same run."""
+    problems = []
+    if ref["completed"] != inc["completed"] or ref["completed"] != n_flows:
+        problems.append(
+            f"completions differ: reference={ref['completed']} "
+            f"incremental={inc['completed']} expected={n_flows}"
+        )
+    if ref["end_time"] != inc["end_time"]:
+        problems.append(
+            f"end_time differs: reference={ref['end_time']!r} "
+            f"incremental={inc['end_time']!r}"
+        )
+    if ref["scheduler_invocations"] != inc["scheduler_invocations"]:
+        problems.append(
+            f"scheduler invocations differ: reference="
+            f"{ref['scheduler_invocations']} incremental="
+            f"{inc['scheduler_invocations']}"
+        )
+    # Bytes accumulate in different orders between the modes (sync order
+    # vs. scan order): equal only up to float association.
+    scale = max(1.0, abs(ref["bytes_delivered"]))
+    if abs(ref["bytes_delivered"] - inc["bytes_delivered"]) > 1e-6 * scale:
+        problems.append(
+            f"bytes_delivered differ: reference={ref['bytes_delivered']!r} "
+            f"incremental={inc['bytes_delivered']!r}"
+        )
+    return problems
+
+
+def sweep(sizes, seed: int, scheduler: str) -> dict:
+    points = []
+    for n_flows in sizes:
+        print(f"[bench_scale] n={n_flows}: reference ...", flush=True)
+        ref = run_once(n_flows, incremental=False, seed=seed, scheduler=scheduler)
+        print(
+            f"[bench_scale] n={n_flows}: reference {ref['seconds']:.3f}s, "
+            "incremental ...",
+            flush=True,
+        )
+        inc = run_once(n_flows, incremental=True, seed=seed, scheduler=scheduler)
+        problems = _check_equivalent(n_flows, ref, inc)
+        if problems:
+            raise SystemExit(
+                "mode equivalence violated at n=%d:\n  %s"
+                % (n_flows, "\n  ".join(problems))
+            )
+        speedup = ref["seconds"] / inc["seconds"] if inc["seconds"] > 0 else float("inf")
+        print(
+            f"[bench_scale] n={n_flows}: incremental {inc['seconds']:.3f}s "
+            f"-> speedup {speedup:.1f}x",
+            flush=True,
+        )
+        points.append(
+            {
+                "n_flows": n_flows,
+                "reference_seconds": round(ref["seconds"], 6),
+                "incremental_seconds": round(inc["seconds"], 6),
+                "speedup": round(speedup, 2),
+                "completed_flows": inc["completed"],
+                "sim_end_time": inc["end_time"],
+                "scheduler_invocations": inc["scheduler_invocations"],
+            }
+        )
+    top = max(points, key=lambda p: p["n_flows"])
+    return {
+        "benchmark": "bench_scale",
+        "scenario": {
+            "topology": f"big_switch({N_HOSTS})",
+            "scheduler": scheduler,
+            "scheduling_interval": TICK,
+            "jobs": N_JOBS,
+            "group_size": GROUP_SIZE,
+            "seed": seed,
+        },
+        "sweep": points,
+        "top": {"n_flows": top["n_flows"], "speedup": top["speedup"]},
+    }
+
+
+def smoke(seed: int, scheduler: str) -> int:
+    """CI guard: fail when the incremental core regresses vs. baseline."""
+    try:
+        baseline = json.loads(BASELINE_PATH.read_text())
+    except FileNotFoundError:
+        print(f"[bench_scale] missing baseline {BASELINE_PATH}", file=sys.stderr)
+        return 1
+    best_ratio = float("inf")
+    for attempt in range(SMOKE_REPEATS):
+        ref = run_once(SMOKE_FLOWS, incremental=False, seed=seed, scheduler=scheduler)
+        inc = run_once(SMOKE_FLOWS, incremental=True, seed=seed, scheduler=scheduler)
+        problems = _check_equivalent(SMOKE_FLOWS, ref, inc)
+        if problems:
+            print(
+                "[bench_scale] smoke equivalence FAILED:\n  " + "\n  ".join(problems),
+                file=sys.stderr,
+            )
+            return 1
+        ratio = inc["seconds"] / ref["seconds"]
+        best_ratio = min(best_ratio, ratio)
+        print(
+            f"[bench_scale] smoke attempt {attempt + 1}/{SMOKE_REPEATS}: "
+            f"ratio {ratio:.3f} (incremental {inc['seconds']:.3f}s / "
+            f"reference {ref['seconds']:.3f}s)",
+            flush=True,
+        )
+    allowed = SMOKE_FACTOR * baseline["ratio"]
+    print(
+        f"[bench_scale] smoke: best ratio {best_ratio:.3f}, baseline "
+        f"{baseline['ratio']:.3f}, allowed <= {allowed:.3f}"
+    )
+    if best_ratio > allowed:
+        print(
+            f"[bench_scale] REGRESSION: incremental/reference time ratio "
+            f"{best_ratio:.3f} exceeds {SMOKE_FACTOR}x the baseline "
+            f"({baseline['ratio']:.3f})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes",
+        default="100,1000,10000",
+        help="comma-separated active-flow counts to sweep",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--scheduler", default="fair", choices=("fair", "echelon"),
+        help="coordinator algorithm driving the run",
+    )
+    parser.add_argument(
+        "--out", default=str(REPORT_PATH), help="JSON report destination"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small-scale regression guard against the checked-in baseline",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        return smoke(args.seed, args.scheduler)
+
+    sizes = sorted({int(s) for s in args.sizes.split(",") if s.strip()})
+    report = sweep(sizes, args.seed, args.scheduler)
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[bench_scale] report written to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -68,6 +68,18 @@ class Flow:
                 f"flow endpoints must differ, got src == dst == {self.src!r}"
             )
 
+    @property
+    def finish_epsilon(self) -> float:
+        """Remaining-bytes threshold below which the flow counts as done.
+
+        Relative tolerance: draining a multi-gigabyte flow at line rate
+        accumulates float error well above any fixed absolute epsilon.
+        The single definition is shared by :attr:`FlowState.finished` and
+        the network model's finish-time index, so "who finishes when" can
+        never disagree between the two.
+        """
+        return max(EPS, 1e-9 * self.size)
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         group = f" [{self.group_id}#{self.index_in_group}]" if self.group_id else ""
         return f"Flow<{self.flow_id} {self.src}->{self.dst} {self.size:g}B{group}>"
@@ -88,9 +100,7 @@ class FlowState:
 
     @property
     def finished(self) -> bool:
-        # Relative tolerance: draining a multi-gigabyte flow at line rate
-        # accumulates float error well above any fixed absolute epsilon.
-        return self.remaining <= max(EPS, 1e-9 * self.flow.size)
+        return self.remaining <= self.flow.finish_epsilon
 
     @property
     def transferred(self) -> float:

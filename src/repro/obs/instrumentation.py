@@ -47,11 +47,19 @@ class LinkTimeline:
         return f"{src}->{dst}"
 
     def record(self, now: float, dt: float, usage: Mapping) -> None:
-        """Record one fluid advance: ``usage`` maps Link -> total rate."""
+        """Record one fluid advance: ``usage`` maps Link -> total rate.
+
+        ``usage`` now comes straight from the network's incrementally
+        maintained residual accounting; its per-link float accumulators
+        can drift a few ulp below zero on a busy link that just emptied,
+        so tiny negatives are clamped rather than plotted.
+        """
         if dt <= 0:
             return
         end = now + dt
         for link, rate in usage.items():
+            if rate < 0.0:
+                rate = 0.0
             key = self.link_key(link.src, link.dst)
             self.capacities[key] = link.capacity
             series = self.segments.setdefault(key, [])

@@ -13,7 +13,7 @@ EchelonFlow membership and arrangement-derived ideal finish times.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.echelonflow import EchelonFlow
 from ..core.flow import FlowState
@@ -23,7 +23,15 @@ from ..simulator.network import NetworkModel
 
 @dataclass
 class SchedulerView:
-    """Snapshot handed to a scheduler at decision time."""
+    """Snapshot handed to a scheduler at decision time.
+
+    The engine keeps one view alive for the whole run and ``refresh``-es
+    it per invocation, so schedulers see engine-maintained *incremental*
+    state -- the network's group buckets and cached demands -- instead of
+    per-call rebuilds, plus a delta of what changed since they last ran.
+    Constructing a view directly (tests, one-shot calls) works the same;
+    the delta fields are simply empty.
+    """
 
     now: float
     network: NetworkModel
@@ -35,6 +43,32 @@ class SchedulerView:
     #: Profiling middleware and the Fig. 7 coordinator use this to count
     #: invocations per rerun policy; algorithms are free to ignore it.
     trigger_cause: Optional[str] = None
+    #: Flow ids injected since the scheduler last ran (empty on direct
+    #: construction). Incremental schedulers use these to patch warm
+    #: state instead of re-deriving it from the full active set.
+    injected_flows: Tuple[int, ...] = ()
+    #: Flow ids retired since the scheduler last ran.
+    departed_flows: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Materialize lazily-drained `remaining` values up front so every
+        # read a scheduler performs sees current bytes.
+        self.network.sync_active()
+
+    def refresh(
+        self,
+        now: float,
+        trigger_cause: Optional[str],
+        injected: Sequence[int] = (),
+        departed: Sequence[int] = (),
+    ) -> "SchedulerView":
+        """Point the persistent view at the current decision instant."""
+        self.now = now
+        self.trigger_cause = trigger_cause
+        self.injected_flows = tuple(injected)
+        self.departed_flows = tuple(departed)
+        self.network.sync_active()
+        return self
 
     def active_states(self) -> List[FlowState]:
         return self.network.active_states()
@@ -42,10 +76,19 @@ class SchedulerView:
     def demand_of(self, state: FlowState, weight: float = 1.0) -> FlowDemand:
         return self.network.demand(state.flow.flow_id, weight)
 
+    def flow_demands(self) -> List[FlowDemand]:
+        """Unit-weight demands of every active flow, cached at inject time."""
+        return self.network.demands()
+
     def group_of(self, state: FlowState) -> Optional[EchelonFlow]:
         if state.flow.group_id is None:
             return None
         return self.echelonflows.get(state.flow.group_id)
+
+    def group_weight_of(self, state: FlowState) -> float:
+        """The flow's EchelonFlow weight (1.0 when ungrouped/unregistered)."""
+        group = self.group_of(state)
+        return group.weight if group is not None else 1.0
 
     def states_by_group(self) -> Dict[Optional[str], List[FlowState]]:
         """Active flows bucketed by EchelonFlow id (None = ungrouped)."""
@@ -53,6 +96,16 @@ class SchedulerView:
         for state in self.active_states():
             groups.setdefault(state.flow.group_id, []).append(state)
         return groups
+
+    def groups(self) -> List[Tuple[Optional[str], List[FlowState]]]:
+        """Engine-maintained group buckets, sorted by id (``None`` last).
+
+        Unlike :meth:`states_by_group` this does not rebuild anything:
+        the network keeps the buckets current across inject/retire, so a
+        call is O(groups). Buckets are fid-sorted; treat them as
+        read-only.
+        """
+        return self.network.group_buckets()
 
     def ideal_finish_time(self, state: FlowState) -> Optional[float]:
         """``d_j`` of a flow, from its EchelonFlow's arrangement.

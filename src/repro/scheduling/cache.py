@@ -58,8 +58,7 @@ class MemoizingScheduler(Scheduler):
             group_id = flow.group_id
             if group_id not in group_tokens:
                 group_tokens[group_id] = len(group_tokens)
-            group = view.group_of(state)
-            weight = group.weight if group is not None else 1.0
+            weight = view.group_weight_of(state)
             deadline = view.ideal_finish_time(state)
             slack = (
                 _quantize(deadline - view.now)

@@ -101,16 +101,19 @@ class CoflowMaddScheduler(Scheduler):
 
     def allocate(self, view: SchedulerView) -> Dict[int, float]:
         network = view.network
-        groups = view.states_by_group()
         coflows: List[Tuple[str, List[FlowState]]] = []
-        for group_id, states in groups.items():
+        # Incremental group buckets; the SEBF sort below fully determines
+        # the final order, so bucket enumeration order is irrelevant.
+        for group_id, states in view.groups():
             if group_id is None:
                 for state in states:  # singleton pseudo-coflows
                     coflows.append((f"_flow{state.flow.flow_id}", [state]))
             else:
                 coflows.append((group_id, states))
 
-        available = self._full_capacities(network)
+        # Maintained by the network's residual accounting; a (harmless)
+        # superset of the links under the currently-active flows.
+        available = network.link_capacities()
         # SEBF: smallest remaining bottleneck first, on *full* capacities.
         keyed = []
         for group_id, states in coflows:
@@ -133,11 +136,3 @@ class CoflowMaddScheduler(Scheduler):
             demands = [view.demand_of(state) for state in ordered_states]
             rates = greedy_priority_fill(demands, available=residual, base_rates=rates)
         return rates
-
-    @staticmethod
-    def _full_capacities(network: NetworkModel) -> Dict[Tuple[str, str], float]:
-        capacities: Dict[Tuple[str, str], float] = {}
-        for state in network.active_states():
-            for link in network.path(state.flow.flow_id):
-                capacities[link.key] = link.capacity
-        return capacities

@@ -181,9 +181,10 @@ class EchelonMaddScheduler(Scheduler):
 
     def _build_groups(self, view: SchedulerView) -> List[_Group]:
         groups: List[_Group] = []
-        for group_id, states in sorted(
-            view.states_by_group().items(), key=lambda kv: (kv[0] is None, kv[0] or "")
-        ):
+        # The network's incremental buckets, already sorted by group id
+        # with ungrouped flows last -- the order this loop used to create
+        # by sorting a per-call states_by_group() rebuild.
+        for group_id, states in view.groups():
             if group_id is None:
                 # Every ungrouped flow is its own singleton group.
                 for state in states:
@@ -324,10 +325,9 @@ class EchelonMaddScheduler(Scheduler):
     def allocate(self, view: SchedulerView) -> Dict[int, float]:
         network = view.network
         now = view.now
-        full_caps: Dict[Tuple[str, str], float] = {}
-        for state in view.active_states():
-            for link in network.path(state.flow.flow_id):
-                full_caps[link.key] = link.capacity
+        # Maintained by the network's residual accounting; a (harmless)
+        # superset of the links under the currently-active flows.
+        full_caps: Dict[Tuple[str, str], float] = network.link_capacities()
 
         groups = self._build_groups(view)
         ordered = self._order_groups(groups, now, network, full_caps)

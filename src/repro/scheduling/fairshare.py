@@ -24,6 +24,10 @@ class FairSharingScheduler(Scheduler):
         self.weight_by_job = dict(weight_by_job or {})
 
     def allocate(self, view: SchedulerView) -> Dict[int, float]:
+        if not self.weight_by_job:
+            # Unweighted: the network's demands are cached at inject time
+            # (unit weight), no per-call FlowDemand construction.
+            return max_min_fair(view.flow_demands())
         demands = []
         for state in view.active_states():
             weight = self.weight_by_job.get(state.flow.job_id, 1.0)

@@ -104,7 +104,9 @@ class SincroniaScheduler(Scheduler):
     def allocate(self, view: SchedulerView) -> Dict[int, float]:
         network = view.network
         coflows: Dict[str, List[FlowState]] = {}
-        for group_id, states in view.states_by_group().items():
+        # Incremental group buckets; BSSI's own deterministic tie-breaks
+        # (sorted ids everywhere) make enumeration order irrelevant.
+        for group_id, states in view.groups():
             if group_id is None:
                 for state in states:
                     coflows[f"_flow{state.flow.flow_id}"] = [state]

@@ -10,6 +10,9 @@ constraints. This module implements the building blocks:
   order (used by SJF-style and backfill passes).
 * :func:`feasible` -- validate an allocation against link capacities.
 * :func:`residual_capacities` -- leftover capacity after an allocation.
+* :class:`LinkAccounting` -- stateful per-link residual bookkeeping kept
+  current by the network model, so feasibility checks and utilization
+  sampling cost O(links touched) instead of O(flows x path length).
 
 All functions are pure: they take explicit flow descriptors and return new
 rate dictionaries, which keeps them unit-testable and hypothesis-friendly.
@@ -89,6 +92,102 @@ def residual_capacities(
         for link in demand.path:
             residual[link.key] = residual[link.key] - rate
     return {key: max(0.0, value) for key, value in residual.items()}
+
+
+class LinkAccounting:
+    """Incrementally-maintained per-link load and membership state.
+
+    The network model feeds this one delta per flow-rate change (plus one
+    registration per flow lifecycle event), and in exchange every consumer
+    of "how loaded is each link right now" -- the feasibility gate in
+    ``set_rates``, the lenient-mode capacity relaxation, and the
+    observer's utilization sampling -- reads an always-current map instead
+    of re-aggregating all active flows.
+
+    Loads are float accumulators: they drift from a fresh summation by
+    ulp-level error. The ``nonzero`` counters (integer counts of flows at
+    a strictly positive rate per link) are exact, so membership questions
+    ("does any live flow cross this link?") never depend on float drift;
+    a link whose flow set empties has its accumulator hard-reset to 0.
+    """
+
+    __slots__ = ("loads", "capacities", "links", "flows_on", "nonzero")
+
+    def __init__(self) -> None:
+        #: link key -> sum of current rates of flows crossing it.
+        self.loads: Dict[Tuple[str, str], float] = {}
+        self.capacities: Dict[Tuple[str, str], float] = {}
+        #: link key -> the Link object (for observer-facing views).
+        self.links: Dict[Tuple[str, str], Link] = {}
+        #: link key -> ids of active flows whose path crosses it.
+        self.flows_on: Dict[Tuple[str, str], set] = {}
+        #: link key -> count of crossing flows with rate > 0.
+        self.nonzero: Dict[Tuple[str, str], int] = {}
+
+    def watch(self, flow_id: int, path: Sequence[Link]) -> None:
+        """Register a newly-injected (rate-0) flow on its path's links."""
+        for link in path:
+            key = link.key
+            if key not in self.loads:
+                self.loads[key] = 0.0
+                self.capacities[key] = link.capacity
+                self.links[key] = link
+                self.flows_on[key] = set()
+                self.nonzero[key] = 0
+            self.flows_on[key].add(flow_id)
+
+    def unwatch(self, flow_id: int, path: Sequence[Link], rate: float) -> None:
+        """Retire a flow: release its rate and drop it from link sets."""
+        for link in path:
+            key = link.key
+            members = self.flows_on[key]
+            members.discard(flow_id)
+            if rate > 0.0:
+                self.loads[key] -= rate
+                self.nonzero[key] -= 1
+            if not members:
+                # Kill accumulated drift the moment a link goes idle.
+                self.loads[key] = 0.0
+                self.nonzero[key] = 0
+
+    def apply(self, path: Sequence[Link], old_rate: float, new_rate: float) -> None:
+        """Move a flow's contribution from ``old_rate`` to ``new_rate``."""
+        delta = new_rate - old_rate
+        step = (1 if new_rate > 0.0 else 0) - (1 if old_rate > 0.0 else 0)
+        for link in path:
+            key = link.key
+            self.loads[key] += delta
+            if step:
+                self.nonzero[key] += step
+
+    def usage(self) -> Dict[Link, float]:
+        """Aggregate rate per link, restricted to links carrying traffic."""
+        links = self.links
+        nonzero = self.nonzero
+        return {
+            links[key]: load
+            for key, load in self.loads.items()
+            if nonzero[key] > 0
+        }
+
+    def feasible_with_deltas(
+        self,
+        deltas: Mapping[Tuple[str, str], float],
+        tolerance: float = 1e-6,
+    ) -> bool:
+        """Would the current loads, shifted by ``deltas``, fit capacity?
+
+        Only the shifted links are examined: the invariant that the
+        *current* allocation is feasible makes untouched links safe.
+        """
+        loads = self.loads
+        capacities = self.capacities
+        for key, delta in deltas.items():
+            used = loads[key] + delta
+            capacity = capacities[key]
+            if used > capacity * (1.0 + tolerance) + tolerance:
+                return False
+        return True
 
 
 def max_min_fair(

@@ -59,6 +59,7 @@ class Engine:
         device_slots=1,
         scheduling_interval: Optional[float] = None,
         instrumentation=None,
+        incremental: bool = True,
     ) -> None:
         """``device_slots`` sets per-device MIG slot counts: an int applies
         to every device, a mapping overrides per device name.
@@ -77,11 +78,22 @@ class Engine:
         invocations, and installs it as the network model's observer for
         link-utilization sampling. ``None`` (default) records nothing
         and costs one attribute check per hook site.
+
+        ``incremental``: ``True`` (default) runs the O(changed flows)
+        hot path -- finish-time heap, residual link accounting, persistent
+        scheduler view, per-group undated index. ``False`` keeps the
+        exact same semantics but finds work by full scans (the
+        pre-refactor cost model); it exists for equivalence tests and the
+        ``bench_scale`` speedup report.
         """
         self.topology = topology
         self.scheduler = scheduler
+        self.incremental = incremental
         self.network = NetworkModel(
-            topology, router or ShortestPathRouter(topology), strict=strict_rates
+            topology,
+            router or ShortestPathRouter(topology),
+            strict=strict_rates,
+            incremental=incremental,
         )
         self.events = EventQueue()
         self.devices: Dict[str, Device] = {}
@@ -99,6 +111,17 @@ class Engine:
         self._needs_reschedule = False
         #: Causes accumulated since the last scheduler invocation.
         self._pending_causes: set = set()
+        #: Persistent SchedulerView, refreshed per invocation (incremental
+        #: mode); legacy mode reconstructs one per call like the old code.
+        self._view: Optional[SchedulerView] = None
+        #: Flow ids injected/departed since the scheduler last ran.
+        self._delta_injected: List[int] = []
+        self._delta_departed: List[int] = []
+        #: group id -> active states still awaiting an ideal finish time
+        #: (their EchelonFlow's reference is not pinned yet). Lets a
+        #: freshly-pinned reference date exactly these states instead of
+        #: rescanning every active flow.
+        self._undated: Dict[str, List[FlowState]] = {}
         self.obs = instrumentation
         if instrumentation is not None:
             self.network.observer = instrumentation
@@ -200,20 +223,34 @@ class Engine:
 
     def _inject_flow(self, flow: Flow, owner: Optional[Tuple[str, str]]) -> None:
         state = self.network.inject(flow, self.now)
+        self._delta_injected.append(flow.flow_id)
         group = self.echelonflows.get(flow.group_id) if flow.group_id else None
         if group is not None:
             group.observe_flow_start(flow, self.now)
             if group.reference_time is not None:
                 state.ideal_finish_time = group.ideal_finish_time_of(flow)
-                # A freshly-pinned reference also dates earlier members.
-                for other in self.network.active_states():
-                    if (
-                        other.flow.group_id == flow.group_id
-                        and other.ideal_finish_time is None
-                    ):
-                        other.ideal_finish_time = group.ideal_finish_time_of(
-                            other.flow
-                        )
+                # A freshly-pinned reference also dates earlier members:
+                # exactly the group's undated states, tracked per group.
+                undated = self._undated.pop(flow.group_id, None)
+                if not self.incremental:
+                    # Legacy cost model: find them by scanning all actives
+                    # (metadata-only, so no drain materialization).
+                    for other in self.network.iter_active():
+                        if (
+                            other.flow.group_id == flow.group_id
+                            and other.ideal_finish_time is None
+                        ):
+                            other.ideal_finish_time = group.ideal_finish_time_of(
+                                other.flow
+                            )
+                elif undated:
+                    for other in undated:
+                        if other.ideal_finish_time is None:
+                            other.ideal_finish_time = group.ideal_finish_time_of(
+                                other.flow
+                            )
+            else:
+                self._undated.setdefault(flow.group_id, []).append(state)
         if self.obs is not None:
             self.obs.on_flow_injected(flow, self.now)
         self._request_reschedule("arrival")
@@ -290,10 +327,21 @@ class Engine:
 
     def _on_flow_finished(self, state: FlowState) -> None:
         flow = state.flow
+        self._delta_departed.append(flow.flow_id)
         ideal = state.ideal_finish_time
         group = self.echelonflows.get(flow.group_id) if flow.group_id else None
         if group is not None and group.reference_time is not None:
             ideal = group.ideal_finish_time_of(flow)
+        if flow.group_id is not None and state.ideal_finish_time is None:
+            # Retired while still awaiting its group's reference time.
+            undated = self._undated.get(flow.group_id)
+            if undated is not None:
+                try:
+                    undated.remove(state)
+                except ValueError:
+                    pass
+                if not undated:
+                    del self._undated[flow.group_id]
         record = FlowRecord(
             flow=flow,
             start=state.start_time,
@@ -322,12 +370,23 @@ class Engine:
 
     def _reschedule(self) -> None:
         cause = self._primary_cause()
-        view = SchedulerView(
-            now=self.now,
-            network=self.network,
-            echelonflows=self.echelonflows,
-            trigger_cause=cause,
-        )
+        if self.incremental and self._view is not None:
+            view = self._view.refresh(
+                self.now, cause, self._delta_injected, self._delta_departed
+            )
+        else:
+            view = SchedulerView(
+                now=self.now,
+                network=self.network,
+                echelonflows=self.echelonflows,
+                trigger_cause=cause,
+                injected_flows=tuple(self._delta_injected),
+                departed_flows=tuple(self._delta_departed),
+            )
+            if self.incremental:
+                self._view = view
+        self._delta_injected.clear()
+        self._delta_departed.clear()
         rates = self.scheduler.allocate(view)
         self.network.set_rates(rates)
         self._needs_reschedule = False
@@ -408,13 +467,11 @@ class Engine:
             if self.network.active_count == 0:
                 self._cancel_tick()
 
-            # Flows that finished exactly as a rate change landed.
-            zero_now = [
-                s for s in self.network.active_states() if s.finished
-            ]
-            if zero_now:
-                for state in self.network.advance(0.0, self.now):
-                    self._on_flow_finished(state)
+            # Flows that finished exactly as a rate change landed. The
+            # zero-length advance retires them via the finish index (or a
+            # scan in reference mode) without draining anyone.
+            for state in self.network.advance(0.0, self.now):
+                self._on_flow_finished(state)
 
         self.trace.end_time = self.now
         return self.trace
@@ -428,13 +485,15 @@ class Engine:
         return list(self._completed_jobs)
 
     def job_completion_time(self, job_id: str) -> float:
-        """Completion time of a job: last task completion in its DAG."""
-        times = [
-            event.time for event in self.trace.task_events if event.job_id == job_id
-        ]
+        """Completion time of a job: last task completion in its DAG.
+
+        Backed by the trace's lazy per-job index, so repeated queries in
+        analysis loops cost O(tasks of the job), not O(all task events).
+        """
+        events = self.trace.task_events_of_job(job_id)
         dag = self._dags[job_id]
-        if len(times) != len(dag):
+        if len(events) != len(dag):
             raise SimulationError(
-                f"job {job_id!r} has {len(dag) - len(times)} unfinished tasks"
+                f"job {job_id!r} has {len(dag) - len(events)} unfinished tasks"
             )
-        return max(times)
+        return max(event.time for event in events)

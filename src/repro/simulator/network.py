@@ -8,16 +8,61 @@ link capacities before accepting it.
 The model is deliberately ignorant of *why* flows exist (jobs, EchelonFlows,
 collectives) -- it exposes exactly what the paper's coordinator would see:
 flow sizes, endpoints, paths, remaining bytes, and ideal finish times.
+
+Incremental core
+----------------
+
+The hot path is O(changed flows) per event, not O(active flows):
+
+* **Lazy drain.** Each flow carries a sync anchor (the last time its
+  ``remaining`` was materialized). Advancing time only touches flows that
+  finish now; everyone else drains implicitly along ``remaining - rate *
+  elapsed`` and is materialized on demand (scheduler reads, rate changes,
+  direct state access). The arithmetic is identical whichever mode finds
+  the flows to touch, so the scan-based reference mode reproduces the
+  incremental mode's traces bit for bit.
+* **Finish-time heap.** Projected finish times are pushed into a lazily
+  invalidated min-heap whenever a rate changes. ``earliest_finish_interval``
+  and ``advance`` pop candidates instead of scanning; keys conservatively
+  lower-bound the true finish (they are the epsilon-threshold crossing),
+  and every candidate is re-checked with the exact per-flow arithmetic, so
+  the heap only ever narrows *where* to look, never *what* is computed.
+* **Residual accounting.** A :class:`~repro.simulator.allocation.LinkAccounting`
+  tracks per-link load deltas as rates change, so the ``set_rates``
+  feasibility gate inspects only the links whose load moved, lenient-mode
+  scaling relaxes without rebuilding usage maps, and ``link_usage`` (the
+  observer's sampling hook) is a read of maintained state.
+* **Dirty-set rates.** ``set_rates`` applies only rates that actually
+  changed; unchanged flows keep their anchors, heap entries, and link
+  contributions untouched.
+
+Constructing the model with ``incremental=False`` keeps the exact same
+drain/retire/allocation semantics but finds work by full scans -- the
+pre-refactor cost model. It exists for the equivalence tests and the
+``bench_scale`` speedup report.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+import heapq
+from bisect import bisect_left, insort
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.flow import Flow, FlowState
 from ..core.units import EPS
 from ..topology.graph import Link, Topology
-from .allocation import FlowDemand, feasible
+from .allocation import FlowDemand, LinkAccounting, feasible
+
+#: Relative slack used when popping heap candidates. Heap keys are float
+#: projections of per-flow finish times; the slack absorbs rounding drift
+#: between a key computed at anchor time and the exact per-flow arithmetic
+#: re-evaluated now. Extra candidates cost a re-check and a re-push, never
+#: a wrong answer.
+_HEAP_SLACK = 1e-9
+
+#: Rebuild the finish heap once stale (lazily invalidated) entries dominate.
+_HEAP_COMPACT_FACTOR = 4
+_HEAP_COMPACT_MIN = 64
 
 
 class CapacityViolation(Exception):
@@ -32,10 +77,14 @@ class NetworkModel:
         topology: Topology,
         router,
         strict: bool = True,
+        incremental: bool = True,
     ) -> None:
         self.topology = topology
         self.router = router
         self.strict = strict
+        #: ``False`` switches the scan-based reference data paths in; the
+        #: semantics (and therefore traces) are identical either way.
+        self.incremental = incremental
         self._active: Dict[int, FlowState] = {}
         self._paths: Dict[int, Tuple[Link, ...]] = {}
         self._completed: Dict[int, FlowState] = {}
@@ -46,26 +95,224 @@ class NetworkModel:
         #: ``None`` keeps the fluid loop free of accounting overhead.
         self.observer = None
 
+        # -- incremental state ------------------------------------------
+        #: The model's own clock: the latest time seen by inject/advance.
+        self._now = 0.0
+        #: flow id -> time its ``remaining`` was last materialized.
+        self._anchor: Dict[int, float] = {}
+        #: Latest time every active flow is known to be materialized at;
+        #: lets back-to-back scheduler reads in one round skip the scan.
+        self._synced_at = float("-inf")
+        #: Active flow ids in ascending order (the canonical iteration
+        #: order everywhere a scan used to call ``sorted``).
+        self._order: List[int] = []
+        #: flow id -> unit-weight FlowDemand built once at inject time.
+        self._demands: Dict[int, FlowDemand] = {}
+        #: Always-current per-link load/membership bookkeeping.
+        self.accounting = LinkAccounting()
+        #: Min-heap of (finish key, flow id, token); stale entries carry
+        #: an outdated token and are dropped when popped.
+        self._finish_heap: List[Tuple[float, int, int]] = []
+        self._heap_token: Dict[int, int] = {}
+        #: EchelonFlow buckets: group id -> (sorted fid list, state list).
+        self._group_fids: Dict[Optional[str], List[int]] = {}
+        self._group_states: Dict[Optional[str], List[FlowState]] = {}
+
     # ------------------------------------------------------------------
     # flow lifecycle
     # ------------------------------------------------------------------
 
     def inject(self, flow: Flow, now: float) -> FlowState:
         """Admit a flow at time ``now``; its path is pinned immediately."""
-        if flow.flow_id in self._active or flow.flow_id in self._completed:
-            raise ValueError(f"flow {flow.flow_id} already injected")
-        path = self.router.path(flow.src, flow.dst, flow.flow_id)
+        flow_id = flow.flow_id
+        if flow_id in self._active or flow_id in self._completed:
+            raise ValueError(f"flow {flow_id} already injected")
+        path = self.router.path(flow.src, flow.dst, flow_id)
         state = FlowState(flow=flow, start_time=now, remaining=flow.size)
-        self._active[flow.flow_id] = state
-        self._paths[flow.flow_id] = path
+        self._active[flow_id] = state
+        self._paths[flow_id] = path
+        self._demands[flow_id] = FlowDemand(flow_id=flow_id, path=path)
+        self._anchor[flow_id] = now
+        if now > self._now:
+            self._now = now
+        insort(self._order, flow_id)
+        self.accounting.watch(flow_id, path)
+        self._bucket_add(flow.group_id, flow_id, state)
         return state
+
+    def _retire(self, state: FlowState, finish_time: float) -> None:
+        """Move a drained flow from the active set to the completed set."""
+        flow_id = state.flow.flow_id
+        old_rate = state.rate
+        state.finish_time = finish_time
+        state.rate = 0.0
+        self.accounting.unwatch(flow_id, self._paths[flow_id], old_rate)
+        self._heap_token[flow_id] = self._heap_token.get(flow_id, 0) + 1
+        del self._active[flow_id]
+        del self._anchor[flow_id]
+        index = bisect_left(self._order, flow_id)
+        del self._order[index]
+        self._bucket_remove(state.flow.group_id, flow_id)
+        self._completed[flow_id] = state
+
+    # -- group buckets --------------------------------------------------
+
+    def _bucket_add(
+        self, group_id: Optional[str], flow_id: int, state: FlowState
+    ) -> None:
+        fids = self._group_fids.setdefault(group_id, [])
+        states = self._group_states.setdefault(group_id, [])
+        index = bisect_left(fids, flow_id)
+        fids.insert(index, flow_id)
+        states.insert(index, state)
+
+    def _bucket_remove(self, group_id: Optional[str], flow_id: int) -> None:
+        fids = self._group_fids[group_id]
+        index = bisect_left(fids, flow_id)
+        del fids[index]
+        del self._group_states[group_id][index]
+        if not fids:
+            del self._group_fids[group_id]
+            del self._group_states[group_id]
+
+    def group_buckets(self) -> List[Tuple[Optional[str], List[FlowState]]]:
+        """Active flows bucketed by group id, each bucket fid-sorted.
+
+        Buckets are the engine-maintained lists themselves (do not mutate);
+        they are returned sorted by group id with the ungrouped (``None``)
+        bucket last, the order every group-aware scheduler normalizes to.
+        """
+        self.sync_active()
+        return [
+            (group_id, self._group_states[group_id])
+            for group_id in sorted(
+                self._group_fids, key=lambda g: (g is None, g or "")
+            )
+        ]
+
+    # -- lazy drain -----------------------------------------------------
+
+    def _sync_flow(self, flow_id: int, t: float) -> None:
+        """Materialize a flow's ``remaining`` at time ``t``."""
+        anchor = self._anchor[flow_id]
+        if t <= anchor:
+            return
+        state = self._active[flow_id]
+        rate = state.rate
+        if rate > 0.0:
+            before = state.remaining
+            after = before - rate * (t - anchor)
+            if after < 0.0:
+                after = 0.0
+            state.remaining = after
+            self.bytes_delivered += before - after
+        self._anchor[flow_id] = t
+
+    def sync_active(self, t: Optional[float] = None) -> None:
+        """Materialize every active flow's ``remaining`` (scheduler reads)."""
+        if t is None:
+            t = self._now
+        elif t > self._now:
+            self._now = t
+        if t <= self._synced_at:
+            # Every anchor is already at or past t: nothing would drain.
+            return
+        for flow_id in self._order:
+            self._sync_flow(flow_id, t)
+        self._synced_at = t
+
+    def _projected_remaining(self, state: FlowState, anchor: float, t: float) -> float:
+        """``remaining`` the flow would have at ``t`` -- no mutation."""
+        rate = state.rate
+        if rate <= 0.0 or t <= anchor:
+            return state.remaining
+        after = state.remaining - rate * (t - anchor)
+        return after if after > 0.0 else 0.0
+
+    def _finish_threshold(self, flow: Flow) -> float:
+        return flow.finish_epsilon
+
+    def _time_to_finish(self, state: FlowState, anchor: float) -> float:
+        """Interval until the flow drains to zero at its current rate."""
+        remaining = self._projected_remaining(state, anchor, self._now)
+        if remaining <= self._finish_threshold(state.flow):
+            return 0.0
+        if state.rate <= EPS:
+            return float("inf")
+        return remaining / state.rate
+
+    # -- finish heap ----------------------------------------------------
+
+    def _push_finish(self, flow_id: int, state: FlowState) -> None:
+        """(Re)key a flow's heap entry after a rate change."""
+        token = self._heap_token.get(flow_id, 0) + 1
+        self._heap_token[flow_id] = token
+        anchor = self._anchor[flow_id]
+        slack = state.remaining - self._finish_threshold(state.flow)
+        if state.rate > EPS:
+            key = anchor + slack / state.rate
+        elif slack <= 0.0:
+            # Zero-rate but already drained below threshold (e.g. paused
+            # right at the finish line): retire-able immediately.
+            key = anchor
+        else:
+            return
+        heapq.heappush(self._finish_heap, (key, flow_id, token))
+        if len(self._finish_heap) > max(
+            _HEAP_COMPACT_MIN, _HEAP_COMPACT_FACTOR * len(self._active)
+        ):
+            self._compact_heap()
+
+    def _compact_heap(self) -> None:
+        tokens = self._heap_token
+        active = self._active
+        self._finish_heap = [
+            entry
+            for entry in self._finish_heap
+            if entry[1] in active and tokens.get(entry[1]) == entry[2]
+        ]
+        heapq.heapify(self._finish_heap)
+
+    def _pop_candidates(self, horizon: float) -> List[Tuple[float, int, int]]:
+        """Pop live heap entries keyed at or before ``horizon`` (+slack)."""
+        heap = self._finish_heap
+        tokens = self._heap_token
+        active = self._active
+        bound = horizon + _HEAP_SLACK * max(1.0, abs(horizon))
+        candidates: List[Tuple[float, int, int]] = []
+        while heap:
+            key, flow_id, token = heap[0]
+            if flow_id not in active or tokens.get(flow_id) != token:
+                heapq.heappop(heap)
+                continue
+            if key > bound:
+                break
+            candidates.append(heapq.heappop(heap))
+        return candidates
+
+    # ------------------------------------------------------------------
+    # read API
+    # ------------------------------------------------------------------
 
     def active_states(self) -> List[FlowState]:
         """Unfinished flows, sorted by flow id for determinism."""
-        return [self._active[fid] for fid in sorted(self._active)]
+        self.sync_active()
+        active = self._active
+        return [active[fid] for fid in self._order]
+
+    def iter_active(self) -> Iterator[FlowState]:
+        """Iterate active states (fid order) without materializing drains.
+
+        For metadata-only consumers (group ids, deadlines); anyone reading
+        ``remaining`` should go through :meth:`active_states` or
+        :meth:`state` so lazily-drained bytes are materialized first.
+        """
+        active = self._active
+        return (active[fid] for fid in self._order)
 
     def state(self, flow_id: int) -> FlowState:
         if flow_id in self._active:
+            self._sync_flow(flow_id, self._now)
             return self._active[flow_id]
         return self._completed[flow_id]
 
@@ -73,10 +320,13 @@ class NetworkModel:
         return self._paths[flow_id]
 
     def demand(self, flow_id: int, weight: float = 1.0) -> FlowDemand:
+        if weight == 1.0:
+            return self._demands[flow_id]
         return FlowDemand(flow_id=flow_id, path=self._paths[flow_id], weight=weight)
 
     def demands(self) -> List[FlowDemand]:
-        return [self.demand(fid) for fid in sorted(self._active)]
+        demands = self._demands
+        return [demands[fid] for fid in self._order]
 
     @property
     def active_count(self) -> int:
@@ -93,77 +343,155 @@ class NetworkModel:
     def set_rates(self, rates: Mapping[int, float]) -> None:
         """Apply a rate allocation; unlisted active flows idle at rate 0.
 
-        In ``strict`` mode an infeasible allocation raises
-        :class:`CapacityViolation`; otherwise rates are scaled down on each
-        oversubscribed link (modelling switch fair-queueing backpressure).
+        Only flows whose rate actually changes are touched: each is
+        drained to the present at its old rate, re-keyed in the finish
+        heap, and has its per-link contributions shifted. In ``strict``
+        mode an infeasible allocation raises :class:`CapacityViolation`;
+        otherwise rates are scaled down on each oversubscribed link
+        (modelling switch fair-queueing backpressure).
         """
-        demands = self.demands()
-        clean: Dict[int, float] = {}
-        for flow_id in self._active:
+        changed: List[Tuple[int, FlowState, float]] = []
+        for flow_id, state in self._active.items():
             rate = rates.get(flow_id, 0.0)
             if rate < 0:
                 raise ValueError(f"negative rate for flow {flow_id}: {rate}")
-            clean[flow_id] = rate
-        if not feasible(demands, clean, tolerance=1e-6):
+            if rate != state.rate:
+                changed.append((flow_id, state, rate))
+
+        if self.incremental:
+            ok = self._feasible_changed(changed)
+        else:
+            clean = {fid: rates.get(fid, 0.0) for fid in self._active}
+            ok = feasible(self.demands(), clean, tolerance=1e-6)
+        if not ok:
             if self.strict:
                 raise CapacityViolation(
                     "scheduler allocation violates link capacities"
                 )
+            clean = {fid: rates.get(fid, 0.0) for fid in self._active}
             clean = self._scale_to_capacity(clean)
-        for flow_id, rate in clean.items():
-            self._active[flow_id].rate = rate
+            changed = [
+                (fid, state, clean[fid])
+                for fid, state in self._active.items()
+                if clean[fid] != state.rate
+            ]
+
+        apply_delta = self.accounting.apply
+        for flow_id, state, rate in changed:
+            self._sync_flow(flow_id, self._now)
+            old = state.rate
+            state.rate = rate
+            apply_delta(self._paths[flow_id], old, rate)
+            self._push_finish(flow_id, state)
+
+    def _feasible_changed(
+        self, changed: Sequence[Tuple[int, FlowState, float]]
+    ) -> bool:
+        """Delta feasibility: examine only links whose load would move."""
+        if not changed:
+            return True
+        deltas: Dict[Tuple[str, str], float] = {}
+        for flow_id, state, rate in changed:
+            delta = rate - state.rate
+            for link in self._paths[flow_id]:
+                key = link.key
+                deltas[key] = deltas.get(key, 0.0) + delta
+        return self.accounting.feasible_with_deltas(deltas, tolerance=1e-6)
 
     def _scale_to_capacity(self, rates: Dict[int, float]) -> Dict[int, float]:
-        """Scale rates down uniformly per saturated link until feasible."""
+        """Scale rates down uniformly per saturated link until feasible.
+
+        The usage map is built once and relaxed in place; each pass finds
+        the worst link by scanning links (not flows x path) and rescales
+        only the flows crossing it, courtesy of the accounting's
+        flows-per-link index.
+        """
         scaled = dict(rates)
+        capacities = self.accounting.capacities
+        flows_on = self.accounting.flows_on
+        usage: Dict[Tuple[str, str], float] = {}
+        for flow_id, rate in scaled.items():
+            for link in self._paths[flow_id]:
+                key = link.key
+                usage[key] = usage.get(key, 0.0) + rate
         for _ in range(len(self._active) + 1):
-            usage: Dict[Tuple[str, str], float] = {}
-            for flow_id, rate in scaled.items():
-                for link in self._paths[flow_id]:
-                    usage[link.key] = usage.get(link.key, 0.0) + rate
             worst_ratio = 1.0
             worst_key: Optional[Tuple[str, str]] = None
-            for flow_id in scaled:
-                for link in self._paths[flow_id]:
-                    used = usage[link.key]
-                    if used > link.capacity * (1 + 1e-9):
-                        ratio = link.capacity / used
-                        if ratio < worst_ratio:
-                            worst_ratio, worst_key = ratio, link.key
+            for key in sorted(usage):
+                used = usage[key]
+                capacity = capacities[key]
+                if used > capacity * (1 + 1e-9):
+                    ratio = capacity / used
+                    if ratio < worst_ratio:
+                        worst_ratio, worst_key = ratio, key
             if worst_key is None:
                 return scaled
-            for flow_id in scaled:
-                if any(link.key == worst_key for link in self._paths[flow_id]):
-                    scaled[flow_id] *= worst_ratio
+            for flow_id in sorted(flows_on[worst_key]):
+                old = scaled[flow_id]
+                new = old * worst_ratio
+                scaled[flow_id] = new
+                for link in self._paths[flow_id]:
+                    usage[link.key] += new - old
         return scaled
+
+    def link_capacities(self) -> Dict[Tuple[str, str], float]:
+        """Capacity per link key, for every link any flow has crossed.
+
+        Maintained by the residual accounting (a superset of the links
+        under the currently-active flows), so schedulers seeding their
+        capacity maps no longer walk every active path. Treat as
+        read-only: copy before mutating into a residual map.
+        """
+        return self.accounting.capacities
 
     def link_usage(self) -> Dict[Link, float]:
         """Aggregate allocated rate per link across the active flows.
 
         Only links carrying at least one nonzero-rate flow appear; the
-        engine's observer turns this into the utilization timeline.
+        engine's observer turns this into the utilization timeline. Reads
+        the maintained residual accounting -- O(links), not O(flows).
         """
-        usage: Dict[Link, float] = {}
-        for flow_id, state in self._active.items():
-            rate = state.rate
-            if rate <= 0.0:
-                continue
-            for link in self._paths[flow_id]:
-                usage[link] = usage.get(link, 0.0) + rate
-        return usage
+        return self.accounting.usage()
 
     def earliest_finish_interval(self) -> float:
         """Time until the first active flow completes at current rates."""
-        horizon = float("inf")
-        for state in self._active.values():
-            horizon = min(horizon, state.time_to_finish())
-        return horizon
+        active = self._active
+        anchors = self._anchor
+        if not self.incremental:
+            horizon = float("inf")
+            for flow_id in self._order:
+                interval = self._time_to_finish(active[flow_id], anchors[flow_id])
+                if interval < horizon:
+                    horizon = interval
+            return horizon
+
+        heap = self._finish_heap
+        tokens = self._heap_token
+        best = float("inf")
+        popped: List[Tuple[float, int, int]] = []
+        while heap:
+            key, flow_id, token = heap[0]
+            if flow_id not in active or tokens.get(flow_id) != token:
+                heapq.heappop(heap)
+                continue
+            if key > self._now + best + _HEAP_SLACK * max(
+                1.0, abs(self._now) + (best if best != float("inf") else 0.0)
+            ):
+                break
+            popped.append(heapq.heappop(heap))
+            interval = self._time_to_finish(active[flow_id], anchors[flow_id])
+            if interval < best:
+                best = interval
+        for entry in popped:
+            heapq.heappush(heap, entry)
+        return best
 
     def advance(self, dt: float, now: float) -> List[FlowState]:
-        """Drain all flows for ``dt`` and retire finished ones.
+        """Advance time by ``dt`` and retire flows that finish by then.
 
         Returns the newly-finished flow states (sorted by flow id); their
-        ``finish_time`` is stamped ``now + dt``.
+        ``finish_time`` is stamped ``now + dt``. Unfinished flows are not
+        touched -- they drain lazily and materialize on the next read.
         """
         if dt < -EPS:
             raise ValueError(f"cannot advance time by {dt}")
@@ -171,19 +499,40 @@ class NetworkModel:
         if self.observer is not None and dt > 0.0 and self._active:
             self.observer.on_network_advance(now, dt, self.link_usage())
         finish_time = now + dt
+        if finish_time < self._now:
+            finish_time = self._now
         finished: List[FlowState] = []
-        for flow_id in sorted(self._active):
-            state = self._active[flow_id]
-            before = state.remaining
-            state.advance(dt)
-            self.bytes_delivered += before - state.remaining
-            if state.finished:
-                state.finish_time = finish_time
-                state.rate = 0.0
-                finished.append(state)
+        active = self._active
+        anchors = self._anchor
+
+        if self.incremental:
+            repush: List[Tuple[float, int, int]] = []
+            for entry in self._pop_candidates(finish_time):
+                flow_id = entry[1]
+                state = active[flow_id]
+                remaining = self._projected_remaining(
+                    state, anchors[flow_id], finish_time
+                )
+                if remaining <= self._finish_threshold(state.flow):
+                    finished.append(state)
+                else:
+                    repush.append(entry)
+            for entry in repush:
+                heapq.heappush(self._finish_heap, entry)
+        else:
+            for flow_id in self._order:
+                state = active[flow_id]
+                remaining = self._projected_remaining(
+                    state, anchors[flow_id], finish_time
+                )
+                if remaining <= self._finish_threshold(state.flow):
+                    finished.append(state)
+
+        self._now = finish_time
+        finished.sort(key=lambda s: s.flow.flow_id)
         for state in finished:
-            del self._active[state.flow.flow_id]
-            self._completed[state.flow.flow_id] = state
+            self._sync_flow(state.flow.flow_id, finish_time)
+            self._retire(state, finish_time)
         return finished
 
     # ------------------------------------------------------------------

@@ -76,6 +76,9 @@ class SimulationTrace:
     _task_index: Dict[str, float] = field(
         default_factory=dict, init=False, repr=False, compare=False
     )
+    _tasks_by_job: Dict[Optional[str], List[TaskEvent]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
     _task_indexed: int = field(default=0, init=False, repr=False, compare=False)
     _task_tail: Optional[TaskEvent] = field(
         default=None, init=False, repr=False, compare=False
@@ -139,10 +142,12 @@ class SimulationTrace:
         events = self.task_events
         if self._index_stale(events, self._task_indexed, self._task_tail):
             self._task_index.clear()
+            self._tasks_by_job.clear()
             self._task_indexed = 0
         for event in events[self._task_indexed :]:
             # First completion wins, matching the original linear scan.
             self._task_index.setdefault(event.task_id, event.time)
+            self._tasks_by_job.setdefault(event.job_id, []).append(event)
         self._task_indexed = len(events)
         self._task_tail = events[-1] if events else None
 
@@ -163,6 +168,11 @@ class SimulationTrace:
     def spans_of_job(self, job_id: str) -> List[ComputeSpan]:
         self._sync_span_index()
         return list(self._spans_by_job.get(job_id, ()))
+
+    def task_events_of_job(self, job_id: Optional[str]) -> List[TaskEvent]:
+        """Task completions belonging to one job, in completion order."""
+        self._sync_task_index()
+        return list(self._tasks_by_job.get(job_id, ()))
 
     def task_completion(self, task_id: str) -> float:
         self._sync_task_index()

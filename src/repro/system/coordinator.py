@@ -93,5 +93,7 @@ class CoordinatedScheduler(Scheduler):
             network=view.network,
             echelonflows=merged,
             trigger_cause=view.trigger_cause,
+            injected_flows=view.injected_flows,
+            departed_flows=view.departed_flows,
         )
         return self.coordinator.allocate(coordinator_view)
