@@ -23,12 +23,15 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_scale.py --sizes 100,1000
     PYTHONPATH=src python benchmarks/bench_scale.py --smoke         # CI guard
 
-``--smoke`` runs one small point a few times and compares the
-*time ratio* (incremental / reference) against the checked-in baseline
-(``benchmarks/results/bench_scale_baseline.json``); the ratio is
-machine-independent to first order, so the step fails only when the
-incremental core itself regresses (> 2x the baseline ratio), not when CI
-hardware is slow. Exit code 1 on regression or equivalence mismatch.
+``--smoke`` runs one small point a few times and compares two *time
+ratios* against the checked-in baseline
+(``benchmarks/results/bench_scale_baseline.json``): incremental /
+reference (the core speedup) and instrumented-incremental / incremental
+(the full observability stack -- event log, rate recorder, link
+timelines -- must stay cheap). Ratios are machine-independent to first
+order, so the step fails only when the core or the instrumentation
+itself regresses (> 2x the baseline ratio), not when CI hardware is
+slow. Exit code 1 on regression or equivalence mismatch.
 
 See ``docs/performance.md`` for how to read the JSON report.
 """
@@ -77,7 +80,13 @@ def _make_scheduler(name: str):
     raise ValueError(f"unknown scheduler {name!r} (choose fair or echelon)")
 
 
-def build_engine(n_flows: int, incremental: bool, seed: int, scheduler: str) -> Engine:
+def build_engine(
+    n_flows: int,
+    incremental: bool,
+    seed: int,
+    scheduler: str,
+    instrumentation=None,
+) -> Engine:
     """A multi-job all-to-all scenario with ``n_flows`` concurrent flows.
 
     Host bandwidth scales with n so each flow's fair rate stays ~1 and
@@ -92,6 +101,7 @@ def build_engine(n_flows: int, incremental: bool, seed: int, scheduler: str) -> 
         _make_scheduler(scheduler),
         scheduling_interval=TICK,
         incremental=incremental,
+        instrumentation=instrumentation,
     )
     rng = random.Random(seed)
     for i in range(n_flows):
@@ -115,8 +125,22 @@ def build_engine(n_flows: int, incremental: bool, seed: int, scheduler: str) -> 
     return engine
 
 
-def run_once(n_flows: int, incremental: bool, seed: int, scheduler: str) -> dict:
-    engine = build_engine(n_flows, incremental, seed, scheduler)
+def run_once(
+    n_flows: int,
+    incremental: bool,
+    seed: int,
+    scheduler: str,
+    instrumented: bool = False,
+) -> dict:
+    instrumentation = None
+    if instrumented:
+        from repro.obs import Instrumentation, JsonlEventLog
+
+        # The full recording stack the CLI obs flags would install.
+        instrumentation = Instrumentation(event_log=JsonlEventLog())
+    engine = build_engine(
+        n_flows, incremental, seed, scheduler, instrumentation=instrumentation
+    )
     start = time.perf_counter()
     trace = engine.run()
     elapsed = time.perf_counter() - start
@@ -217,10 +241,23 @@ def smoke(seed: int, scheduler: str) -> int:
         print(f"[bench_scale] missing baseline {BASELINE_PATH}", file=sys.stderr)
         return 1
     best_ratio = float("inf")
+    best_instr_ratio = float("inf")
     for attempt in range(SMOKE_REPEATS):
         ref = run_once(SMOKE_FLOWS, incremental=False, seed=seed, scheduler=scheduler)
         inc = run_once(SMOKE_FLOWS, incremental=True, seed=seed, scheduler=scheduler)
+        obs = run_once(
+            SMOKE_FLOWS,
+            incremental=True,
+            seed=seed,
+            scheduler=scheduler,
+            instrumented=True,
+        )
         problems = _check_equivalent(SMOKE_FLOWS, ref, inc)
+        # Instrumentation must observe, never perturb: the instrumented
+        # run is the same simulation as the bare incremental one.
+        problems += [
+            "instrumented run: " + p for p in _check_equivalent(SMOKE_FLOWS, inc, obs)
+        ]
         if problems:
             print(
                 "[bench_scale] smoke equivalence FAILED:\n  " + "\n  ".join(problems),
@@ -228,11 +265,14 @@ def smoke(seed: int, scheduler: str) -> int:
             )
             return 1
         ratio = inc["seconds"] / ref["seconds"]
+        instr_ratio = obs["seconds"] / inc["seconds"]
         best_ratio = min(best_ratio, ratio)
+        best_instr_ratio = min(best_instr_ratio, instr_ratio)
         print(
             f"[bench_scale] smoke attempt {attempt + 1}/{SMOKE_REPEATS}: "
             f"ratio {ratio:.3f} (incremental {inc['seconds']:.3f}s / "
-            f"reference {ref['seconds']:.3f}s)",
+            f"reference {ref['seconds']:.3f}s), instrumented overhead "
+            f"{instr_ratio:.3f}x ({obs['seconds']:.3f}s)",
             flush=True,
         )
     allowed = SMOKE_FACTOR * baseline["ratio"]
@@ -248,6 +288,22 @@ def smoke(seed: int, scheduler: str) -> int:
             file=sys.stderr,
         )
         return 1
+    baseline_instr = baseline.get("instrumented_ratio")
+    if baseline_instr is not None:
+        allowed_instr = SMOKE_FACTOR * baseline_instr
+        print(
+            f"[bench_scale] smoke: best instrumented overhead "
+            f"{best_instr_ratio:.3f}x, baseline {baseline_instr:.3f}x, "
+            f"allowed <= {allowed_instr:.3f}x"
+        )
+        if best_instr_ratio > allowed_instr:
+            print(
+                f"[bench_scale] REGRESSION: instrumented/incremental time "
+                f"ratio {best_instr_ratio:.3f} exceeds {SMOKE_FACTOR}x the "
+                f"baseline ({baseline_instr:.3f})",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

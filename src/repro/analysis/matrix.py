@@ -37,6 +37,12 @@ class MatrixResult:
     #: values[case][scheduler] -> metric value.
     values: Dict[str, Dict[str, float]] = field(default_factory=dict)
     metric_name: str = "comp finish time"
+    #: Set when run_matrix observed one cell: (case, scheduler) observed,
+    #: its trace, its profiler (if profiling), and its invocation count.
+    observed_cell: Optional[tuple] = None
+    observed_trace: Optional[object] = None
+    observed_profiler: Optional[object] = None
+    observed_invocations: Optional[int] = None
 
     def value(self, case: str, scheduler: str) -> float:
         return self.values[case][scheduler]
@@ -66,11 +72,22 @@ def run_matrix(
     schedulers: Dict[str, Callable[[], Scheduler]],
     metric: str = "comp_finish",
     validate: bool = True,
+    instrumentation=None,
+    observe_cell: Optional[tuple] = None,
+    profile: bool = False,
 ) -> MatrixResult:
     """Run every case under every scheduler; returns the result grid.
 
     ``metric``: "comp_finish" (last compute end) or "completion" (whole
     job, including trailing communication).
+
+    ``instrumentation`` attaches an :class:`~repro.obs.Instrumentation`
+    to exactly one cell -- ``observe_cell=(case_name, scheduler_name)``,
+    defaulting to the first case under the first scheduler -- leaving
+    every other cell on the uninstrumented hot path. ``profile``
+    additionally wraps that cell's scheduler in a ProfiledScheduler. The
+    observed cell's trace/profiler/invocation count land on the result
+    (``observed_trace`` etc.) for export.
     """
     if metric not in ("comp_finish", "completion"):
         raise ValueError(f"unknown metric {metric!r}")
@@ -81,15 +98,40 @@ def run_matrix(
             "comp finish time" if metric == "comp_finish" else "job completion time"
         ),
     )
+    if instrumentation is not None and observe_cell is None and cases and schedulers:
+        observe_cell = (cases[0].name, next(iter(schedulers)))
     for case in cases:
         row: Dict[str, float] = {}
         for scheduler_name, make_scheduler in schedulers.items():
+            observed = (
+                instrumentation is not None
+                and observe_cell == (case.name, scheduler_name)
+            )
             job = case.build_job()
-            engine = Engine(case.build_topology(), make_scheduler())
+            scheduler = make_scheduler()
+            profiler = None
+            if observed and profile:
+                from ..obs import ProfiledScheduler
+
+                scheduler = profiler = ProfiledScheduler(
+                    scheduler,
+                    registry=instrumentation.registry,
+                    event_log=instrumentation.event_log,
+                )
+            engine = Engine(
+                case.build_topology(),
+                scheduler,
+                instrumentation=instrumentation if observed else None,
+            )
             job.submit_to(engine)
             trace = engine.run()
             if validate:
                 validate_trace(trace, dag=job.dag)
+            if observed:
+                result.observed_cell = (case.name, scheduler_name)
+                result.observed_trace = trace
+                result.observed_profiler = profiler
+                result.observed_invocations = engine.scheduler_invocations
             if metric == "comp_finish":
                 row[scheduler_name] = comp_finish_time(trace)
             else:

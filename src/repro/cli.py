@@ -9,20 +9,27 @@ Commands
                      timeline rendering and trace export.
 * ``cluster``     -- a dynamic Poisson-arrival multi-tenant cluster.
 * ``obs``         -- summarize a saved JSONL observability log.
+* ``diagnose``    -- critical path, tardiness attribution, and blame
+                     from a saved JSONL event log (no re-simulation).
+* ``diff``        -- attribute the per-job JCT delta between two event
+                     logs of the same workload (the Fig. 2 diagnosis).
 * ``schedulers``  -- list registered schedulers.
 * ``models``      -- list the model zoo.
 
-Observability (see docs/observability.md): ``fig2``, ``run``,
-``run-spec``, and ``cluster`` accept ``--emit-trace PATH`` (a
-Perfetto-loadable Chrome trace), ``--metrics-out PATH`` (a metrics
-summary JSON: scheduler invocations by trigger cause, per-link peak/mean
-utilization, per-EchelonFlow tardiness), and ``--events-out PATH`` (a
-structured JSONL event log for ``repro obs``). For example::
+Observability (see docs/observability.md): every sim-running command
+(``fig2``, ``table1``, ``run``, ``run-spec``, ``matrix``, ``cluster``)
+accepts ``--emit-trace PATH`` (a Perfetto-loadable Chrome trace),
+``--metrics-out PATH`` (a metrics summary JSON: scheduler invocations by
+trigger cause, per-link peak/mean utilization, per-EchelonFlow
+tardiness, diagnosis attribution), and ``--events-out PATH`` (a
+structured JSONL event log for ``repro obs`` / ``repro diagnose`` /
+``repro diff``). For example::
 
     python -m repro run --paradigm fsdp --emit-trace trace.json \
         --metrics-out metrics.json
-    python -m repro fig2 --emit-trace fig2.json
-    python -m repro obs events.jsonl
+    python -m repro fig2 --obs-scheduler coflow --events-out coflow.jsonl
+    python -m repro diagnose coflow.jsonl
+    python -m repro diff fair.jsonl coflow.jsonl
 """
 
 from __future__ import annotations
@@ -101,12 +108,21 @@ def _obs_for(args):
 
 
 def _wrap_profiled(args, scheduler, obs):
-    """Wrap ``scheduler`` for profiling when a metrics report was asked."""
-    if obs is None or not getattr(args, "metrics_out", None):
+    """Wrap ``scheduler`` for profiling when metrics or events were asked.
+
+    The wrapper feeds the metrics report (``--metrics-out``) and emits
+    ``scheduler_invocation`` events so saved logs (``--events-out``)
+    carry wall-clock latency for ``repro obs`` percentiles.
+    """
+    if obs is None or not (
+        getattr(args, "metrics_out", None) or getattr(args, "events_out", None)
+    ):
         return scheduler, None
     from .obs import ProfiledScheduler
 
-    profiled = ProfiledScheduler(scheduler, registry=obs.registry)
+    profiled = ProfiledScheduler(
+        scheduler, registry=obs.registry, event_log=obs.event_log
+    )
     return profiled, profiled
 
 
@@ -177,14 +193,15 @@ def _topology_for(args, n_workers: int):
 def cmd_fig2(args) -> int:
     from .topology import two_hosts
 
-    # Observability flags instrument the echelon run (the paper's policy).
+    # Observability flags instrument one run (--obs-scheduler, default
+    # echelon -- the paper's policy); the others stay on the hot path.
     obs = _obs_for(args)
     rows = []
     for name in ("fair", "sjf", "coflow", "sincronia", "echelon"):
         job = build_pipeline_segment(
             "fig2", "h0", "h1", [0.0, 1.0, 2.0], [2.0] * 3, [2.0] * 3
         )
-        observed = obs if name == "echelon" else None
+        observed = obs if name == args.obs_scheduler else None
         scheduler, profiler = (
             _wrap_profiled(args, make_scheduler(name), observed)
             if observed is not None
@@ -245,14 +262,38 @@ def cmd_table1(args) -> int:
             lambda: big_switch(4, gbps(10)),
         ),
     }
+    # Observability flags instrument a single cell of the table, chosen
+    # by --obs-paradigm/--obs-scheduler; the rest stay uninstrumented.
+    obs = _obs_for(args)
     rows = []
     for label, (build, topo) in cases.items():
         measured = {}
         for name in ("fair", "coflow", "echelon"):
+            observed = (
+                obs
+                if obs is not None
+                and label == args.obs_paradigm
+                and name == args.obs_scheduler
+                else None
+            )
+            scheduler, profiler = (
+                _wrap_profiled(args, make_scheduler(name), observed)
+                if observed is not None
+                else (make_scheduler(name), None)
+            )
             job = build()
-            engine = Engine(topo(), make_scheduler(name))
+            engine = Engine(topo(), scheduler, instrumentation=observed)
             job.submit_to(engine)
-            measured[name] = comp_finish_time(engine.run())
+            trace = engine.run()
+            measured[name] = comp_finish_time(trace)
+            if observed is not None:
+                _emit_observability(
+                    args,
+                    trace,
+                    observed,
+                    profiler=profiler,
+                    scheduler_invocations=engine.scheduler_invocations,
+                )
         compliant = abs(measured["echelon"] - measured["coflow"]) <= 1e-6 * max(
             measured.values()
         )
@@ -386,17 +427,51 @@ def cmd_matrix(args) -> int:
         name: (lambda name=name: make_scheduler(name))
         for name in args.schedulers.split(",")
     }
+    cases = standard_battery(
+        model=model,
+        workers=args.workers,
+        bandwidth=gbps(args.bandwidth_gbps),
+        micro_batches=args.micro_batches,
+    )
+    obs = _obs_for(args)
+    observe_cell = None
+    if obs is not None:
+        case_names = [case.name for case in cases]
+        obs_case = args.obs_case or case_names[0]
+        obs_scheduler = args.obs_scheduler or next(iter(schedulers))
+        if obs_case not in case_names:
+            print(
+                f"error: --obs-case {obs_case!r} not in battery "
+                f"({', '.join(case_names)})",
+                file=sys.stderr,
+            )
+            return 1
+        if obs_scheduler not in schedulers:
+            print(
+                f"error: --obs-scheduler {obs_scheduler!r} not in "
+                f"--schedulers ({', '.join(schedulers)})",
+                file=sys.stderr,
+            )
+            return 1
+        observe_cell = (obs_case, obs_scheduler)
     result = run_matrix(
-        standard_battery(
-            model=model,
-            workers=args.workers,
-            bandwidth=gbps(args.bandwidth_gbps),
-            micro_batches=args.micro_batches,
-        ),
+        cases,
         schedulers,
         metric=args.metric,
+        instrumentation=obs,
+        observe_cell=observe_cell,
+        profile=bool(args.metrics_out or args.events_out),
     )
     print(result.to_table(title=f"{args.metric} across the standard battery"))
+    if obs is not None and result.observed_trace is not None:
+        print(f"observed cell: {result.observed_cell[0]} / {result.observed_cell[1]}")
+        _emit_observability(
+            args,
+            result.observed_trace,
+            obs,
+            profiler=result.observed_profiler,
+            scheduler_invocations=result.observed_invocations,
+        )
     return 0
 
 
@@ -468,6 +543,16 @@ def cmd_obs(args) -> int:
     rows.append(["scheduler invocations", scheduler["invocations"]])
     for cause, count in scheduler["by_cause"].items():
         rows.append([f"  cause: {cause}", count])
+    latency = scheduler.get("latency_seconds")
+    if latency:
+        rows.append(
+            [
+                "scheduler latency p50/p95/p99 (s)",
+                f"{latency['p50']:.3g} / {latency['p95']:.3g} / "
+                f"{latency['p99']:.3g}",
+            ]
+        )
+        rows.append(["scheduler latency max (s)", f"{latency['max']:.3g}"])
     flows = summary["flows"]
     rows.append(["flows delivered", flows["delivered"]])
     if "worst_tardiness" in flows:
@@ -479,6 +564,43 @@ def cmd_obs(args) -> int:
         for key, peak in list(links["peak_utilization"].items())[:8]:
             rows.append([f"  peak util {key}", f"{peak:.1%}"])
     print(format_table(["metric", "value"], rows, title=f"obs summary: {args.log}"))
+    return 0
+
+
+def cmd_diagnose(args) -> int:
+    import json as _json
+
+    from .obs.diagnosis import RunArtifacts, diagnose, render_diagnosis
+
+    try:
+        artifacts = RunArtifacts.from_jsonl(args.log)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load {args.log}: {exc}", file=sys.stderr)
+        return 1
+    report = diagnose(artifacts, top=args.top)
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True, default=str))
+    else:
+        print(render_diagnosis(report, top=args.top))
+    return 0
+
+
+def cmd_diff(args) -> int:
+    import json as _json
+
+    from .obs.diagnosis import RunArtifacts, diff_runs, render_diff
+
+    try:
+        run_a = RunArtifacts.from_jsonl(args.run_a)
+        run_b = RunArtifacts.from_jsonl(args.run_b)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load event logs: {exc}", file=sys.stderr)
+        return 1
+    report = diff_runs(run_a, run_b, top=args.top)
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True, default=str))
+    else:
+        print(render_diff(report, top=args.top))
     return 0
 
 
@@ -504,8 +626,31 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     fig2 = sub.add_parser("fig2", help="run the Fig. 2 motivating example")
+    fig2.add_argument(
+        "--obs-scheduler",
+        choices=("fair", "sjf", "coflow", "sincronia", "echelon"),
+        default="echelon",
+        help="which scheduler's run the obs flags instrument",
+    )
     _add_obs_flags(fig2)
-    sub.add_parser("table1", help="reproduce the Table 1 compliance matrix")
+
+    table1 = sub.add_parser(
+        "table1", help="reproduce the Table 1 compliance matrix"
+    )
+    table1.add_argument(
+        "--obs-paradigm",
+        choices=("DP-AllReduce", "DP-PS", "PP", "TP", "FSDP"),
+        default="PP",
+        help="which paradigm row the obs flags instrument",
+    )
+    table1.add_argument(
+        "--obs-scheduler",
+        choices=("fair", "coflow", "echelon"),
+        default="echelon",
+        help="which scheduler column the obs flags instrument",
+    )
+    _add_obs_flags(table1)
+
     sub.add_parser("schedulers", help="list registered schedulers")
     sub.add_parser("models", help="list the model zoo")
 
@@ -514,6 +659,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs.add_argument("log", help="path to a JSONL log (from --events-out)")
     obs.add_argument("--json", action="store_true", help="dump raw JSON")
+
+    diagnose = sub.add_parser(
+        "diagnose",
+        help="critical path, tardiness attribution, and contention blame "
+        "from a saved JSONL event log",
+    )
+    diagnose.add_argument("log", help="path to a JSONL log (from --events-out)")
+    diagnose.add_argument("--json", action="store_true", help="dump raw JSON")
+    diagnose.add_argument(
+        "--top", type=int, default=10, help="rows per section (default 10)"
+    )
+
+    diff = sub.add_parser(
+        "diff",
+        help="attribute the JCT delta between two event logs of the same "
+        "workload under different schedulers",
+    )
+    diff.add_argument("run_a", metavar="RUN_A", help="baseline JSONL event log")
+    diff.add_argument("run_b", metavar="RUN_B", help="comparison JSONL event log")
+    diff.add_argument("--json", action="store_true", help="dump raw JSON")
+    diff.add_argument(
+        "--top", type=int, default=10, help="rows per section (default 10)"
+    )
 
     run = sub.add_parser("run", help="run one training job")
     run.add_argument("--paradigm", choices=PARADIGMS, default="pp-gpipe")
@@ -547,6 +715,17 @@ def build_parser() -> argparse.ArgumentParser:
     matrix.add_argument(
         "--metric", choices=("comp_finish", "completion"), default="comp_finish"
     )
+    matrix.add_argument(
+        "--obs-case",
+        default=None,
+        help="battery case the obs flags instrument (default: first case)",
+    )
+    matrix.add_argument(
+        "--obs-scheduler",
+        default=None,
+        help="scheduler the obs flags instrument (default: first listed)",
+    )
+    _add_obs_flags(matrix)
 
     run_spec = sub.add_parser(
         "run-spec", help="run a declarative JSON experiment spec"
@@ -578,6 +757,8 @@ _COMMANDS = {
     "matrix": cmd_matrix,
     "cluster": cmd_cluster,
     "obs": cmd_obs,
+    "diagnose": cmd_diagnose,
+    "diff": cmd_diff,
     "schedulers": cmd_schedulers,
     "models": cmd_models,
 }

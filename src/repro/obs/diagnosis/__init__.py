@@ -1,0 +1,93 @@
+"""Diagnosis: turn recorded runs into explanations.
+
+Four capabilities over :class:`RunArtifacts` (normalized from a saved
+JSONL events log or an in-memory trace + Instrumentation -- never by
+re-simulating):
+
+* :func:`critical_path` / :func:`critical_paths` -- the chain of tasks
+  that determined each job's JCT, with per-node wait and slack;
+* :func:`attribute_run` -- Eq. 1/2 tardiness decomposed into upstream
+  lateness, per-contender contention on the bottleneck link, and the
+  scheduler-decision residual, with an exact-sum guarantee;
+* :func:`blame_matrix` -- seconds of delay job i imposed on job j, per
+  link and aggregate;
+* :func:`diff_runs` -- two runs of one workload diffed per job, stage,
+  and link (the automated Fig. 2 "Coflow is worse than fair sharing"
+  diagnosis).
+
+``diagnose()`` bundles the first three into one JSON-able report; the
+CLI surfaces everything as ``repro diagnose`` and ``repro diff``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .artifacts import FlowFact, RunArtifacts, TaskFact
+from .attribution import (
+    FlowAttribution,
+    attribute_flow,
+    attribute_run,
+    bottleneck_of,
+    overlap_integral,
+)
+from .blame import blame_matrix
+from .critical_path import critical_path, critical_paths
+from .diff import diff_runs
+from .render import render_diagnosis, render_diff
+
+#: Bumped when the diagnosis report layout changes incompatibly.
+DIAGNOSIS_VERSION = 1
+
+
+def diagnose(artifacts: RunArtifacts, top: int = 20) -> Dict:
+    """The full diagnosis report for one run (JSON-able).
+
+    ``top`` bounds the per-flow attribution list (worst tardiness
+    first); critical paths, EchelonFlow attribution, and the blame
+    matrix are always complete.
+    """
+    attribution = attribute_run(artifacts)
+    flows = [
+        attr
+        for attr in attribution["flows"]
+        if attr.tardiness is not None
+    ]
+    flows.sort(key=lambda attr: (-attr.tardiness, attr.flow_id))
+    return {
+        "version": DIAGNOSIS_VERSION,
+        "run": {
+            "source": artifacts.source,
+            "end_time": artifacts.end_time,
+            "flows": len(artifacts.flows),
+            "tasks": len(artifacts.tasks),
+            "jobs": artifacts.jobs(),
+        },
+        "critical_paths": critical_paths(artifacts),
+        "attribution": {
+            "flows": [attr.to_dict() for attr in flows[:top]],
+            "echelonflows": attribution["echelonflows"],
+            "coverage": attribution["coverage"],
+        },
+        "blame": blame_matrix(attribution["flows"]),
+    }
+
+
+__all__ = [
+    "DIAGNOSIS_VERSION",
+    "FlowAttribution",
+    "FlowFact",
+    "RunArtifacts",
+    "TaskFact",
+    "attribute_flow",
+    "attribute_run",
+    "blame_matrix",
+    "bottleneck_of",
+    "critical_path",
+    "critical_paths",
+    "diagnose",
+    "diff_runs",
+    "overlap_integral",
+    "render_diagnosis",
+    "render_diff",
+]

@@ -1,0 +1,224 @@
+"""Tardiness attribution: *why* was this flow (EchelonFlow) late?
+
+The paper defines a flow's tardiness as ``T_j = e_j - d_j`` (Eq. 1,
+actual finish minus ideal finish) and an EchelonFlow's tardiness as the
+max over its members (Eq. 2). This module decomposes each delivered
+flow's tardiness into three exactly-summing components:
+
+``upstream``
+    ``(start + size/C) - d`` where ``C`` is the flow's bottleneck
+    capacity (the min-capacity hop of its pinned path): the tardiness
+    the flow would have shown had it run alone at full bottleneck rate
+    from the moment it actually started. Captures late injection --
+    upstream compute/dependency lateness relative to the recalibrated
+    deadline (the Fig. 6 story). Negative when the flow started with
+    slack in hand.
+
+``contention[g]``
+    ``(1/C) * integral of r_g(t) dt`` over the flow's lifetime, for
+    every other flow ``g`` sharing the bottleneck link: seconds of the
+    victim's ideal-rate time that contender ``g``'s allocation consumed.
+
+``residual``
+    ``(1/C) * integral of (C - sum of all allocations on the bottleneck
+    link) dt`` over the flow's lifetime: bottleneck bandwidth the
+    scheduler left idle while the flow was active -- the scheduler-
+    decision residual (often bandwidth the flow could not use because a
+    *different* hop of its path was the binding constraint, or because
+    the scheduler deliberately throttled it).
+
+The identity is exact, not approximate: the flow delivers its full size
+over its lifetime, so ``(1/C) * integral of r_f dt = size/C``, and
+``duration = size/C + sum(contention) + residual`` follows by splitting
+``C`` into own rate + contenders + idle. Hence::
+
+    tardiness = upstream + sum(contention.values()) + residual
+
+up to the network's relative finish epsilon. Each component is computed
+*independently* from the recorded rate segments (nothing is derived by
+subtraction), so the sum is a real consistency check on the recording --
+the property test in ``tests/test_diagnosis.py`` exercises it across
+paradigms and schedulers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .artifacts import FlowFact, RunArtifacts
+
+#: Components must re-add to the total within this (relative) tolerance.
+SUM_TOL = 1e-6
+
+
+@dataclass
+class FlowAttribution:
+    """One flow's tardiness, decomposed; see module docstring."""
+
+    flow_id: int
+    stage: str
+    job: Optional[str]
+    group: Optional[str]
+    start: float
+    finish: float
+    ideal_finish: Optional[float]
+    tardiness: Optional[float]
+    bottleneck: Optional[str]
+    bottleneck_capacity: Optional[float]
+    #: ``None`` when the flow has no recorded path (no deadline math).
+    upstream: Optional[float] = None
+    stretch: Optional[float] = None
+    #: contender stage label -> seconds of delay imposed on this flow.
+    contention: Dict[str, float] = field(default_factory=dict)
+    #: contender job id -> seconds (same mass, job granularity).
+    contention_by_job: Dict[str, float] = field(default_factory=dict)
+    residual: Optional[float] = None
+    #: upstream + sum(contention) + residual; ~= tardiness when exact.
+    explained: Optional[float] = None
+
+    @property
+    def contention_total(self) -> float:
+        return sum(self.contention.values())
+
+    def to_dict(self) -> Dict:
+        return {
+            "flow_id": self.flow_id,
+            "stage": self.stage,
+            "job": self.job,
+            "group": self.group,
+            "start": self.start,
+            "finish": self.finish,
+            "ideal_finish": self.ideal_finish,
+            "tardiness": self.tardiness,
+            "bottleneck": self.bottleneck,
+            "bottleneck_capacity": self.bottleneck_capacity,
+            "upstream": self.upstream,
+            "stretch": self.stretch,
+            "contention": dict(
+                sorted(self.contention.items(), key=lambda kv: -kv[1])
+            ),
+            "contention_by_job": dict(sorted(self.contention_by_job.items())),
+            "contention_total": self.contention_total,
+            "residual": self.residual,
+            "explained": self.explained,
+        }
+
+
+def bottleneck_of(flow: FlowFact) -> Optional[Tuple[str, float]]:
+    """The min-capacity hop of the flow's pinned path (first on ties)."""
+    if not flow.path:
+        return None
+    return min(flow.path, key=lambda hop: (hop[1], hop[0]))
+
+
+def overlap_integral(segments, lo: float, hi: float) -> float:
+    """Integral of a piecewise-constant rate over the window [lo, hi]."""
+    total = 0.0
+    for start, end, rate in segments:
+        left = start if start > lo else lo
+        right = end if end < hi else hi
+        if right > left:
+            total += rate * (right - left)
+    return total
+
+
+def attribute_flow(
+    flow: FlowFact,
+    on_link: Dict[str, List[FlowFact]],
+) -> FlowAttribution:
+    """Decompose one delivered flow's tardiness (see module docstring).
+
+    ``on_link`` maps link key -> delivered flows crossing it (from
+    :meth:`RunArtifacts.flows_on_link`). Flows without a recorded path
+    or rate segments degrade to the bare Eq. 1 numbers.
+    """
+    out = FlowAttribution(
+        flow_id=flow.flow_id,
+        stage=flow.stage,
+        job=flow.job,
+        group=flow.group,
+        start=flow.start if flow.start is not None else 0.0,
+        finish=flow.finish if flow.finish is not None else 0.0,
+        ideal_finish=flow.ideal_finish,
+        tardiness=flow.tardiness,
+        bottleneck=None,
+        bottleneck_capacity=None,
+    )
+    hop = bottleneck_of(flow)
+    if hop is None or flow.finish is None or flow.start is None:
+        return out
+    key, capacity = hop
+    out.bottleneck = key
+    out.bottleneck_capacity = capacity
+    if capacity <= 0 or flow.size is None:
+        return out
+    lo, hi = flow.start, flow.finish
+    duration = hi - lo
+    ideal_duration = flow.size / capacity
+    out.stretch = duration - ideal_duration
+    if flow.ideal_finish is not None:
+        out.upstream = (lo + ideal_duration) - flow.ideal_finish
+
+    # Every recorded allocation on the bottleneck link during [lo, hi]:
+    # contenders get named shares, the flow's own share re-derives its
+    # ideal duration, and what no one used is the residual.
+    used = 0.0
+    for other in on_link.get(key, ()):
+        if other.flow_id == flow.flow_id:
+            used += overlap_integral(other.segments, lo, hi)
+            continue
+        share = overlap_integral(other.segments, lo, hi)
+        if share <= 0.0:
+            continue
+        used += share
+        seconds = share / capacity
+        out.contention[other.stage] = (
+            out.contention.get(other.stage, 0.0) + seconds
+        )
+        job = other.job or "?"
+        out.contention_by_job[job] = (
+            out.contention_by_job.get(job, 0.0) + seconds
+        )
+    out.residual = duration - used / capacity
+    if out.upstream is not None:
+        out.explained = out.upstream + out.contention_total + out.residual
+    return out
+
+
+def attribute_run(artifacts: RunArtifacts) -> Dict:
+    """Attribution for every delivered flow, plus the Eq. 2 group view.
+
+    Returns ``{"flows": [FlowAttribution...], "echelonflows": {group:
+    {...}}, "coverage": {...}}``. The EchelonFlow entry reports the
+    straggler member (the max-tardiness flow that *defines* the group's
+    tardiness under Eq. 2) and its decomposition.
+    """
+    on_link = artifacts.flows_on_link()
+    attributions = [
+        attribute_flow(flow, on_link) for flow in artifacts.delivered_flows()
+    ]
+    by_group: Dict[str, List[FlowAttribution]] = {}
+    for attribution in attributions:
+        if attribution.group is not None and attribution.tardiness is not None:
+            by_group.setdefault(attribution.group, []).append(attribution)
+    echelonflows: Dict[str, Dict] = {}
+    for group, members in sorted(by_group.items()):
+        straggler = max(members, key=lambda a: (a.tardiness, a.flow_id))
+        echelonflows[group] = {
+            "members": len(members),
+            "tardiness": straggler.tardiness,
+            "straggler": straggler.stage,
+            "straggler_attribution": straggler.to_dict(),
+        }
+    with_rates = sum(1 for a in attributions if a.residual is not None)
+    coverage = {
+        "flows": len(attributions),
+        "with_rate_data": with_rates,
+        "evicted_flows": artifacts.meta.get("evicted_flows", 0),
+    }
+    return {
+        "flows": attributions,
+        "echelonflows": echelonflows,
+        "coverage": coverage,
+    }

@@ -1,0 +1,62 @@
+"""The job x job contention blame matrix.
+
+``blame[i][j]`` is the number of seconds of delay job ``i`` imposed on
+job ``j``: the sum, over job ``j``'s delivered flows, of the contention
+component attributed to job ``i``'s flows on each victim's bottleneck
+link (see :mod:`repro.obs.diagnosis.attribution`). The diagonal is
+self-inflicted contention -- in the Fig. 2 example the single job's
+later micro-batch flows stealing bandwidth from the earlier one.
+
+A per-link breakdown keys the same mass by the victim's bottleneck
+link, so "who hurt whom" and "where" are answered together.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .attribution import FlowAttribution
+
+
+def blame_matrix(attributions: List[FlowAttribution]) -> Dict:
+    """Aggregate and per-link blame from per-flow attributions.
+
+    Returns ``{"aggregate": {blamed: {victim: seconds}}, "links":
+    {link: {blamed: {victim: seconds}}}, "worst": [...]}`` with jobs in
+    sorted order and a ranked flat view for reporting.
+    """
+    aggregate: Dict[str, Dict[str, float]] = {}
+    links: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for attribution in attributions:
+        victim = attribution.job or "?"
+        link = attribution.bottleneck
+        for blamed, seconds in attribution.contention_by_job.items():
+            if seconds <= 0.0:
+                continue
+            row = aggregate.setdefault(blamed, {})
+            row[victim] = row.get(victim, 0.0) + seconds
+            if link is not None:
+                link_row = links.setdefault(link, {}).setdefault(blamed, {})
+                link_row[victim] = link_row.get(victim, 0.0) + seconds
+    worst = sorted(
+        (
+            {"blamed": blamed, "victim": victim, "seconds": seconds}
+            for blamed, row in aggregate.items()
+            for victim, seconds in row.items()
+        ),
+        key=lambda entry: -entry["seconds"],
+    )
+    return {
+        "aggregate": {
+            blamed: dict(sorted(row.items()))
+            for blamed, row in sorted(aggregate.items())
+        },
+        "links": {
+            link: {
+                blamed: dict(sorted(row.items()))
+                for blamed, row in sorted(rows.items())
+            }
+            for link, rows in sorted(links.items())
+        },
+        "worst": worst,
+    }

@@ -1,0 +1,164 @@
+"""Critical-path extraction: where did the iteration time go?
+
+Walks the dependency structure recorded in the run artifacts backwards
+from the task that completed last in each job, always following the
+*determining* predecessor -- the thing that had to finish before the
+current node could make progress:
+
+* a **compute** node's determiner is whichever finished latest of (a)
+  its DAG dependencies and (b) the task that held its device until the
+  moment it started (per-device serialization is a real dependency even
+  though no DAG edge records it);
+* a **comm** node's determiner is its straggler member flow (the one
+  whose delivery completed the task), and the flow's own determiner is
+  the comm task's DAG dependencies;
+* a **barrier** costs nothing and passes through to its latest dep.
+
+Each node carries ``duration`` (time it actively ran), ``wait`` (gap
+between its determiner finishing and the node starting -- queueing that
+no single predecessor explains), and ``slack`` (how much later the
+runner-up predecessor finished vs. the chosen one: the margin by which
+this edge, and not another, is critical). Waits + durations along the
+path sum to the job's JCT measured from its arrival.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .artifacts import RunArtifacts, TaskFact
+
+#: Two completion times closer than this count as "the same instant".
+_TIME_TOL = 1e-9
+
+
+def _start_of(fact: TaskFact, artifacts: RunArtifacts) -> float:
+    """When the node began actively running."""
+    if fact.kind == "compute":
+        return fact.completed - fact.duration
+    if fact.kind == "comm" and fact.flow_ids:
+        starts = [
+            artifacts.flows[fid].start
+            for fid in fact.flow_ids
+            if fid in artifacts.flows
+            and artifacts.flows[fid].start is not None
+        ]
+        if starts:
+            return min(starts)
+    return fact.completed
+
+
+def _device_predecessor(
+    fact: TaskFact, start: float, tasks: Dict[str, TaskFact]
+) -> Optional[TaskFact]:
+    """The same-device compute task whose completion released our slot."""
+    if fact.kind != "compute" or fact.device is None:
+        return None
+    tol = _TIME_TOL * max(1.0, abs(start))
+    best: Optional[TaskFact] = None
+    for other in tasks.values():
+        if other is fact or other.kind != "compute":
+            continue
+        if other.device != fact.device:
+            continue
+        if abs(other.completed - start) <= tol:
+            if best is None or other.task_id < best.task_id:
+                best = other
+    return best
+
+
+def critical_path(artifacts: RunArtifacts, job: str) -> Dict:
+    """The chain of nodes that determined ``job``'s completion time.
+
+    Returns a JSON-able dict; ``{"available": False}`` when the
+    artifacts carry no dependency edges for the job (e.g. a trace
+    recorded without instrumentation).
+    """
+    tasks = artifacts.tasks_of_job(job)
+    if not tasks:
+        return {"job": job, "available": False, "reason": "no task facts"}
+    if all(not fact.deps for fact in tasks.values()) and len(tasks) > 1:
+        return {
+            "job": job,
+            "available": False,
+            "reason": "task facts carry no dependency edges",
+        }
+
+    terminal = max(tasks.values(), key=lambda f: (f.completed, f.task_id))
+    arrival = artifacts.job_arrivals.get(job)
+    nodes: List[Dict] = []
+    current: Optional[TaskFact] = terminal
+    visited = set()
+
+    while current is not None and current.task_id not in visited:
+        visited.add(current.task_id)
+        start = _start_of(current, artifacts)
+        node: Dict = {
+            "kind": current.kind,
+            "id": current.task_id,
+            "start": start,
+            "end": current.completed,
+            "duration": current.completed - start,
+        }
+        if current.kind == "comm" and current.flow_ids:
+            members = [
+                artifacts.flows[fid]
+                for fid in current.flow_ids
+                if fid in artifacts.flows
+                and artifacts.flows[fid].finish is not None
+            ]
+            if members:
+                straggler = max(members, key=lambda f: (f.finish, f.flow_id))
+                node["straggler_flow"] = straggler.stage
+                node["straggler_finish"] = straggler.finish
+
+        # Rank the candidate determiners: DAG deps, then (for compute)
+        # the device-serialization predecessor when deps alone leave an
+        # unexplained gap before our start.
+        candidates = [
+            tasks[dep] for dep in current.deps if dep in tasks
+        ]
+        chosen: Optional[TaskFact] = None
+        edge = "start"
+        if candidates:
+            candidates.sort(key=lambda f: (-f.completed, f.task_id))
+            chosen = candidates[0]
+            edge = "dep"
+            node["slack"] = (
+                chosen.completed - candidates[1].completed
+                if len(candidates) > 1
+                else None
+            )
+        gap = start - (chosen.completed if chosen is not None else (arrival or 0.0))
+        if current.kind == "compute" and gap > _TIME_TOL * max(1.0, abs(start)):
+            holder = _device_predecessor(current, start, tasks)
+            if holder is not None and (
+                chosen is None or holder.completed > chosen.completed
+            ):
+                chosen = holder
+                edge = "device"
+                gap = start - holder.completed
+        node["wait"] = max(0.0, gap)
+        node["via"] = edge
+        nodes.append(node)
+        current = chosen
+
+    nodes.reverse()
+    first_start = nodes[0]["start"] if nodes else 0.0
+    origin = arrival if arrival is not None else first_start
+    completion = terminal.completed
+    return {
+        "job": job,
+        "available": True,
+        "arrival": origin,
+        "completion": completion,
+        "jct": completion - origin,
+        "nodes": nodes,
+        "total_duration": sum(n["duration"] for n in nodes),
+        "total_wait": sum(n["wait"] for n in nodes),
+    }
+
+
+def critical_paths(artifacts: RunArtifacts) -> Dict[str, Dict]:
+    """Critical path of every job in the artifacts."""
+    return {job: critical_path(artifacts, job) for job in artifacts.jobs()}

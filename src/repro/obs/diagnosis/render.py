@@ -1,0 +1,189 @@
+"""ASCII rendering of diagnosis and run-diff reports for the CLI."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ...analysis.tables import format_table
+
+
+def _fmt_components(components: Dict[str, float], limit: int = 3) -> str:
+    parts = [
+        f"{name}={seconds:.3g}"
+        for name, seconds in list(components.items())[:limit]
+    ]
+    if len(components) > limit:
+        parts.append("...")
+    return ", ".join(parts) if parts else "-"
+
+
+def render_diagnosis(report: Dict, top: int = 10) -> str:
+    """Human-readable view of a ``diagnose()`` report."""
+    sections: List[str] = []
+
+    paths = report.get("critical_paths", {})
+    for job, path in sorted(paths.items()):
+        if not path.get("available"):
+            sections.append(
+                f"critical path [{job}]: unavailable "
+                f"({path.get('reason', 'unknown')})"
+            )
+            continue
+        rows = [
+            [
+                node["kind"],
+                node["id"],
+                node["start"],
+                node["end"],
+                node["duration"],
+                node["wait"],
+                node["via"],
+                node.get("straggler_flow", "-"),
+            ]
+            for node in path["nodes"]
+        ]
+        sections.append(
+            format_table(
+                ["kind", "task", "start", "end", "duration", "wait", "via",
+                 "straggler"],
+                rows,
+                title=(
+                    f"critical path [{job}]: jct {path['jct']:.4g}s = "
+                    f"{path['total_duration']:.4g}s running + "
+                    f"{path['total_wait']:.4g}s waiting"
+                ),
+            )
+        )
+
+    attribution = report.get("attribution", {})
+    ef_rows = [
+        [
+            group,
+            entry["tardiness"],
+            entry["straggler"],
+            entry["straggler_attribution"].get("upstream"),
+            entry["straggler_attribution"].get("contention_total"),
+            entry["straggler_attribution"].get("residual"),
+        ]
+        for group, entry in sorted(
+            attribution.get("echelonflows", {}).items(),
+            key=lambda kv: -(kv[1]["tardiness"] or 0.0),
+        )[:top]
+    ]
+    if ef_rows:
+        sections.append(
+            format_table(
+                ["echelonflow", "tardiness", "straggler", "upstream",
+                 "contention", "residual"],
+                ef_rows,
+                title="EchelonFlow tardiness attribution (Eq. 2 stragglers)",
+            )
+        )
+    flow_rows = [
+        [
+            entry["stage"],
+            entry["job"] or "-",
+            entry["tardiness"],
+            entry["upstream"],
+            entry["contention_total"],
+            entry["residual"],
+            _fmt_components(entry["contention"]),
+        ]
+        for entry in attribution.get("flows", [])[:top]
+    ]
+    if flow_rows:
+        sections.append(
+            format_table(
+                ["flow", "job", "tardiness", "upstream", "contention",
+                 "residual", "top contenders"],
+                flow_rows,
+                title="per-flow tardiness attribution (Eq. 1, worst first)",
+            )
+        )
+
+    blame = report.get("blame", {})
+    blame_rows = [
+        [entry["blamed"], entry["victim"], entry["seconds"]]
+        for entry in blame.get("worst", [])[:top]
+    ]
+    if blame_rows:
+        sections.append(
+            format_table(
+                ["blamed job", "victim job", "seconds of delay"],
+                blame_rows,
+                title="contention blame (aggregate over bottleneck links)",
+            )
+        )
+
+    coverage = attribution.get("coverage")
+    if coverage:
+        sections.append(
+            f"coverage: {coverage['with_rate_data']}/{coverage['flows']} "
+            f"flows with rate data, {coverage['evicted_flows']} evicted"
+        )
+    return "\n\n".join(sections) if sections else "nothing to diagnose"
+
+
+def render_diff(report: Dict, top: int = 10) -> str:
+    """Human-readable view of a ``diff_runs()`` report."""
+    sections: List[str] = []
+    job_rows = [
+        [
+            job,
+            entry.get("jct_a"),
+            entry.get("jct_b"),
+            entry.get("delta"),
+            entry.get("winner", "-"),
+        ]
+        for job, entry in sorted(report.get("jobs", {}).items())
+    ]
+    if job_rows:
+        sections.append(
+            format_table(
+                ["job", "jct A", "jct B", "delta (B-A)", "winner"],
+                job_rows,
+                title="per-job completion times",
+            )
+        )
+    stage_rows = [
+        [
+            row["stage"],
+            row.get("finish_a"),
+            row.get("finish_b"),
+            row.get("delta"),
+            row.get("start_delta"),
+            row.get("stretch_delta", "-"),
+            _fmt_components(row.get("contention_delta", {})),
+        ]
+        for row in report.get("stages", [])[:top]
+    ]
+    if stage_rows:
+        sections.append(
+            format_table(
+                ["stage", "finish A", "finish B", "delta", "start d",
+                 "stretch d", "contention delta (B-A)"],
+                stage_rows,
+                title="per-stage finish deltas (largest first)",
+            )
+        )
+    link_rows = [
+        [link, delta]
+        for link, delta in list(report.get("links", {}).items())[:top]
+    ]
+    if link_rows:
+        sections.append(
+            format_table(
+                ["link", "busy-seconds delta (B-A)"],
+                link_rows,
+                title="per-link load deltas",
+            )
+        )
+    flows = report.get("flows", {})
+    verdict = report.get("verdict", {})
+    sections.append(
+        f"matched {flows.get('matched', 0)} flows "
+        f"(only in A: {flows.get('only_a', 0)}, only in B: "
+        f"{flows.get('only_b', 0)}); end time A={verdict.get('end_time_a')} "
+        f"B={verdict.get('end_time_b')}"
+    )
+    return "\n\n".join(sections)

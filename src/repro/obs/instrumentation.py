@@ -20,6 +20,7 @@ un-instrumented hot path allocation-free.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from .jsonl import JsonlEventLog
@@ -27,6 +28,9 @@ from .registry import MetricsRegistry
 
 #: Rates closer than this (relative) are merged into one timeline segment.
 _RATE_TOL = 1e-9
+
+#: Default bound on retained per-flow rate segments (see FlowRateRecorder).
+DEFAULT_RATE_CAPACITY = 200_000
 
 
 class LinkTimeline:
@@ -113,6 +117,85 @@ class LinkTimeline:
         return out
 
 
+class FlowRateRecorder:
+    """Bounded-memory per-flow allocated-rate interval history.
+
+    The tardiness-attribution math in :mod:`repro.obs.diagnosis` needs to
+    know, for every flow, *when it held which rate*: contention is the
+    integral of a contender's rate over the victim's lifetime. The
+    recorder listens to the network's ``on_rates_applied`` hook (fired
+    only for flows whose rate actually changed, so recording cost tracks
+    the dirty set, not the active set) and keeps one coalesced
+    ``[start, end, rate]`` segment list per flow, plus the flow's pinned
+    path as ``(link key, capacity)`` pairs.
+
+    Memory is bounded by ``capacity`` *total segments*: once exceeded,
+    the oldest-*finished* flows are evicted FIFO (in-flight flows are
+    never dropped, so a live attribution query is always complete).
+    ``evicted_flows`` counts the casualties so downstream consumers can
+    report degraded coverage instead of silently wrong sums.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_RATE_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        #: flow id -> [[start, end, rate], ...], nonzero-rate spans only.
+        self.segments: Dict[int, List[List[float]]] = {}
+        #: flow id -> ((link key, capacity), ...) of its pinned path.
+        self.paths: Dict[int, Tuple[Tuple[str, float], ...]] = {}
+        #: flow id -> [since, rate] of the currently-open span.
+        self._open: Dict[int, List[float]] = {}
+        self._finished: deque = deque()
+        self.total_segments = 0
+        self.evicted_flows = 0
+
+    def on_admitted(
+        self, flow_id: int, path: Tuple[Tuple[str, float], ...], now: float
+    ) -> None:
+        self.paths[flow_id] = path
+        self.segments[flow_id] = []
+        self._open[flow_id] = [now, 0.0]
+
+    def _close(self, flow_id: int, now: float) -> None:
+        span = self._open[flow_id]
+        since, rate = span
+        if now > since and rate > 0.0:
+            series = self.segments[flow_id]
+            if series and series[-1][1] == since and series[-1][2] == rate:
+                series[-1][1] = now
+            else:
+                series.append([since, now, rate])
+                self.total_segments += 1
+
+    def on_rate_change(self, flow_id: int, now: float, rate: float) -> None:
+        span = self._open.get(flow_id)
+        if span is None:
+            return
+        self._close(flow_id, now)
+        span[0] = now
+        span[1] = rate
+
+    def on_finished(self, flow_id: int, finish: float) -> Optional[List[List[float]]]:
+        """Seal a flow's history; returns its segments (pre-eviction)."""
+        if flow_id not in self._open:
+            return None
+        self._close(flow_id, finish)
+        del self._open[flow_id]
+        self._finished.append(flow_id)
+        series = self.segments[flow_id]
+        while self.total_segments > self.capacity and self._finished:
+            victim = self._finished.popleft()
+            self.total_segments -= len(self.segments.pop(victim, ()))
+            self.paths.pop(victim, None)
+            self.evicted_flows += 1
+        return series
+
+    def rates_of(self, flow_id: int) -> List[List[float]]:
+        """Recorded ``[start, end, rate]`` spans of one flow (or [])."""
+        return list(self.segments.get(flow_id, ()))
+
+
 class Instrumentation:
     """Observer attached to an engine run; see module docstring.
 
@@ -129,6 +212,14 @@ class Instrumentation:
     log_link_samples:
         Also mirror link utilization samples into the event log (off by
         default: one event per engine round gets bulky).
+    record_rates:
+        Keep per-flow allocated-rate intervals in a
+        :class:`FlowRateRecorder` (the input to tardiness attribution in
+        :mod:`repro.obs.diagnosis`). On by default; the cost is O(rate
+        changes), bounded by ``rate_capacity`` retained segments.
+    rate_capacity:
+        Total-segment bound for the rate recorder; oldest-finished flows
+        are evicted first once exceeded.
     """
 
     def __init__(
@@ -137,13 +228,26 @@ class Instrumentation:
         sample_links: bool = True,
         event_log: Optional[JsonlEventLog] = None,
         log_link_samples: bool = False,
+        record_rates: bool = True,
+        rate_capacity: int = DEFAULT_RATE_CAPACITY,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.link_timeline = LinkTimeline() if sample_links else None
         self.event_log = event_log
         self.log_link_samples = log_link_samples
+        self.rate_recorder = (
+            FlowRateRecorder(rate_capacity) if record_rates else None
+        )
         #: group id -> [(finish time, tardiness)] in delivery order.
         self.tardiness_series: Dict[str, List[Tuple[float, float]]] = {}
+        #: (job id, task id) -> the completed Task (deps, device, flows);
+        #: feeds critical-path extraction without re-walking the DAGs.
+        self.task_meta: Dict[Tuple[Optional[str], str], object] = {}
+        self.job_arrivals: Dict[str, float] = {}
+        self.job_completions: Dict[str, float] = {}
+        #: flow id -> ((link key, capacity), ...) pinned at admission;
+        #: kept only until the flow_injected event consumes it.
+        self._pending_paths: Dict[int, Tuple[Tuple[str, float], ...]] = {}
         self.rounds = 0
 
     # -- engine-facing hooks -------------------------------------------
@@ -151,6 +255,9 @@ class Instrumentation:
     def on_flow_injected(self, flow, now: float) -> None:
         self.registry.counter("flows_injected_total").inc()
         if self.event_log is not None:
+            path = self._pending_paths.pop(flow.flow_id, None)
+            if path is None and self.rate_recorder is not None:
+                path = self.rate_recorder.paths.get(flow.flow_id)
             self.event_log.append(
                 "flow_injected",
                 now,
@@ -159,7 +266,10 @@ class Instrumentation:
                 dst=flow.dst,
                 size=flow.size,
                 group=flow.group_id,
+                index=flow.index_in_group,
                 job=flow.job_id,
+                tag=flow.tag,
+                path=None if path is None else [list(hop) for hop in path],
             )
 
     def on_flow_finished(self, record, now: float) -> None:
@@ -182,13 +292,29 @@ class Instrumentation:
                 "flow_finished",
                 now,
                 flow_id=flow.flow_id,
+                src=flow.src,
+                dst=flow.dst,
+                size=flow.size,
                 group=flow.group_id,
+                index=flow.index_in_group,
                 job=flow.job_id,
+                tag=flow.tag,
                 start=record.start,
                 finish=record.finish,
                 ideal_finish=record.ideal_finish,
                 tardiness=tardiness,
             )
+        if self.rate_recorder is not None:
+            segments = self.rate_recorder.on_finished(
+                flow.flow_id, record.finish
+            )
+            if self.event_log is not None and segments is not None:
+                self.event_log.append(
+                    "flow_rates",
+                    now,
+                    flow_id=flow.flow_id,
+                    segments=[list(s) for s in segments],
+                )
 
     def on_compute_span(self, span) -> None:
         self.registry.counter("compute_spans_total", device=span.device).inc()
@@ -223,15 +349,61 @@ class Instrumentation:
 
     def on_job_arrival(self, job_id: str, now: float) -> None:
         self.registry.counter("jobs_arrived_total").inc()
+        self.job_arrivals[job_id] = now
         if self.event_log is not None:
             self.event_log.append("job_arrival", now, job=job_id)
 
     def on_job_completed(self, job_id: str, now: float) -> None:
         self.registry.counter("jobs_completed_total").inc()
+        self.job_completions[job_id] = now
         if self.event_log is not None:
             self.event_log.append("job_completed", now, job=job_id)
 
-    # -- network-facing hook (NetworkModel.observer) --------------------
+    def on_task_complete(self, task, now: float) -> None:
+        """Any task (compute/comm/barrier) completed in a job DAG.
+
+        The recorded dependency edges and flow memberships make the
+        events log a self-contained artifact for critical-path
+        extraction (the trace's TaskEvent carries neither).
+        """
+        self.registry.counter(
+            "tasks_completed_total", kind=task.kind.value
+        ).inc()
+        self.task_meta[(task.job_id, task.task_id)] = task
+        if self.event_log is not None:
+            self.event_log.append(
+                "task_finished",
+                now,
+                task=task.task_id,
+                kind=task.kind.value,
+                job=task.job_id,
+                device=task.device,
+                duration=task.duration,
+                deps=list(task.deps),
+                flow_ids=[flow.flow_id for flow in task.flows],
+            )
+
+    # -- network-facing hooks (NetworkModel.observer) -------------------
+
+    def on_flow_admitted(self, flow, path, now: float) -> None:
+        """The network pinned ``path`` for a freshly injected flow."""
+        if self.rate_recorder is None and self.event_log is None:
+            return
+        key_path = tuple(
+            (LinkTimeline.link_key(link.src, link.dst), link.capacity)
+            for link in path
+        )
+        if self.rate_recorder is not None:
+            self.rate_recorder.on_admitted(flow.flow_id, key_path, now)
+        elif self.event_log is not None:
+            self._pending_paths[flow.flow_id] = key_path
+
+    def on_rates_applied(self, now: float, changed) -> None:
+        """``changed`` is the network's (flow id, state, new rate) list."""
+        recorder = self.rate_recorder
+        if recorder is not None:
+            for flow_id, _state, rate in changed:
+                recorder.on_rate_change(flow_id, now, rate)
 
     def on_network_advance(self, now: float, dt: float, usage: Mapping) -> None:
         """``usage`` maps :class:`~repro.topology.graph.Link` -> rate."""

@@ -67,12 +67,23 @@ def read_jsonl(path: str) -> List[Dict]:
     return events
 
 
+def percentile(values: List[float], q: float) -> float:
+    """Exact nearest-rank percentile of ``values`` (0 <= q <= 1)."""
+    if not values:
+        raise ValueError("percentile of empty list")
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return ordered[index]
+
+
 def summarize_events(events: Iterable[Dict]) -> Dict:
     """Headline statistics of a JSONL event stream.
 
     Returns counts per event kind, the simulated time span, scheduler
-    invocations by trigger cause, flow delivery/tardiness aggregates, and
-    per-link peak utilization when ``link_sample`` events are present.
+    invocations by trigger cause (plus wall-clock latency percentiles
+    when ``scheduler_invocation`` events are present), flow delivery/
+    tardiness aggregates, and per-link peak utilization when
+    ``link_sample`` events are present.
     """
     by_kind: Dict[str, int] = {}
     causes: Dict[str, int] = {}
@@ -80,6 +91,7 @@ def summarize_events(events: Iterable[Dict]) -> Dict:
     t_max = float("-inf")
     flows_delivered = 0
     tardiness: List[float] = []
+    latencies: List[float] = []
     link_peak: Dict[str, float] = {}
     for event in events:
         kind = event.get("ev", "?")
@@ -91,6 +103,10 @@ def summarize_events(events: Iterable[Dict]) -> Dict:
         if kind == "reschedule":
             cause = event.get("cause", "unknown")
             causes[cause] = causes.get(cause, 0) + 1
+        elif kind == "scheduler_invocation":
+            value = event.get("wall_clock")
+            if isinstance(value, (int, float)):
+                latencies.append(value)
         elif kind == "flow_finished":
             flows_delivered += 1
             value = event.get("tardiness")
@@ -111,6 +127,15 @@ def summarize_events(events: Iterable[Dict]) -> Dict:
         },
         "flows": {"delivered": flows_delivered},
     }
+    if latencies:
+        summary["scheduler"]["latency_seconds"] = {
+            "count": len(latencies),
+            "mean": sum(latencies) / len(latencies),
+            "p50": percentile(latencies, 0.50),
+            "p95": percentile(latencies, 0.95),
+            "p99": percentile(latencies, 0.99),
+            "max": max(latencies),
+        }
     if tardiness:
         summary["flows"]["worst_tardiness"] = max(tardiness)
         summary["flows"]["mean_tardiness"] = sum(tardiness) / len(tardiness)

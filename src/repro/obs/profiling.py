@@ -73,11 +73,17 @@ class ProfiledScheduler(Scheduler):
         registry: Optional[MetricsRegistry] = None,
         clock: Callable[[], float] = time.perf_counter,
         keep_records: bool = True,
+        event_log=None,
     ) -> None:
+        """``event_log``: an optional :class:`~repro.obs.jsonl.JsonlEventLog`
+        receiving one ``scheduler_invocation`` event per ``allocate`` call
+        (wall-clock, cause, flows, churn), so saved logs can answer the
+        latency-percentile question offline (``repro obs``)."""
         self.inner = inner
         self.registry = registry if registry is not None else MetricsRegistry()
         self.clock = clock
         self.keep_records = keep_records
+        self.event_log = event_log
         self.records: List[InvocationRecord] = []
         self.invocations = 0
         self.total_wall_clock = 0.0
@@ -117,6 +123,15 @@ class ProfiledScheduler(Scheduler):
                     rates_changed=changed,
                     churn=churn,
                 )
+            )
+        if self.event_log is not None:
+            self.event_log.append(
+                "scheduler_invocation",
+                view.now,
+                cause=cause,
+                wall_clock=elapsed,
+                flows=flows,
+                churn=churn,
             )
         return rates
 

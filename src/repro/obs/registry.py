@@ -133,6 +133,7 @@ class Histogram:
             "max": self.max,
             "mean": self.mean,
             "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
             "p99": self.quantile(0.99),
         }
 

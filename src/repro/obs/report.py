@@ -103,6 +103,17 @@ def build_metrics_report(
     if instrumentation is not None:
         report["links"] = instrumentation.link_stats(horizon=trace.end_time)
         report["registry"] = instrumentation.registry.snapshot()
+        if getattr(instrumentation, "rate_recorder", None) is not None:
+            # Deferred import: diagnosis sits on top of this module's layer.
+            from .diagnosis import RunArtifacts, attribute_run, blame_matrix
+
+            artifacts = RunArtifacts.from_run(trace, instrumentation)
+            attribution = attribute_run(artifacts)
+            report["diagnosis"] = {
+                "echelonflows": attribution["echelonflows"],
+                "blame": blame_matrix(attribution["flows"])["aggregate"],
+                "coverage": attribution["coverage"],
+            }
         if instrumentation.tardiness_series:
             report["live_tardiness"] = {
                 group: {

@@ -275,6 +275,8 @@ class Engine:
                 job_id=job_id,
             )
         )
+        if self.obs is not None:
+            self.obs.on_task_complete(task, self.now)
         self._tasks_left[job_id] -= 1
         if self._tasks_left[job_id] == 0:
             self._completed_jobs.append(job_id)

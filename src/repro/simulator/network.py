@@ -138,6 +138,8 @@ class NetworkModel:
         insort(self._order, flow_id)
         self.accounting.watch(flow_id, path)
         self._bucket_add(flow.group_id, flow_id, state)
+        if self.observer is not None:
+            self.observer.on_flow_admitted(flow, path, now)
         return state
 
     def _retire(self, state: FlowState, finish_time: float) -> None:
@@ -383,6 +385,8 @@ class NetworkModel:
             state.rate = rate
             apply_delta(self._paths[flow_id], old, rate)
             self._push_finish(flow_id, state)
+        if self.observer is not None and changed:
+            self.observer.on_rates_applied(self._now, changed)
 
     def _feasible_changed(
         self, changed: Sequence[Tuple[int, FlowState, float]]

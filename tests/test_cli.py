@@ -271,6 +271,175 @@ def test_obs_subcommand_summarizes_log(tmp_path, capsys):
     assert summary["scheduler"]["invocations"] > 0
 
 
+def _write_fig2_log(tmp_path, scheduler):
+    path = tmp_path / f"{scheduler}.jsonl"
+    assert (
+        main(
+            [
+                "fig2",
+                "--obs-scheduler",
+                scheduler,
+                "--events-out",
+                str(path),
+            ]
+        )
+        == 0
+    )
+    return path
+
+
+def test_diagnose_subcommand(tmp_path, capsys):
+    path = _write_fig2_log(tmp_path, "coflow")
+    capsys.readouterr()
+    assert main(["diagnose", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "critical path [fig2]" in out
+    assert "act mb0" in out
+    assert "coverage: 3/3 flows with rate data" in out
+    assert main(["diagnose", str(path), "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["version"] == 1
+    assert report["critical_paths"]["fig2"]["jct"] == pytest.approx(12.0)
+    assert report["attribution"]["echelonflows"]["fig2/ef"][
+        "tardiness"
+    ] == pytest.approx(6.0)
+
+
+def test_diff_subcommand_fig2_fair_beats_coflow(tmp_path, capsys):
+    """Acceptance criterion: `repro diff` on the two Fig. 2 logs reports
+    fair sharing beating Coflow and blames the later micro-batches."""
+    fair = _write_fig2_log(tmp_path, "fair")
+    coflow = _write_fig2_log(tmp_path, "coflow")
+    capsys.readouterr()
+    assert main(["diff", str(fair), str(coflow)]) == 0
+    out = capsys.readouterr().out
+    assert "winner" in out and "act mb0" in out
+    assert main(["diff", str(fair), str(coflow), "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["jobs"]["fig2"]["delta"] == pytest.approx(2.5)
+    assert report["jobs"]["fig2"]["winner"] == "a"
+    head = next(r for r in report["stages"] if r["stage"] == "act mb0")
+    assert head["contention_delta"]["act mb1"] == pytest.approx(1.0)
+    assert head["contention_delta"]["act mb2"] == pytest.approx(1.5)
+
+
+def test_diagnose_missing_file_errors(tmp_path, capsys):
+    assert main(["diagnose", str(tmp_path / "nope.jsonl")]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_table1_obs_flags(tmp_path, capsys):
+    metrics_path = tmp_path / "metrics.json"
+    events_path = tmp_path / "events.jsonl"
+    assert (
+        main(
+            [
+                "table1",
+                "--obs-paradigm",
+                "FSDP",
+                "--obs-scheduler",
+                "coflow",
+                "--metrics-out",
+                str(metrics_path),
+                "--events-out",
+                str(events_path),
+            ]
+        )
+        == 0
+    )
+    metrics = json.loads(metrics_path.read_text())
+    assert metrics["scheduler"]["invocations"] > 0
+    assert metrics["scheduler"]["by_cause"]
+    assert metrics["links"]
+    assert metrics["diagnosis"]["coverage"]["with_rate_data"] > 0
+    assert events_path.read_text().strip()
+
+
+def test_matrix_obs_flags(tmp_path, capsys):
+    metrics_path = tmp_path / "metrics.json"
+    events_path = tmp_path / "events.jsonl"
+    assert (
+        main(
+            [
+                "matrix",
+                "--schedulers",
+                "fair,echelon",
+                "--model",
+                "tiny_mlp",
+                "--workers",
+                "2",
+                "--micro-batches",
+                "2",
+                "--obs-case",
+                "fsdp",
+                "--obs-scheduler",
+                "echelon",
+                "--metrics-out",
+                str(metrics_path),
+                "--events-out",
+                str(events_path),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "observed cell: fsdp / echelon" in out
+    metrics = json.loads(metrics_path.read_text())
+    assert metrics["scheduler"]["invocations"] > 0
+    assert metrics["links"]
+    assert events_path.read_text().strip()
+
+
+def test_matrix_rejects_unknown_obs_cell(tmp_path, capsys):
+    assert (
+        main(
+            [
+                "matrix",
+                "--schedulers",
+                "fair",
+                "--model",
+                "tiny_mlp",
+                "--workers",
+                "2",
+                "--obs-case",
+                "bogus",
+                "--events-out",
+                str(tmp_path / "e.jsonl"),
+            ]
+        )
+        == 1
+    )
+    assert "--obs-case" in capsys.readouterr().err
+
+
+def test_obs_reports_scheduler_latency(tmp_path, capsys):
+    events_path = tmp_path / "events.jsonl"
+    assert (
+        main(
+            [
+                "run",
+                "--paradigm",
+                "dp-allreduce",
+                "--model",
+                "tiny_mlp",
+                "--workers",
+                "2",
+                "--events-out",
+                str(events_path),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    assert main(["obs", str(events_path)]) == 0
+    assert "scheduler latency p50/p95/p99" in capsys.readouterr().out
+    assert main(["obs", str(events_path), "--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    latency = summary["scheduler"]["latency_seconds"]
+    assert latency["count"] == summary["scheduler"]["invocations"]
+    assert 0 <= latency["p50"] <= latency["p95"] <= latency["p99"] <= latency["max"]
+
+
 def test_parser_rejects_unknown_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["bogus"])

@@ -85,7 +85,8 @@ class TestRegistry:
         assert hist.mean == pytest.approx(0.507 / 4)
         summary = hist.summary()
         assert summary["count"] == 4
-        assert summary["p50"] <= summary["p99"] <= hist.max
+        assert summary["p50"] <= summary["p95"] <= summary["p99"] <= hist.max
+        assert summary["p95"] == hist.quantile(0.95)
 
     def test_histogram_quantile_edges(self):
         hist = MetricsRegistry().histogram("h")
@@ -181,6 +182,21 @@ class TestProfiledScheduler:
         assert [r.finish for r in profiled_trace.flow_records] == pytest.approx(
             [r.finish for r in plain_trace.flow_records]
         )
+
+    def test_emits_scheduler_invocation_events(self):
+        log = JsonlEventLog()
+        profiled = ProfiledScheduler(make_scheduler("echelon"), event_log=log)
+        engine = _fig2_engine(scheduler=profiled)
+        engine.run()
+        invocations = [
+            e for e in log.events if e["ev"] == "scheduler_invocation"
+        ]
+        assert len(invocations) == profiled.invocations
+        for event in invocations:
+            assert event["wall_clock"] >= 0
+            assert event["cause"] in ("arrival", "departure")
+            assert event["flows"] >= 0
+            assert 0.0 <= event["churn"] <= 1.0
 
     def test_rate_vector_churn(self):
         assert rate_vector_churn({}, {}) == 0
@@ -313,7 +329,12 @@ class TestMetricsReport:
         report = json.loads(json.dumps(report))  # must be JSON-clean
         assert report["scheduler"]["invocations"] == engine.scheduler_invocations
         assert report["scheduler"]["by_cause"]["arrival"] == 3
+        assert "p95" in report["scheduler"]["wall_clock_seconds"]
         assert report["links"]["h0->h1"]["peak_utilization"] == pytest.approx(1.0)
+        diagnosis = report["diagnosis"]
+        assert diagnosis["coverage"]["with_rate_data"] == 3
+        assert diagnosis["echelonflows"]
+        assert diagnosis["blame"]
         group = next(iter(report["echelonflows"].values()))
         assert group["flows"] == 3
         assert "worst_tardiness" in group and "mean_tardiness" in group
@@ -366,6 +387,30 @@ class TestJsonl:
         assert summary["flows"]["worst_tardiness"] == 0.5
         assert summary["links"]["peak_utilization"]["h0->h1"] == 0.75
         assert summary["time_span"] == {"start": 0.0, "end": 1.0}
+
+    def test_summarize_latency_percentiles(self):
+        log = JsonlEventLog()
+        for i in range(100):
+            log.append(
+                "scheduler_invocation",
+                float(i),
+                cause="arrival",
+                wall_clock=(i + 1) / 1000.0,
+                flows=1,
+                churn=0.0,
+            )
+        latency = summarize_events(log.events)["scheduler"]["latency_seconds"]
+        assert latency["count"] == 100
+        assert latency["p50"] == pytest.approx(0.051)
+        assert latency["p95"] == pytest.approx(0.095)
+        assert latency["p99"] == pytest.approx(0.099)
+        assert latency["max"] == pytest.approx(0.100)
+        assert latency["mean"] == pytest.approx(0.0505)
+
+    def test_summarize_without_invocations_has_no_latency(self):
+        log = JsonlEventLog()
+        log.append("reschedule", 0.0, cause="arrival", active_flows=1)
+        assert "latency_seconds" not in summarize_events(log.events)["scheduler"]
 
     def test_read_rejects_bad_json(self, tmp_path):
         path = tmp_path / "bad.jsonl"
