@@ -102,6 +102,14 @@ def build_engine(
         scheduling_interval=TICK,
         incremental=incremental,
         instrumentation=instrumentation,
+        # The sanitizer (repro.check) is forced off regardless of any
+        # REPRO_CHECK in the environment: this benchmark measures the bare
+        # hot path, and CI runs it in the same job that sets REPRO_CHECK
+        # for the test suite. With check=None each hook site costs one
+        # attribute test, which sits on the measured path -- so the
+        # incremental/reference ratio guard in --smoke also catches any
+        # disabled-sanitizer overhead creeping into the engine spine.
+        sanitizer=False,
     )
     rng = random.Random(seed)
     for i in range(n_flows):
@@ -239,6 +247,17 @@ def smoke(seed: int, scheduler: str) -> int:
         baseline = json.loads(BASELINE_PATH.read_text())
     except FileNotFoundError:
         print(f"[bench_scale] missing baseline {BASELINE_PATH}", file=sys.stderr)
+        return 1
+    # Benchmark hygiene: no sanitizer may ride along with the timed
+    # engines, REPRO_CHECK or not -- otherwise the ratios measure the
+    # checker, not the core.
+    probe = build_engine(8, incremental=True, seed=seed, scheduler=scheduler)
+    if probe.check is not None:
+        print(
+            "[bench_scale] smoke FAILED: sanitizer attached to a benchmark "
+            "engine (engine.check should be None)",
+            file=sys.stderr,
+        )
         return 1
     best_ratio = float("inf")
     best_instr_ratio = float("inf")

@@ -1,0 +1,82 @@
+"""Pytest integration: run any test session under the sanitizer.
+
+Registered from ``tests/conftest.py``. Activation, in priority order:
+
+1. ``pytest --repro-check=strict`` (or ``collect``, with spec options);
+2. the ``REPRO_CHECK`` environment variable (handled by the engine's own
+   default-config path -- the plugin only surfaces the summary).
+
+Because every :class:`~repro.simulator.engine.Engine` constructed without
+an explicit ``sanitizer`` consults the process default, the entire
+existing suite runs checked without editing a single test. The
+``repro_check_config`` fixture exposes the effective config to tests that
+want to assert on it, and a terminal summary line reports aggregate
+violations in collect mode.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from . import clear_configuration, configure, default_config, global_stats
+
+
+def pytest_addoption(parser) -> None:
+    group = parser.getgroup("repro-check", "repro simulation sanitizer")
+    group.addoption(
+        "--repro-check",
+        action="store",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "Run every simulation under the repro.check sanitizer; SPEC is "
+            "a REPRO_CHECK spec such as 'strict', 'collect', or "
+            "'strict:twin=1.0'. Overrides the REPRO_CHECK env var."
+        ),
+    )
+
+
+def pytest_configure(config) -> None:
+    spec = config.getoption("--repro-check")
+    if spec is not None:
+        configure(spec)
+
+
+def pytest_unconfigure(config) -> None:
+    if config.getoption("--repro-check") is not None:
+        clear_configuration()
+
+
+@pytest.fixture
+def repro_check_config():
+    """The effective sanitizer config for this session (None when off)."""
+    return default_config()
+
+
+@pytest.fixture
+def repro_check_strict():
+    """Force strict checking (twin on every invocation) for one test."""
+    previous = default_config()
+    configure("strict:twin=1.0")
+    try:
+        yield default_config()
+    finally:
+        configure(previous)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config) -> None:
+    active = default_config()
+    if active is None:
+        return
+    stats = global_stats()
+    if stats.sanitizers == 0:
+        return
+    line = (
+        f"repro.check: mode={active.mode} sanitized_engines={stats.sanitizers} "
+        f"violations={stats.total}"
+    )
+    terminalreporter.write_sep("-", "repro simulation sanitizer")
+    terminalreporter.write_line(line)
+    if stats.total:
+        for name, count in sorted(stats.log.counts.items()):
+            terminalreporter.write_line(f"  {name}: {count}")

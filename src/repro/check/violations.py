@@ -1,0 +1,94 @@
+"""Violation records and the strict-mode exception.
+
+A :class:`Violation` is one observed breach of one invariant from the
+catalog in :mod:`repro.check.invariants`, stamped with simulation time and
+enough structured detail to act on (link keys, flow ids, expected vs
+actual values). In collect mode violations accumulate in a bounded
+:class:`ViolationLog`; in strict mode the first one raises
+:class:`CheckViolation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class CheckViolation(Exception):
+    """An invariant was breached while the sanitizer ran in strict mode."""
+
+    def __init__(self, violation: "Violation") -> None:
+        super().__init__(violation.render())
+        self.violation = violation
+
+
+@dataclass
+class Violation:
+    """One breach of one invariant at one simulation instant."""
+
+    invariant: str
+    time: float
+    message: str
+    #: Structured context: flow/link ids, expected vs actual values.
+    details: Dict = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        return {
+            "invariant": self.invariant,
+            "time": self.time,
+            "message": self.message,
+            "details": dict(self.details),
+        }
+
+    def render(self) -> str:
+        text = f"[{self.invariant}] t={self.time:.9g}: {self.message}"
+        if self.details:
+            context = ", ".join(
+                f"{key}={value!r}" for key, value in sorted(self.details.items())
+            )
+            text = f"{text} ({context})"
+        return text
+
+
+class ViolationLog:
+    """Bounded violation collector with exact per-invariant counts.
+
+    Counts are always exact; only the retained :class:`Violation` objects
+    are capped (the first ``capacity`` seen), bounding memory on runs that
+    breach an invariant in a loop.
+    """
+
+    def __init__(self, capacity: int = 200) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.violations: List[Violation] = []
+        self.counts: Dict[str, int] = {}
+        self.total = 0
+
+    def add(self, violation: Violation) -> None:
+        self.total += 1
+        self.counts[violation.invariant] = (
+            self.counts.get(violation.invariant, 0) + 1
+        )
+        if len(self.violations) < self.capacity:
+            self.violations.append(violation)
+
+    def __len__(self) -> int:
+        return self.total
+
+    def to_dict(self) -> Dict:
+        return {
+            "total": self.total,
+            "by_invariant": dict(sorted(self.counts.items())),
+            "violations": [v.to_dict() for v in self.violations],
+            "truncated": self.total > len(self.violations),
+        }
+
+    def render(self, limit: Optional[int] = 20) -> str:
+        lines = [f"{self.total} violation(s)"]
+        for name, count in sorted(self.counts.items()):
+            lines.append(f"  {name}: {count}")
+        shown = self.violations if limit is None else self.violations[:limit]
+        lines.extend(f"  - {violation.render()}" for violation in shown)
+        return "\n".join(lines)

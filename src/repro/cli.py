@@ -89,6 +89,58 @@ def _add_obs_flags(parser) -> None:
     )
 
 
+def _add_check_flag(parser) -> None:
+    parser.add_argument(
+        "--check",
+        nargs="?",
+        const="strict",
+        default=None,
+        metavar="SPEC",
+        help="run under the repro.check sanitizer: bare --check means "
+        "'strict'; also accepts 'collect' or a full spec such as "
+        "'strict:twin=1.0'. Overrides the REPRO_CHECK env var.",
+    )
+    parser.add_argument(
+        "--check-report",
+        metavar="PATH",
+        help="write the aggregated sanitizer violation report as JSON",
+    )
+
+
+def _configure_check(args) -> None:
+    """Install the --check spec as the process default before the run."""
+    spec = getattr(args, "check", None)
+    if spec is not None:
+        from . import check
+
+        check.configure(spec)
+
+
+def _finish_check(args, status: int) -> int:
+    """Emit sanitizer summaries/reports after the command ran."""
+    spec = getattr(args, "check", None)
+    report_path = getattr(args, "check_report", None)
+    if spec is None and report_path is None:
+        return status
+    from . import check
+
+    config = check.default_config()
+    stats = check.global_stats()
+    if report_path:
+        check.write_global_report(report_path)
+        print(f"sanitizer report written to {report_path}")
+    if config is not None and stats.sanitizers:
+        print(
+            f"sanitizer: mode={config.mode} engines={stats.sanitizers} "
+            f"violations={stats.total}"
+        )
+        if stats.total:
+            print(stats.log.render(limit=10))
+    if spec is not None:
+        check.clear_configuration()
+    return status
+
+
 def _obs_for(args):
     """An Instrumentation when any obs flag was given, else None.
 
@@ -127,7 +179,7 @@ def _wrap_profiled(args, scheduler, obs):
 
 
 def _emit_observability(
-    args, trace, obs, profiler=None, scheduler_invocations=None
+    args, trace, obs, profiler=None, scheduler_invocations=None, engine=None
 ) -> None:
     if obs is None:
         return
@@ -142,6 +194,7 @@ def _emit_observability(
             instrumentation=obs,
             profiler=profiler,
             scheduler_invocations=scheduler_invocations,
+            sanitizer=getattr(engine, "check", None),
         )
         write_metrics_report(report, args.metrics_out)
         print(f"metrics report written to {args.metrics_out}")
@@ -218,6 +271,7 @@ def cmd_fig2(args) -> int:
                 observed,
                 profiler=profiler,
                 scheduler_invocations=engine.scheduler_invocations,
+                engine=engine,
             )
     print(
         format_table(
@@ -293,6 +347,7 @@ def cmd_table1(args) -> int:
                     observed,
                     profiler=profiler,
                     scheduler_invocations=engine.scheduler_invocations,
+                    engine=engine,
                 )
         compliant = abs(measured["echelon"] - measured["coflow"]) <= 1e-6 * max(
             measured.values()
@@ -361,6 +416,7 @@ def cmd_run(args) -> int:
         obs,
         profiler=profiler,
         scheduler_invocations=engine.scheduler_invocations,
+        engine=engine,
     )
     return 0
 
@@ -412,6 +468,7 @@ def cmd_cluster(args) -> int:
         obs,
         profiler=profiler,
         scheduler_invocations=engine.scheduler_invocations,
+        engine=engine,
     )
     return 0
 
@@ -516,6 +573,7 @@ def cmd_run_spec(args) -> int:
             obs,
             profiler=profiler,
             scheduler_invocations=results["scheduler_invocations"],
+            engine=engine,
         )
     return 0
 
@@ -633,6 +691,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="which scheduler's run the obs flags instrument",
     )
     _add_obs_flags(fig2)
+    _add_check_flag(fig2)
 
     table1 = sub.add_parser(
         "table1", help="reproduce the Table 1 compliance matrix"
@@ -650,6 +709,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="which scheduler column the obs flags instrument",
     )
     _add_obs_flags(table1)
+    _add_check_flag(table1)
 
     sub.add_parser("schedulers", help="list registered schedulers")
     sub.add_parser("models", help="list the model zoo")
@@ -700,6 +760,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-format", choices=("json", "csv", "chrome"), default="json"
     )
     _add_obs_flags(run)
+    _add_check_flag(run)
 
     matrix = sub.add_parser(
         "matrix", help="run the standard workload battery across schedulers"
@@ -726,6 +787,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="scheduler the obs flags instrument (default: first listed)",
     )
     _add_obs_flags(matrix)
+    _add_check_flag(matrix)
 
     run_spec = sub.add_parser(
         "run-spec", help="run a declarative JSON experiment spec"
@@ -733,6 +795,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_spec.add_argument("spec", help="path to the JSON spec file")
     run_spec.add_argument("--json", action="store_true", help="also dump raw JSON")
     _add_obs_flags(run_spec)
+    _add_check_flag(run_spec)
 
     cluster = sub.add_parser("cluster", help="dynamic multi-tenant cluster")
     cluster.add_argument("--scheduler", default="echelon")
@@ -746,6 +809,7 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--batch-scale", type=float, default=1.0)
     cluster.add_argument("--seed", type=int, default=0)
     _add_obs_flags(cluster)
+    _add_check_flag(cluster)
     return parser
 
 
@@ -766,7 +830,9 @@ _COMMANDS = {
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    _configure_check(args)
+    status = _COMMANDS[args.command](args)
+    return _finish_check(args, status)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

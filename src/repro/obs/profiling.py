@@ -90,6 +90,11 @@ class ProfiledScheduler(Scheduler):
         self._last_rates: Dict[int, float] = {}
         self.name = f"profiled({inner.name})"
 
+    @property
+    def work_conserving(self) -> bool:
+        """Profiling is transparent: the inner contract passes through."""
+        return getattr(self.inner, "work_conserving", False)
+
     def allocate(self, view: SchedulerView) -> Dict[int, float]:
         cause = getattr(view, "trigger_cause", None) or "unknown"
         flows = view.network.active_count

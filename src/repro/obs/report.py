@@ -68,12 +68,16 @@ def build_metrics_report(
     profiler: Optional[ProfiledScheduler] = None,
     scheduler_invocations: Optional[int] = None,
     extra: Optional[Dict] = None,
+    sanitizer=None,
 ) -> Dict:
     """Assemble the metrics-summary document for one run.
 
     Every section degrades gracefully: without a profiler the scheduler
     section falls back to the engine's raw invocation count; without
-    instrumentation the link section is empty.
+    instrumentation the link section is empty.  ``sanitizer`` is the
+    engine's :class:`~repro.check.sanitizer.Sanitizer` (``engine.check``)
+    when the run was sanitized; its violation counts land in a
+    ``sanitizer`` section so reports from checked runs are self-describing.
     """
     report: Dict = {
         "version": REPORT_VERSION,
@@ -125,6 +129,8 @@ def build_metrics_report(
                     instrumentation.tardiness_series.items()
                 )
             }
+    if sanitizer is not None:
+        report["sanitizer"] = sanitizer.report()
     if extra:
         report.update(extra)
     return report

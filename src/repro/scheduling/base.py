@@ -129,6 +129,14 @@ class Scheduler:
     #: Human-readable name used in benchmark tables.
     name = "abstract"
 
+    #: Declares the work-conservation contract: a True value promises that
+    #: the allocation never leaves an unfinished flow with spare capacity
+    #: on *every* link of its path (each active flow is bottlenecked
+    #: somewhere or capped). The ``repro.check`` sanitizer enforces the
+    #: promise at runtime; pacing-only algorithms (MADD without backfill)
+    #: keep the default False. Wrappers delegate to their inner scheduler.
+    work_conserving = False
+
     def allocate(self, view: SchedulerView) -> Dict[int, float]:
         raise NotImplementedError
 

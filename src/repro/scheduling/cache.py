@@ -97,6 +97,11 @@ class MemoizingScheduler(Scheduler):
     # ------------------------------------------------------------------
 
     @property
+    def work_conserving(self) -> bool:
+        """Replayed allocations inherit the inner algorithm's contract."""
+        return getattr(self.inner, "work_conserving", False)
+
+    @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0

@@ -98,6 +98,9 @@ class CoflowMaddScheduler(Scheduler):
 
     def __init__(self, backfill: bool = True) -> None:
         self.backfill = backfill
+        # MADD pacing alone deliberately idles capacity; only the
+        # backfill pass makes the allocation work-conserving.
+        self.work_conserving = backfill
 
     def allocate(self, view: SchedulerView) -> Dict[int, float]:
         network = view.network

@@ -30,6 +30,7 @@ class EdfFlowScheduler(Scheduler):
     """Strict per-flow earliest-deadline-first on ideal finish times."""
 
     name = "edf-flow"
+    work_conserving = True
 
     def allocate(self, view: SchedulerView) -> Dict[int, float]:
         keyed: List[Tuple[float, int, FlowState]] = []

@@ -167,6 +167,9 @@ class EchelonMaddScheduler(Scheduler):
         self.ordering = ordering
         self.backfill = backfill
         self.anchor = anchor
+        # Adapted MADD paces stages to their deadlines (idling capacity
+        # on purpose); work conservation comes from the backfill pass.
+        self.work_conserving = backfill
 
     # ------------------------------------------------------------------
 

@@ -19,6 +19,9 @@ class FairSharingScheduler(Scheduler):
     """Weighted max-min fair sharing across all active flows."""
 
     name = "fair"
+    #: Progressive filling only stops raising a flow when some path link
+    #: saturates, so every flow ends bottlenecked: work-conserving.
+    work_conserving = True
 
     def __init__(self, weight_by_job: Dict[str, float] = None) -> None:
         self.weight_by_job = dict(weight_by_job or {})

@@ -97,6 +97,8 @@ class SincroniaScheduler(Scheduler):
     """BSSI coflow ordering enforced by greedy order-respecting rates."""
 
     name = "sincronia"
+    #: The order-respecting greedy fill bottlenecks every flow it serves.
+    work_conserving = True
 
     def __init__(self, weights: Optional[Dict[str, float]] = None) -> None:
         self.weights = dict(weights or {})

@@ -20,6 +20,9 @@ class ShortestFlowFirstScheduler(Scheduler):
     """Smallest-remaining-size-first strict priority."""
 
     name = "sjf"
+    #: Greedy fill serves every flow in order; each either drains its
+    #: path bottleneck to zero or was already blocked: work-conserving.
+    work_conserving = True
 
     def allocate(self, view: SchedulerView) -> Dict[int, float]:
         states = view.active_states()
@@ -33,6 +36,7 @@ class FifoFlowScheduler(Scheduler):
     """Earliest-start-first strict priority (per-flow FIFO baseline)."""
 
     name = "fifo"
+    work_conserving = True
 
     def allocate(self, view: SchedulerView) -> Dict[int, float]:
         states = view.active_states()

@@ -60,6 +60,7 @@ class Engine:
         scheduling_interval: Optional[float] = None,
         instrumentation=None,
         incremental: bool = True,
+        sanitizer=None,
     ) -> None:
         """``device_slots`` sets per-device MIG slot counts: an int applies
         to every device, a mapping overrides per device name.
@@ -85,6 +86,15 @@ class Engine:
         exact same semantics but finds work by full scans (the
         pre-refactor cost model); it exists for equivalence tests and the
         ``bench_scale`` speedup report.
+
+        ``sanitizer``: a :class:`repro.check.Sanitizer` (or a
+        ``REPRO_CHECK``-style spec string) checking runtime invariants at
+        event boundaries. ``None`` (default) consults the process-wide
+        default -- set by the ``REPRO_CHECK`` env var, the ``--check``
+        CLI flag, or ``repro.check.configure`` -- so sanitized runs need
+        no per-engine wiring; pass ``False`` to force checking off
+        regardless of the process default. Uses the same zero-overhead
+        hook pattern as ``instrumentation``.
         """
         self.topology = topology
         self.scheduler = scheduler
@@ -125,6 +135,22 @@ class Engine:
         self.obs = instrumentation
         if instrumentation is not None:
             self.network.observer = instrumentation
+        if sanitizer is None:
+            # Deferred import: repro.check sits on top of the simulator.
+            from ..check import default_sanitizer
+
+            sanitizer = default_sanitizer()
+        elif sanitizer is False:
+            sanitizer = None
+        elif isinstance(sanitizer, str):
+            from ..check import make_sanitizer
+
+            sanitizer = make_sanitizer(sanitizer)
+        #: Optional repro.check Sanitizer; hooks cost one attribute test
+        #: per site when absent, exactly like ``obs``.
+        self.check = sanitizer
+        if self.check is not None:
+            self.check.attach(self)
         if scheduling_interval is not None and scheduling_interval <= 0:
             raise ValueError(
                 f"scheduling_interval must be positive, got {scheduling_interval}"
@@ -253,6 +279,8 @@ class Engine:
                 self._undated.setdefault(flow.group_id, []).append(state)
         if self.obs is not None:
             self.obs.on_flow_injected(flow, self.now)
+        if self.check is not None:
+            self.check.on_flow_injected(state, self.now)
         self._request_reschedule("arrival")
 
     def _try_start_device(self, device: Device) -> None:
@@ -277,6 +305,8 @@ class Engine:
         )
         if self.obs is not None:
             self.obs.on_task_complete(task, self.now)
+        if self.check is not None:
+            self.check.on_task_complete(dag, task, self.now)
         self._tasks_left[job_id] -= 1
         if self._tasks_left[job_id] == 0:
             self._completed_jobs.append(job_id)
@@ -353,6 +383,8 @@ class Engine:
         self.trace.flow_records.append(record)
         if self.obs is not None:
             self.obs.on_flow_finished(record, self.now)
+        if self.check is not None:
+            self.check.on_flow_finished(state, record, self.now)
         owner = self._flow_owner.pop(flow.flow_id, None)
         if owner is not None:
             self._comm_outstanding[owner] -= 1
@@ -390,12 +422,16 @@ class Engine:
         self._delta_injected.clear()
         self._delta_departed.clear()
         rates = self.scheduler.allocate(view)
+        if self.check is not None:
+            self.check.on_allocation(view, rates)
         self.network.set_rates(rates)
         self._needs_reschedule = False
         self._pending_causes.clear()
         self.scheduler_invocations += 1
         if self.obs is not None:
             self.obs.on_reschedule(self.now, cause, self.network.active_count)
+        if self.check is not None:
+            self.check.on_rates_applied(view)
         if self.network.active_count:
             self._arm_tick()
 
@@ -476,6 +512,8 @@ class Engine:
                 self._on_flow_finished(state)
 
         self.trace.end_time = self.now
+        if self.check is not None:
+            self.check.on_run_end(self.trace)
         return self.trace
 
     # ------------------------------------------------------------------

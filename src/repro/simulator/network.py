@@ -438,6 +438,67 @@ class NetworkModel:
                     usage[link.key] += new - old
         return scaled
 
+    def verify_accounting(self, tolerance: float = 1e-6) -> List[Dict]:
+        """Audit the residual accounting against a from-scratch recompute.
+
+        Rebuilds per-link loads, nonzero-rate counts, and membership sets
+        by walking every active flow's path, then diffs them against the
+        incrementally-maintained :class:`LinkAccounting`. Loads are float
+        accumulators, so they are compared with ``tolerance`` scaled by
+        capacity; memberships and counts are exact. Returns one problem
+        record per drifted link (empty = clean); the ``repro.check``
+        sanitizer turns these into violations.
+        """
+        expected_loads: Dict[Tuple[str, str], float] = {}
+        expected_nonzero: Dict[Tuple[str, str], int] = {}
+        expected_flows: Dict[Tuple[str, str], set] = {}
+        for flow_id in self._order:
+            rate = self._active[flow_id].rate
+            for link in self._paths[flow_id]:
+                key = link.key
+                expected_loads[key] = expected_loads.get(key, 0.0) + rate
+                expected_flows.setdefault(key, set()).add(flow_id)
+                if rate > 0.0:
+                    expected_nonzero[key] = expected_nonzero.get(key, 0) + 1
+        problems: List[Dict] = []
+        for key in sorted(self.accounting.loads):
+            capacity = self.accounting.capacities[key]
+            allowance = tolerance * max(1.0, capacity)
+            have_load = self.accounting.loads[key]
+            want_load = expected_loads.get(key, 0.0)
+            if abs(have_load - want_load) > allowance:
+                problems.append(
+                    {
+                        "link": key,
+                        "kind": "load",
+                        "accounted": have_load,
+                        "recomputed": want_load,
+                    }
+                )
+            have_members = self.accounting.flows_on[key]
+            want_members = expected_flows.get(key, set())
+            if have_members != want_members:
+                problems.append(
+                    {
+                        "link": key,
+                        "kind": "membership",
+                        "accounted": sorted(have_members),
+                        "recomputed": sorted(want_members),
+                    }
+                )
+            have_count = self.accounting.nonzero[key]
+            want_count = expected_nonzero.get(key, 0)
+            if have_count != want_count:
+                problems.append(
+                    {
+                        "link": key,
+                        "kind": "nonzero_count",
+                        "accounted": have_count,
+                        "recomputed": want_count,
+                    }
+                )
+        return problems
+
     def link_capacities(self) -> Dict[Tuple[str, str], float]:
         """Capacity per link key, for every link any flow has crossed.
 

@@ -49,6 +49,10 @@ class QueueEnforcedScheduler(Scheduler):
     """Enforce an inner scheduler's allocation via per-host WFQ queues."""
 
     name = "queue-enforced"
+    #: Enforcement re-derives rates by weighted max-min over the full
+    #: link capacities, so the result is work-conserving even when the
+    #: inner ideal allocation is not (queues cannot hold capacity idle).
+    work_conserving = True
 
     def __init__(self, inner: Scheduler, num_queues: int = 8) -> None:
         if num_queues < 1:

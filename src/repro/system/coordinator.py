@@ -85,6 +85,11 @@ class CoordinatedScheduler(Scheduler):
     def __init__(self, coordinator: Coordinator) -> None:
         self.coordinator = coordinator
 
+    @property
+    def work_conserving(self) -> bool:
+        """Inherited from the coordinator's scheduling heuristic."""
+        return getattr(self.coordinator.algorithm, "work_conserving", False)
+
     def allocate(self, view: SchedulerView) -> Dict[int, float]:
         merged = dict(view.echelonflows)
         merged.update(self.coordinator.echelonflows)

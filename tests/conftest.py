@@ -1,0 +1,8 @@
+"""Suite-wide pytest wiring.
+
+Loads the repro.check pytest plugin so the whole suite can run under the
+runtime sanitizer: ``pytest --repro-check=strict`` (or ``REPRO_CHECK=strict``)
+sanitizes every Engine any test constructs, with zero test edits.
+"""
+
+pytest_plugins = ("repro.check.pytest_plugin",)

@@ -1,0 +1,193 @@
+"""Randomized property tests for the incremental link accounting.
+
+The :class:`~repro.simulator.allocation.LinkAccounting` residuals are the
+incremental core's load-bearing state: every feasibility gate and lenient
+scaling decision reads them instead of re-aggregating active flows. These
+tests drive a :class:`~repro.simulator.network.NetworkModel` through long
+random inject / set_rates / advance sequences and, after every single
+operation, audit the residuals against a from-scratch recompute via
+``verify_accounting`` -- the same audit the runtime sanitizer samples.
+"""
+
+import random
+
+import pytest
+
+from repro.check import infeasible_links, unserved_flows
+from repro.core.flow import Flow
+from repro.simulator.allocation import FlowDemand, max_min_fair
+from repro.simulator.network import NetworkModel
+from repro.topology import ShortestPathRouter, big_switch, leaf_spine
+
+
+def _network(topology, incremental):
+    return NetworkModel(
+        topology, ShortestPathRouter(topology), strict=False, incremental=incremental
+    )
+
+
+def _random_walk(network, rng, hosts, steps):
+    """Random flow lifecycle churn; audits accounting after every step."""
+    now = 0.0
+    next_tag = 0
+    for _ in range(steps):
+        op = rng.random()
+        if op < 0.35 or network.active_count == 0:
+            src, dst = rng.sample(hosts, 2)
+            network.inject(
+                Flow(src=src, dst=dst, size=0.2 + rng.random() * 3.0,
+                     tag=f"p{next_tag}"),
+                now,
+            )
+            next_tag += 1
+        elif op < 0.75:
+            rates = {}
+            for state in network.active_states():
+                roll = rng.random()
+                if roll < 0.2:
+                    continue  # unlisted flows idle at rate 0
+                rates[state.flow.flow_id] = (
+                    0.0 if roll < 0.4 else rng.random() * 2.5
+                )
+            network.set_rates(rates)
+        else:
+            dt = rng.random() * 0.4
+            network.advance(dt, now)
+            now += dt
+        problems = network.verify_accounting()
+        assert problems == [], problems
+        # The applied (possibly capacity-scaled) rates are always feasible.
+        applied = {s.flow.flow_id: s.rate for s in network.iter_active()}
+        assert infeasible_links(network.demands(), applied) == []
+    return now
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+@pytest.mark.parametrize("incremental", [True, False])
+def test_accounting_matches_recompute_big_switch(seed, incremental):
+    topology = big_switch(6, host_bandwidth=2.0)
+    network = _network(topology, incremental)
+    rng = random.Random(seed)
+    _random_walk(network, rng, [f"h{i}" for i in range(6)], steps=150)
+
+
+@pytest.mark.parametrize("seed", [11, 12])
+def test_accounting_matches_recompute_leaf_spine(seed):
+    topology = leaf_spine(
+        n_leaves=2, hosts_per_leaf=3, host_bandwidth=2.0, oversubscription=2.0
+    )
+    network = _network(topology, incremental=True)
+    rng = random.Random(seed)
+    _random_walk(network, rng, [f"h{i}" for i in range(6)], steps=120)
+
+
+def test_drain_to_completion_keeps_accounting_clean():
+    topology = big_switch(4, host_bandwidth=2.0)
+    network = _network(topology, incremental=True)
+    rng = random.Random(99)
+    hosts = [f"h{i}" for i in range(4)]
+    now = _random_walk(network, rng, hosts, steps=60)
+    # Saturate every flow and drain the network dry; each retirement must
+    # unwind its link registrations exactly.
+    while network.active_count:
+        network.set_rates(
+            {s.flow.flow_id: 2.0 for s in network.active_states()}
+        )
+        dt = max(network.earliest_finish_interval(), 1e-3)
+        network.advance(dt, now)
+        now += dt
+        assert network.verify_accounting() == []
+    assert network.verify_accounting() == []
+
+
+def test_verify_accounting_detects_tampering():
+    topology = big_switch(3, host_bandwidth=2.0)
+    network = _network(topology, incremental=True)
+    network.inject(Flow(src="h0", dst="h1", size=5.0), 0.0)
+    state = network.active_states()[0]
+    network.set_rates({state.flow.flow_id: 1.0})
+    assert network.verify_accounting() == []
+    # Corrupt each facet of the residual state; the audit must name it.
+    key = next(iter(network.accounting.loads))
+    network.accounting.loads[key] += 0.5
+    kinds = {p["kind"] for p in network.verify_accounting()}
+    assert "load" in kinds
+    network.accounting.loads[key] -= 0.5
+    network.accounting.nonzero[key] += 1
+    kinds = {p["kind"] for p in network.verify_accounting()}
+    assert kinds == {"nonzero_count"}
+    network.accounting.nonzero[key] -= 1
+    network.accounting.flows_on[key].add(10**9)
+    kinds = {p["kind"] for p in network.verify_accounting()}
+    assert kinds == {"membership"}
+
+
+# ---------------------------------------------------------------------------
+# the pure helpers shared with the sanitizer
+# ---------------------------------------------------------------------------
+
+
+def _demands(network):
+    return network.demands()
+
+
+def test_max_min_fair_is_work_conserving_on_random_instances():
+    # Whatever the random demand set, the fair allocation never leaves a
+    # flow with headroom on every link of its path -- the exact property
+    # the sanitizer asserts for schedulers declaring work_conserving.
+    for seed in range(6):
+        rng = random.Random(seed)
+        topology = big_switch(5, host_bandwidth=1.0 + rng.random() * 3.0)
+        network = _network(topology, incremental=True)
+        hosts = [f"h{i}" for i in range(5)]
+        for _ in range(rng.randrange(1, 12)):
+            src, dst = rng.sample(hosts, 2)
+            network.inject(Flow(src=src, dst=dst, size=1.0), 0.0)
+        demands = _demands(network)
+        rates = max_min_fair(demands)
+        assert infeasible_links(demands, rates) == []
+        remaining = {d.flow_id: 1.0 for d in demands}
+        thresholds = {d.flow_id: 0.0 for d in demands}
+        assert unserved_flows(demands, rates, remaining, thresholds) == []
+
+
+def test_unserved_flows_flags_idle_capacity():
+    topology = big_switch(3, host_bandwidth=2.0)
+    network = _network(topology, incremental=True)
+    network.inject(Flow(src="h0", dst="h1", size=5.0), 0.0)
+    demands = _demands(network)
+    flow_id = demands[0].flow_id
+    starved = unserved_flows(
+        demands, {flow_id: 0.5}, {flow_id: 5.0}, {flow_id: 0.0}
+    )
+    assert [p["flow"] for p in starved] == [flow_id]
+    assert starved[0]["headroom"] == pytest.approx(1.5)
+    # A finished flow (remaining below threshold) is never flagged.
+    assert (
+        unserved_flows(demands, {flow_id: 0.5}, {flow_id: 0.0}, {flow_id: 0.1})
+        == []
+    )
+    # Nor is a flow pinned at its demand cap.
+    capped = [
+        FlowDemand(flow_id=d.flow_id, path=d.path, cap=0.5) for d in demands
+    ]
+    assert (
+        unserved_flows(capped, {flow_id: 0.5}, {flow_id: 5.0}, {flow_id: 0.0})
+        == []
+    )
+
+
+def test_infeasible_links_reports_the_overload():
+    topology = big_switch(3, host_bandwidth=1.0)
+    network = _network(topology, incremental=True)
+    network.inject(Flow(src="h0", dst="h2", size=5.0), 0.0)
+    network.inject(Flow(src="h1", dst="h2", size=5.0), 0.0)
+    demands = _demands(network)
+    rates = {d.flow_id: 0.8 for d in demands}  # 1.6 into h2's 1.0 ingress
+    problems = infeasible_links(demands, rates)
+    assert problems
+    worst = max(problems, key=lambda p: p["excess"])
+    assert worst["load"] == pytest.approx(1.6)
+    assert worst["capacity"] == pytest.approx(1.0)
+    assert sorted(worst["flows"]) == sorted(d.flow_id for d in demands)
+    assert infeasible_links(demands, {d.flow_id: 0.5 for d in demands}) == []

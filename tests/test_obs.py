@@ -417,3 +417,88 @@ class TestJsonl:
         path.write_text('{"ev": "ok", "t": 0}\nnot-json\n')
         with pytest.raises(ValueError):
             read_jsonl(str(path))
+
+
+# ----------------------------------------------------------------------
+# histogram percentile edge cases
+# ----------------------------------------------------------------------
+
+
+class TestHistogramEdges:
+    def test_empty_histogram(self):
+        from repro.obs.registry import Histogram
+
+        hist = Histogram()
+        assert hist.summary() == {"count": 0, "sum": 0.0}
+        assert hist.mean == 0.0
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert hist.quantile(q) == 0.0
+
+    def test_single_sample(self):
+        from repro.obs.registry import Histogram
+
+        hist = Histogram(buckets=(1.0, 10.0))
+        hist.observe(3.5)
+        summary = hist.summary()
+        assert summary["count"] == 1
+        assert summary["min"] == summary["max"] == 3.5
+        # One sample pins every percentile: interpolation is clamped to
+        # the observed min/max, never the bucket bounds.
+        assert summary["p50"] == pytest.approx(3.5)
+        assert summary["p95"] == pytest.approx(3.5)
+        assert summary["p99"] == pytest.approx(3.5)
+        assert hist.quantile(0.0) == 3.5
+        assert hist.quantile(1.0) == 3.5
+
+    def test_all_equal_samples(self):
+        from repro.obs.registry import Histogram
+
+        hist = Histogram(buckets=(0.1, 1.0, 10.0))
+        for _ in range(100):
+            hist.observe(0.5)
+        summary = hist.summary()
+        assert summary["count"] == 100
+        assert summary["sum"] == pytest.approx(50.0)
+        assert summary["p50"] == pytest.approx(0.5)
+        assert summary["p95"] == pytest.approx(0.5)
+        assert summary["p99"] == pytest.approx(0.5)
+        assert summary["mean"] == pytest.approx(0.5)
+
+    def test_quantile_bounds_are_validated(self):
+        from repro.obs.registry import Histogram
+
+        hist = Histogram()
+        hist.observe(1.0)
+        with pytest.raises(ValueError):
+            hist.quantile(-0.1)
+        with pytest.raises(ValueError):
+            hist.quantile(1.1)
+
+    def test_buckets_must_increase(self):
+        from repro.obs.registry import Histogram
+
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0, 1.0, 2.0))
+
+
+class TestZeroFlowReport:
+    def test_report_on_run_without_flows(self):
+        # A run that never moves a byte (no jobs at all) still yields a
+        # well-formed, JSON-clean report with graceful empty sections.
+        obs = Instrumentation()
+        engine = Engine(
+            two_hosts(1.0), make_scheduler("echelon"), instrumentation=obs
+        )
+        trace = engine.run()
+        report = build_metrics_report(
+            trace,
+            instrumentation=obs,
+            scheduler_invocations=engine.scheduler_invocations,
+        )
+        report = json.loads(json.dumps(report))
+        assert report["flows"] == {"delivered": 0}
+        assert report["echelonflows"] == {}
+        assert report["run"]["compute_spans"] == 0
+        assert "scheduler" not in report or report["scheduler"].get(
+            "invocations", 0
+        ) == engine.scheduler_invocations
