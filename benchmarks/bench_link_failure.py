@@ -1,0 +1,303 @@
+#!/usr/bin/env python
+"""E25 -- link failure and degradation: chaos-layer pass-through.
+
+A mid-run capacity fault is the harshest version of the Fig. 6b
+recalibration story: the arrangement keeps claiming nominal bandwidth
+while a link on the pipeline's backbone drops to ``factor`` x capacity.
+We sweep failure time x degradation factor on the PP workload and
+compare schedulers on completion and on how much of the bandwidth loss
+each passes through to the job (completion ratio vs. the ``1/factor``
+worst case where the whole run is bottlenecked on the degraded link).
+
+Runs both ways:
+
+* under pytest-benchmark (the ``test_*`` functions; writes
+  ``benchmarks/results/E25_link_failure.txt``), and
+* standalone::
+
+      PYTHONPATH=src python benchmarks/bench_link_failure.py          # sweep
+      PYTHONPATH=src python benchmarks/bench_link_failure.py --smoke  # CI guard
+
+``--smoke`` replays two sweep cells and checks the *simulated*
+degraded/nominal completion ratios -- fully deterministic, no wall-clock
+-- against the checked-in baseline
+(``benchmarks/results/bench_link_failure_baseline.json``), plus the
+schedule-quality invariants (echelon <= fair, pass-through <= 1/factor).
+Exit code 1 on regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro.analysis import comp_finish_time, format_table
+from repro.core.units import gbps, megabytes
+from repro.scheduling import (
+    CoflowMaddScheduler,
+    EchelonMaddScheduler,
+    FairSharingScheduler,
+)
+from repro.simulator import Engine
+from repro.topology import linear_chain
+from repro.workloads import build_pp_gpipe, uniform_model
+
+RESULTS_DIR = ROOT / "benchmarks" / "results"
+BASELINE_PATH = RESULTS_DIR / "bench_link_failure_baseline.json"
+
+MODEL = uniform_model(
+    "u8",
+    8,
+    param_bytes_per_layer=megabytes(40),
+    activation_bytes=megabytes(20),
+    forward_time=0.004,
+)
+HOSTS = ["h0", "h1", "h2", "h3"]
+BANDWIDTH = gbps(3)  # the contended regime where scheduling matters
+#: The degraded link: the pipeline's middle segment, crossed by both
+#: activations and gradients.
+FAULT_LINK = "h1-h2"
+FAILURE_TIMES = (0.05, 0.2, 0.4)
+FACTORS = (0.75, 0.5, 0.25)
+#: Pass-through guard: completion ratio must stay under the bottleneck
+#: worst case 1/factor (plus float slack).
+PASS_THROUGH_SLACK = 0.05
+#: --smoke: allowed relative drift of a degraded/nominal completion
+#: ratio from the checked-in baseline. Simulated ratios are
+#: deterministic, so drift means the chaos layer or a scheduler changed
+#: behaviour; the tolerance leaves room for intentional algorithm tuning
+#: without letting pass-through regressions slip by.
+SMOKE_TOLERANCE = 0.10
+
+_SCHEDULERS = {
+    "fair": FairSharingScheduler,
+    "coflow": CoflowMaddScheduler,
+    "echelon": EchelonMaddScheduler,
+}
+
+
+def _run(scheduler_name: str, at_time=None, factor: float = 1.0) -> float:
+    """Completion time of the PP job, optionally under a degradation."""
+    faults = None
+    if at_time is not None and factor < 1.0:
+        faults = f"degrade:{FAULT_LINK}@{at_time},factor={factor}"
+    engine = Engine(
+        linear_chain(4, BANDWIDTH),
+        _SCHEDULERS[scheduler_name](),
+        # Bare hot path: no sanitizer rides along, REPRO_CHECK or not.
+        sanitizer=False,
+        faults=faults,
+    )
+    build_pp_gpipe("pp", MODEL, HOSTS, num_micro_batches=8).submit_to(engine)
+    return comp_finish_time(engine.run())
+
+
+def sweep_rows():
+    rows = []
+    nominal = {name: _run(name) for name in _SCHEDULERS}
+    for at_time in FAILURE_TIMES:
+        for factor in FACTORS:
+            measured = {
+                name: _run(name, at_time, factor) for name in _SCHEDULERS
+            }
+            rows.append(
+                [
+                    at_time,
+                    factor,
+                    measured["fair"],
+                    measured["coflow"],
+                    measured["echelon"],
+                    round(measured["echelon"] / nominal["echelon"], 3),
+                ]
+            )
+    return nominal, rows
+
+
+def check_rows(nominal, rows) -> list:
+    """The schedule-quality invariants every sweep cell must satisfy."""
+    problems = []
+    for at_time, factor, fair, coflow, echelon, _ratio in rows:
+        cell = f"t={at_time} factor={factor}"
+        if echelon > fair + 1e-9 or echelon > coflow + 1e-9:
+            problems.append(
+                f"{cell}: echelon ({echelon:.4f}) lost to fair/coflow "
+                f"({fair:.4f}/{coflow:.4f})"
+            )
+        for name, value in (("fair", fair), ("coflow", coflow),
+                            ("echelon", echelon)):
+            bound = 1.0 / factor + PASS_THROUGH_SLACK
+            if value / nominal[name] > bound:
+                problems.append(
+                    f"{cell}: {name} pass-through "
+                    f"{value / nominal[name]:.3f} exceeds 1/factor bound "
+                    f"{bound:.3f}"
+                )
+            if value + 1e-9 < nominal[name]:
+                problems.append(
+                    f"{cell}: {name} finished faster degraded "
+                    f"({value:.4f}) than nominal ({nominal[name]:.4f})"
+                )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+
+
+def test_link_failure_echelon(benchmark):
+    assert benchmark(_run, "echelon", 0.05, 0.5) > 0
+
+
+def test_link_failure_sweep(benchmark, report):
+    def run_sweep():
+        return sweep_rows()
+
+    nominal, rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    report(
+        "E25_link_failure",
+        format_table(
+            ["failure time", "factor", "fair", "coflow", "echelon",
+             "echelon slowdown"],
+            rows,
+            title=(
+                f"PP with {FAULT_LINK} degraded mid-run "
+                f"(nominal: fair {nominal['fair']:.4f}, coflow "
+                f"{nominal['coflow']:.4f}, echelon {nominal['echelon']:.4f})"
+            ),
+        ),
+    )
+    problems = check_rows(nominal, rows)
+    assert not problems, "\n".join(problems)
+
+
+# ----------------------------------------------------------------------
+# standalone main (--smoke is the CI guard)
+# ----------------------------------------------------------------------
+
+SMOKE_CELLS = ((0.05, 0.5), (0.05, 0.25))
+SMOKE_SCHEDULERS = ("fair", "echelon")
+
+
+def _smoke_ratios() -> dict:
+    ratios = {}
+    for name in SMOKE_SCHEDULERS:
+        nominal = _run(name)
+        for at_time, factor in SMOKE_CELLS:
+            degraded = _run(name, at_time, factor)
+            ratios[f"{name}@t{at_time}xf{factor}"] = round(
+                degraded / nominal, 6
+            )
+    return ratios
+
+
+def smoke() -> int:
+    try:
+        baseline = json.loads(BASELINE_PATH.read_text())
+    except FileNotFoundError:
+        print(
+            f"[bench_link_failure] missing baseline {BASELINE_PATH}",
+            file=sys.stderr,
+        )
+        return 1
+    nominal, rows = sweep_rows()
+    problems = check_rows(nominal, rows)
+    ratios = _smoke_ratios()
+    for key, ratio in sorted(ratios.items()):
+        want = baseline["ratios"].get(key)
+        if want is None:
+            problems.append(f"baseline lacks ratio {key!r}")
+            continue
+        drift = abs(ratio - want) / want
+        marker = "ok" if drift <= SMOKE_TOLERANCE else "REGRESSION"
+        print(
+            f"[bench_link_failure] {key}: ratio {ratio:.4f} "
+            f"baseline {want:.4f} drift {drift:.1%} {marker}"
+        )
+        if drift > SMOKE_TOLERANCE:
+            problems.append(
+                f"{key}: pass-through ratio {ratio:.4f} drifted "
+                f"{drift:.1%} from baseline {want:.4f} "
+                f"(allowed {SMOKE_TOLERANCE:.0%})"
+            )
+    if problems:
+        print(
+            "[bench_link_failure] smoke FAILED:\n  " + "\n  ".join(problems),
+            file=sys.stderr,
+        )
+        return 1
+    print("[bench_link_failure] smoke passed")
+    return 0
+
+
+def regen_baseline(path: Path) -> int:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(
+            {
+                "benchmark": "bench_link_failure",
+                "scenario": {
+                    "topology": "linear_chain(4)",
+                    "bandwidth": BANDWIDTH,
+                    "fault_link": FAULT_LINK,
+                    "cells": [list(c) for c in SMOKE_CELLS],
+                },
+                "ratios": _smoke_ratios(),
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(f"[bench_link_failure] baseline written to {path}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="deterministic regression guard against the checked-in baseline",
+    )
+    parser.add_argument(
+        "--regen-baseline",
+        action="store_true",
+        help=f"rewrite {BASELINE_PATH.name} from the current code",
+    )
+    args = parser.parse_args(argv)
+    if args.regen_baseline:
+        return regen_baseline(BASELINE_PATH)
+    if args.smoke:
+        return smoke()
+    nominal, rows = sweep_rows()
+    print(
+        format_table(
+            ["failure time", "factor", "fair", "coflow", "echelon",
+             "echelon slowdown"],
+            rows,
+            title=(
+                f"PP with {FAULT_LINK} degraded mid-run "
+                f"(nominal: fair {nominal['fair']:.4f}, coflow "
+                f"{nominal['coflow']:.4f}, echelon {nominal['echelon']:.4f})"
+            ),
+        )
+    )
+    problems = check_rows(nominal, rows)
+    if problems:
+        print(
+            "[bench_link_failure] invariants FAILED:\n  "
+            + "\n  ".join(problems),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,6 +29,8 @@ The packages:
 * :mod:`repro.simulator` -- discrete-event compute + fluid network engine.
 * :mod:`repro.workloads` -- the Table-1 training paradigms as DAG builders.
 * :mod:`repro.scheduling` -- fair sharing, SJF, Varys, and adapted MADD.
+* :mod:`repro.faults` -- chaos injection: link faults, rerouting,
+  graceful scheduler degradation.
 * :mod:`repro.profiling` -- arrangement-distance profiling and noise.
 * :mod:`repro.system` -- the Fig. 7 agent/coordinator/backend sketch.
 * :mod:`repro.analysis` -- metrics, timelines, and table formatting.
@@ -62,6 +64,12 @@ from .scheduling import (
     ShortestFlowFirstScheduler,
     make_scheduler,
     scheduler_names,
+)
+from .faults import (
+    FaultInjector,
+    FaultSchedule,
+    ResilientScheduler,
+    parse_fault_spec,
 )
 from .simulator import Engine, TaskDag
 from .system import Coordinator, EchelonFlowAgent, run_cluster
@@ -117,6 +125,11 @@ __all__ = [
     "EchelonMaddScheduler",
     "make_scheduler",
     "scheduler_names",
+    # faults
+    "FaultInjector",
+    "FaultSchedule",
+    "ResilientScheduler",
+    "parse_fault_spec",
     # workloads
     "BuiltJob",
     "build_dp_allreduce",

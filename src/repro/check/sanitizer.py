@@ -242,9 +242,73 @@ class Sanitizer:
             self.twin is not None
             and self.config.wants("twin")
             and self._rng.random() < self.config.twin_sample
+            and not self._fallback_invocation()
         ):
             self._count("twin")
             self._violate_all(self.twin.compare(self.engine, view, rates))
+
+    def _fallback_invocation(self) -> bool:
+        """Did a ResilientScheduler degrade the invocation just checked?
+
+        A contained crash (or organic inner-scheduler exception) is by
+        definition not deterministically replayable -- the shadow clone
+        would run the inner scheduler where the primary fell back to fair
+        sharing -- so the twin oracle sits those invocations out.
+        """
+        layer = self.engine.scheduler
+        seen = set()
+        while layer is not None and id(layer) not in seen:
+            if getattr(layer, "last_allocation_was_fallback", False):
+                return True
+            seen.add(id(layer))
+            layer = getattr(layer, "inner", None)
+        return False
+
+    def on_fault(self, engine, now: float) -> None:
+        """Audit the incremental state right after a fault mutated it.
+
+        Capacity mutation and flow migration rewrite the residual
+        accounting and rescale in-flight rates outside the normal
+        ``set_rates`` path; this re-runs the accounting audit and the
+        from-scratch capacity recompute at the mutation boundary, before
+        the fault-caused reschedule gets a chance to paper over drift.
+        """
+        network = engine.network
+        if self._count("accounting"):
+            for problem in network.verify_accounting(
+                self.config.accounting_tolerance
+            ):
+                self._violate(
+                    Violation(
+                        invariant="accounting",
+                        time=now,
+                        message=(
+                            f"residual accounting drifted on link "
+                            f"{problem['link']} after a fault: {problem['kind']}"
+                        ),
+                        details=problem,
+                    )
+                )
+        if self._count("capacity"):
+            applied = {
+                state.flow.flow_id: state.rate
+                for state in network.iter_active()
+            }
+            for problem in infeasible_links(
+                network.demands(), applied, self.config.capacity_tolerance
+            ):
+                self._violate(
+                    Violation(
+                        invariant="capacity",
+                        time=now,
+                        message=(
+                            f"link {problem['link']} oversubscribed after a "
+                            f"fault: load {problem['load']:.9g} > capacity "
+                            f"{problem['capacity']:.9g}"
+                        ),
+                        details=problem,
+                    )
+                )
 
     def on_rates_applied(self, view) -> None:
         """Audit the network's post-apply state (the rates flows drain at)."""

@@ -76,17 +76,24 @@ class TwinOracle:
     def _reconstruct(self, network: NetworkModel, now: float) -> NetworkModel:
         """Build a reference-mode network holding the primary's flows.
 
-        Paths are re-derived through the shared router (its per-pair cache
-        makes them identical objects); ``remaining`` and the cached ideal
-        finish time are copied from the primary's synced states, so the
-        twin sees the same bytes without replaying the drain history.
+        Each flow is re-injected with the primary's *pinned* path (not a
+        freshly-routed one): under fault injection, routes may have been
+        recomputed around blocked links since the flow was admitted, and a
+        flow migrated by :meth:`NetworkModel.reroute_flows` must be
+        replayed on the path it actually occupies. ``remaining`` and the
+        cached ideal finish time are copied from the primary's synced
+        states, so the twin sees the same bytes without replaying the
+        drain history.
         """
         network.sync_active()
         reference = NetworkModel(
             network.topology, network.router, strict=False, incremental=False
         )
         for state in network.active_states():
-            twin_state = reference.inject(state.flow, state.start_time)
+            flow_id = state.flow.flow_id
+            twin_state = reference.inject(
+                state.flow, state.start_time, path=network.path(flow_id)
+            )
             twin_state.remaining = state.remaining
             twin_state.ideal_finish_time = state.ideal_finish_time
         reference.sync_active(now)

@@ -89,6 +89,31 @@ def _add_obs_flags(parser) -> None:
     )
 
 
+def _add_faults_flag(parser) -> None:
+    parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help="inject runtime faults (see docs/robustness.md), e.g. "
+        "'link_down:h0-h1@2.0+1.0; degrade:h0-h1@4.0,factor=0.5'; the "
+        "scheduler is wrapped in ResilientScheduler so crash_scheduler "
+        "clauses degrade gracefully instead of aborting",
+    )
+
+
+def _wrap_resilient(args, scheduler):
+    """Wrap ``scheduler`` for graceful degradation when --faults was given.
+
+    Unconditional under --faults (not just for crash specs): a fault
+    schedule is exactly the situation where one bad allocation should
+    degrade to fair sharing rather than kill the run.
+    """
+    if not getattr(args, "faults", None):
+        return scheduler
+    from .faults import ResilientScheduler
+
+    return ResilientScheduler(scheduler)
+
+
 def _add_check_flag(parser) -> None:
     parser.add_argument(
         "--check",
@@ -255,12 +280,18 @@ def cmd_fig2(args) -> int:
             "fig2", "h0", "h1", [0.0, 1.0, 2.0], [2.0] * 3, [2.0] * 3
         )
         observed = obs if name == args.obs_scheduler else None
+        base = _wrap_resilient(args, make_scheduler(name))
         scheduler, profiler = (
-            _wrap_profiled(args, make_scheduler(name), observed)
+            _wrap_profiled(args, base, observed)
             if observed is not None
-            else (make_scheduler(name), None)
+            else (base, None)
         )
-        engine = Engine(two_hosts(1.0), scheduler, instrumentation=observed)
+        engine = Engine(
+            two_hosts(1.0),
+            scheduler,
+            instrumentation=observed,
+            faults=args.faults,
+        )
         job.submit_to(engine)
         trace = engine.run()
         rows.append([name, comp_finish_time(trace)])
@@ -378,8 +409,10 @@ def cmd_run(args) -> int:
     all_hosts = [f"h{i}" for i in range(n_hosts)]
     job = _build_job(args, all_hosts if args.paradigm == "dp-ps" else workers)
     obs = _obs_for(args)
-    scheduler, profiler = _wrap_profiled(args, make_scheduler(args.scheduler), obs)
-    engine = Engine(topology, scheduler, instrumentation=obs)
+    scheduler, profiler = _wrap_profiled(
+        args, _wrap_resilient(args, make_scheduler(args.scheduler)), obs
+    )
+    engine = Engine(topology, scheduler, instrumentation=obs, faults=args.faults)
     job.submit_to(engine)
     trace = engine.run()
 
@@ -441,8 +474,10 @@ def cmd_cluster(args) -> int:
     ]
     topology = big_switch(args.hosts, gbps(args.bandwidth_gbps))
     obs = _obs_for(args)
-    scheduler, profiler = _wrap_profiled(args, make_scheduler(args.scheduler), obs)
-    engine = Engine(topology, scheduler, instrumentation=obs)
+    scheduler, profiler = _wrap_profiled(
+        args, _wrap_resilient(args, make_scheduler(args.scheduler)), obs
+    )
+    engine = Engine(topology, scheduler, instrumentation=obs, faults=args.faults)
     manager = ClusterManager(engine, ClusterPlacer(topology))
     manager.schedule(poisson_arrivals(templates, args.rate, args.jobs, seed=args.seed))
     trace = engine.run()
@@ -544,12 +579,13 @@ def cmd_run_spec(args) -> int:
             args.spec,
             instrumentation=obs,
             profile=bool(args.metrics_out),
+            faults=args.faults,
             detail=True,
         )
         if args.metrics_out:
             profiler = engine.scheduler
     else:
-        results = run_spec_file(args.spec)
+        results = run_spec_file(args.spec, faults=args.faults)
     rows = [
         [name, info["paradigm"], info["completion_time"], info["flows"]]
         for name, info in results["jobs"].items()
@@ -692,6 +728,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_flags(fig2)
     _add_check_flag(fig2)
+    _add_faults_flag(fig2)
 
     table1 = sub.add_parser(
         "table1", help="reproduce the Table 1 compliance matrix"
@@ -761,6 +798,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_flags(run)
     _add_check_flag(run)
+    _add_faults_flag(run)
 
     matrix = sub.add_parser(
         "matrix", help="run the standard workload battery across schedulers"
@@ -796,6 +834,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_spec.add_argument("--json", action="store_true", help="also dump raw JSON")
     _add_obs_flags(run_spec)
     _add_check_flag(run_spec)
+    _add_faults_flag(run_spec)
 
     cluster = sub.add_parser("cluster", help="dynamic multi-tenant cluster")
     cluster.add_argument("--scheduler", default="echelon")
@@ -810,6 +849,7 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--seed", type=int, default=0)
     _add_obs_flags(cluster)
     _add_check_flag(cluster)
+    _add_faults_flag(cluster)
     return parser
 
 

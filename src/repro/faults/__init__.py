@@ -1,0 +1,40 @@
+"""Chaos injection: runtime link faults, rerouting, graceful degradation.
+
+The paper's recalibration story (Fig. 6b, Section 5) is about what happens
+when reality deviates from the nominal arrangement. This package makes
+deviation happen *mid-run*, deterministically:
+
+* :class:`FaultSchedule` / :func:`parse_fault_spec` -- declarative timed
+  faults (``link_down`` / ``degrade`` / ``flap`` / ``crash_scheduler``)
+  parsed from spec strings or JSON.
+* :class:`FaultInjector` -- replays a schedule against one engine via
+  ``FAULT`` events: capacity mutation through the incremental core,
+  route blocking + in-flight flow migration, crash poison pills.
+* :class:`ResilientScheduler` -- wraps any scheduler so a crash or an
+  infeasible allocation degrades one invocation to fair sharing instead
+  of aborting the run.
+
+Engines take the whole subsystem as ``Engine(..., faults="spec")``; the
+CLI exposes it as ``--faults`` on fig2/run/run-spec/cluster. See
+``docs/robustness.md``.
+"""
+
+from .injector import FaultInjector, find_resilient
+from .resilient import ResilientScheduler, SchedulerCrash
+from .schedule import (
+    FaultEvent,
+    FaultSchedule,
+    FaultSpecError,
+    parse_fault_spec,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultSpecError",
+    "ResilientScheduler",
+    "SchedulerCrash",
+    "find_resilient",
+    "parse_fault_spec",
+]

@@ -1,0 +1,105 @@
+"""Graceful scheduler degradation: contain crashes, fall back to fair.
+
+:class:`ResilientScheduler` wraps any scheduler and guarantees the run
+keeps making progress: an exception from the inner ``allocate``, an
+allocation the network would reject as infeasible, or an injected
+``crash_scheduler`` poison pill all degrade that single invocation to the
+fallback policy (weighted fair sharing by default -- the allocation a
+switch fabric converges to with no coordinator at all). Each degradation
+is recorded on the wrapper and logged as a ``scheduler_fallback`` obs
+event; the inner scheduler is retried fresh on the next invocation.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List, Optional
+
+from ..scheduling.base import Scheduler, SchedulerView
+from ..scheduling.fairshare import FairSharingScheduler
+
+
+class SchedulerCrash(RuntimeError):
+    """The poison pill raised by an injected ``crash_scheduler`` fault."""
+
+
+class ResilientScheduler(Scheduler):
+    """Wraps a scheduler with containment and fair-sharing fallback.
+
+    ``fallback_records`` keeps one dict per degraded invocation
+    (``{"time", "kind", "scheduler", "error"}`` with ``kind`` one of
+    ``crash`` / ``exception`` / ``infeasible``);
+    ``last_allocation_was_fallback`` flags the most recent invocation so
+    the differential twin oracle knows not to replay a contained crash.
+    """
+
+    def __init__(
+        self, inner: Scheduler, fallback: Optional[Scheduler] = None
+    ) -> None:
+        self.inner = inner
+        self.fallback = fallback if fallback is not None else FairSharingScheduler()
+        self.name = f"resilient({inner.name})"
+        self.fallback_invocations = 0
+        self.fallback_records: List[Dict] = []
+        self.last_allocation_was_fallback = False
+        self._engine = None
+        self._pending_crashes: List[str] = []
+
+    @property
+    def work_conserving(self) -> bool:
+        # The promise must hold on every invocation, whichever policy
+        # produced it.
+        return self.inner.work_conserving and self.fallback.work_conserving
+
+    def on_attached(self, engine) -> None:
+        self._engine = engine
+
+    def arm_crash(self, reason: str = "injected crash") -> None:
+        """Poison the next invocation (the ``crash_scheduler`` fault)."""
+        self._pending_crashes.append(reason)
+
+    def allocate(self, view: SchedulerView) -> Dict[int, float]:
+        self.last_allocation_was_fallback = False
+        if self._pending_crashes:
+            reason = self._pending_crashes.pop(0)
+            return self._degrade(view, SchedulerCrash(reason), "crash")
+        try:
+            rates = self.inner.allocate(view)
+        except Exception as exc:  # noqa: BLE001 - containment is the point
+            return self._degrade(view, exc, "exception")
+        if not view.network.validate_rates(rates):
+            return self._degrade(view, None, "infeasible")
+        return rates
+
+    def _degrade(
+        self, view: SchedulerView, exc: Optional[BaseException], kind: str
+    ) -> Dict[int, float]:
+        self.last_allocation_was_fallback = True
+        self.fallback_invocations += 1
+        record = {
+            "time": view.now,
+            "kind": kind,
+            "scheduler": self.inner.name,
+            "error": repr(exc) if exc is not None else None,
+        }
+        self.fallback_records.append(record)
+        engine = self._engine
+        if engine is not None and engine.obs is not None:
+            notify = getattr(engine.obs, "on_scheduler_fallback", None)
+            if notify is not None:
+                notify(record, view.now)
+        return self.fallback.allocate(view)
+
+    def __deepcopy__(self, memo):
+        # The twin oracle deepcopies engine.scheduler to shadow-replay an
+        # invocation; copying the engine handle would drag the entire
+        # engine (network, trace, event queue) along. The clone keeps the
+        # scheduling state and drops the logging handle.
+        clone = type(self)(
+            copy.deepcopy(self.inner, memo),
+            copy.deepcopy(self.fallback, memo),
+        )
+        clone._pending_crashes = list(self._pending_crashes)
+        clone.last_allocation_was_fallback = self.last_allocation_was_fallback
+        memo[id(self)] = clone
+        return clone

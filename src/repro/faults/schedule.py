@@ -1,0 +1,345 @@
+"""Declarative fault schedules: what breaks, when, and for how long.
+
+A :class:`FaultSchedule` is an immutable, time-sorted list of primitive
+:class:`FaultEvent` actions. Schedules are built from a compact spec string::
+
+    link_down:h1-h2@2.5+1.0; degrade:h2-h3@4.0,factor=0.5;
+    flap:h0-h1@1.0,period=0.2,count=6; crash_scheduler@3.0
+
+or from JSON (see :meth:`FaultSchedule.from_json`). Grammar per clause::
+
+    action[:linkspec]@time[+duration][,key=value...]
+
+* ``linkspec`` -- ``a-b`` hits both directions of a duplex link pair,
+  ``a->b`` only the directed link.
+* ``link_down`` -- capacity drops to 0 at ``time``; with ``+duration`` the
+  link restores afterwards, without it the outage is permanent.
+* ``degrade`` -- capacity drops to ``factor`` x nominal (0 < factor < 1);
+  optional ``+duration`` restores it.
+* ``flap`` -- ``count`` down/restore cycles of length ``period`` starting
+  at ``time`` (down for the first half of each cycle).
+* ``crash_scheduler`` -- poison the next scheduler invocation after
+  ``time`` (requires a :class:`~repro.faults.ResilientScheduler`).
+
+Compound clauses (``flap``, ``+duration``) expand at parse time into
+primitive ``link_down`` / ``degrade`` / ``link_restore`` events, so the
+injector replays a flat, deterministic timeline. Overlapping clauses on
+one link resolve by time order: the latest action wins, and every restore
+returns the link to its *nominal* (construction-time) capacity.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+_LINK_ACTIONS = ("link_down", "link_restore", "degrade")
+_ACTIONS = _LINK_ACTIONS + ("crash_scheduler",)
+
+
+class FaultSpecError(ValueError):
+    """A fault spec string or JSON document failed to parse."""
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One primitive timed fault action.
+
+    ``links`` holds directed ``(src, dst)`` keys (a duplex ``a-b`` spec
+    expands to both directions); ``factor`` is set for ``degrade`` only.
+    """
+
+    time: float
+    action: str
+    links: Tuple[Tuple[str, str], ...] = ()
+    factor: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise FaultSpecError(f"fault time must be >= 0, got {self.time}")
+        if self.action not in _ACTIONS:
+            raise FaultSpecError(
+                f"unknown fault action {self.action!r}; expected one of {_ACTIONS}"
+            )
+        if self.action in _LINK_ACTIONS and not self.links:
+            raise FaultSpecError(f"{self.action} fault needs at least one link")
+        if self.action == "crash_scheduler" and self.links:
+            raise FaultSpecError("crash_scheduler takes no link spec")
+        if self.action == "degrade":
+            if self.factor is None or not (0.0 < self.factor < 1.0):
+                raise FaultSpecError(
+                    f"degrade needs 0 < factor < 1, got {self.factor}"
+                )
+        elif self.factor is not None:
+            raise FaultSpecError(f"{self.action} does not take a factor")
+
+    def describe(self) -> str:
+        links = ",".join(f"{s}->{d}" for s, d in self.links)
+        extra = f" factor={self.factor}" if self.factor is not None else ""
+        return f"{self.action}@{self.time:g} {links}{extra}".rstrip()
+
+
+def _parse_linkspec(text: str) -> Tuple[Tuple[str, str], ...]:
+    text = text.strip()
+    if "->" in text:
+        src, _, dst = text.partition("->")
+        src, dst = src.strip(), dst.strip()
+        if not src or not dst:
+            raise FaultSpecError(f"bad directed link spec {text!r}")
+        return ((src, dst),)
+    if "-" in text:
+        a, _, b = text.partition("-")
+        a, b = a.strip(), b.strip()
+        if not a or not b:
+            raise FaultSpecError(f"bad link spec {text!r}")
+        return ((a, b), (b, a))
+    raise FaultSpecError(
+        f"bad link spec {text!r}: expected 'a-b' (duplex) or 'a->b' (directed)"
+    )
+
+
+def _parse_float(value: str, what: str) -> float:
+    try:
+        return float(value)
+    except ValueError:
+        raise FaultSpecError(f"bad {what} {value!r}") from None
+
+
+def _expand_clause(
+    action: str,
+    links: Tuple[Tuple[str, str], ...],
+    time: float,
+    duration: Optional[float],
+    params: Dict[str, str],
+) -> List[FaultEvent]:
+    def reject_unknown(allowed: Sequence[str]) -> None:
+        unknown = sorted(set(params) - set(allowed))
+        if unknown:
+            raise FaultSpecError(
+                f"unknown parameter(s) {unknown} for {action!r}"
+            )
+
+    if action == "crash_scheduler":
+        reject_unknown(())
+        if links:
+            raise FaultSpecError("crash_scheduler takes no link spec")
+        if duration is not None:
+            raise FaultSpecError("crash_scheduler takes no duration")
+        return [FaultEvent(time=time, action="crash_scheduler")]
+
+    if action == "link_down":
+        reject_unknown(())
+        events = [FaultEvent(time=time, action="link_down", links=links)]
+        if duration is not None:
+            if duration <= 0:
+                raise FaultSpecError(f"duration must be > 0, got {duration}")
+            events.append(
+                FaultEvent(time=time + duration, action="link_restore", links=links)
+            )
+        return events
+
+    if action == "degrade":
+        reject_unknown(("factor",))
+        if "factor" not in params:
+            raise FaultSpecError("degrade requires factor=<0..1>")
+        factor = _parse_float(params["factor"], "factor")
+        events = [
+            FaultEvent(time=time, action="degrade", links=links, factor=factor)
+        ]
+        if duration is not None:
+            if duration <= 0:
+                raise FaultSpecError(f"duration must be > 0, got {duration}")
+            events.append(
+                FaultEvent(time=time + duration, action="link_restore", links=links)
+            )
+        return events
+
+    if action == "flap":
+        reject_unknown(("period", "count"))
+        if duration is not None:
+            raise FaultSpecError("flap uses period/count, not a duration")
+        if "period" not in params or "count" not in params:
+            raise FaultSpecError("flap requires period=<s> and count=<n>")
+        period = _parse_float(params["period"], "period")
+        if period <= 0:
+            raise FaultSpecError(f"flap period must be > 0, got {period}")
+        try:
+            count = int(params["count"])
+        except ValueError:
+            raise FaultSpecError(f"bad count {params['count']!r}") from None
+        if count < 1:
+            raise FaultSpecError(f"flap count must be >= 1, got {count}")
+        events: List[FaultEvent] = []
+        for i in range(count):
+            start = time + i * period
+            events.append(FaultEvent(time=start, action="link_down", links=links))
+            events.append(
+                FaultEvent(
+                    time=start + period / 2.0, action="link_restore", links=links
+                )
+            )
+        return events
+
+    raise FaultSpecError(
+        f"unknown fault action {action!r}; expected link_down, degrade, "
+        f"flap, or crash_scheduler"
+    )
+
+
+def _parse_clause(clause: str) -> List[FaultEvent]:
+    if "@" not in clause:
+        raise FaultSpecError(f"fault clause {clause!r} is missing '@time'")
+    before, after = clause.split("@", 1)
+    before = before.strip()
+    if ":" in before:
+        action, _, linkpart = before.partition(":")
+        action = action.strip()
+        links = _parse_linkspec(linkpart)
+    else:
+        action, links = before, ()
+    parts = [p.strip() for p in after.split(",")]
+    timepart, params_parts = parts[0], parts[1:]
+    params: Dict[str, str] = {}
+    for part in params_parts:
+        if "=" not in part:
+            raise FaultSpecError(f"bad parameter {part!r} in clause {clause!r}")
+        key, _, value = part.partition("=")
+        params[key.strip()] = value.strip()
+    if "+" in timepart:
+        time_text, _, duration_text = timepart.partition("+")
+        time = _parse_float(time_text, "time")
+        duration: Optional[float] = _parse_float(duration_text, "duration")
+    else:
+        time = _parse_float(timepart, "time")
+        duration = None
+    return _expand_clause(action, links, time, duration, params)
+
+
+def parse_fault_spec(spec: str) -> "FaultSchedule":
+    """Parse a ``;``-separated fault spec string into a schedule."""
+    events: List[FaultEvent] = []
+    for clause in spec.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        events.extend(_parse_clause(clause))
+    if not events:
+        raise FaultSpecError(f"fault spec {spec!r} contains no clauses")
+    return FaultSchedule(events)
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable, time-ordered sequence of primitive fault events.
+
+    One schedule can arm any number of engines (each via its own
+    :class:`~repro.faults.FaultInjector`); it carries no runtime state.
+    """
+
+    events: Tuple[FaultEvent, ...] = ()
+
+    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
+        ordered = tuple(
+            sorted(events, key=lambda e: (e.time, _ACTIONS.index(e.action)))
+        )
+        object.__setattr__(self, "events", ordered)
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultSchedule":
+        return parse_fault_spec(spec)
+
+    @classmethod
+    def from_json(cls, document) -> "FaultSchedule":
+        """Build a schedule from JSON (a string, list, or ``{"faults": [...]}``).
+
+        Each entry is either a primitive event (``{"time", "action",
+        "links": [["a","b"], ...], "factor"}``) or a clause mirroring the
+        string grammar (``{"action", "link": "a-b", "time", "duration",
+        "factor", "period", "count"}``) which expands exactly like its
+        spec-string counterpart.
+        """
+        if isinstance(document, str):
+            document = json.loads(document)
+        if isinstance(document, dict):
+            document = document.get("faults", [])
+        if not isinstance(document, list):
+            raise FaultSpecError(
+                f"fault JSON must be a list or {{'faults': [...]}}, "
+                f"got {type(document).__name__}"
+            )
+        events: List[FaultEvent] = []
+        for entry in document:
+            if not isinstance(entry, dict):
+                raise FaultSpecError(f"bad fault entry {entry!r}")
+            if "links" in entry:
+                events.append(
+                    FaultEvent(
+                        time=float(entry["time"]),
+                        action=str(entry["action"]),
+                        links=tuple(
+                            (str(s), str(d)) for s, d in entry["links"]
+                        ),
+                        factor=(
+                            float(entry["factor"])
+                            if entry.get("factor") is not None
+                            else None
+                        ),
+                    )
+                )
+                continue
+            action = str(entry.get("action", ""))
+            links = _parse_linkspec(entry["link"]) if "link" in entry else ()
+            params = {
+                key: str(entry[key])
+                for key in ("factor", "period", "count")
+                if entry.get(key) is not None
+            }
+            duration = (
+                float(entry["duration"])
+                if entry.get("duration") is not None
+                else None
+            )
+            events.extend(
+                _expand_clause(
+                    action, links, float(entry["time"]), duration, params
+                )
+            )
+        if not events:
+            raise FaultSpecError("fault JSON contains no events")
+        return cls(events)
+
+    def to_json(self) -> str:
+        """Serialize as a flat list of primitive events (round-trippable)."""
+        return json.dumps(
+            [
+                {
+                    "time": event.time,
+                    "action": event.action,
+                    "links": [list(key) for key in event.links],
+                    **(
+                        {"factor": event.factor}
+                        if event.factor is not None
+                        else {}
+                    ),
+                }
+                for event in self.events
+            ]
+        )
+
+    def link_keys(self) -> List[Tuple[str, str]]:
+        """Every directed link key any event touches, sorted."""
+        return sorted({key for event in self.events for key in event.links})
+
+    @property
+    def has_crashes(self) -> bool:
+        return any(e.action == "crash_scheduler" for e in self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)

@@ -54,6 +54,14 @@ def diagnose(artifacts: RunArtifacts, top: int = 20) -> Dict:
         if attr.tardiness is not None
     ]
     flows.sort(key=lambda attr: (-attr.tardiness, attr.flow_id))
+    robustness = {
+        "faults": list(artifacts.faults),
+        "scheduler_fallbacks": list(artifacts.scheduler_fallbacks),
+        "reroutes": {
+            str(fid): count
+            for fid, count in sorted(artifacts.reroutes.items())
+        },
+    }
     return {
         "version": DIAGNOSIS_VERSION,
         "run": {
@@ -70,6 +78,7 @@ def diagnose(artifacts: RunArtifacts, top: int = 20) -> Dict:
             "coverage": attribution["coverage"],
         },
         "blame": blame_matrix(attribution["flows"]),
+        "robustness": robustness,
     }
 
 

@@ -105,6 +105,12 @@ class RunArtifacts:
     )
     job_arrivals: Dict[str, float] = field(default_factory=dict)
     job_completions: Dict[str, float] = field(default_factory=dict)
+    #: Injected fault records, in firing order (chaos layer).
+    faults: List[Dict] = field(default_factory=list)
+    #: Scheduler fallback records (graceful degradation events).
+    scheduler_fallbacks: List[Dict] = field(default_factory=list)
+    #: flow id -> number of mid-run path migrations.
+    reroutes: Dict[int, int] = field(default_factory=dict)
     end_time: float = 0.0
     source: str = "events"
     meta: Dict = field(default_factory=dict)
@@ -234,6 +240,20 @@ class RunArtifacts:
                 artifacts.job_arrivals[event.get("job")] = t
             elif kind == "job_completed":
                 artifacts.job_completions[event.get("job")] = t
+            elif kind == "fault":
+                artifacts.faults.append(
+                    {k: v for k, v in event.items() if k != "ev"}
+                )
+            elif kind == "scheduler_fallback":
+                artifacts.scheduler_fallbacks.append(
+                    {k: v for k, v in event.items() if k != "ev"}
+                )
+            elif kind == "flow_rerouted":
+                flow_id = event.get("flow_id")
+                if flow_id is not None:
+                    artifacts.reroutes[flow_id] = (
+                        artifacts.reroutes.get(flow_id, 0) + 1
+                    )
         artifacts.end_time = end
         return artifacts
 
@@ -292,6 +312,19 @@ class RunArtifacts:
             )
             artifacts.job_completions = dict(
                 getattr(instrumentation, "job_completions", {}) or {}
+            )
+            artifacts.faults = [
+                dict(r)
+                for r in getattr(instrumentation, "fault_events", ()) or ()
+            ]
+            artifacts.scheduler_fallbacks = [
+                dict(r)
+                for r in getattr(
+                    instrumentation, "scheduler_fallbacks", ()
+                ) or ()
+            ]
+            artifacts.reroutes = dict(
+                getattr(instrumentation, "reroutes", {}) or {}
             )
         artifacts.end_time = trace.end_time
         if recorder is not None and recorder.evicted_flows:

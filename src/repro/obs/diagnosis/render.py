@@ -115,6 +115,47 @@ def render_diagnosis(report: Dict, top: int = 10) -> str:
             )
         )
 
+    robustness = report.get("robustness", {})
+    fault_rows = [
+        [
+            fault.get("time", fault.get("t")),
+            fault.get("action"),
+            " ".join(
+                f"{src}->{dst}" for src, dst in fault.get("links", ())
+            ) or "-",
+            _fmt_components(fault.get("capacities") or {}),
+            len(fault.get("migrated", ())) or "-",
+            len(fault.get("stranded", ())) or "-",
+        ]
+        for fault in robustness.get("faults", [])[:top]
+    ]
+    if fault_rows:
+        sections.append(
+            format_table(
+                ["time", "action", "links", "new capacity", "migrated",
+                 "stranded"],
+                fault_rows,
+                title="injected faults (chaos layer)",
+            )
+        )
+    fallback_rows = [
+        [
+            record.get("time", record.get("t")),
+            record.get("kind"),
+            record.get("scheduler", "-"),
+            record.get("error", "-"),
+        ]
+        for record in robustness.get("scheduler_fallbacks", [])[:top]
+    ]
+    if fallback_rows:
+        sections.append(
+            format_table(
+                ["time", "kind", "scheduler", "error"],
+                fallback_rows,
+                title="scheduler fallbacks (graceful degradation)",
+            )
+        )
+
     coverage = attribution.get("coverage")
     if coverage:
         sections.append(

@@ -248,6 +248,13 @@ class Instrumentation:
         #: flow id -> ((link key, capacity), ...) pinned at admission;
         #: kept only until the flow_injected event consumes it.
         self._pending_paths: Dict[int, Tuple[Tuple[str, float], ...]] = {}
+        #: Applied fault records, in firing order (mirrors obs "fault"
+        #: events; feeds the diagnosis layer's fault section).
+        self.fault_events: List[Dict] = []
+        #: ResilientScheduler degradation records, in occurrence order.
+        self.scheduler_fallbacks: List[Dict] = []
+        #: flow id -> number of fault-driven path migrations.
+        self.reroutes: Dict[int, int] = {}
         self.rounds = 0
 
     # -- engine-facing hooks -------------------------------------------
@@ -383,6 +390,24 @@ class Instrumentation:
                 flow_ids=[flow.flow_id for flow in task.flows],
             )
 
+    def on_fault(self, record: Dict, now: float) -> None:
+        """A :class:`repro.faults.FaultInjector` event fired."""
+        self.registry.counter(
+            "faults_injected_total", action=record.get("action", "unknown")
+        ).inc()
+        self.fault_events.append(dict(record))
+        if self.event_log is not None:
+            self.event_log.append("fault", now, **record)
+
+    def on_scheduler_fallback(self, record: Dict, now: float) -> None:
+        """A ResilientScheduler degraded one invocation to its fallback."""
+        self.registry.counter(
+            "scheduler_fallbacks_total", kind=record.get("kind", "unknown")
+        ).inc()
+        self.scheduler_fallbacks.append(dict(record))
+        if self.event_log is not None:
+            self.event_log.append("scheduler_fallback", now, **record)
+
     # -- network-facing hooks (NetworkModel.observer) -------------------
 
     def on_flow_admitted(self, flow, path, now: float) -> None:
@@ -404,6 +429,37 @@ class Instrumentation:
         if recorder is not None:
             for flow_id, _state, rate in changed:
                 recorder.on_rate_change(flow_id, now, rate)
+
+    def on_flow_rerouted(self, flow_id: int, old_path, new_path, now: float) -> None:
+        """A fault migrated an in-flight flow onto a new path."""
+        self.registry.counter("flows_rerouted_total").inc()
+        self.reroutes[flow_id] = self.reroutes.get(flow_id, 0) + 1
+        key_path = tuple(
+            (LinkTimeline.link_key(link.src, link.dst), link.capacity)
+            for link in new_path
+        )
+        if self.rate_recorder is not None:
+            # The migrated flow restarts at rate 0 on the new path; close
+            # its open span so no old-path rate bleeds past the fault.
+            self.rate_recorder.on_rate_change(flow_id, now, 0.0)
+            if flow_id in self.rate_recorder.paths:
+                self.rate_recorder.paths[flow_id] = key_path
+        elif self.event_log is not None and flow_id in self._pending_paths:
+            self._pending_paths[flow_id] = key_path
+        if self.event_log is not None:
+            self.event_log.append(
+                "flow_rerouted",
+                now,
+                flow_id=flow_id,
+                old_path=[
+                    LinkTimeline.link_key(link.src, link.dst)
+                    for link in old_path
+                ],
+                new_path=[
+                    LinkTimeline.link_key(link.src, link.dst)
+                    for link in new_path
+                ],
+            )
 
     def on_network_advance(self, now: float, dt: float, usage: Mapping) -> None:
         """``usage`` maps :class:`~repro.topology.graph.Link` -> rate."""

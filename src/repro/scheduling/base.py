@@ -37,9 +37,9 @@ class SchedulerView:
     network: NetworkModel
     #: EchelonFlows registered with the coordinator, by group id.
     echelonflows: Mapping[str, EchelonFlow] = field(default_factory=dict)
-    #: Why the coordinator is being re-invoked right now: "arrival",
-    #: "departure", "compute", "tick", "timer", or ``None`` when the
-    #: caller did not attribute the invocation (direct scheduler calls).
+    #: Why the coordinator is being re-invoked right now: "fault",
+    #: "arrival", "departure", "compute", "tick", "timer", or ``None``
+    #: when the caller did not attribute the invocation (direct calls).
     #: Profiling middleware and the Fig. 7 coordinator use this to count
     #: invocations per rerun policy; algorithms are free to ignore it.
     trigger_cause: Optional[str] = None

@@ -51,7 +51,11 @@ class MemoizingScheduler(Scheduler):
     def _fingerprint(self, view: SchedulerView) -> Tuple[Tuple, List[int]]:
         states = view.active_states()  # sorted by flow id = injection order
         group_tokens: Dict[Optional[str], int] = {}
-        entries = []
+        # Runtime capacity mutations (fault injection) change the
+        # optimization problem without changing any per-flow field; the
+        # network's capacity epoch keys them into the fingerprint so a
+        # pre-fault decision is never replayed post-fault.
+        entries = [("epoch", view.network.capacity_epoch)]
         flow_ids = []
         for state in states:
             flow = state.flow

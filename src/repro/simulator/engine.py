@@ -36,10 +36,10 @@ from .trace import ComputeSpan, FlowRecord, SimulationTrace, TaskEvent
 TIME_EPS = 1e-9
 
 #: When several state changes coalesce into one scheduling round, the
-#: invocation is attributed to the highest-precedence cause: a flow
-#: arrival outranks a departure, which outranks a bare compute
-#: completion, the interval tick, and generic timers.
-_CAUSE_PRECEDENCE = ("arrival", "departure", "compute", "tick", "timer")
+#: invocation is attributed to the highest-precedence cause: a network
+#: fault outranks a flow arrival, which outranks a departure, a bare
+#: compute completion, the interval tick, and generic timers.
+_CAUSE_PRECEDENCE = ("fault", "arrival", "departure", "compute", "tick", "timer")
 _CAUSE_RANK = {cause: rank for rank, cause in enumerate(_CAUSE_PRECEDENCE)}
 
 
@@ -61,6 +61,7 @@ class Engine:
         instrumentation=None,
         incremental: bool = True,
         sanitizer=None,
+        faults=None,
     ) -> None:
         """``device_slots`` sets per-device MIG slot counts: an int applies
         to every device, a mapping overrides per device name.
@@ -95,6 +96,15 @@ class Engine:
         no per-engine wiring; pass ``False`` to force checking off
         regardless of the process default. Uses the same zero-overhead
         hook pattern as ``instrumentation``.
+
+        ``faults``: an optional chaos schedule -- a
+        :class:`repro.faults.FaultSchedule`, a spec string (see
+        :func:`repro.faults.parse_fault_spec`), or a prepared
+        :class:`repro.faults.FaultInjector`. The injector arms
+        ``EventKind.FAULT`` events that mutate link capacities, block
+        routes, reroute in-flight flows, and (for ``crash_scheduler``)
+        poison the next scheduler invocation; each fault triggers a
+        reschedule attributed to the ``fault`` cause.
         """
         self.topology = topology
         self.scheduler = scheduler
@@ -151,6 +161,32 @@ class Engine:
         self.check = sanitizer
         if self.check is not None:
             self.check.attach(self)
+        # Give wrapper schedulers (ResilientScheduler) an engine handle
+        # for obs logging and fallback bookkeeping; walk the wrapper
+        # chain so profiling/memoizing layers stay transparent.
+        layer = scheduler
+        seen = set()
+        while layer is not None and id(layer) not in seen:
+            seen.add(id(layer))
+            hook = getattr(layer, "on_attached", None)
+            if hook is not None:
+                hook(self)
+            layer = getattr(layer, "inner", None)
+        if faults is not None and faults is not False:
+            # Deferred import: repro.faults sits on top of the simulator.
+            from ..faults import FaultInjector, FaultSchedule
+
+            if isinstance(faults, str):
+                faults = FaultInjector(FaultSchedule.parse(faults))
+            elif isinstance(faults, (list, dict)):
+                faults = FaultInjector(FaultSchedule.from_json(faults))
+            elif isinstance(faults, FaultSchedule):
+                faults = FaultInjector(faults)
+            faults.attach(self)
+        else:
+            faults = None
+        #: Optional repro.faults FaultInjector bound to this run.
+        self.faults = faults
         if scheduling_interval is not None and scheduling_interval <= 0:
             raise ValueError(
                 f"scheduling_interval must be positive, got {scheduling_interval}"
@@ -202,6 +238,12 @@ class Engine:
     def schedule_callback(self, time: float, callback: Callable[[], None]) -> None:
         """Run an arbitrary callback at a future time (fault/traffic injection)."""
         self.events.push(time, EventKind.TIMER, callback=lambda _event: callback())
+
+    def schedule_fault(self, time: float, callback: Callable[[], None]) -> None:
+        """Arm a fault callback: fires as a ``FAULT`` event (before arrivals
+        and timers at the same instant) and attributes the resulting
+        reschedule to the ``fault`` cause."""
+        self.events.push(time, EventKind.FAULT, callback=lambda _event: callback())
 
     def inject_background_flow(self, flow: Flow, at_time: float) -> None:
         """Inject a standalone flow (background traffic) at a future time."""
@@ -493,7 +535,11 @@ class Engine:
                     self._request_reschedule("arrival")
                 elif event.kind is EventKind.COMPUTE_DONE:
                     self._on_compute_done(event.payload)
-                elif event.kind in (EventKind.TIMER, EventKind.FAULT):
+                elif event.kind is EventKind.FAULT:
+                    if event.callback is not None:
+                        event.callback(event)
+                    self._request_reschedule("fault")
+                elif event.kind is EventKind.TIMER:
                     if event.callback is not None:
                         event.callback(event)
                     self._request_reschedule("timer")
@@ -522,6 +568,18 @@ class Engine:
 
     @property
     def completed_jobs(self) -> List[str]:
+        """Completed *workload* jobs, in completion order.
+
+        Synthetic filler jobs (ids starting with ``_``, e.g. the
+        ``_pause/...`` device-blockers from ``workloads.faults``) are
+        excluded so fault experiments report clean JCT numbers; see
+        :attr:`all_completed_jobs` for the unfiltered list.
+        """
+        return [j for j in self._completed_jobs if not j.startswith("_")]
+
+    @property
+    def all_completed_jobs(self) -> List[str]:
+        """Every completed job, including synthetic ``_``-prefixed fillers."""
         return list(self._completed_jobs)
 
     def job_completion_time(self, job_id: str) -> float:

@@ -94,6 +94,10 @@ class NetworkModel:
         #: (now, dt, {Link: aggregate rate}) on every nonzero advance.
         #: ``None`` keeps the fluid loop free of accounting overhead.
         self.observer = None
+        #: Bumped on every runtime capacity mutation; consumers that cache
+        #: anything derived from capacities (e.g. MemoizingScheduler
+        #: fingerprints) fold this in to invalidate across faults.
+        self.capacity_epoch = 0
 
         # -- incremental state ------------------------------------------
         #: The model's own clock: the latest time seen by inject/advance.
@@ -122,12 +126,20 @@ class NetworkModel:
     # flow lifecycle
     # ------------------------------------------------------------------
 
-    def inject(self, flow: Flow, now: float) -> FlowState:
-        """Admit a flow at time ``now``; its path is pinned immediately."""
+    def inject(
+        self, flow: Flow, now: float, path: Optional[Tuple[Link, ...]] = None
+    ) -> FlowState:
+        """Admit a flow at time ``now``; its path is pinned immediately.
+
+        ``path`` overrides route computation -- the differential twin oracle
+        uses it to replay a run with the primary's pinned (possibly
+        fault-rerouted) paths rather than re-deriving routes.
+        """
         flow_id = flow.flow_id
         if flow_id in self._active or flow_id in self._completed:
             raise ValueError(f"flow {flow_id} already injected")
-        path = self.router.path(flow.src, flow.dst, flow_id)
+        if path is None:
+            path = self.router.path(flow.src, flow.dst, flow_id)
         state = FlowState(flow=flow, start_time=now, remaining=flow.size)
         self._active[flow_id] = state
         self._paths[flow_id] = path
@@ -402,6 +414,25 @@ class NetworkModel:
                 deltas[key] = deltas.get(key, 0.0) + delta
         return self.accounting.feasible_with_deltas(deltas, tolerance=1e-6)
 
+    def validate_rates(self, rates: Mapping[int, float]) -> bool:
+        """Would :meth:`set_rates` accept this allocation? No mutation.
+
+        Used by :class:`repro.faults.ResilientScheduler` to pre-screen an
+        inner scheduler's allocation before the engine commits it. Same
+        delta-based cost profile as the ``set_rates`` gate.
+        """
+        changed: List[Tuple[int, FlowState, float]] = []
+        for flow_id, state in self._active.items():
+            rate = rates.get(flow_id, 0.0)
+            if rate < 0:
+                return False
+            if rate != state.rate:
+                changed.append((flow_id, state, rate))
+        if self.incremental:
+            return self._feasible_changed(changed)
+        clean = {fid: rates.get(fid, 0.0) for fid in self._active}
+        return feasible(self.demands(), clean, tolerance=1e-6)
+
     def _scale_to_capacity(self, rates: Dict[int, float]) -> Dict[int, float]:
         """Scale rates down uniformly per saturated link until feasible.
 
@@ -437,6 +468,99 @@ class NetworkModel:
                 for link in self._paths[flow_id]:
                     usage[link.key] += new - old
         return scaled
+
+    # ------------------------------------------------------------------
+    # runtime faults: capacity mutation and rerouting
+    # ------------------------------------------------------------------
+
+    def set_link_capacity(self, key: Tuple[str, str], capacity: float) -> float:
+        """Mutate one link's capacity mid-run (fault injection / repair).
+
+        Returns the previous capacity. Cost is O(flows crossing the link):
+        the topology link object is mutated in place (every dynamic
+        ``link.capacity`` read tracks it), the residual accounting's cached
+        capacity is refreshed, and -- on a shrink below the link's current
+        load -- the in-flight flows crossing it are scaled down
+        proportionally (to zero when the link is downed) so the standing
+        allocation stays feasible. That invariant is what lets the
+        ``set_rates`` delta-feasibility gate keep trusting untouched links.
+        The caller (fault injector / engine) is responsible for triggering
+        a reschedule so the scheduler can react.
+        """
+        src, dst = key
+        link = self.topology.link(src, dst)
+        previous = link.capacity
+        self.topology.set_link_capacity(src, dst, capacity)
+        self.capacity_epoch += 1
+        if key in self.accounting.capacities:
+            self.accounting.capacities[key] = capacity
+        load = self.accounting.loads.get(key, 0.0)
+        if load > capacity * (1.0 + 1e-9) + 1e-12:
+            ratio = 0.0 if capacity <= 0.0 else capacity / load
+            changed: List[Tuple[int, FlowState, float]] = []
+            for flow_id in sorted(self.accounting.flows_on.get(key, ())):
+                state = self._active[flow_id]
+                if state.rate <= 0.0:
+                    continue
+                self._sync_flow(flow_id, self._now)
+                old = state.rate
+                new = old * ratio
+                state.rate = new
+                self.accounting.apply(self._paths[flow_id], old, new)
+                self._push_finish(flow_id, state)
+                changed.append((flow_id, state, new))
+            if self.observer is not None and changed:
+                self.observer.on_rates_applied(self._now, changed)
+        return previous
+
+    def reroute_flows(self, keys) -> Tuple[List[int], List[int]]:
+        """Migrate active flows crossing any link in ``keys`` to new paths.
+
+        The router (whose blocked-link set the fault injector maintains)
+        recomputes each affected flow's path; remaining bytes are preserved
+        and the flow restarts at rate 0 on the new path, to be re-allocated
+        by the fault-caused reschedule. Flows with no alternative route are
+        left stranded on their old path (stalled until a restore). Returns
+        ``(migrated, stranded)`` flow-id lists.
+        """
+        keyset = {tuple(k) for k in keys}
+        affected = sorted(
+            {
+                fid
+                for key in keyset
+                for fid in self.accounting.flows_on.get(key, ())
+            }
+        )
+        migrated: List[int] = []
+        stranded: List[int] = []
+        from ..topology.routing import RoutingError
+
+        for flow_id in affected:
+            state = self._active[flow_id]
+            flow = state.flow
+            old_path = self._paths[flow_id]
+            try:
+                new_path = self.router.path(flow.src, flow.dst, flow_id)
+            except RoutingError:
+                stranded.append(flow_id)
+                continue
+            if new_path == old_path:
+                stranded.append(flow_id)
+                continue
+            self._sync_flow(flow_id, self._now)
+            old_rate = state.rate
+            self.accounting.unwatch(flow_id, old_path, old_rate)
+            state.rate = 0.0
+            self._paths[flow_id] = new_path
+            self._demands[flow_id] = FlowDemand(flow_id=flow_id, path=new_path)
+            self.accounting.watch(flow_id, new_path)
+            self._push_finish(flow_id, state)
+            migrated.append(flow_id)
+            if self.observer is not None:
+                notify = getattr(self.observer, "on_flow_rerouted", None)
+                if notify is not None:
+                    notify(flow_id, old_path, new_path, self._now)
+        return migrated, stranded
 
     def verify_accounting(self, tolerance: float = 1e-6) -> List[Dict]:
         """Audit the residual accounting against a from-scratch recompute.

@@ -12,9 +12,15 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 
-@dataclass(frozen=True)
+@dataclass(eq=False)
 class Link:
-    """A directed link with a fixed capacity in bytes per second."""
+    """A directed link with a capacity in bytes per second.
+
+    Links hash by identity (``eq=False``): every link is owned by exactly one
+    :class:`Topology` and shared by reference, so identity semantics survive
+    runtime capacity mutation (fault injection) without invalidating any dict
+    keyed by the link object.
+    """
 
     src: str
     dst: str
@@ -28,6 +34,7 @@ class Link:
             )
         if self.src == self.dst:
             raise ValueError(f"self-loop link at {self.src!r}")
+        self.nominal_capacity = self.capacity
 
     @property
     def key(self) -> Tuple[str, str]:
@@ -75,6 +82,20 @@ class Topology:
     def add_duplex_link(self, a: str, b: str, capacity: float) -> Tuple[Link, Link]:
         """Add a pair of directed links (full duplex)."""
         return self.add_link(a, b, capacity), self.add_link(b, a, capacity)
+
+    def set_link_capacity(self, src: str, dst: str, capacity: float) -> Link:
+        """Mutate a link's capacity in place (fault injection / repair).
+
+        Unlike construction, a runtime capacity of 0 is legal: it models a
+        downed link. Negative capacities are rejected. Returns the link.
+        """
+        if capacity < 0:
+            raise ValueError(
+                f"link {src}->{dst} capacity must be >= 0, got {capacity}"
+            )
+        link = self.link(src, dst)
+        link.capacity = capacity
+        return link
 
     # ------------------------------------------------------------------
     # queries

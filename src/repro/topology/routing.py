@@ -14,7 +14,7 @@ Both return paths as tuples of :class:`~repro.topology.graph.Link`.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from .graph import Link, Topology
 
@@ -24,15 +24,21 @@ class RoutingError(Exception):
 
 
 def _all_shortest_paths(
-    topo: Topology, src: str, dst: str, limit: int = 16
+    topo: Topology,
+    src: str,
+    dst: str,
+    limit: int = 16,
+    blocked: Optional[FrozenSet[Tuple[str, str]]] = None,
 ) -> List[Tuple[str, ...]]:
     """Enumerate up to ``limit`` shortest hop-count node paths src -> dst.
 
     A small custom BFS/Dijkstra keeps the dependency surface minimal and the
-    tie-breaking deterministic (lexicographic by node path).
+    tie-breaking deterministic (lexicographic by node path). Links whose
+    ``(src, dst)`` key is in ``blocked`` are treated as absent (downed).
     """
     if src == dst:
         return [(src,)]
+    blocked = blocked or frozenset()
     # BFS level computation.
     dist: Dict[str, int] = {src: 0}
     frontier = [src]
@@ -40,6 +46,8 @@ def _all_shortest_paths(
         next_frontier: List[str] = []
         for node in frontier:
             for link in topo.out_links(node):
+                if link.key in blocked:
+                    continue
                 if link.dst not in dist:
                     dist[link.dst] = dist[node] + 1
                     next_frontier.append(link.dst)
@@ -60,6 +68,8 @@ def _all_shortest_paths(
         if len(path) - 1 >= target_len:
             return
         for link in sorted(topo.out_links(node), key=lambda l: l.dst):
+            if link.key in blocked:
+                continue
             nxt = link.dst
             if dist.get(nxt, -1) == len(path):
                 path.append(nxt)
@@ -70,29 +80,90 @@ def _all_shortest_paths(
     return paths
 
 
+def _shortest_paths_or_degraded(
+    topo: Topology,
+    src: str,
+    dst: str,
+    limit: int,
+    blocked: FrozenSet[Tuple[str, str]],
+) -> List[Tuple[str, ...]]:
+    """Prefer paths that avoid blocked links; fall back to ignoring them.
+
+    When an outage disconnects a host pair entirely (single-path fabrics,
+    or every equal-cost path down), flows admitted during the outage still
+    need a pinned route: they take the downed path and stall at zero
+    capacity until the link restores -- the same stranded semantics
+    in-flight flows get -- rather than failing admission.
+    """
+    if blocked:
+        try:
+            return _all_shortest_paths(topo, src, dst, limit, blocked)
+        except RoutingError:
+            pass
+    return _all_shortest_paths(topo, src, dst, limit)
+
+
 def _links_of(topo: Topology, node_path: Sequence[str]) -> Tuple[Link, ...]:
     return tuple(
         topo.link(node_path[i], node_path[i + 1]) for i in range(len(node_path) - 1)
     )
 
 
-class ShortestPathRouter:
+class _BlockingMixin:
+    """Shared blocked-link bookkeeping for the routers.
+
+    Blocking a link excludes it from every subsequently computed path (downed
+    links during fault injection); already-admitted flows keep their pinned
+    paths until explicitly migrated. Both operations clear the route cache.
+    """
+
+    _blocked: Set[Tuple[str, str]]
+
+    def block_links(self, keys) -> None:
+        changed = False
+        for key in keys:
+            key = tuple(key)
+            if key not in self._blocked:
+                self._blocked.add(key)
+                changed = True
+        if changed:
+            self._cache.clear()
+
+    def unblock_links(self, keys) -> None:
+        changed = False
+        for key in keys:
+            key = tuple(key)
+            if key in self._blocked:
+                self._blocked.discard(key)
+                changed = True
+        if changed:
+            self._cache.clear()
+
+    @property
+    def blocked_links(self) -> FrozenSet[Tuple[str, str]]:
+        return frozenset(self._blocked)
+
+
+class ShortestPathRouter(_BlockingMixin):
     """Deterministic single shortest path per host pair, cached."""
 
     def __init__(self, topology: Topology) -> None:
         self.topology = topology
         self._cache: Dict[Tuple[str, str], Tuple[Link, ...]] = {}
+        self._blocked: Set[Tuple[str, str]] = set()
 
     def path(self, src: str, dst: str, flow_id: Optional[int] = None) -> Tuple[Link, ...]:
         self.topology.validate_endpoints(src, dst)
         key = (src, dst)
         if key not in self._cache:
-            node_paths = _all_shortest_paths(self.topology, src, dst, limit=1)
+            node_paths = _shortest_paths_or_degraded(
+                self.topology, src, dst, 1, frozenset(self._blocked)
+            )
             self._cache[key] = _links_of(self.topology, node_paths[0])
         return self._cache[key]
 
 
-class EcmpRouter:
+class EcmpRouter(_BlockingMixin):
     """Flow-hashed equal-cost multi-path routing.
 
     All shortest paths between a host pair are enumerated once; a given flow
@@ -104,13 +175,15 @@ class EcmpRouter:
         self.topology = topology
         self.fanout_limit = fanout_limit
         self._cache: Dict[Tuple[str, str], List[Tuple[Link, ...]]] = {}
+        self._blocked: Set[Tuple[str, str]] = set()
 
     def paths(self, src: str, dst: str) -> List[Tuple[Link, ...]]:
         key = (src, dst)
         if key not in self._cache:
             self.topology.validate_endpoints(src, dst)
-            node_paths = _all_shortest_paths(
-                self.topology, src, dst, limit=self.fanout_limit
+            node_paths = _shortest_paths_or_degraded(
+                self.topology, src, dst, self.fanout_limit,
+                frozenset(self._blocked),
             )
             self._cache[key] = [_links_of(self.topology, p) for p in node_paths]
         return self._cache[key]

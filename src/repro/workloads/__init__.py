@@ -26,6 +26,8 @@ from .collectives_extra import (
 )
 from .dp import build_dp_allreduce, build_dp_ps
 from .faults import (
+    degrade_link,
+    fail_link,
     inject_background_stream,
     pause_device,
     scale_device_durations,
@@ -68,6 +70,8 @@ __all__ = [
     "scale_device_durations",
     "inject_background_stream",
     "pause_device",
+    "fail_link",
+    "degrade_link",
     "run_spec",
     "run_spec_file",
     "SpecError",

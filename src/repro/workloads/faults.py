@@ -8,6 +8,11 @@ core promise of tardiness-anchored deadlines (Fig. 6b).
 Note the difference from :mod:`repro.profiling.noise`: noise corrupts the
 *arrangement* while reality stays nominal; faults corrupt *reality* while
 the arrangement keeps claiming the nominal pattern.
+
+Link-level faults (outages, degradation, flapping) and scheduler crashes
+live in :mod:`repro.faults`; this module re-exports the chaos surface and
+adds the :func:`fail_link` / :func:`degrade_link` conveniences so it stays
+the single import point for fault experiments.
 """
 
 from __future__ import annotations
@@ -15,6 +20,15 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.flow import Flow
+from ..faults import (  # noqa: F401  (re-exported chaos surface)
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    FaultSpecError,
+    ResilientScheduler,
+    SchedulerCrash,
+    parse_fault_spec,
+)
 from ..simulator.dag import TaskDag, TaskKind
 from ..simulator.engine import Engine
 from .job import BuiltJob
@@ -88,6 +102,66 @@ def inject_background_stream(
         engine.inject_background_flow(flow, at_time=start_time + k * period)
         flows.append(flow)
     return flows
+
+
+def _attach_link_events(engine: Engine, events: List[FaultEvent]) -> FaultInjector:
+    injector = FaultInjector(FaultSchedule(events))
+    injector.attach(engine)
+    return injector
+
+
+def fail_link(
+    engine: Engine,
+    src: str,
+    dst: str,
+    at_time: float,
+    duration: Optional[float] = None,
+    directed: bool = False,
+) -> FaultInjector:
+    """Take the ``src``-``dst`` link down at ``at_time``.
+
+    With ``duration`` the link restores to nominal capacity afterwards;
+    without it the outage is permanent. ``directed=False`` (default) hits
+    both directions of the duplex pair. Thin wrapper over
+    :class:`repro.faults.FaultInjector`; returns the attached injector.
+    """
+    links = ((src, dst),) if directed else ((src, dst), (dst, src))
+    events = [FaultEvent(time=at_time, action="link_down", links=links)]
+    if duration is not None:
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        events.append(
+            FaultEvent(time=at_time + duration, action="link_restore", links=links)
+        )
+    return _attach_link_events(engine, events)
+
+
+def degrade_link(
+    engine: Engine,
+    src: str,
+    dst: str,
+    at_time: float,
+    factor: float,
+    duration: Optional[float] = None,
+    directed: bool = False,
+) -> FaultInjector:
+    """Drop the ``src``-``dst`` link to ``factor`` x nominal capacity.
+
+    ``0 < factor < 1``; with ``duration`` the link restores afterwards.
+    Thin wrapper over :class:`repro.faults.FaultInjector`; returns the
+    attached injector.
+    """
+    links = ((src, dst),) if directed else ((src, dst), (dst, src))
+    events = [
+        FaultEvent(time=at_time, action="degrade", links=links, factor=factor)
+    ]
+    if duration is not None:
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        events.append(
+            FaultEvent(time=at_time + duration, action="link_restore", links=links)
+        )
+    return _attach_link_events(engine, events)
 
 
 def pause_device(engine: Engine, device: str, at_time: float, duration: float) -> None:

@@ -20,6 +20,11 @@ Example spec::
 
 Workers may be an integer (hosts assigned first-fit in spec order) or an
 explicit host list.
+
+An optional ``"faults"`` key takes a chaos spec (string grammar or JSON
+list, see ``docs/robustness.md``); the scheduler is then wrapped in a
+:class:`~repro.faults.ResilientScheduler` so crash faults degrade
+gracefully.
 """
 
 from __future__ import annotations
@@ -152,6 +157,7 @@ def run_spec(
     *,
     instrumentation=None,
     profile: bool = False,
+    faults=None,
     detail: bool = False,
 ):
     """Build and run a spec; returns plain-data per-job results.
@@ -159,9 +165,13 @@ def run_spec(
     ``instrumentation`` (a :class:`repro.obs.Instrumentation`) observes
     the run; ``profile`` wraps the scheduler in a
     :class:`repro.obs.ProfiledScheduler` (reachable afterwards as
-    ``engine.scheduler``). With ``detail=True`` the return value is the
-    triple ``(results, trace, engine)`` instead of just ``results``, so
-    callers can export traces and metrics reports.
+    ``engine.scheduler``). ``faults`` (a spec string or
+    :class:`repro.faults.FaultSchedule`) injects runtime faults; it
+    overrides the spec's own ``"faults"`` key, and either form wraps the
+    scheduler in a :class:`repro.faults.ResilientScheduler`. With
+    ``detail=True`` the return value is the triple
+    ``(results, trace, engine)`` instead of just ``results``, so callers
+    can export traces and metrics reports.
     """
     if "jobs" not in spec or not spec["jobs"]:
         raise SpecError("spec needs a non-empty 'jobs' list")
@@ -169,6 +179,12 @@ def run_spec(
     scheduler_spec = dict(spec.get("scheduler", {"name": "echelon"}))
     scheduler_name = scheduler_spec.pop("name", "echelon")
     scheduler = make_scheduler(scheduler_name, **scheduler_spec)
+    if faults is None:
+        faults = spec.get("faults")
+    if faults:
+        from ..faults import ResilientScheduler
+
+        scheduler = ResilientScheduler(scheduler)
     if profile:
         from ..obs import ProfiledScheduler
 
@@ -180,6 +196,7 @@ def run_spec(
         scheduling_interval=spec.get("scheduling_interval"),
         device_slots=spec.get("device_slots", 1),
         instrumentation=instrumentation,
+        faults=faults or None,
     )
     hosts = topology.hosts
     cursor = 0

@@ -120,6 +120,71 @@ def test_background_storm_sweep(scheduler_name, seed):
     _run_strict(engine)
 
 
+# Per-paradigm chaos specs hitting the topology each paradigm runs on:
+# a mid-run degradation on one host's egress plus a short flap on a
+# second link, timed to overlap the communication phases.
+_FAULT_SPECS = {
+    "DP-AllReduce": (
+        "degrade:h0-core@0.02+0.08,factor=0.5; "
+        "flap:h1-core@0.03,period=0.02,count=3"
+    ),
+    "DP-PS": (
+        "degrade:h4-core@0.02+0.08,factor=0.5; "
+        "flap:h0-core@0.03,period=0.02,count=3"
+    ),
+    "PP": (
+        "degrade:h1-h2@0.02+0.08,factor=0.5; "
+        "flap:h2-h3@0.03,period=0.02,count=3"
+    ),
+    "TP": (
+        "degrade:h0-core@0.02+0.08,factor=0.5; "
+        "flap:h2-core@0.03,period=0.02,count=3"
+    ),
+    "FSDP": (
+        "degrade:h0-core@0.02+0.08,factor=0.5; "
+        "flap:h3-core@0.03,period=0.02,count=3"
+    ),
+}
+
+
+@pytest.mark.parametrize("scheduler_name", scheduler_names())
+@pytest.mark.parametrize("paradigm", sorted(PARADIGMS))
+def test_chaos_paradigm_sweep(paradigm, scheduler_name):
+    # Every paradigm x scheduler cell again, now with link degradation
+    # and flapping injected mid-run: capacity mutation, in-flight rate
+    # rescaling, and restore must all hold the strict invariants.
+    build, topo = PARADIGMS[paradigm]
+    engine = Engine(
+        topo(),
+        make_scheduler(scheduler_name),
+        sanitizer="strict:twin=0.25,seed=7",
+        faults=_FAULT_SPECS[paradigm],
+    )
+    build().submit_to(engine)
+    trace = _run_strict(engine)
+    assert trace.flow_records
+    assert engine.faults.fired  # the chaos actually happened
+
+
+@pytest.mark.parametrize("paradigm", sorted(PARADIGMS))
+def test_twin_bit_equivalence_under_capacity_change(paradigm):
+    # Twin oracle at 100% sampling across a mid-run capacity change: the
+    # reference replay must agree rate-for-rate before, during, and
+    # after the degradation window.
+    build, topo = PARADIGMS[paradigm]
+    engine = Engine(
+        topo(),
+        make_scheduler("echelon"),
+        sanitizer="strict:twin=1.0",
+        faults=_FAULT_SPECS[paradigm],
+    )
+    build().submit_to(engine)
+    _run_strict(engine)
+    assert engine.check.twin.comparisons > 0
+    assert engine.check.twin.skipped == 0
+    assert engine.faults.fired
+
+
 def test_multi_tenant_mixed_paradigms_strict():
     # Three paradigms sharing one fabric -- the contention-heavy regime
     # where stale incremental state would first show up.
