@@ -9,6 +9,10 @@ Commands
                      timeline rendering and trace export.
 * ``cluster``     -- a dynamic Poisson-arrival multi-tenant cluster.
 * ``obs``         -- summarize a saved JSONL observability log.
+* ``watch``       -- replay a saved JSONL log through the online AIOps
+                     watch loop (streaming detectors + localization).
+* ``aiops``       -- score the watch loop against the generated chaos
+                     scenario suite (``repro aiops score``).
 * ``diagnose``    -- critical path, tardiness attribution, and blame
                      from a saved JSONL event log (no re-simulation).
 * ``diff``        -- attribute the per-job JCT delta between two event
@@ -170,18 +174,102 @@ def _obs_for(args):
     """An Instrumentation when any obs flag was given, else None.
 
     ``None`` keeps the engine's hot path entirely uninstrumented -- the
-    zero-overhead default.
+    zero-overhead default. ``--watch`` forces instrumentation: the watch
+    loop consumes the live event log and needs per-link telemetry
+    (``log_link_samples``) for its capacity/stall detectors.
     """
-    if not any(getattr(args, attr, None) for attr in _OBS_FLAG_ATTRS):
+    watching = bool(getattr(args, "watch", False))
+    if not watching and not any(
+        getattr(args, attr, None) for attr in _OBS_FLAG_ATTRS
+    ):
         return None
     from .obs import Instrumentation, JsonlEventLog
 
     # The Chrome exporter reads scheduler instants from the event log, so
-    # keep one whenever a trace or an explicit log was requested.
-    needs_log = bool(
+    # keep one whenever a trace, an explicit log, or a watch loop was
+    # requested.
+    needs_log = watching or bool(
         getattr(args, "events_out", None) or getattr(args, "emit_trace", None)
     )
-    return Instrumentation(event_log=JsonlEventLog() if needs_log else None)
+    return Instrumentation(
+        event_log=JsonlEventLog() if needs_log else None,
+        log_link_samples=watching,
+    )
+
+
+def _add_watch_flags(parser) -> None:
+    parser.add_argument(
+        "--watch",
+        action="store_true",
+        help="attach the online AIOps watch loop (streaming anomaly "
+        "detection + fault localization; see docs/aiops.md)",
+    )
+    parser.add_argument(
+        "--watch-heartbeat",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="sim-time heartbeat period for the watch loop's stall "
+        "detectors (default: event-driven only)",
+    )
+    parser.add_argument(
+        "--watch-mitigate",
+        action="store_true",
+        help="let the watch loop apply mitigations (cordon + reroute, "
+        "pin fair-share fallback) on confident localizations",
+    )
+
+
+def _attach_watch(args, engine, obs):
+    """Wire a WatchLoop onto a live engine when --watch was given."""
+    if not getattr(args, "watch", False):
+        return None
+    from .obs.watch import WatchLoop
+
+    return WatchLoop().attach(
+        obs.event_log,
+        engine=engine,
+        mitigate=bool(getattr(args, "watch_mitigate", False)),
+        heartbeat=getattr(args, "watch_heartbeat", None),
+    )
+
+
+def _print_watch_report(loop) -> None:
+    if loop is None:
+        return
+    report = loop.report()
+    rows = [
+        ["events observed", report["events_seen"]],
+        ["heartbeats", report["heartbeats"]],
+        ["anomalies", len(report["anomalies"])],
+    ]
+    for anomaly in report["anomalies"][:8]:
+        rows.append(
+            [
+                f"  {anomaly['detector']} @ {anomaly['t']:.4g}s",
+                f"onset {anomaly['onset']:.4g}s "
+                f"confidence {anomaly['confidence']:.2f}",
+            ]
+        )
+    for localization in report["localizations"][:8]:
+        best = localization["candidates"][:1]
+        if best:
+            rows.append(
+                [
+                    f"  root cause ({localization['detector']})",
+                    f"{best[0]['kind']}:{best[0]['target']} "
+                    f"(score {best[0]['score']:.2f})",
+                ]
+            )
+    for action in report.get("mitigations", [])[:8]:
+        rows.append(
+            [
+                f"  mitigation {action['action']}",
+                f"{action['target']} applied={action['applied']}",
+            ]
+        )
+    print()
+    print(format_table(["watch", "value"], rows, title="AIOps watch loop"))
 
 
 def _wrap_profiled(args, scheduler, obs):
@@ -414,6 +502,7 @@ def cmd_run(args) -> int:
     )
     engine = Engine(topology, scheduler, instrumentation=obs, faults=args.faults)
     job.submit_to(engine)
+    loop = _attach_watch(args, engine, obs)
     trace = engine.run()
 
     report = tardiness_report(trace, job.echelonflows)
@@ -443,6 +532,7 @@ def cmd_run(args) -> int:
     if args.trace:
         write_trace(trace, args.trace, fmt=args.trace_format)
         print(f"\ntrace written to {args.trace} ({args.trace_format})")
+    _print_watch_report(loop)
     _emit_observability(
         args,
         trace,
@@ -480,6 +570,7 @@ def cmd_cluster(args) -> int:
     engine = Engine(topology, scheduler, instrumentation=obs, faults=args.faults)
     manager = ClusterManager(engine, ClusterPlacer(topology))
     manager.schedule(poisson_arrivals(templates, args.rate, args.jobs, seed=args.seed))
+    loop = _attach_watch(args, engine, obs)
     trace = engine.run()
     records = manager.completed_records()
     print(
@@ -497,6 +588,7 @@ def cmd_cluster(args) -> int:
             ),
         )
     )
+    _print_watch_report(loop)
     _emit_observability(
         args,
         trace,
@@ -657,7 +749,108 @@ def cmd_obs(args) -> int:
         rows.append(["links observed", links["count"]])
         for key, peak in list(links["peak_utilization"].items())[:8]:
             rows.append([f"  peak util {key}", f"{peak:.1%}"])
+    robustness = summary.get("robustness")
+    if robustness:
+        rows.append(["faults injected", robustness["faults"]])
+        for action, count in robustness["fault_actions"].items():
+            rows.append([f"  fault: {action}", count])
+        span = (
+            f"{robustness['first_fault_time']:g} .. "
+            f"{robustness['last_fault_time']:g}"
+            if "first_fault_time" in robustness
+            else "-"
+        )
+        rows.append(["fault time span (s)", span])
+        rows.append(["scheduler fallbacks", robustness["scheduler_fallbacks"]])
+        for kind, count in robustness["fallback_kinds"].items():
+            rows.append([f"  fallback: {kind}", count])
+        rows.append(["flow reroutes", robustness["flow_reroutes"]])
+        rows.append(
+            [
+                "migrated / stranded flows",
+                f"{robustness['migrated_flows']} / "
+                f"{robustness['stranded_flows']}",
+            ]
+        )
+        if "anomalies" in robustness:
+            rows.append(["watch anomalies", robustness["anomalies"]])
+            for detector, count in robustness["anomaly_detectors"].items():
+                rows.append([f"  anomaly: {detector}", count])
+    truncated = summary.get("truncated")
+    if truncated:
+        rows.append(
+            [
+                "log truncated (evicted events)",
+                sum(truncated["by_kind"].values()),
+            ]
+        )
     print(format_table(["metric", "value"], rows, title=f"obs summary: {args.log}"))
+    return 0
+
+
+def cmd_watch(args) -> int:
+    import json as _json
+
+    from .obs.watch import WatchLoop
+
+    loop = WatchLoop()
+    try:
+        loop.replay_jsonl(args.log)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot replay {args.log}: {exc}", file=sys.stderr)
+        return 1
+    report = loop.report()
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    rows = [
+        ["events replayed", report["events_seen"]],
+        ["anomalies", len(report["anomalies"])],
+    ]
+    for anomaly, localization in zip(
+        report["anomalies"][: args.top], report["localizations"][: args.top]
+    ):
+        rows.append(
+            [
+                f"{anomaly['detector']} @ {anomaly['t']:.4g}s",
+                f"onset {anomaly['onset']:.4g}s "
+                f"confidence {anomaly['confidence']:.2f}",
+            ]
+        )
+        for candidate in localization["candidates"][:3]:
+            rows.append(
+                [
+                    f"  {candidate['kind']}:{candidate['target']}",
+                    f"score {candidate['score']:.2f}",
+                ]
+            )
+    print(
+        format_table(
+            ["finding", "detail"], rows, title=f"watch replay: {args.log}"
+        )
+    )
+    return 0
+
+
+def cmd_aiops(args) -> int:
+    import json as _json
+
+    from .obs.watch import aiops_score, render_score
+
+    report = aiops_score(
+        scheduler=args.scheduler,
+        mitigate=not args.no_mitigate,
+        smoke=args.smoke,
+    )
+    if args.out:
+        with open(args.out, "w") as handle:
+            _json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"aiops score written to {args.out}")
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_score(report))
     return 0
 
 
@@ -757,6 +950,47 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("log", help="path to a JSONL log (from --events-out)")
     obs.add_argument("--json", action="store_true", help="dump raw JSON")
 
+    watch = sub.add_parser(
+        "watch",
+        help="replay a saved JSONL log through the AIOps watch loop "
+        "(streaming anomaly detection + root-cause localization)",
+    )
+    watch.add_argument("log", help="path to a JSONL log (from --events-out)")
+    watch.add_argument("--json", action="store_true", help="dump raw JSON")
+    watch.add_argument(
+        "--top", type=int, default=10, help="anomalies to print (default 10)"
+    )
+
+    aiops = sub.add_parser(
+        "aiops", help="AIOps watch-loop scoring (see docs/aiops.md)"
+    )
+    aiops_sub = aiops.add_subparsers(dest="aiops_command", required=True)
+    score = aiops_sub.add_parser(
+        "score",
+        help="grade the watch loop against the chaos scenario suite: "
+        "detection latency, localization accuracy, FP rate, recovered JCT",
+    )
+    score.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI subset: pp/dp/ls fabrics, clean + link_down + degrade",
+    )
+    score.add_argument(
+        "--scheduler",
+        default="echelon",
+        choices=scheduler_names(),
+        help="scheduler under test (default echelon)",
+    )
+    score.add_argument(
+        "--no-mitigate",
+        action="store_true",
+        help="skip the paired mitigation runs (faster; no recovered-JCT column)",
+    )
+    score.add_argument("--json", action="store_true", help="dump raw JSON")
+    score.add_argument(
+        "--out", metavar="PATH", help="also write the report JSON to PATH"
+    )
+
     diagnose = sub.add_parser(
         "diagnose",
         help="critical path, tardiness attribution, and contention blame "
@@ -799,6 +1033,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_flags(run)
     _add_check_flag(run)
     _add_faults_flag(run)
+    _add_watch_flags(run)
 
     matrix = sub.add_parser(
         "matrix", help="run the standard workload battery across schedulers"
@@ -850,6 +1085,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_flags(cluster)
     _add_check_flag(cluster)
     _add_faults_flag(cluster)
+    _add_watch_flags(cluster)
     return parser
 
 
@@ -861,6 +1097,8 @@ _COMMANDS = {
     "matrix": cmd_matrix,
     "cluster": cmd_cluster,
     "obs": cmd_obs,
+    "watch": cmd_watch,
+    "aiops": cmd_aiops,
     "diagnose": cmd_diagnose,
     "diff": cmd_diff,
     "schedulers": cmd_schedulers,

@@ -10,7 +10,7 @@ from .arrangement import (
 )
 from .coflow import bottleneck_duration, coflow_completion_time, port_loads
 from .echelonflow import EchelonFlow, make_coflow, total_tardiness
-from .flow import Flow, FlowState
+from .flow import Flow, FlowState, reset_flow_ids
 from .tardiness import (
     CompletionTimeObjective,
     FlowOutcome,

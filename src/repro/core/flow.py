@@ -26,6 +26,21 @@ def _next_flow_id() -> int:
     return next(_flow_counter)
 
 
+def reset_flow_ids() -> None:
+    """Restart the process-global flow-id sequence from zero.
+
+    Flow ids seed deterministic per-flow decisions (ECMP path hashing),
+    so an experiment's outcome can depend on how many flows the process
+    created *before* it. Harnesses that need run-for-run reproducibility
+    regardless of history -- the AIOps scenario suite, notably -- call
+    this before building each engine. Never call it while an engine is
+    mid-run: live flows keep their ids, and a reset makes new flows
+    collide with them.
+    """
+    global _flow_counter
+    _flow_counter = itertools.count()
+
+
 @dataclass(frozen=True)
 class Flow:
     """An immutable description of a point-to-point transfer.

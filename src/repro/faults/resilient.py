@@ -44,6 +44,7 @@ class ResilientScheduler(Scheduler):
         self.last_allocation_was_fallback = False
         self._engine = None
         self._pending_crashes: List[str] = []
+        self._pin_until: Optional[float] = None
 
     @property
     def work_conserving(self) -> bool:
@@ -58,11 +59,30 @@ class ResilientScheduler(Scheduler):
         """Poison the next invocation (the ``crash_scheduler`` fault)."""
         self._pending_crashes.append(reason)
 
+    def pin_fallback(self, until: float) -> None:
+        """Mitigation hook: serve the fallback policy until sim-time ``until``.
+
+        While pinned, every invocation degrades with kind ``"pinned"``
+        (which detectors and the twin oracle treat as intentional, not a
+        symptom) instead of trusting a scheduler that just crashed.
+        Pinning extends, never shortens, an existing pin.
+        """
+        self._pin_until = (
+            until if self._pin_until is None else max(self._pin_until, until)
+        )
+
+    def unpin_fallback(self) -> None:
+        self._pin_until = None
+
     def allocate(self, view: SchedulerView) -> Dict[int, float]:
         self.last_allocation_was_fallback = False
         if self._pending_crashes:
             reason = self._pending_crashes.pop(0)
             return self._degrade(view, SchedulerCrash(reason), "crash")
+        if self._pin_until is not None:
+            if view.now < self._pin_until:
+                return self._degrade(view, None, "pinned")
+            self._pin_until = None
         try:
             rates = self.inner.allocate(view)
         except Exception as exc:  # noqa: BLE001 - containment is the point
@@ -100,6 +120,7 @@ class ResilientScheduler(Scheduler):
             copy.deepcopy(self.fallback, memo),
         )
         clone._pending_crashes = list(self._pending_crashes)
+        clone._pin_until = self._pin_until
         clone.last_allocation_was_fallback = self.last_allocation_was_fallback
         memo[id(self)] = clone
         return clone

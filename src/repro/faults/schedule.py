@@ -331,6 +331,46 @@ class FaultSchedule:
         """Every directed link key any event touches, sorted."""
         return sorted({key for event in self.events for key in event.links})
 
+    def ground_truth(self) -> List[Dict]:
+        """Grader-facing labels: one entry per distinct injected cause.
+
+        Groups the primitive timeline by ``(action, target set)`` and
+        skips ``link_restore`` (a restore ends a fault, it does not
+        cause one), so a flap's many down/restore pairs collapse into a
+        single ``link_down`` entry carrying its first onset and cycle
+        count. ``crash_scheduler`` maps to localization kind
+        ``"scheduler"``; link actions to kind ``"link"`` with directed
+        ``src->dst`` target keys. This is the *only* sanctioned bridge
+        between the chaos layer and the watch loop's scoring -- the
+        detectors and localizer never see it (see
+        :mod:`repro.obs.watch.stream`).
+        """
+        grouped: Dict[Tuple[str, Tuple[str, ...]], Dict] = {}
+        for event in self.events:
+            if event.action == "link_restore":
+                continue
+            targets = tuple(sorted(f"{s}->{d}" for s, d in event.links))
+            key = (event.action, targets)
+            entry = grouped.get(key)
+            if entry is None:
+                grouped[key] = {
+                    "kind": (
+                        "scheduler"
+                        if event.action == "crash_scheduler"
+                        else "link"
+                    ),
+                    "action": event.action,
+                    "targets": list(targets) or ["scheduler"],
+                    "time": event.time,
+                    "count": 1,
+                }
+            else:
+                entry["time"] = min(entry["time"], event.time)
+                entry["count"] += 1
+        return sorted(
+            grouped.values(), key=lambda e: (e["time"], e["action"])
+        )
+
     @property
     def has_crashes(self) -> bool:
         return any(e.action == "crash_scheduler" for e in self.events)

@@ -19,7 +19,13 @@ Instrumentation is strictly opt-in: an engine constructed without an
 
 from .chrome import chrome_trace_dict, export_chrome_trace
 from .instrumentation import Instrumentation, LinkTimeline
-from .jsonl import JsonlEventLog, read_jsonl, summarize_events, summarize_jsonl
+from .jsonl import (
+    JsonlEventLog,
+    iter_jsonl,
+    read_jsonl,
+    summarize_events,
+    summarize_jsonl,
+)
 from .profiling import InvocationRecord, ProfiledScheduler, rate_vector_churn
 from .registry import Counter, Gauge, Histogram, MetricsRegistry
 from .report import build_metrics_report, write_metrics_report
@@ -35,6 +41,7 @@ __all__ = [
     "InvocationRecord",
     "rate_vector_churn",
     "JsonlEventLog",
+    "iter_jsonl",
     "read_jsonl",
     "summarize_events",
     "summarize_jsonl",

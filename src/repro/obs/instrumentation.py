@@ -466,14 +466,19 @@ class Instrumentation:
         if self.link_timeline is not None:
             self.link_timeline.record(now, dt, usage)
         if self.event_log is not None and self.log_link_samples and usage:
+            # ``caps`` mirrors the live capacity per sampled link so
+            # offline consumers (the watch loop's degrade telemetry) can
+            # recover absolute rates and spot capacity drops; utilization
+            # alone is blind to a link renegotiating to a lower speed.
+            links: Dict[str, float] = {}
+            caps: Dict[str, float] = {}
+            for link, rate in usage.items():
+                key = LinkTimeline.link_key(link.src, link.dst)
+                capacity = link.capacity
+                links[key] = rate / capacity if capacity > 0 else 0.0
+                caps[key] = capacity
             self.event_log.append(
-                "link_sample",
-                now,
-                dt=dt,
-                links={
-                    LinkTimeline.link_key(link.src, link.dst): rate / link.capacity
-                    for link, rate in usage.items()
-                },
+                "link_sample", now, dt=dt, links=links, caps=caps
             )
 
     # -- derived views --------------------------------------------------

@@ -62,6 +62,45 @@ def _flow_aggregates(trace: SimulationTrace) -> Dict:
     }
 
 
+def _robustness_section(instrumentation: Instrumentation) -> Dict:
+    """Fault/fallback/reroute aggregates (mirrors the JSONL summarizer's
+    ``robustness`` section so report and log summaries agree)."""
+    faults = instrumentation.fault_events
+    fallbacks = instrumentation.scheduler_fallbacks
+    reroutes = instrumentation.reroutes
+    if not faults and not fallbacks and not reroutes:
+        return {}
+    actions: Dict[str, int] = {}
+    migrated = stranded = 0
+    times = []
+    for record in faults:
+        action = record.get("action", "unknown")
+        actions[action] = actions.get(action, 0) + 1
+        # Link-event records carry the migrated/stranded flow-id lists.
+        migrated += len(record.get("migrated") or ())
+        stranded += len(record.get("stranded") or ())
+        t = record.get("time")
+        if isinstance(t, (int, float)):
+            times.append(t)
+    kinds: Dict[str, int] = {}
+    for record in fallbacks:
+        kind = record.get("kind", "unknown")
+        kinds[kind] = kinds.get(kind, 0) + 1
+    section: Dict = {
+        "faults": len(faults),
+        "fault_actions": dict(sorted(actions.items())),
+        "scheduler_fallbacks": len(fallbacks),
+        "fallback_kinds": dict(sorted(kinds.items())),
+        "flow_reroutes": sum(reroutes.values()),
+        "migrated_flows": migrated,
+        "stranded_flows": stranded,
+    }
+    if times:
+        section["first_fault_time"] = min(times)
+        section["last_fault_time"] = max(times)
+    return section
+
+
 def build_metrics_report(
     trace: SimulationTrace,
     instrumentation: Optional[Instrumentation] = None,
@@ -118,6 +157,9 @@ def build_metrics_report(
                 "blame": blame_matrix(attribution["flows"])["aggregate"],
                 "coverage": attribution["coverage"],
             }
+        robustness = _robustness_section(instrumentation)
+        if robustness:
+            report["robustness"] = robustness
         if instrumentation.tardiness_series:
             report["live_tardiness"] = {
                 group: {

@@ -1,0 +1,73 @@
+"""Online AIOps watch loop: stream -> detect -> localize -> mitigate.
+
+The watch layer closes the observability loop the diagnosis layer left
+open: instead of explaining a run after the fact, it consumes the live
+obs event feed *during* the run (or replays a saved JSONL log with
+bit-for-bit identical results), raises structured ``anomaly`` events
+from streaming detectors, ranks root-cause candidates on each one, and
+can mitigate confident localizations on the live engine. The scenario
+suite and grader quantify the whole pipeline -- detection latency,
+localization accuracy, false positives on clean runs, recovered JCT --
+via ``repro aiops score``. See docs/aiops.md.
+"""
+
+from .detectors import (
+    Detector,
+    JctForecastDetector,
+    LinkCapacityDetector,
+    StormDetector,
+    TardinessDriftDetector,
+    WatchConfig,
+    default_detectors,
+)
+from .localize import Localizer
+from .mitigate import Mitigator
+from .scenarios import (
+    FAULT_KINDS,
+    PARADIGM_KEYS,
+    SMOKE_KINDS,
+    SMOKE_PARADIGMS,
+    Scenario,
+    build_scenarios,
+    make_engine,
+    nominal_jct,
+)
+from .score import (
+    AIOPS_SCORE_VERSION,
+    aiops_score,
+    grade_scenario,
+    render_score,
+    run_scenario,
+)
+from .stream import LinkHealth, StreamState
+from .watch import WatchLoop
+from .window import SlidingWindow
+
+__all__ = [
+    "AIOPS_SCORE_VERSION",
+    "Detector",
+    "FAULT_KINDS",
+    "JctForecastDetector",
+    "LinkCapacityDetector",
+    "LinkHealth",
+    "Localizer",
+    "Mitigator",
+    "PARADIGM_KEYS",
+    "SMOKE_KINDS",
+    "SMOKE_PARADIGMS",
+    "Scenario",
+    "SlidingWindow",
+    "StormDetector",
+    "StreamState",
+    "TardinessDriftDetector",
+    "WatchConfig",
+    "WatchLoop",
+    "aiops_score",
+    "build_scenarios",
+    "default_detectors",
+    "grade_scenario",
+    "make_engine",
+    "nominal_jct",
+    "render_score",
+    "run_scenario",
+]

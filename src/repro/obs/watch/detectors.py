@@ -1,0 +1,422 @@
+"""Streaming anomaly detectors over the live obs event feed.
+
+Four detector families, each reasoning over bounded sliding windows of
+the :class:`~repro.obs.watch.stream.StreamState` and emitting structured
+``anomaly`` records (``{"ev": "anomaly", "t", "detector", "onset",
+"confidence", "evidence"}``):
+
+* :class:`TardinessDriftDetector` -- live Eq. 1/2 residuals: per-group
+  tardiness at group completion, windowed against a calibration
+  baseline; a mid-run fault shows up as the window mean breaking away
+  from the run's own steady state.
+* :class:`LinkCapacityDetector` -- per-link utilization/capacity
+  collapse straight from ``link_sample`` telemetry: a sampled link whose
+  capacity drops below its observed nominal enters a degraded episode.
+* :class:`StormDetector` -- scheduler-fallback and reroute storms:
+  ``scheduler_fallback`` / ``flow_rerouted`` bursts that a healthy run
+  never produces (mitigation-pinned fallbacks are excluded).
+* :class:`JctForecastDetector` -- JCT-forecast divergence: the
+  inter-delivery gap watchdog. When flows are outstanding but nothing
+  has delivered for far longer than the run's own worst observed gap,
+  the JCT forecast is diverging; the anomaly carries the projected JCT.
+
+Thresholds are *self-calibrating* (ratios against the run's own early
+samples) rather than absolute, so one configuration covers workloads
+whose timescales differ by orders of magnitude. A detector only alarms
+after its calibration quota is met, and each alarm opens an episode that
+must clear before the same detector re-fires -- both properties the
+clean-sweep false-positive tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .stream import StreamState
+from .window import SlidingWindow
+
+
+@dataclass
+class WatchConfig:
+    """Tuning knobs for every detector (defaults are FP-safe on the
+    clean paradigm x scheduler sweep -- see tests/test_watch.py)."""
+
+    #: Group-tardiness samples used as the drift baseline.
+    drift_calibration: int = 3
+    #: Recent group-tardiness samples the drift window holds.
+    drift_window: int = 2
+    #: Window mean must exceed baseline mean by this ratio...
+    drift_ratio: float = 3.0
+    #: ...plus this fraction of the mean calibration group duration.
+    drift_floor_frac: float = 0.75
+    #: Relative capacity drop that opens a link-collapse episode.
+    capacity_drop_tol: float = 0.02
+    #: A loaded-but-quiet link stint must exceed this multiple of the
+    #: longest completed benign stint...
+    stall_factor: float = 2.5
+    #: ...and also this many heartbeat periods, before it alarms.
+    stall_beats: float = 4.0
+    #: Fallback / reroute events within the storm window that alarm.
+    fallback_threshold: int = 1
+    reroute_threshold: int = 1
+    #: Storm windows are count-bounded (events, not seconds).
+    storm_window: int = 64
+    #: Deliveries required before the JCT watchdog may alarm.
+    jct_warmup: int = 6
+    #: Open inter-delivery gap vs the worst observed gap so far.
+    jct_gap_factor: float = 4.0
+    #: Minimum confidence a localization needs to trigger mitigation.
+    mitigation_min_score: float = 0.4
+    #: Duplex directions share their observed nominal capacity (every
+    #: stock fabric is symmetric); see StreamState.
+    pair_symmetry: bool = True
+
+
+class Detector:
+    """Base: observe events (already folded into ``state``), emit anomalies."""
+
+    name = "detector"
+
+    def observe(self, event: Dict, state: StreamState) -> List[Dict]:
+        raise NotImplementedError
+
+    def _anomaly(
+        self,
+        state: StreamState,
+        onset: float,
+        confidence: float,
+        evidence: Dict,
+    ) -> Dict:
+        return {
+            "ev": "anomaly",
+            "t": state.now,
+            "detector": self.name,
+            "onset": onset,
+            "confidence": round(min(1.0, max(0.0, confidence)), 6),
+            "evidence": evidence,
+        }
+
+
+class TardinessDriftDetector(Detector):
+    """Windowed per-group tardiness vs the run's calibration baseline."""
+
+    name = "tardiness_drift"
+
+    def __init__(self, config: WatchConfig) -> None:
+        self.config = config
+        self._seen_groups: Set[str] = set()
+        self._calibration: List[float] = []
+        self._calibration_durations: List[float] = []
+        self._window = SlidingWindow(max_samples=config.drift_window)
+        self._alarmed = False
+
+    def observe(self, event: Dict, state: StreamState) -> List[Dict]:
+        if event.get("ev") != "flow_finished":
+            return []
+        group = event.get("group")
+        if group is None or group in self._seen_groups:
+            return []
+        if not state.group_completed(group):
+            return []
+        self._seen_groups.add(group)
+        progress = state.groups[group]
+        tardiness = progress.worst
+        duration = 0.0
+        if progress.first_start is not None and progress.last_finish is not None:
+            duration = max(0.0, progress.last_finish - progress.first_start)
+        if len(self._calibration) < self.config.drift_calibration:
+            self._calibration.append(tardiness)
+            self._calibration_durations.append(duration)
+            return []
+        self._window.push(state.now, tardiness)
+        if len(self._window) < self.config.drift_window:
+            return []
+        base_mean = sum(self._calibration) / len(self._calibration)
+        mean_duration = (
+            sum(self._calibration_durations) / len(self._calibration_durations)
+            if self._calibration_durations
+            else 0.0
+        )
+        threshold = (
+            base_mean * self.config.drift_ratio
+            + self.config.drift_floor_frac * mean_duration
+        )
+        window_mean = self._window.mean()
+        if window_mean <= threshold or threshold <= 0.0:
+            if window_mean <= 0.8 * threshold:
+                self._alarmed = False
+            return []
+        if self._alarmed:
+            return []
+        self._alarmed = True
+        onset = self._window.oldest_time() or state.now
+        return [
+            self._anomaly(
+                state,
+                onset,
+                1.0 - threshold / window_mean,
+                {
+                    "group": group,
+                    "window_mean_tardiness": window_mean,
+                    "baseline_mean_tardiness": base_mean,
+                    "threshold": threshold,
+                },
+            )
+        ]
+
+
+class LinkCapacityDetector(Detector):
+    """Per-link utilization/capacity collapse from telemetry.
+
+    Two failure signatures, one detector:
+
+    * **capacity drop** -- a sampled link advertising less than its
+      observed nominal capacity (``caps`` in ``link_sample``): a
+      degraded link caught red-handed.
+    * **quiet while loaded** -- a link with flows still pinned across it
+      that stops appearing in utilization samples entirely. A hard
+      link-down *vanishes* from telemetry (zero-rate links are not
+      sampled), so silence is the only direct signal. Benign quiet
+      stints happen constantly (echelon scheduling deliberately parks
+      later groups), so the alarm bar self-calibrates: a stint must
+      outlast every *completed* benign stint by ``stall_factor`` and
+      last at least ``stall_beats`` heartbeat periods. Stints are
+      assessed on ``watch_heartbeat`` ticks, which live in the event
+      log -- replay sees the identical cadence.
+    """
+
+    name = "link_collapse"
+
+    def __init__(self, config: WatchConfig) -> None:
+        self.config = config
+        self._degraded: Set[str] = set()
+        self._last_beat: Optional[float] = None
+        self._beat_period = 0.0
+        #: Longest completed (hence benign) quiet stint per link.
+        self._benign: Dict[str, float] = {}
+        #: link -> (last observed stint age, alarmed flag).
+        self._stints: Dict[str, List] = {}
+
+    def observe(self, event: Dict, state: StreamState) -> List[Dict]:
+        kind = event.get("ev")
+        if kind == "watch_heartbeat":
+            return self._on_beat(state)
+        if kind != "link_sample":
+            return []
+        anomalies: List[Dict] = []
+        for key in event.get("links") or ():
+            health = state.links.get(key)
+            if health is None:
+                continue
+            drop = health.capacity_drop
+            if drop > self.config.capacity_drop_tol:
+                if key not in self._degraded:
+                    self._degraded.add(key)
+                    anomalies.append(
+                        self._anomaly(
+                            state,
+                            state.now,
+                            drop,
+                            {
+                                "link": key,
+                                "mode": "capacity_drop",
+                                "capacity": health.capacity,
+                                "nominal": health.nominal,
+                                "drop": drop,
+                            },
+                        )
+                    )
+            else:
+                self._degraded.discard(key)
+        return anomalies
+
+    def _on_beat(self, state: StreamState) -> List[Dict]:
+        if self._last_beat is not None and state.now > self._last_beat:
+            self._beat_period = state.now - self._last_beat
+        self._last_beat = state.now
+        stale = dict(state.stale_links())
+        anomalies: List[Dict] = []
+        for key in list(self._stints):
+            if key not in stale:  # stint ended without an alarm: benign
+                age, alarmed = self._stints.pop(key)
+                if not alarmed:
+                    self._benign[key] = max(self._benign.get(key, 0.0), age)
+        if self._beat_period <= 0.0:
+            return []
+        floor = self.config.stall_beats * self._beat_period
+        benign_all = max(self._benign.values(), default=0.0)
+        threshold = max(self.config.stall_factor * benign_all, floor)
+        crossing: List[Tuple[int, float, str]] = []
+        for key, age in stale.items():
+            stint = self._stints.setdefault(key, [0.0, False])
+            stint[0] = age
+            if stint[1] or age < threshold:
+                continue
+            outstanding = len(state.outstanding_on_link.get(key, ()))
+            crossing.append((outstanding, age, key))
+        if not crossing:
+            return anomalies
+        # Everything crossing on the same beat is one event; the link
+        # carrying the most stalled flows is the shared bottleneck (a
+        # downed server uplink strands every worker's flows, and each
+        # stranded path's other hops go quiet *with* it).
+        crossing.sort(key=lambda c: (-c[0], -c[1], c[2]))
+        for _, _, key in crossing:
+            self._stints[key][1] = True
+        outstanding, age, key = crossing[0]
+        anomalies.append(
+            self._anomaly(
+                state,
+                state.now - age,
+                min(1.0, 0.5 + 0.5 * (age / threshold - 1.0)),
+                {
+                    "link": key,
+                    "mode": "quiet",
+                    "stale_seconds": age,
+                    "outstanding_flows": outstanding,
+                    "co_stalled": [
+                        [k, round(a, 9), o] for o, a, k in crossing[1:5]
+                    ],
+                    "benign_max": benign_all,
+                    "threshold": threshold,
+                },
+            )
+        )
+        return anomalies
+
+
+class StormDetector(Detector):
+    """Bursts of scheduler fallbacks or fault-driven reroutes."""
+
+    def __init__(
+        self, config: WatchConfig, kind: str, threshold: int
+    ) -> None:
+        self.config = config
+        self.kind = kind  # "fallback" or "reroute"
+        self.name = f"{kind}_storm"
+        self.threshold = threshold
+        self._window = SlidingWindow(max_samples=config.storm_window)
+        self._alarmed = False
+
+    def observe(self, event: Dict, state: StreamState) -> List[Dict]:
+        ev = event.get("ev")
+        if self.kind == "fallback":
+            if ev != "scheduler_fallback":
+                return []
+            # Mitigation-pinned fallbacks are self-inflicted, not symptoms.
+            if event.get("kind") == "pinned":
+                return []
+        elif ev != "flow_rerouted":
+            return []
+        self._window.push(state.now, 1.0)
+        if len(self._window) < self.threshold or self._alarmed:
+            return []
+        self._alarmed = True
+        onset = self._window.oldest_time() or state.now
+        evidence: Dict = {"count": len(self._window)}
+        if self.kind == "fallback":
+            evidence["kinds"] = sorted(
+                {k for _, k in state.fallbacks}
+            )
+        else:
+            links: Dict[str, int] = {}
+            for _, old_path, new_path in state.reroutes[-self.config.storm_window:]:
+                for key in set(old_path) - set(new_path):
+                    links[key] = links.get(key, 0) + 1
+            evidence["old_path_links"] = dict(
+                sorted(links.items(), key=lambda kv: (-kv[1], kv[0]))
+            )
+        confidence = min(1.0, len(self._window) / max(1, self.threshold))
+        return [self._anomaly(state, onset, confidence, evidence)]
+
+
+class JctForecastDetector(Detector):
+    """Flow-progress stall watchdog with a JCT-forecast payload.
+
+    The gap is measured from the last *flow event* (injection or
+    delivery) so healthy compute-only bubbles -- which end with fresh
+    injections -- reset it, and the threshold self-calibrates to the
+    run's own worst inter-flow-event gap. A second, independent
+    condition guards against slow-but-healthy drains: at alarm time at
+    least one link with flows still pinned across it must have gone
+    telemetry-quiet (zero sampled rate) for about half the stall --
+    a flow making *any* progress keeps its links busy.
+    """
+
+    name = "jct_forecast"
+
+    def __init__(self, config: WatchConfig) -> None:
+        self.config = config
+        self._max_gap = 0.0
+        self._last_flow_event: Optional[float] = None
+        self._deliveries = 0
+        self._alarmed = False
+
+    def _forecast(self, state: StreamState) -> Optional[float]:
+        remaining = sum(state.job_outstanding_bytes.values())
+        delivered = sum(state.job_delivered_bytes.values())
+        elapsed = state.elapsed
+        if delivered <= 0.0 or elapsed <= 0.0:
+            return None
+        throughput = delivered / elapsed
+        return state.now + remaining / throughput
+
+    def observe(self, event: Dict, state: StreamState) -> List[Dict]:
+        kind = event.get("ev")
+        if kind in ("flow_injected", "flow_finished"):
+            if self._last_flow_event is not None:
+                self._max_gap = max(
+                    self._max_gap, state.now - self._last_flow_event
+                )
+            self._last_flow_event = state.now
+            if kind == "flow_finished":
+                self._deliveries += 1
+                self._alarmed = False
+            return []
+        if (
+            self._deliveries < self.config.jct_warmup
+            or not state.active_flows
+            or self._last_flow_event is None
+            or self._max_gap <= 0.0
+            or self._alarmed
+        ):
+            return []
+        gap = state.now - self._last_flow_event
+        threshold = self.config.jct_gap_factor * self._max_gap
+        if gap <= threshold:
+            return []
+        stale = state.stale_links()
+        if state.links and (not stale or stale[0][1] < 0.5 * gap):
+            return []  # flows are moving, just slowly -- not a stall
+        self._alarmed = True
+        evidence: Dict = {
+            "gap": gap,
+            "max_observed_gap": self._max_gap,
+            "outstanding_flows": len(state.active_flows),
+            "stale_links": [list(item) for item in stale[:4]],
+        }
+        forecast = self._forecast(state)
+        if forecast is not None:
+            evidence["forecast_jct"] = forecast
+        onset = self._last_flow_event + threshold
+        return [
+            self._anomaly(
+                state,
+                min(onset, state.now),
+                min(1.0, gap / threshold - 1.0 + 0.5),
+                evidence,
+            )
+        ]
+
+
+def default_detectors(config: Optional[WatchConfig] = None) -> List[Detector]:
+    """The standard detector battery, in deterministic order."""
+    config = config if config is not None else WatchConfig()
+    return [
+        LinkCapacityDetector(config),
+        StormDetector(config, "reroute", config.reroute_threshold),
+        StormDetector(config, "fallback", config.fallback_threshold),
+        TardinessDriftDetector(config),
+        JctForecastDetector(config),
+    ]

@@ -1,0 +1,211 @@
+"""Root-cause localization for watch-loop anomalies.
+
+On every anomaly the :class:`Localizer` ranks candidate root causes --
+*which link* failed or degraded, *whether the scheduler* crashed or is
+limping on its fallback, *which job* is hogging contested bandwidth --
+and emits a ``localization`` record with scored candidates, best first.
+
+Evidence comes from three observable sources only (never from the
+injected ``fault`` events -- see :mod:`repro.obs.watch.stream`):
+
+* **telemetry**: per-link capacity drops and "quiet" links that still
+  have flows pinned across them but have not carried traffic for a
+  while (a hard link-down vanishes from ``link_sample`` usage, so
+  silence *is* the signal);
+* **control-plane records**: reroute records whose old paths pile up on
+  one link, and ResilientScheduler fallback records (crash >
+  exception > infeasible), excluding mitigation-pinned ones;
+* **diagnosis**: when the full event stream is available, the
+  contention blame matrix from :mod:`repro.obs.diagnosis` names the
+  job imposing the most cross-job delay -- the "noisy neighbour"
+  candidate behind tardiness drift without any physical fault.
+
+Scores are additive weights clamped to [0, 1]; ties break on
+``(kind, target)`` so rankings are deterministic across live and
+replay. The grader (:mod:`repro.obs.watch.score`) compares the top
+candidates against the chaos layer's ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from .detectors import WatchConfig
+from .stream import StreamState
+
+#: Fallback kinds ranked by how strongly they implicate the scheduler.
+_FALLBACK_WEIGHT = {
+    "crash": 1.0,
+    "exception": 0.6,
+    "infeasible": 0.4,
+}
+
+
+def _anomaly_links(anomaly: Dict) -> Dict[str, float]:
+    """Links the anomaly's own evidence points at (key -> emphasis)."""
+    evidence = anomaly.get("evidence") or {}
+    out: Dict[str, float] = {}
+    link = evidence.get("link")
+    if isinstance(link, str):
+        out[link] = 1.0
+    for item in evidence.get("stale_links") or ():
+        if item and isinstance(item[0], str):
+            out[item[0]] = max(out.get(item[0], 0.0), 1.0)
+    old_path_links = evidence.get("old_path_links") or {}
+    if old_path_links:
+        top = max(old_path_links.values())
+        for key, count in old_path_links.items():
+            out[key] = max(out.get(key, 0.0), count / top)
+    return out
+
+
+class Localizer:
+    """Rank candidate root causes for one anomaly from stream evidence."""
+
+    def __init__(self, config: Optional[WatchConfig] = None) -> None:
+        self.config = config if config is not None else WatchConfig()
+
+    # -- evidence channels ---------------------------------------------
+
+    def _link_candidates(
+        self, anomaly: Dict, state: StreamState
+    ) -> List[Dict]:
+        subjects = _anomaly_links(anomaly)
+        stale = dict(state.stale_links())
+        max_stale = max(stale.values()) if stale else 0.0
+        max_outstanding = max(
+            (len(state.outstanding_on_link.get(key, ())) for key in stale),
+            default=0,
+        )
+        recent_reroutes = state.reroutes[-self.config.storm_window :]
+        reroute_hits: Dict[str, int] = {}
+        for _, old_path, new_path in recent_reroutes:
+            # Only the links the migration *avoided* implicate a fault;
+            # links shared by both paths (host uplinks, usually) don't.
+            for key in set(old_path) - set(new_path):
+                reroute_hits[key] = reroute_hits.get(key, 0) + 1
+        keys = set(state.links) | set(stale) | set(subjects) | set(reroute_hits)
+        candidates: List[Dict] = []
+        for key in keys:
+            evidence: Dict = {}
+            score = 0.0
+            health = state.links.get(key)
+            if health is not None and health.capacity_drop > self.config.capacity_drop_tol:
+                score += 1.0 * health.capacity_drop
+                evidence["capacity_drop"] = health.capacity_drop
+            if key in stale and max_stale > 0.0:
+                quiet = stale[key] / max_stale
+                outstanding = len(state.outstanding_on_link.get(key, ()))
+                # Equally-stale links differ in how many stranded flows
+                # they carry; the shared bottleneck carries the most.
+                share = outstanding / max_outstanding if max_outstanding else 0.0
+                score += 0.8 * quiet * (0.5 + 0.5 * share)
+                evidence["quiet_seconds"] = stale[key]
+                evidence["outstanding_flows"] = outstanding
+            if key in reroute_hits and recent_reroutes:
+                frac = reroute_hits[key] / len(recent_reroutes)
+                score += 0.9 * frac
+                evidence["rerouted_old_paths"] = reroute_hits[key]
+            if key in subjects:
+                score += 0.5 * subjects[key]
+                evidence["anomaly_subject"] = True
+            if score > 0.0:
+                candidates.append(
+                    {
+                        "kind": "link",
+                        "target": key,
+                        "score": min(1.0, score),
+                        "evidence": evidence,
+                    }
+                )
+        return candidates
+
+    def _scheduler_candidate(
+        self, anomaly: Dict, state: StreamState
+    ) -> Optional[Dict]:
+        recent = state.fallbacks[-self.config.storm_window :]
+        kinds: Dict[str, int] = {}
+        score = 0.0
+        for _, kind in recent:
+            if kind == "pinned":  # mitigation-induced, not a symptom
+                continue
+            kinds[kind] = kinds.get(kind, 0) + 1
+            score = max(score, _FALLBACK_WEIGHT.get(kind, 0.5))
+        if not kinds:
+            return None
+        if anomaly.get("detector") == "fallback_storm":
+            score += 0.3
+        return {
+            "kind": "scheduler",
+            "target": "scheduler",
+            "score": min(1.0, score),
+            "evidence": {"fallback_kinds": dict(sorted(kinds.items()))},
+        }
+
+    def _job_candidates(
+        self, anomaly: Dict, events: Optional[Iterable[Dict]]
+    ) -> List[Dict]:
+        """Contention-blame evidence: the noisy-neighbour job.
+
+        Only meaningful for tardiness drift (a link fault or scheduler
+        crash explains the other anomalies better), and only when the
+        caller can supply the event stream for offline diagnosis.
+        """
+        if anomaly.get("detector") != "tardiness_drift" or events is None:
+            return []
+        try:
+            from ..diagnosis import RunArtifacts, attribute_run, blame_matrix
+
+            artifacts = RunArtifacts.from_events(list(events))
+            blame = blame_matrix(attribute_run(artifacts)["flows"])
+        except Exception:  # partial streams may not attribute cleanly
+            return []
+        cross: Dict[str, float] = {}
+        for entry in blame["worst"]:
+            if entry["blamed"] == entry["victim"]:
+                continue
+            cross[entry["blamed"]] = cross.get(entry["blamed"], 0.0) + entry[
+                "seconds"
+            ]
+        total = sum(cross.values())
+        if total <= 0.0:
+            return []
+        return [
+            {
+                "kind": "job",
+                "target": job,
+                # Capped below link/scheduler evidence: blame alone
+                # never outranks a physically observed fault.
+                "score": min(0.5, 0.5 * seconds / total),
+                "evidence": {"cross_job_blame_seconds": seconds},
+            }
+            for job, seconds in cross.items()
+        ]
+
+    # ------------------------------------------------------------------
+
+    def localize(
+        self,
+        anomaly: Dict,
+        state: StreamState,
+        events: Optional[Iterable[Dict]] = None,
+        top: int = 5,
+    ) -> Dict:
+        """Rank root-cause candidates for ``anomaly``; best first."""
+        candidates = self._link_candidates(anomaly, state)
+        scheduler = self._scheduler_candidate(anomaly, state)
+        if scheduler is not None:
+            candidates.append(scheduler)
+        candidates.extend(self._job_candidates(anomaly, events))
+        candidates.sort(
+            key=lambda c: (-c["score"], c["kind"], c["target"])
+        )
+        for candidate in candidates:
+            candidate["score"] = round(candidate["score"], 6)
+        return {
+            "ev": "localization",
+            "t": state.now,
+            "detector": anomaly.get("detector"),
+            "onset": anomaly.get("onset"),
+            "candidates": candidates[:top],
+        }

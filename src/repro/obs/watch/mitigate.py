@@ -1,0 +1,170 @@
+"""Mitigation hooks: turn a localized root cause into a live action.
+
+The :class:`Mitigator` closes the AIOps loop on a *live* engine (replay
+has nothing to mitigate): when a localization's top candidate clears the
+confidence bar, it maps the cause to one of three actions and measures
+what happened:
+
+* ``link`` -> **cordon**: block the directed link in the router and
+  migrate in-flight flows off it via ``NetworkModel.reroute_flows``. If
+  nothing migrates (single-path topology, or the chaos layer already
+  drained the link) the block is rolled back -- a cordon must never
+  strand traffic the fault had not already stranded.
+* ``scheduler`` -> **pin fallback**: ``ResilientScheduler.pin_fallback``
+  serves the fair-share fallback for a horizon instead of re-trusting a
+  scheduler that just crashed; pinned invocations are marked
+  ``"pinned"`` so detectors and the twin oracle ignore them.
+* ``job`` -> **nudge**: force an immediate reschedule so the scheduler
+  re-arranges echelons around the noisy neighbour with fresh state.
+
+Actions are *deferred* through ``engine.schedule_callback`` -- the
+localization fires from inside an instrumentation hook, mid-step, where
+mutating the network would corrupt the advance in progress. Each action
+appends a ``mitigation`` record to the event log at apply time;
+recovered JCT is measured by the grader as the JCT delta between the
+mitigated and unmitigated faulty runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from .detectors import WatchConfig
+
+
+def _split_key(key: str) -> Optional[Tuple[str, str]]:
+    src, sep, dst = key.partition("->")
+    if not sep or not src or not dst:
+        return None
+    return (src, dst)
+
+
+class Mitigator:
+    """Apply at most one mitigation per localized (kind, target)."""
+
+    def __init__(
+        self,
+        engine,
+        config: Optional[WatchConfig] = None,
+        event_log=None,
+        pin_duration: Optional[float] = None,
+    ) -> None:
+        self.engine = engine
+        self.config = config if config is not None else WatchConfig()
+        self.event_log = event_log
+        #: Sim-time horizon a scheduler pin lasts; ``None`` self-scales
+        #: to half the elapsed run time at apply point.
+        self.pin_duration = pin_duration
+        self.actions: List[Dict] = []
+        self._acted: Set[Tuple[str, str]] = set()
+
+    # ------------------------------------------------------------------
+
+    def consider(self, localization: Dict) -> bool:
+        """Schedule a mitigation for the top candidate, if warranted."""
+        candidates = localization.get("candidates") or ()
+        if not candidates:
+            return False
+        top = candidates[0]
+        if top["score"] < self.config.mitigation_min_score:
+            return False
+        key = (top["kind"], top["target"])
+        if key in self._acted:
+            return False
+        self._acted.add(key)
+        engine = self.engine
+        detector = localization.get("detector")
+        if top["kind"] == "link":
+            apply = lambda: self._cordon(top["target"], detector)
+        elif top["kind"] == "scheduler":
+            apply = lambda: self._pin_fallback(detector)
+        elif top["kind"] == "job":
+            apply = lambda: self._nudge(top["target"], detector)
+        else:
+            return False
+        # Defer: we are inside an obs hook, mid engine step.
+        engine.schedule_callback(engine.now, apply)
+        return True
+
+    # -- actions --------------------------------------------------------
+
+    def _record(self, action: str, target: str, detector, **detail) -> None:
+        record: Dict = {
+            "action": action,
+            "target": target,
+            "detector": detector,
+        }
+        record.update(detail)
+        self.actions.append(record)
+        if self.event_log is not None:
+            self.event_log.append(
+                "mitigation", self.engine.now, **record
+            )
+
+    def _cordon(self, target: str, detector) -> None:
+        key = _split_key(target)
+        if key is None:
+            return
+        engine = self.engine
+        router = engine.network.router
+        blocker = getattr(router, "block_links", None)
+        unblocker = getattr(router, "unblock_links", None)
+        if blocker is None or unblocker is None:
+            self._record(
+                "cordon_link", target, detector, applied=False,
+                reason="router cannot block links",
+            )
+            return
+        blocker((key,))
+        try:
+            migrated, stranded = engine.network.reroute_flows((key,))
+        except Exception as exc:  # never leave a half-applied cordon
+            unblocker((key,))
+            self._record(
+                "cordon_link", target, detector, applied=False,
+                reason=f"reroute failed: {exc!r}",
+            )
+            return
+        if not migrated:
+            # No flow found a detour -- the cordon cannot help here and
+            # blocking future admissions would only make things worse.
+            unblocker((key,))
+            self._record(
+                "cordon_link", target, detector, applied=False,
+                migrated=0, stranded=len(stranded),
+                reason="no alternative path",
+            )
+            return
+        self._record(
+            "cordon_link", target, detector, applied=True,
+            migrated=len(migrated), stranded=len(stranded),
+        )
+
+    def _pin_fallback(self, detector) -> None:
+        from ...faults.injector import find_resilient
+
+        engine = self.engine
+        resilient = find_resilient(engine.scheduler)
+        if resilient is None:
+            self._record(
+                "pin_fallback", "scheduler", detector, applied=False,
+                reason="no ResilientScheduler in chain",
+            )
+            return
+        horizon = (
+            self.pin_duration
+            if self.pin_duration is not None
+            else max(engine.now * 0.5, 1e-9)
+        )
+        until = engine.now + horizon
+        resilient.pin_fallback(until)
+        self._record(
+            "pin_fallback", "scheduler", detector, applied=True, until=until
+        )
+
+    def _nudge(self, target: str, detector) -> None:
+        # The callback itself is the mitigation: TIMER events trigger a
+        # full reschedule, letting the scheduler re-form echelons with
+        # the noisy neighbour's current demand in view.
+        self.engine.schedule_callback(self.engine.now, lambda: None)
+        self._record("nudge_reschedule", target, detector, applied=True)

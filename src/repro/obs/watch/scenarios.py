@@ -1,0 +1,259 @@
+"""The generated AIOps scenario suite: paradigm x fault-kind grid.
+
+Each :class:`Scenario` is a fully reproducible chaos experiment: one
+training paradigm on its natural fabric, one fault kind injected at a
+fixed *fraction* of the workload's nominal (fault-free) JCT, plus the
+watch-loop heartbeat period scaled to the same clock. Nominal JCTs come
+from a clean probe run per (paradigm, scheduler) -- cached per process --
+so the same grid adapts to any scheduler or model change without
+hand-tuned absolute times.
+
+Paradigm fabrics:
+
+* ``pp``   -- GPipe on a 4-host linear chain; the fault hits the ``h1-h2``
+  mid-pipeline bottleneck. Single path: a downed link *strands* flows,
+  so outages carry a restore (a permanent chain cut is a deadlock, not a
+  scheduling problem).
+* ``dp`` / ``tp`` / ``fsdp`` -- collective paradigms on a 4-host big
+  switch; the fault hits one host's uplink (``h1-core``).
+* ``ps``   -- parameter server on a 5-host big switch; the fault hits the
+  server's uplink (``h4-core``), the incast bottleneck.
+* ``ls``   -- DP all-reduce on a 2x2 leaf-spine fabric under ECMP. The
+  only multipath scenario: a degraded ``leaf0-spine0`` uplink leaves a
+  healthy spine, so cordon mitigation can actually recover JCT.
+
+Every engine is wrapped in a ResilientScheduler (the watch loop's
+pin-fallback mitigation needs one, and ``crash_scheduler`` faults
+require it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...analysis import job_completion_time
+from ...core import reset_flow_ids
+from ...core.units import gbps, megabytes
+from ...faults import FaultSchedule, ResilientScheduler, parse_fault_spec
+from ...scheduling import make_scheduler
+from ...simulator import Engine
+from ...topology import big_switch, leaf_spine, linear_chain
+from ...topology.routing import EcmpRouter
+from ...workloads import (
+    build_dp_allreduce,
+    build_dp_ps,
+    build_fsdp,
+    build_pp_gpipe,
+    build_tp_megatron,
+)
+from ...workloads.model import uniform_model
+
+PARADIGM_KEYS = ("pp", "dp", "ps", "tp", "fsdp", "ls")
+FAULT_KINDS = ("clean", "link_down", "degrade", "flap", "crash_scheduler")
+
+#: Fault onset as a fraction of the nominal JCT: late enough for the
+#: detectors to finish calibrating, early enough to matter.
+FAULT_AT = 0.45
+#: Heartbeat period as a fraction of the nominal JCT.
+HEARTBEAT_FRAC = 1.0 / 50.0
+
+_JOB_ID = "job"
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One graded chaos experiment (see :func:`build_scenarios`)."""
+
+    name: str  # "<paradigm>/<fault kind>"
+    paradigm: str
+    scheduler: str
+    fault_kind: str
+    spec: Optional[str]  # fault spec string, None for clean
+    nominal_jct: float
+    heartbeat: float
+    fault_link: Optional[str]  # duplex "a-b" the fault targets
+
+    @property
+    def schedule(self) -> Optional[FaultSchedule]:
+        return None if self.spec is None else parse_fault_spec(self.spec)
+
+    def ground_truth(self) -> List[Dict]:
+        schedule = self.schedule
+        return [] if schedule is None else schedule.ground_truth()
+
+
+def _model():
+    return uniform_model(
+        "aiops",
+        4,
+        param_bytes_per_layer=megabytes(16),
+        activation_bytes=megabytes(8),
+        forward_time=0.004,
+    )
+
+
+def _blueprint(paradigm: str) -> Tuple:
+    """Fresh (topology, router, job, duplex fault link) for one paradigm."""
+    model = _model()
+    hosts4 = [f"h{i}" for i in range(4)]
+    if paradigm == "pp":
+        return (
+            linear_chain(4, gbps(3)),
+            None,
+            build_pp_gpipe(_JOB_ID, model, hosts4, 8),
+            "h1-h2",
+        )
+    if paradigm == "dp":
+        return (
+            big_switch(4, gbps(10)),
+            None,
+            build_dp_allreduce(
+                _JOB_ID, model, hosts4, bucket_bytes=megabytes(8)
+            ),
+            "h1-core",
+        )
+    if paradigm == "ps":
+        hosts5 = [f"h{i}" for i in range(5)]
+        return (
+            big_switch(5, gbps(10)),
+            None,
+            build_dp_ps(
+                _JOB_ID,
+                model,
+                hosts5[:4],
+                hosts5[4],
+                bucket_bytes=megabytes(8),
+            ),
+            "h4-core",
+        )
+    if paradigm == "tp":
+        return (
+            big_switch(4, gbps(10)),
+            None,
+            build_tp_megatron(_JOB_ID, model, hosts4),
+            "h1-core",
+        )
+    if paradigm == "fsdp":
+        return (
+            big_switch(4, gbps(10)),
+            None,
+            build_fsdp(_JOB_ID, model, hosts4),
+            "h1-core",
+        )
+    if paradigm == "ls":
+        topology = leaf_spine(2, 2, gbps(10))
+        # Leaf-alternating ring order (h0,h1 sit on leaf0; h2,h3 on
+        # leaf1): every ring hop crosses the spine layer, so ECMP
+        # spreads flows over both spines and a spine uplink fault has
+        # traffic to hit -- and the cordon mitigation has a healthy
+        # spine to migrate it to.
+        return (
+            topology,
+            EcmpRouter(topology),
+            build_dp_allreduce(
+                _JOB_ID,
+                model,
+                ["h0", "h2", "h1", "h3"],
+                bucket_bytes=megabytes(8),
+            ),
+            "leaf0-spine0",
+        )
+    raise ValueError(
+        f"unknown paradigm {paradigm!r}; expected one of {PARADIGM_KEYS}"
+    )
+
+
+def make_engine(
+    paradigm: str,
+    scheduler: str = "echelon",
+    faults=None,
+    instrumentation=None,
+    sanitizer=None,
+) -> Engine:
+    """A fresh single-use engine for one scenario run.
+
+    Flow ids restart from zero so every scenario is the same experiment
+    no matter how many flows the process created before it (ECMP hashes
+    flow ids into path choices; see :func:`repro.core.reset_flow_ids`).
+    """
+    reset_flow_ids()
+    topology, router, job, _ = _blueprint(paradigm)
+    engine = Engine(
+        topology,
+        ResilientScheduler(make_scheduler(scheduler)),
+        router=router,
+        instrumentation=instrumentation,
+        sanitizer=sanitizer,
+        faults=faults,
+    )
+    job.submit_to(engine)
+    return engine
+
+
+_NOMINAL_CACHE: Dict[Tuple[str, str], float] = {}
+
+
+def nominal_jct(paradigm: str, scheduler: str = "echelon") -> float:
+    """Fault-free JCT from a clean probe run (cached per process)."""
+    key = (paradigm, scheduler)
+    if key not in _NOMINAL_CACHE:
+        # The probe is a throwaway timing reference; sanitizing it would
+        # only slow the suite down without checking anything new.
+        engine = make_engine(paradigm, scheduler, sanitizer=False)
+        trace = engine.run()
+        _NOMINAL_CACHE[key] = job_completion_time(trace, _JOB_ID)
+    return _NOMINAL_CACHE[key]
+
+
+def _fault_spec(
+    kind: str, link: str, at: float, jct: float
+) -> Optional[str]:
+    if kind == "clean":
+        return None
+    if kind == "link_down":
+        # Always restored: on single-path fabrics a permanent cut is a
+        # deadlock (every crossing flow stranded at rate zero forever).
+        return f"link_down:{link}@{at:.6g}+{0.3 * jct:.6g}"
+    if kind == "degrade":
+        return f"degrade:{link}@{at:.6g}+{0.4 * jct:.6g},factor=0.3"
+    if kind == "flap":
+        return f"flap:{link}@{at:.6g},period={0.2 * jct:.6g},count=2"
+    if kind == "crash_scheduler":
+        return f"crash_scheduler@{at:.6g}"
+    raise ValueError(f"unknown fault kind {kind!r}; expected {FAULT_KINDS}")
+
+
+def build_scenarios(
+    paradigms: Optional[Sequence[str]] = None,
+    kinds: Optional[Sequence[str]] = None,
+    scheduler: str = "echelon",
+) -> List[Scenario]:
+    """The scenario grid, deterministic order: paradigm-major."""
+    paradigms = tuple(paradigms) if paradigms is not None else PARADIGM_KEYS
+    kinds = tuple(kinds) if kinds is not None else FAULT_KINDS
+    scenarios: List[Scenario] = []
+    for paradigm in paradigms:
+        jct = nominal_jct(paradigm, scheduler)
+        at = FAULT_AT * jct
+        _, _, _, link = _blueprint(paradigm)
+        for kind in kinds:
+            scenarios.append(
+                Scenario(
+                    name=f"{paradigm}/{kind}",
+                    paradigm=paradigm,
+                    scheduler=scheduler,
+                    fault_kind=kind,
+                    spec=_fault_spec(kind, link, at, jct),
+                    nominal_jct=jct,
+                    heartbeat=HEARTBEAT_FRAC * jct,
+                    fault_link=None if kind in ("clean", "crash_scheduler") else link,
+                )
+            )
+    return scenarios
+
+
+#: The CI / bench subset: one single-path and one multipath fabric,
+#: clean (FP check) + the two faults the acceptance bar names.
+SMOKE_PARADIGMS = ("pp", "dp", "ls")
+SMOKE_KINDS = ("clean", "link_down", "degrade")

@@ -1,0 +1,277 @@
+"""Shared online view of the obs event feed.
+
+:class:`StreamState` is the one mutable structure every detector and the
+localizer read: which flows are outstanding and over which links, the
+telemetry health of every sampled link, recent reroute/fallback records,
+and per-group delivery progress. It is built *exclusively* from the
+observable event stream -- ``fault`` events (the injected ground truth)
+only advance the clock; their payloads are never read, so detection and
+localization cannot cheat off the chaos layer's own labels. The grader
+(:mod:`repro.obs.watch.score`) is the only consumer of ground truth.
+
+Feeding the same event sequence always produces the same state, which is
+what makes live detection and offline JSONL replay bit-for-bit equal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+
+class LinkHealth:
+    """Telemetry-derived health of one directed link."""
+
+    __slots__ = (
+        "nominal",
+        "capacity",
+        "last_seen",
+        "last_busy",
+        "first_seen",
+        "peak_rate",
+    )
+
+    def __init__(self, capacity: float, now: float) -> None:
+        self.nominal = capacity
+        self.capacity = capacity
+        self.first_seen = now
+        self.last_seen = now
+        #: Last sample time the link carried a nonzero rate.
+        self.last_busy: Optional[float] = None
+        self.peak_rate = 0.0
+
+    def observe(self, now: float, utilization: float, capacity: float) -> None:
+        self.capacity = capacity
+        self.nominal = max(self.nominal, capacity)
+        self.last_seen = now
+        rate = utilization * capacity
+        if rate > 1e-12:
+            self.last_busy = now
+            self.peak_rate = max(self.peak_rate, rate)
+
+    @property
+    def capacity_drop(self) -> float:
+        """Fraction of the nominal capacity currently missing (0..1)."""
+        if self.nominal <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.capacity / self.nominal)
+
+
+class GroupProgress:
+    """Injected-vs-delivered accounting of one EchelonFlow group."""
+
+    __slots__ = ("injected", "delivered", "first_start", "last_finish", "worst")
+
+    def __init__(self) -> None:
+        self.injected = 0
+        self.delivered = 0
+        self.first_start: Optional[float] = None
+        self.last_finish: Optional[float] = None
+        self.worst = 0.0
+
+
+class StreamState:
+    """Normalized, order-dependent view of the event stream so far.
+
+    ``pair_symmetry`` (default on) lets the two directions of a duplex
+    link share their observed nominal capacity: every fabric in
+    :mod:`repro.topology.fabrics` is built from symmetric duplex pairs,
+    and a direction that is first sampled *while already degraded*
+    (e.g. the backward-gradient direction of a pipeline link) would
+    otherwise look healthy at its reduced speed forever. Disable it for
+    hand-built asymmetric topologies.
+    """
+
+    def __init__(self, pair_symmetry: bool = True) -> None:
+        self.pair_symmetry = pair_symmetry
+        #: canonical (min, max) endpoint pair -> best capacity seen
+        #: in either direction.
+        self._pair_nominal: Dict[Tuple[str, str], float] = {}
+        self.now = 0.0
+        self.started: Optional[float] = None
+        self.events_seen = 0
+        #: flow id -> (path link keys, job, group, size).
+        self.active_flows: Dict[int, Dict] = {}
+        #: link key -> flow ids currently pinned across it.
+        self.outstanding_on_link: Dict[str, Set[int]] = {}
+        self.links: Dict[str, LinkHealth] = {}
+        self.groups: Dict[str, GroupProgress] = {}
+        self.deliveries = 0
+        self.last_delivery: Optional[float] = None
+        #: (t, old path keys, new path keys) reroute records, append order.
+        self.reroutes: List[Tuple[float, Tuple[str, ...], Tuple[str, ...]]] = []
+        #: (t, kind) ResilientScheduler degradation records.
+        self.fallbacks: List[Tuple[float, str]] = []
+        #: job id -> cumulative delivered bytes / outstanding bytes.
+        self.job_delivered_bytes: Dict[str, float] = {}
+        self.job_outstanding_bytes: Dict[str, float] = {}
+        self.jobs_completed: Set[str] = set()
+
+    @property
+    def elapsed(self) -> float:
+        return self.now - (self.started if self.started is not None else self.now)
+
+    def outstanding_flows(self) -> int:
+        return len(self.active_flows)
+
+    # ------------------------------------------------------------------
+
+    def observe(self, event: Dict) -> None:
+        """Fold one event into the state (the only mutation entry point)."""
+        self.events_seen += 1
+        t = event.get("t")
+        if isinstance(t, (int, float)):
+            if self.started is None:
+                self.started = t
+            self.now = max(self.now, t)
+        kind = event.get("ev")
+        if kind == "flow_injected":
+            self._on_injected(event)
+        elif kind == "flow_finished":
+            self._on_finished(event)
+        elif kind == "flow_rerouted":
+            self._on_rerouted(event)
+        elif kind == "link_sample":
+            self._on_link_sample(event)
+        elif kind == "scheduler_fallback":
+            self.fallbacks.append((self.now, event.get("kind", "unknown")))
+        elif kind == "job_completed":
+            job = event.get("job")
+            if job is not None:
+                self.jobs_completed.add(job)
+        # "fault" events are deliberately not parsed: ground truth stays
+        # invisible to the detection path (see module docstring).
+
+    def _path_keys(self, event: Dict) -> Tuple[str, ...]:
+        path = event.get("path") or ()
+        return tuple(str(hop[0]) for hop in path if hop)
+
+    def _on_injected(self, event: Dict) -> None:
+        flow_id = event.get("flow_id")
+        if flow_id is None:
+            return
+        keys = self._path_keys(event)
+        size = event.get("size") or 0.0
+        job = event.get("job")
+        info = {
+            "path": keys,
+            "job": job,
+            "group": event.get("group"),
+            "size": size,
+            "injected": self.now,
+        }
+        self.active_flows[flow_id] = info
+        for key in keys:
+            self.outstanding_on_link.setdefault(key, set()).add(flow_id)
+        group = event.get("group")
+        if group is not None:
+            progress = self.groups.setdefault(group, GroupProgress())
+            progress.injected += 1
+            if progress.first_start is None:
+                progress.first_start = self.now
+        if job is not None:
+            self.job_outstanding_bytes[job] = (
+                self.job_outstanding_bytes.get(job, 0.0) + size
+            )
+
+    def _on_finished(self, event: Dict) -> None:
+        flow_id = event.get("flow_id")
+        info = self.active_flows.pop(flow_id, None)
+        if info is not None:
+            for key in info["path"]:
+                flows = self.outstanding_on_link.get(key)
+                if flows is not None:
+                    flows.discard(flow_id)
+        self.deliveries += 1
+        self.last_delivery = self.now
+        group = event.get("group")
+        tardiness = event.get("tardiness")
+        if group is not None:
+            progress = self.groups.setdefault(group, GroupProgress())
+            progress.delivered += 1
+            progress.last_finish = self.now
+            if isinstance(tardiness, (int, float)):
+                progress.worst = max(progress.worst, tardiness)
+        job = event.get("job")
+        size = event.get("size") or 0.0
+        if job is not None:
+            self.job_delivered_bytes[job] = (
+                self.job_delivered_bytes.get(job, 0.0) + size
+            )
+            outstanding = self.job_outstanding_bytes.get(job)
+            if outstanding is not None:
+                self.job_outstanding_bytes[job] = max(0.0, outstanding - size)
+
+    def _on_rerouted(self, event: Dict) -> None:
+        flow_id = event.get("flow_id")
+        old_path = tuple(event.get("old_path") or ())
+        new_path = tuple(event.get("new_path") or ())
+        self.reroutes.append((self.now, old_path, new_path))
+        info = self.active_flows.get(flow_id)
+        if info is None:
+            return
+        for key in info["path"]:
+            flows = self.outstanding_on_link.get(key)
+            if flows is not None:
+                flows.discard(flow_id)
+        info["path"] = new_path
+        for key in new_path:
+            self.outstanding_on_link.setdefault(key, set()).add(flow_id)
+
+    def _on_link_sample(self, event: Dict) -> None:
+        links = event.get("links") or {}
+        caps = event.get("caps") or {}
+        for key, utilization in links.items():
+            capacity = caps.get(key)
+            health = self.links.get(key)
+            if health is None:
+                nominal = capacity if capacity is not None else 0.0
+                health = LinkHealth(nominal, self.now)
+                self.links[key] = health
+            health.observe(
+                self.now,
+                utilization,
+                capacity if capacity is not None else health.capacity,
+            )
+            if self.pair_symmetry and capacity is not None:
+                src, sep, dst = key.partition("->")
+                if sep:
+                    pair = (src, dst) if src < dst else (dst, src)
+                    best = self._pair_nominal.get(pair, 0.0)
+                    if capacity > best:
+                        self._pair_nominal[pair] = capacity
+                        best = capacity
+                    health.nominal = max(health.nominal, best)
+
+    # -- derived evidence ----------------------------------------------
+
+    def group_completed(self, group: str) -> bool:
+        progress = self.groups.get(group)
+        return (
+            progress is not None
+            and progress.injected > 0
+            and progress.delivered >= progress.injected
+        )
+
+    def stale_links(self) -> List[Tuple[str, float]]:
+        """Links with outstanding flows, sorted by how stale they are.
+
+        Returns ``(link key, seconds since last busy sample)`` for every
+        link that still has flows pinned across it; links never sampled
+        busy are aged from the earliest pinned flow's injection time.
+        """
+        out: List[Tuple[str, float]] = []
+        for key, flows in self.outstanding_on_link.items():
+            if not flows:
+                continue
+            health = self.links.get(key)
+            if health is not None and health.last_busy is not None:
+                since = health.last_busy
+            else:
+                since = min(
+                    self.active_flows[fid]["injected"]
+                    for fid in flows
+                    if fid in self.active_flows
+                )
+            out.append((key, max(0.0, self.now - since)))
+        out.sort(key=lambda kv: (-kv[1], kv[0]))
+        return out

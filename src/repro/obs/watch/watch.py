@@ -1,0 +1,206 @@
+"""The online watch loop: stream -> detect -> localize -> mitigate.
+
+:class:`WatchLoop` is one pipeline consuming obs events from either of
+two sources with *identical* behaviour:
+
+* **live** -- :meth:`attach` subscribes to a run's
+  :class:`~repro.obs.jsonl.JsonlEventLog`, seeing every event the moment
+  instrumentation appends it (before any ring eviction). With an engine
+  handle it also arms a sim-time heartbeat and, optionally, a
+  :class:`~repro.obs.watch.mitigate.Mitigator`.
+* **replay** -- :meth:`replay_jsonl` / :meth:`replay_events` feed a
+  saved log through the same pipeline, one record at a time.
+
+Determinism contract: detectors and the localizer are pure functions of
+the *input* event sequence. Records the loop itself produces
+(``anomaly`` / ``localization`` / ``mitigation``, plus ``log_truncated``
+markers) are skipped entirely on observation -- live, that breaks the
+self-subscription recursion; on replay, it means a previously watched
+log re-detects from scratch. Heartbeats are different: they are *input*
+(``watch_heartbeat`` records appended to the log in sim time), so a
+replay ticks at exactly the moments the live loop ticked. Together this
+makes live and replay detections bit-for-bit equal, which
+``tests/test_watch.py`` pins down.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..jsonl import iter_jsonl
+from .detectors import Detector, WatchConfig, default_detectors
+from .localize import Localizer
+from .mitigate import Mitigator
+from .stream import StreamState
+
+#: Loop-produced record kinds, never consumed as input.
+_SELF_KINDS = frozenset(
+    {"anomaly", "localization", "mitigation", "log_truncated"}
+)
+
+#: Heartbeats re-arm only this many times without a single new delivery;
+#: after that the loop goes quiet so a genuinely wedged engine hits its
+#: own deadlock detection instead of being kept alive by our timers.
+MAX_IDLE_BEATS = 100
+
+
+class WatchLoop:
+    """One streaming detection/localization/mitigation pipeline."""
+
+    def __init__(
+        self,
+        config: Optional[WatchConfig] = None,
+        detectors: Optional[List[Detector]] = None,
+        localizer: Optional[Localizer] = None,
+        collect_events: bool = True,
+    ) -> None:
+        self.config = config if config is not None else WatchConfig()
+        self.detectors = (
+            detectors if detectors is not None else default_detectors(self.config)
+        )
+        self.localizer = (
+            localizer if localizer is not None else Localizer(self.config)
+        )
+        self.state = StreamState(pair_symmetry=self.config.pair_symmetry)
+        self.anomalies: List[Dict] = []
+        self.localizations: List[Dict] = []
+        self.mitigator: Optional[Mitigator] = None
+        #: Input events retained for on-anomaly diagnosis (job blame).
+        #: Disable on very long streams to keep the loop O(window).
+        self.collect_events = collect_events
+        self._events: List[Dict] = []
+        self._log = None
+        self._engine = None
+        self._heartbeat: Optional[float] = None
+        self._beats = 0
+        self._idle_beats = 0
+        self._deliveries_at_beat = 0
+
+    # -- ingestion ------------------------------------------------------
+
+    def observe(self, event: Dict) -> List[Dict]:
+        """Feed one event record through the pipeline.
+
+        Returns the anomalies this event triggered (usually empty).
+        """
+        if event.get("ev") in _SELF_KINDS:
+            return []
+        if self.collect_events:
+            self._events.append(event)
+        self.state.observe(event)
+        fired: List[Dict] = []
+        for detector in self.detectors:
+            fired.extend(detector.observe(event, self.state))
+        for anomaly in fired:
+            self._on_anomaly(anomaly)
+        return fired
+
+    def _on_anomaly(self, anomaly: Dict) -> None:
+        self.anomalies.append(anomaly)
+        localization = self.localizer.localize(
+            anomaly,
+            self.state,
+            events=self._events if self.collect_events else None,
+        )
+        self.localizations.append(localization)
+        if self._log is not None:
+            self._log.append(
+                anomaly["ev"],
+                anomaly["t"],
+                **{k: v for k, v in anomaly.items() if k not in ("ev", "t")},
+            )
+            self._log.append(
+                localization["ev"],
+                localization["t"],
+                **{
+                    k: v
+                    for k, v in localization.items()
+                    if k not in ("ev", "t")
+                },
+            )
+        if self.mitigator is not None:
+            self.mitigator.consider(localization)
+
+    # -- live attachment ------------------------------------------------
+
+    def attach(
+        self,
+        event_log,
+        engine=None,
+        mitigate: bool = False,
+        heartbeat: Optional[float] = None,
+        pin_duration: Optional[float] = None,
+    ) -> "WatchLoop":
+        """Subscribe to a live event log (and optionally a live engine).
+
+        ``heartbeat`` arms a recurring sim-time tick of that period:
+        each tick appends a ``watch_heartbeat`` record (so replay sees
+        it) and drives the stall detectors through quiet stretches.
+        ``mitigate`` requires ``engine`` and wires a
+        :class:`Mitigator` to act on confident localizations.
+        """
+        self._log = event_log
+        self._engine = engine
+        event_log.subscribe(self.observe)
+        if mitigate:
+            if engine is None:
+                raise ValueError("mitigation requires a live engine")
+            self.mitigator = Mitigator(
+                engine, self.config, event_log, pin_duration
+            )
+        if heartbeat is not None:
+            if engine is None:
+                raise ValueError("a heartbeat requires a live engine")
+            if heartbeat <= 0:
+                raise ValueError(f"heartbeat must be positive, got {heartbeat}")
+            self._heartbeat = heartbeat
+            engine.schedule_callback(engine.now + heartbeat, self._beat)
+        return self
+
+    def _beat(self) -> None:
+        engine = self._engine
+        log = self._log
+        if engine is None or log is None:
+            return
+        self._beats += 1
+        if self.state.deliveries > self._deliveries_at_beat:
+            self._idle_beats = 0
+        else:
+            self._idle_beats += 1
+        self._deliveries_at_beat = self.state.deliveries
+        # Observation happens via our own subscription to the log.
+        log.append("watch_heartbeat", engine.now, beat=self._beats)
+        more_work = (
+            engine.events.peek_time() != float("inf")
+            or engine.network.active_count > 0
+        )
+        if more_work and self._idle_beats < MAX_IDLE_BEATS:
+            engine.schedule_callback(
+                engine.now + self._heartbeat, self._beat
+            )
+
+    # -- offline replay -------------------------------------------------
+
+    def replay_events(self, events: Iterable[Dict]) -> "WatchLoop":
+        for event in events:
+            self.observe(event)
+        return self
+
+    def replay_jsonl(self, path: str) -> "WatchLoop":
+        """Stream a saved JSONL log through the pipeline (O(1) memory
+        unless ``collect_events``)."""
+        return self.replay_events(iter_jsonl(path))
+
+    # -- results --------------------------------------------------------
+
+    def report(self) -> Dict:
+        """JSON-able summary of everything the loop saw and did."""
+        out: Dict = {
+            "events_seen": self.state.events_seen,
+            "heartbeats": self._beats,
+            "anomalies": list(self.anomalies),
+            "localizations": list(self.localizations),
+        }
+        if self.mitigator is not None:
+            out["mitigations"] = list(self.mitigator.actions)
+        return out

@@ -1,0 +1,86 @@
+"""Bounded sliding windows for the streaming detectors.
+
+Every detector in :mod:`repro.obs.watch.detectors` reasons over a
+:class:`SlidingWindow`: a deque of ``(time, value)`` samples bounded both
+by a time span and by a sample count, so memory stays O(window) however
+long the run streams. Eviction is deterministic and documented: samples
+leave strictly oldest-first, the moment a newer sample makes them fall
+outside ``span`` seconds of the newest time or pushes the count past
+``max_samples``. Aggregates (mean/max/sum) are recomputed from the
+retained samples only -- a window never remembers what it evicted, which
+is exactly the semantics the false-positive tests pin down.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, List, Optional, Tuple
+
+
+class SlidingWindow:
+    """A time- and count-bounded window of ``(time, value)`` samples."""
+
+    def __init__(
+        self, span: Optional[float] = None, max_samples: Optional[int] = None
+    ) -> None:
+        if span is not None and span <= 0:
+            raise ValueError(f"span must be positive, got {span}")
+        if max_samples is not None and max_samples <= 0:
+            raise ValueError(f"max_samples must be positive, got {max_samples}")
+        if span is None and max_samples is None:
+            raise ValueError("need a span bound, a sample bound, or both")
+        self.span = span
+        self.max_samples = max_samples
+        self._samples: Deque[Tuple[float, float]] = deque()
+        #: Samples evicted over the lifetime (coalesced count only).
+        self.evicted = 0
+
+    def push(self, t: float, value: float) -> None:
+        self._samples.append((t, value))
+        self._evict(t)
+
+    def _evict(self, now: float) -> None:
+        samples = self._samples
+        if self.max_samples is not None:
+            while len(samples) > self.max_samples:
+                samples.popleft()
+                self.evicted += 1
+        if self.span is not None:
+            horizon = now - self.span
+            while samples and samples[0][0] < horizon:
+                samples.popleft()
+                self.evicted += 1
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __bool__(self) -> bool:
+        return bool(self._samples)
+
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
+        return iter(self._samples)
+
+    def values(self) -> List[float]:
+        return [value for _, value in self._samples]
+
+    def mean(self) -> float:
+        if not self._samples:
+            raise ValueError("mean of empty window")
+        return sum(v for _, v in self._samples) / len(self._samples)
+
+    def max(self) -> float:
+        if not self._samples:
+            raise ValueError("max of empty window")
+        return max(v for _, v in self._samples)
+
+    def sum(self) -> float:
+        return sum(v for _, v in self._samples)
+
+    def newest_time(self) -> Optional[float]:
+        return self._samples[-1][0] if self._samples else None
+
+    def oldest_time(self) -> Optional[float]:
+        return self._samples[0][0] if self._samples else None
+
+    def count_since(self, t: float) -> int:
+        return sum(1 for st, _ in self._samples if st >= t)
