@@ -59,6 +59,26 @@ class Sanitizer:
         obs = getattr(engine, "obs", None)
         self._event_log = getattr(obs, "event_log", None) if obs else None
 
+    def fork(self) -> "Sanitizer":
+        """A sanitizer for a forked engine, continuing this one's streams.
+
+        Correctness state carries over: ``_task_done`` must travel or the
+        fork would flag phantom causality violations for post-fork tasks
+        whose dependencies completed pre-fork, and the twin-sampling RNG
+        resumes mid-stream so a forked-and-resumed run samples exactly the
+        invocations an uninterrupted run would (the bit-identical twin
+        guard depends on it). The violation log starts empty (a fork's
+        verdicts are its own); the cross-run stats aggregator is shared.
+        The clone is unattached -- the forked engine's constructor path
+        calls :meth:`attach`.
+        """
+        clone = Sanitizer(self.config, stats=self._stats)
+        clone._rng.setstate(self._rng.getstate())
+        clone.checks = dict(self.checks)
+        clone._task_done = dict(self._task_done)
+        clone._validated_groups = set(self._validated_groups)
+        return clone
+
     # ------------------------------------------------------------------
     # violation dispatch
     # ------------------------------------------------------------------

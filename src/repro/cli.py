@@ -854,6 +854,123 @@ def cmd_aiops(args) -> int:
     return 0
 
 
+def _render_whatif(result) -> str:
+    """Human-readable summary of one what-if answer."""
+    lines = [
+        format_table(
+            ["metric", "baseline", "variant", "delta"],
+            [
+                [
+                    "makespan (s)",
+                    f"{result.baseline_makespan:.4f}",
+                    f"{result.variant_makespan:.4f}",
+                    f"{result.makespan_delta:+.4f}",
+                ],
+            ],
+            title=f"{result.query.describe()}  [{result.mode}, "
+            f"t={result.time:.4f}s, {result.wall_clock * 1000:.0f}ms]",
+        )
+    ]
+    jct_rows = []
+    for job_id, triple in sorted(result.jct.items()):
+        jct_rows.append(
+            [
+                job_id,
+                "-" if triple["baseline"] is None else f"{triple['baseline']:.4f}",
+                "-" if triple["variant"] is None else f"{triple['variant']:.4f}",
+                "-" if triple["delta"] is None else f"{triple['delta']:+.4f}",
+            ]
+        )
+    lines.append(
+        format_table(["job", "JCT base", "JCT variant", "delta"], jct_rows)
+    )
+    moved = [
+        (gid, t["delta"])
+        for gid, t in result.tardiness.items()
+        if t["delta"] is not None and abs(t["delta"]) > 1e-9
+    ]
+    if moved:
+        moved.sort(key=lambda item: -abs(item[1]))
+        lines.append(
+            format_table(
+                ["EchelonFlow group", "tardiness delta (s)"],
+                [[gid, f"{delta:+.4f}"] for gid, delta in moved[:10]],
+                title="groups whose tardiness moved",
+            )
+        )
+    if result.added_jobs:
+        lines.append("added jobs: " + ", ".join(result.added_jobs))
+    if result.removed_jobs:
+        lines.append("removed jobs: " + ", ".join(result.removed_jobs))
+    return "\n".join(lines)
+
+
+def cmd_whatif(args) -> int:
+    import json as _json
+
+    from .whatif import (
+        WhatIfError,
+        WhatIfQueryError,
+        WhatIfService,
+        parse_batch,
+        parse_query,
+    )
+
+    if not args.batch and not args.query:
+        print("error: give a query or --batch FILE", file=sys.stderr)
+        return 1
+    try:
+        if args.batch:
+            with open(args.batch) as handle:
+                queries = parse_batch(handle.read())
+        else:
+            queries = [parse_query(args.query)]
+    except OSError as exc:
+        print(f"error: cannot read {args.batch}: {exc}", file=sys.stderr)
+        return 1
+    except WhatIfQueryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not queries:
+        print("error: batch file contains no queries", file=sys.stderr)
+        return 1
+
+    service = WhatIfService.build(
+        hosts=args.hosts,
+        jobs=args.jobs,
+        iterations=args.iterations,
+        scheduler=args.scheduler,
+    )
+    detail = "deltas" if args.deltas_only else "full"
+    results = []
+    failures = 0
+    for query in queries:
+        try:
+            results.append(service.run_query(query, mode=args.mode, detail=detail))
+        except WhatIfError as exc:
+            failures += 1
+            print(f"error: {exc}", file=sys.stderr)
+    if args.json:
+        print(
+            _json.dumps(
+                [result.to_json() for result in results],
+                indent=2,
+                sort_keys=True,
+                default=str,
+            )
+        )
+    else:
+        print(
+            f"baseline: {args.jobs} jobs on {args.hosts} hosts, makespan "
+            f"{service.baseline_makespan:.4f}s "
+            f"(simulated in {service.baseline_wall_clock:.2f}s)"
+        )
+        for result in results:
+            print()
+            print(_render_whatif(result))
+    return 1 if failures and not results else 0
+
+
 def cmd_diagnose(args) -> int:
     import json as _json
 
@@ -991,6 +1108,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", metavar="PATH", help="also write the report JSON to PATH"
     )
 
+    whatif = sub.add_parser(
+        "whatif",
+        help="warm-started counterfactual queries against a baseline "
+        "cluster run (see docs/whatif.md)",
+    )
+    whatif.add_argument(
+        "query",
+        nargs="?",
+        help="one query, e.g. 'kill_link:h0-core@40%%+10%%' or "
+        "'submit_job:fsdp@25%%' ('%%' = fraction of baseline makespan)",
+    )
+    whatif.add_argument(
+        "--batch",
+        metavar="FILE",
+        help="answer every query in FILE (one per line, # comments)",
+    )
+    whatif.add_argument("--hosts", type=int, default=16)
+    whatif.add_argument("--jobs", type=int, default=8)
+    whatif.add_argument(
+        "--iterations", type=int, default=2, help="training iterations per job"
+    )
+    whatif.add_argument(
+        "--scheduler", default="echelon", choices=scheduler_names()
+    )
+    whatif.add_argument(
+        "--mode",
+        choices=("warm", "cold"),
+        default="warm",
+        help="warm: fork the baseline and delta-resimulate (default); "
+        "cold: replay from scratch (benchmark control)",
+    )
+    whatif.add_argument(
+        "--deltas-only",
+        action="store_true",
+        help="skip the per-flow run-diff report (much faster on batches)",
+    )
+    whatif.add_argument("--json", action="store_true", help="dump raw JSON")
+
     diagnose = sub.add_parser(
         "diagnose",
         help="critical path, tardiness attribution, and contention blame "
@@ -1099,6 +1254,7 @@ _COMMANDS = {
     "obs": cmd_obs,
     "watch": cmd_watch,
     "aiops": cmd_aiops,
+    "whatif": cmd_whatif,
     "diagnose": cmd_diagnose,
     "diff": cmd_diff,
     "schedulers": cmd_schedulers,

@@ -10,7 +10,14 @@ from .arrangement import (
 )
 from .coflow import bottleneck_duration, coflow_completion_time, port_loads
 from .echelonflow import EchelonFlow, make_coflow, total_tardiness
-from .flow import Flow, FlowState, reset_flow_ids
+from .flow import (
+    Flow,
+    FlowIdAllocator,
+    FlowState,
+    current_flow_id_allocator,
+    reset_flow_ids,
+    use_flow_id_allocator,
+)
 from .tardiness import (
     CompletionTimeObjective,
     FlowOutcome,
@@ -32,7 +39,10 @@ __all__ = [
     "make_coflow",
     "total_tardiness",
     "Flow",
+    "FlowIdAllocator",
     "FlowState",
+    "current_flow_id_allocator",
+    "use_flow_id_allocator",
     "FlowOutcome",
     "SchedulingObjective",
     "TardinessObjective",

@@ -88,6 +88,24 @@ class EchelonFlow:
     def flows(self) -> Sequence[Flow]:
         return tuple(self._flows)
 
+    def fork(self) -> "EchelonFlow":
+        """An independent copy for a forked engine.
+
+        Member :class:`Flow` objects and the arrangement are immutable
+        and shared; the mutable pieces (the pinned reference time and
+        the membership containers) are copied so the fork's run can pin
+        or extend its copy without perturbing the parent's.
+        """
+        twin = EchelonFlow.__new__(EchelonFlow)
+        twin.ef_id = self.ef_id
+        twin.arrangement = self.arrangement
+        twin.job_id = self.job_id
+        twin.weight = self.weight
+        twin.reference_time = self.reference_time
+        twin._flows = list(self._flows)
+        twin._indices_seen = set(self._indices_seen)
+        return twin
+
     def __len__(self) -> int:
         return len(self._flows)
 

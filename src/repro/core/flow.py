@@ -13,32 +13,93 @@ single :class:`Flow` description can be replayed under many schedulers.
 
 from __future__ import annotations
 
-import itertools
+import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterator, Optional
 
 from .units import EPS
 
-_flow_counter = itertools.count()
+
+class FlowIdAllocator:
+    """An explicit, scope-able flow-id sequence.
+
+    Flow ids seed deterministic per-flow decisions (ECMP path hashing),
+    so an experiment's outcome depends on the id sequence its flows drew
+    from. Instead of one process-global counter, each experiment (and
+    each forked :class:`~repro.simulator.engine.Engine`) owns an
+    allocator: builds wrapped in :func:`use_flow_id_allocator` get ids
+    starting from the allocator's position regardless of how many flows
+    the process created before them -- order-independence by
+    construction rather than by remembering to reset a global.
+
+    The allocator is trivially snapshottable (one integer), which is
+    what lets a forked engine hand out fresh non-colliding ids to
+    what-if jobs while the parent keeps allocating from its own line.
+    """
+
+    __slots__ = ("next_id",)
+
+    def __init__(self, next_id: int = 0) -> None:
+        if next_id < 0:
+            raise ValueError(f"next_id must be >= 0, got {next_id}")
+        self.next_id = next_id
+
+    def allocate(self) -> int:
+        value = self.next_id
+        self.next_id += 1
+        return value
+
+    def clone(self) -> "FlowIdAllocator":
+        return FlowIdAllocator(self.next_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FlowIdAllocator<next={self.next_id}>"
+
+
+#: The ambient allocator used by ``Flow()`` construction when no scope is
+#: active. Module-level so legacy callers keep working unchanged.
+_current_allocator = FlowIdAllocator()
+
+
+def current_flow_id_allocator() -> FlowIdAllocator:
+    """The allocator ``Flow()`` construction is currently drawing from."""
+    return _current_allocator
+
+
+@contextmanager
+def use_flow_id_allocator(allocator: FlowIdAllocator) -> Iterator[FlowIdAllocator]:
+    """Scope ``Flow()`` id allocation to ``allocator`` within the block."""
+    global _current_allocator
+    previous = _current_allocator
+    _current_allocator = allocator
+    try:
+        yield allocator
+    finally:
+        _current_allocator = previous
 
 
 def _next_flow_id() -> int:
-    return next(_flow_counter)
+    return _current_allocator.allocate()
 
 
 def reset_flow_ids() -> None:
-    """Restart the process-global flow-id sequence from zero.
+    """Deprecated: rewind the *current* flow-id allocator to zero.
 
-    Flow ids seed deterministic per-flow decisions (ECMP path hashing),
-    so an experiment's outcome can depend on how many flows the process
-    created *before* it. Harnesses that need run-for-run reproducibility
-    regardless of history -- the AIOps scenario suite, notably -- call
-    this before building each engine. Never call it while an engine is
+    Superseded by scoping flow construction with
+    :func:`use_flow_id_allocator` (a fresh :class:`FlowIdAllocator` per
+    experiment), which gives the same run-for-run reproducibility
+    without mutating shared state. Never call this while an engine is
     mid-run: live flows keep their ids, and a reset makes new flows
     collide with them.
     """
-    global _flow_counter
-    _flow_counter = itertools.count()
+    warnings.warn(
+        "reset_flow_ids() is deprecated; wrap experiment construction in "
+        "use_flow_id_allocator(FlowIdAllocator()) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    _current_allocator.next_id = 0
 
 
 @dataclass(frozen=True)

@@ -55,6 +55,11 @@ class FaultInjector:
         self.schedule = schedule
         self.engine = None
         self.fired: List[Dict] = []
+        #: id(armed Event) -> (Event, FaultEvent). Lets snapshot/fork
+        #: (repro.simulator.state) recognize which pending FAULT events
+        #: are this injector's and re-arm them against a forked engine;
+        #: holding the Event strongly keeps ids stable.
+        self._armed: Dict[int, Tuple] = {}
 
     def attach(self, engine) -> None:
         """Validate the schedule against the engine and arm its events."""
@@ -71,7 +76,11 @@ class FaultInjector:
             )
         self.engine = engine
         for event in self.schedule:
-            engine.schedule_fault(event.time, lambda ev=event: self._fire(ev))
+            armed = engine.schedule_fault(
+                event.time, lambda ev=event: self._fire(ev)
+            )
+            if armed is not None:
+                self._armed[id(armed)] = (armed, event)
 
     # ------------------------------------------------------------------
 

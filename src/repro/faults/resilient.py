@@ -110,6 +110,24 @@ class ResilientScheduler(Scheduler):
                 notify(record, view.now)
         return self.fallback.allocate(view)
 
+    def fork(self) -> "ResilientScheduler":
+        """Fork for a forked engine: compose the inner scheduler's own
+        ``fork`` (so a wrapped MemoizingScheduler shares its cache) and
+        drop the engine handle -- the engine fork re-runs ``on_attached``.
+        """
+        clone = type(self)(
+            self.inner.fork()
+            if hasattr(self.inner, "fork")
+            else copy.deepcopy(self.inner),
+            copy.deepcopy(self.fallback),
+        )
+        clone._pending_crashes = list(self._pending_crashes)
+        clone._pin_until = self._pin_until
+        clone.last_allocation_was_fallback = self.last_allocation_was_fallback
+        clone.fallback_invocations = self.fallback_invocations
+        clone.fallback_records = list(self.fallback_records)
+        return clone
+
     def __deepcopy__(self, memo):
         # The twin oracle deepcopies engine.scheduler to shadow-replay an
         # invocation; copying the engine handle would drag the entire

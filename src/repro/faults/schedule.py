@@ -17,7 +17,10 @@ or from JSON (see :meth:`FaultSchedule.from_json`). Grammar per clause::
 * ``degrade`` -- capacity drops to ``factor`` x nominal (0 < factor < 1);
   optional ``+duration`` restores it.
 * ``flap`` -- ``count`` down/restore cycles of length ``period`` starting
-  at ``time`` (down for the first half of each cycle).
+  at ``time`` (down for the first half of each cycle). An optional
+  ``factor`` makes it a *brown-out* flap: each cycle degrades to
+  ``factor`` x nominal instead of failing stop, so traffic stays on the
+  sick link instead of being rerouted off it.
 * ``crash_scheduler`` -- poison the next scheduler invocation after
   ``time`` (requires a :class:`~repro.faults.ResilientScheduler`).
 
@@ -156,7 +159,7 @@ def _expand_clause(
         return events
 
     if action == "flap":
-        reject_unknown(("period", "count"))
+        reject_unknown(("period", "count", "factor"))
         if duration is not None:
             raise FaultSpecError("flap uses period/count, not a duration")
         if "period" not in params or "count" not in params:
@@ -170,10 +173,28 @@ def _expand_clause(
             raise FaultSpecError(f"bad count {params['count']!r}") from None
         if count < 1:
             raise FaultSpecError(f"flap count must be >= 1, got {count}")
+        # Optional factor turns a fail-stop flap (link_down cycles) into
+        # a brown-out flap: the link stays up but cycles between degraded
+        # and nominal capacity, the signature of a failing optic. Flows
+        # are NOT auto-rerouted off a degraded link (it still carries
+        # traffic), which is exactly what makes brown-outs the case
+        # where a watch-loop cordon earns its keep.
+        factor = None
+        if "factor" in params:
+            factor = _parse_float(params["factor"], "factor")
         events: List[FaultEvent] = []
         for i in range(count):
             start = time + i * period
-            events.append(FaultEvent(time=start, action="link_down", links=links))
+            if factor is None:
+                events.append(
+                    FaultEvent(time=start, action="link_down", links=links)
+                )
+            else:
+                events.append(
+                    FaultEvent(
+                        time=start, action="degrade", links=links, factor=factor
+                    )
+                )
             events.append(
                 FaultEvent(
                     time=start + period / 2.0, action="link_restore", links=links

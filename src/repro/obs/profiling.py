@@ -95,6 +95,22 @@ class ProfiledScheduler(Scheduler):
         """Profiling is transparent: the inner contract passes through."""
         return getattr(self.inner, "work_conserving", False)
 
+    def fork(self) -> "ProfiledScheduler":
+        """Fork for a forked engine: the inner scheduler forks, telemetry
+        detaches (fresh registry, no event log -- a fork's profile is its
+        own) and the churn baseline carries over so the first post-fork
+        invocation measures churn against the same previous allocation an
+        uninterrupted run would."""
+        twin = ProfiledScheduler(
+            self.inner.fork() if hasattr(self.inner, "fork") else self.inner,
+            registry=None,
+            clock=self.clock,
+            keep_records=self.keep_records,
+            event_log=None,
+        )
+        twin._last_rates = dict(self._last_rates)
+        return twin
+
     def allocate(self, view: SchedulerView) -> Dict[int, float]:
         cause = getattr(view, "trigger_cause", None) or "unknown"
         flows = view.network.active_count

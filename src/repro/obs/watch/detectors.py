@@ -68,6 +68,12 @@ class WatchConfig:
     jct_gap_factor: float = 4.0
     #: Minimum confidence a localization needs to trigger mitigation.
     mitigation_min_score: float = 0.4
+    #: Lift a cordon when the fabric reports the link restored (port-up),
+    #: re-arming it for the next flap cycle; see Mitigator.on_fault.
+    uncordon_on_restore: bool = True
+    #: Port-flap damping: the lift waits this multiple of the link's
+    #: last outage after the restore, and a re-down cancels it.
+    uncordon_holddown_factor: float = 1.5
     #: Duplex directions share their observed nominal capacity (every
     #: stock fabric is symmetric); see StreamState.
     pair_symmetry: bool = True

@@ -57,6 +57,14 @@ class Mitigator:
         self.pin_duration = pin_duration
         self.actions: List[Dict] = []
         self._acted: Set[Tuple[str, str]] = set()
+        #: Directed link keys currently cordoned (blocked by _cordon and
+        #: not yet lifted); the restore hook below un-cordons these.
+        self._cordoned: Set[Tuple[str, str]] = set()
+        #: Flap-damping state: last reported down time per link, and a
+        #: generation counter that cancels pending lifts when the link
+        #: goes down again before its hold-down expires.
+        self._down_at: Dict[Tuple[str, str], float] = {}
+        self._lift_gen: Dict[Tuple[str, str], int] = {}
 
     # ------------------------------------------------------------------
 
@@ -75,7 +83,8 @@ class Mitigator:
         engine = self.engine
         detector = localization.get("detector")
         if top["kind"] == "link":
-            apply = lambda: self._cordon(top["target"], detector)
+            evidence = dict(top.get("evidence") or {})
+            apply = lambda: self._cordon(top["target"], detector, evidence)
         elif top["kind"] == "scheduler":
             apply = lambda: self._pin_fallback(detector)
         elif top["kind"] == "job":
@@ -84,6 +93,47 @@ class Mitigator:
             return False
         # Defer: we are inside an obs hook, mid engine step.
         engine.schedule_callback(engine.now, apply)
+        return True
+
+    def on_fault(self, event: Dict) -> bool:
+        """React to a fabric fault report (called by the watch loop).
+
+        A ``link_restore`` (port-up) lifts any cordon this mitigator
+        placed on the restored directions and re-arms the link for
+        future cordons -- without this, the first cycle of a flapping
+        link leaves a permanent cordon that keeps traffic off a healthy
+        link for the rest of the run. The lift is *damped* like a
+        router's port-flap hold-down: it fires only after the link stays
+        up for ``uncordon_holddown_factor`` times its last outage, and a
+        re-down before that cancels it. Returns True if a lift was
+        scheduled.
+        """
+        action = event.get("action")
+        now = event.get("t", self.engine.now)
+        if action in ("link_down", "degrade"):
+            for pair in event.get("links") or ():
+                key = (pair[0], pair[1])
+                self._down_at[key] = now
+                # Cancel any pending lift: the link is flapping.
+                self._lift_gen[key] = self._lift_gen.get(key, 0) + 1
+            return False
+        if action != "link_restore" or not self.config.uncordon_on_restore:
+            return False
+        lifts = []
+        hold = 0.0
+        for pair in event.get("links") or ():
+            key = (pair[0], pair[1])
+            if key not in self._cordoned:
+                continue
+            lifts.append((key, self._lift_gen.get(key, 0)))
+            outage = now - self._down_at.get(key, now)
+            hold = max(hold, self.config.uncordon_holddown_factor * outage)
+        if not lifts:
+            return False
+        # Defer like every other action: fault reports arrive mid-step.
+        self.engine.schedule_callback(
+            now + hold, lambda: self._uncordon(lifts)
+        )
         return True
 
     # -- actions --------------------------------------------------------
@@ -101,7 +151,7 @@ class Mitigator:
                 "mitigation", self.engine.now, **record
             )
 
-    def _cordon(self, target: str, detector) -> None:
+    def _cordon(self, target: str, detector, evidence: Optional[Dict] = None) -> None:
         key = _split_key(target)
         if key is None:
             return
@@ -125,9 +175,15 @@ class Mitigator:
                 reason=f"reroute failed: {exc!r}",
             )
             return
-        if not migrated:
-            # No flow found a detour -- the cordon cannot help here and
-            # blocking future admissions would only make things worse.
+        # A link already drained by the chaos layer has nothing left to
+        # migrate -- but if earlier reroutes demonstrably found detours
+        # off this link, keeping the cordon is a safe *prophylactic*
+        # block: it stops traffic from returning to a flapping link
+        # between its down cycles (the restore hook lifts it once the
+        # link stays up). Without that path-diversity evidence a block
+        # would strand future admissions, so roll it back.
+        diverse = bool((evidence or {}).get("rerouted_old_paths"))
+        if not migrated and not (diverse and not stranded):
             unblocker((key,))
             self._record(
                 "cordon_link", target, detector, applied=False,
@@ -135,10 +191,36 @@ class Mitigator:
                 reason="no alternative path",
             )
             return
+        self._cordoned.add(key)
         self._record(
             "cordon_link", target, detector, applied=True,
             migrated=len(migrated), stranded=len(stranded),
+            prophylactic=not migrated,
         )
+
+    def _uncordon(self, lifts) -> None:
+        engine = self.engine
+        unblocker = getattr(engine.network.router, "unblock_links", None)
+        if unblocker is None:
+            return
+        lifted = [
+            key
+            for key, generation in lifts
+            if key in self._cordoned
+            and self._lift_gen.get(key, 0) == generation
+        ]
+        if not lifted:
+            return  # link re-downed during the hold, or already lifted
+        unblocker(tuple(lifted))
+        for key in lifted:
+            self._cordoned.discard(key)
+            target = f"{key[0]}->{key[1]}"
+            # Re-arm: the next down of this link may cordon it again.
+            self._acted.discard(("link", target))
+            self._record("uncordon_link", target, None, applied=True)
+        # Let the scheduler fold the recovered capacity back in now
+        # rather than at the next organic state change.
+        engine.schedule_callback(engine.now, lambda: None)
 
     def _pin_fallback(self, detector) -> None:
         from ...faults.injector import find_resilient

@@ -33,7 +33,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ...analysis import job_completion_time
-from ...core import reset_flow_ids
+from ...core import FlowIdAllocator, use_flow_id_allocator
 from ...core.units import gbps, megabytes
 from ...faults import FaultSchedule, ResilientScheduler, parse_fault_spec
 from ...scheduling import make_scheduler
@@ -173,21 +173,22 @@ def make_engine(
 ) -> Engine:
     """A fresh single-use engine for one scenario run.
 
-    Flow ids restart from zero so every scenario is the same experiment
-    no matter how many flows the process created before it (ECMP hashes
-    flow ids into path choices; see :func:`repro.core.reset_flow_ids`).
+    The engine gets a private flow-id allocator so every scenario is the
+    same experiment no matter how many flows the process created before
+    it (ECMP hashes flow ids into path choices) -- and without clobbering
+    the process-wide id stream other experiments may be using.
     """
-    reset_flow_ids()
-    topology, router, job, _ = _blueprint(paradigm)
-    engine = Engine(
-        topology,
-        ResilientScheduler(make_scheduler(scheduler)),
-        router=router,
-        instrumentation=instrumentation,
-        sanitizer=sanitizer,
-        faults=faults,
-    )
-    job.submit_to(engine)
+    with use_flow_id_allocator(FlowIdAllocator()):
+        topology, router, job, _ = _blueprint(paradigm)
+        engine = Engine(
+            topology,
+            ResilientScheduler(make_scheduler(scheduler)),
+            router=router,
+            instrumentation=instrumentation,
+            sanitizer=sanitizer,
+            faults=faults,
+        )
+        job.submit_to(engine)
     return engine
 
 
@@ -218,7 +219,14 @@ def _fault_spec(
     if kind == "degrade":
         return f"degrade:{link}@{at:.6g}+{0.4 * jct:.6g},factor=0.3"
     if kind == "flap":
-        return f"flap:{link}@{at:.6g},period={0.2 * jct:.6g},count=2"
+        # Brown-out flap (factor set): the link cycles between degraded
+        # and nominal capacity but stays *up*, so the chaos layer never
+        # reroutes for us -- recovering JCT here is entirely on the
+        # watch loop's cordon (and the restore-triggered un-cordon, which
+        # keeps the cordon from outliving the flap).
+        return (
+            f"flap:{link}@{at:.6g},period={0.4 * jct:.6g},count=2,factor=0.2"
+        )
     if kind == "crash_scheduler":
         return f"crash_scheduler@{at:.6g}"
     raise ValueError(f"unknown fault kind {kind!r}; expected {FAULT_KINDS}")

@@ -85,6 +85,11 @@ class WatchLoop:
         """
         if event.get("ev") in _SELF_KINDS:
             return []
+        if self.mitigator is not None and event.get("ev") == "fault":
+            # Fabric fault reports (port-up in particular) go straight to
+            # the mitigator: a link_restore lifts any standing cordon.
+            # Detectors still never see ground-truth fault records.
+            self.mitigator.on_fault(event)
         if self.collect_events:
             self._events.append(event)
         self.state.observe(event)

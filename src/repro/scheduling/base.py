@@ -140,6 +140,23 @@ class Scheduler:
     def allocate(self, view: SchedulerView) -> Dict[int, float]:
         raise NotImplementedError
 
+    def fork(self) -> "Scheduler":
+        """An independent copy for a forked engine (snapshot/fork/restore).
+
+        The default is a deep copy, which is correct for every built-in
+        algorithm (their state is configuration plus derived caches).
+        Wrappers override it to control what is shared across forks:
+        :class:`~repro.scheduling.cache.MemoizingScheduler` shares its
+        fingerprint cache by reference (warm starts for sibling forks),
+        and :class:`~repro.faults.ResilientScheduler` drops its engine
+        handle (the engine fork re-runs the ``on_attached`` walk).
+        Schedulers holding unforkable resources should override this and
+        raise.
+        """
+        import copy
+
+        return copy.deepcopy(self)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}<{self.name}>"
 

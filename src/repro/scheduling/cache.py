@@ -15,8 +15,11 @@ whenever the same situation recurs.
 
 A hit costs one dictionary lookup instead of a full MADD run; on steady
 multi-iteration jobs the hit rate approaches (iterations - 1)/iterations.
-The cache is exact (no approximation): identical fingerprints imply an
-identical optimization problem under our deterministic engine.
+Fingerprint floats are quantized to 9 significant digits so iteration
+k+1's accumulated float fuzz still matches iteration k's situation; two
+situations within the quantum are treated as the same optimization
+problem, so a replayed allocation can differ from a fresh solve by at
+most the last ulp.
 """
 
 from __future__ import annotations
@@ -53,9 +56,17 @@ class MemoizingScheduler(Scheduler):
         group_tokens: Dict[Optional[str], int] = {}
         # Runtime capacity mutations (fault injection) change the
         # optimization problem without changing any per-flow field; the
-        # network's capacity epoch keys them into the fingerprint so a
-        # pre-fault decision is never replayed post-fault.
-        entries = [("epoch", view.network.capacity_epoch)]
+        # network's capacity *lineage* keys them into the fingerprint so
+        # a pre-fault decision is never replayed post-fault. The lineage
+        # (globally-unique token per mutation) rather than the bare epoch
+        # counter is what makes the cache safe to share across forks: a
+        # fork that mutated a link and a parent that mutated a different
+        # one both sit at epoch N+1, but their lineages differ, so
+        # neither can replay the other's allocation.
+        entries = [
+            ("epoch", getattr(view.network, "capacity_lineage", None)
+             or view.network.capacity_epoch)
+        ]
         flow_ids = []
         for state in states:
             flow = state.flow
@@ -97,6 +108,21 @@ class MemoizingScheduler(Scheduler):
         if len(self._cache) > self.max_entries:
             self._cache.popitem(last=False)  # LRU eviction
         return dict(zip(flow_ids, ordered))
+
+    def fork(self) -> "MemoizingScheduler":
+        """A fork that *shares* the fingerprint cache by reference.
+
+        The cache is exact -- identical fingerprints imply an identical
+        optimization problem -- and fingerprints embed the capacity
+        lineage, so parent, fork, and sibling forks can safely feed one
+        another warm decisions: the what-if service's whole point. The
+        inner scheduler is forked normally (independent state); hit/miss
+        counters start fresh so per-fork hit rates are meaningful.
+        """
+        inner = self.inner.fork() if hasattr(self.inner, "fork") else self.inner
+        twin = MemoizingScheduler(inner, max_entries=self.max_entries)
+        twin._cache = self._cache
+        return twin
 
     # ------------------------------------------------------------------
 

@@ -13,12 +13,16 @@ from .dag import Task, TaskDag, TaskKind
 from .engine import Engine, SimulationError, TIME_EPS
 from .events import Event, EventKind, EventQueue
 from .network import CapacityViolation, NetworkModel
+from .state import EngineState, SnapshotError, StateHandle
 from .trace import ComputeSpan, FlowRecord, SimulationTrace, TaskEvent
 
 __all__ = [
     "Engine",
     "SimulationError",
     "TIME_EPS",
+    "EngineState",
+    "SnapshotError",
+    "StateHandle",
     "NetworkModel",
     "CapacityViolation",
     "TaskDag",

@@ -160,6 +160,29 @@ class LinkAccounting:
             if step:
                 self.nonzero[key] += step
 
+    def clone(
+        self, link_map: Optional[Mapping[Tuple[str, str], Link]] = None
+    ) -> "LinkAccounting":
+        """An exact copy of the residual state (snapshot/fork support).
+
+        The float load accumulators are copied *verbatim*, never
+        recomputed: a forked run must resume with bit-identical residuals
+        or its feasibility decisions could diverge from the parent's.
+        ``link_map`` (link key -> Link) re-points the ``links`` values at
+        a cloned topology's objects; keys are name pairs and carry over
+        unchanged.
+        """
+        twin = LinkAccounting()
+        twin.loads = dict(self.loads)
+        twin.capacities = dict(self.capacities)
+        if link_map is None:
+            twin.links = dict(self.links)
+        else:
+            twin.links = {key: link_map[key] for key in self.links}
+        twin.flows_on = {key: set(members) for key, members in self.flows_on.items()}
+        twin.nonzero = dict(self.nonzero)
+        return twin
+
     def usage(self) -> Dict[Link, float]:
         """Aggregate rate per link, restricted to links carrying traffic."""
         links = self.links

@@ -17,13 +17,10 @@ only interleaves *different* jobs' work.
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from .dag import Task
-
-_enqueue_counter = itertools.count()
 
 
 @dataclass(order=True)
@@ -34,7 +31,14 @@ class _QueuedTask:
 
 
 class Device:
-    """A compute device with ``slots`` isolated execution slices."""
+    """A compute device with ``slots`` isolated execution slices.
+
+    The enqueue-order tie-breaker is *device-scoped* (not process-global)
+    so device state is fully capturable: snapshot/fork copies the queue
+    entries (which keep their sequence numbers) plus ``_next_sequence``,
+    and the resumed run breaks (priority, enqueue order) ties exactly
+    like the uninterrupted one.
+    """
 
     def __init__(self, name: str, slots: int = 1) -> None:
         if slots < 1:
@@ -42,6 +46,7 @@ class Device:
         self.name = name
         self.slots = slots
         self._queue: List[_QueuedTask] = []
+        self._next_sequence = 0
         # Keyed by (job_id, task_id): task ids are only unique per job.
         self._running: Dict[tuple, Task] = {}
         self.busy_until: float = 0.0
@@ -56,8 +61,25 @@ class Device:
                 f"not {self.name!r}"
             )
         heapq.heappush(
-            self._queue, _QueuedTask(task.priority, next(_enqueue_counter), task)
+            self._queue, _QueuedTask(task.priority, self._next_sequence, task)
         )
+        self._next_sequence += 1
+
+    def fork(self) -> "Device":
+        """An independent copy of this device's full runtime state.
+
+        Queue entries and running tasks are shared by reference
+        (``_QueuedTask`` fields and :class:`Task` are never mutated);
+        the containers and counters are copied.
+        """
+        twin = Device(self.name, slots=self.slots)
+        twin._queue = list(self._queue)
+        twin._next_sequence = self._next_sequence
+        twin._running = dict(self._running)
+        twin.busy_until = self.busy_until
+        twin.busy_time = self.busy_time
+        twin.last_finish_time = self.last_finish_time
+        return twin
 
     @property
     def running(self) -> Optional[Task]:

@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..core.echelonflow import EchelonFlow
-from ..core.flow import Flow, FlowState
+from ..core.flow import Flow, FlowState, current_flow_id_allocator
 from ..core.units import EPS
 from ..scheduling.base import Scheduler, SchedulerView
 from ..topology.graph import Topology
@@ -193,11 +193,23 @@ class Engine:
             )
         self.scheduling_interval = scheduling_interval
         self._tick_armed = False
+        self._tick_event = None
         #: Number of scheduler invocations (coordinator cost accounting).
         self.scheduler_invocations = 0
         #: Called with the job id whenever a job's last task completes --
         #: lets cluster managers release placements and admit queued jobs.
         self.job_completion_callbacks: List[Callable[[str], None]] = []
+        #: Engine-scoped flow-id allocator. Defaults to the process-wide
+        #: one (so independently-built workloads keep working unchanged);
+        #: forks get a private clone so flows submitted to sibling forks
+        #: draw identical, collision-free ids. Wrap workload factories in
+        #: ``use_flow_id_allocator(engine.flow_ids)`` to target it.
+        self.flow_ids = current_flow_id_allocator()
+        #: Bumped per snapshot; stamped into the returned StateHandle.
+        self.state_version = 0
+        #: True while run() is on the stack; snapshots are only legal
+        #: between run() calls.
+        self._in_run = False
 
     # ------------------------------------------------------------------
     # submission API
@@ -235,15 +247,19 @@ class Engine:
                 self.devices[device_name] = Device(device_name, slots=slots)
         self.events.push(at_time, EventKind.JOB_ARRIVAL, payload=dag.job_id)
 
-    def schedule_callback(self, time: float, callback: Callable[[], None]) -> None:
+    def schedule_callback(self, time: float, callback: Callable[[], None]):
         """Run an arbitrary callback at a future time (fault/traffic injection)."""
-        self.events.push(time, EventKind.TIMER, callback=lambda _event: callback())
+        return self.events.push(
+            time, EventKind.TIMER, callback=lambda _event: callback()
+        )
 
-    def schedule_fault(self, time: float, callback: Callable[[], None]) -> None:
+    def schedule_fault(self, time: float, callback: Callable[[], None]):
         """Arm a fault callback: fires as a ``FAULT`` event (before arrivals
         and timers at the same instant) and attributes the resulting
         reschedule to the ``fault`` cause."""
-        self.events.push(time, EventKind.FAULT, callback=lambda _event: callback())
+        return self.events.push(
+            time, EventKind.FAULT, callback=lambda _event: callback()
+        )
 
     def inject_background_flow(self, flow: Flow, at_time: float) -> None:
         """Inject a standalone flow (background traffic) at a future time."""
@@ -492,8 +508,22 @@ class Engine:
         Raises :class:`SimulationError` on deadlock: active flows exist but
         the scheduler assigns them all zero rate and no discrete event is
         pending.
+
+        A run paused by ``until`` can be resumed by calling ``run`` again;
+        end-of-run invariant checks (the sanitizer's ``on_run_end``) fire
+        only when the run actually drains, so an ``until`` pause neither
+        materializes lazy drain state nor perturbs the resumed run --
+        pause/resume (and snapshot/fork at the pause point) is bit-exact.
         """
+        self._in_run = True
+        try:
+            return self._run(until, max_rounds)
+        finally:
+            self._in_run = False
+
+    def _run(self, until: float, max_rounds: int) -> SimulationTrace:
         rounds = 0
+        paused = False
         while True:
             rounds += 1
             if rounds > max_rounds:
@@ -520,6 +550,7 @@ class Engine:
             if next_time > until:
                 self.network.advance(until - self.now, self.now)
                 self.now = until
+                paused = True
                 break
 
             # Advance the fluid model to the event time.
@@ -558,9 +589,58 @@ class Engine:
                 self._on_flow_finished(state)
 
         self.trace.end_time = self.now
-        if self.check is not None:
+        if self.check is not None and not paused:
             self.check.on_run_end(self.trace)
         return self.trace
+
+    # ------------------------------------------------------------------
+    # snapshot / fork / restore
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> "StateHandle":
+        """Capture the full run state into a versioned, reusable handle.
+
+        Only legal between ``run()`` calls -- pause a run at the desired
+        instant with ``run(until=t)`` first. The handle is pristine (no
+        live engine aliases it), so it can seed any number of
+        :meth:`fork`/:meth:`restore` calls. See
+        :mod:`repro.simulator.state` for the exact copy-on-write and
+        bit-identity rules, and for what raises
+        :class:`~repro.simulator.state.SnapshotError`.
+        """
+        from .state import capture
+
+        self.state_version += 1
+        return capture(self, version=self.state_version)
+
+    def fork(self, handle: Optional["StateHandle"] = None) -> "Engine":
+        """An independent engine resuming from ``handle`` (default: now).
+
+        The fork owns private copies of all mutable state, a private
+        flow-id allocator positioned past every parent id, and shares
+        only immutable objects -- plus, deliberately, a wrapped
+        :class:`~repro.scheduling.cache.MemoizingScheduler`'s fingerprint
+        cache, so sibling forks warm-start one another. Instrumentation
+        and job-completion callbacks are not carried over.
+        """
+        from .state import materialize
+
+        if handle is None:
+            handle = self.snapshot()
+        return materialize(handle)
+
+    def restore(self, handle: "StateHandle") -> "Engine":
+        """Rewind *this* engine to a previously captured handle, in place.
+
+        Equivalent to :meth:`fork` but reuses this object's identity;
+        like a fork, the restored engine drops instrumentation and
+        job-completion callbacks. The handle stays pristine and can be
+        restored to again.
+        """
+        from .state import materialize
+
+        materialize(handle, target=self)
+        return self
 
     # ------------------------------------------------------------------
     # results

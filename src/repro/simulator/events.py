@@ -10,9 +10,8 @@ from __future__ import annotations
 
 import enum
 import heapq
-import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Iterator, List, Optional
 
 
 class EventKind(enum.Enum):
@@ -32,9 +31,6 @@ _KIND_PRIORITY = {
     EventKind.TIMER: 3,
 }
 
-_sequence = itertools.count()
-
-
 @dataclass(order=True)
 class Event:
     """One discrete event. Ordering key: (time, kind priority, sequence)."""
@@ -49,10 +45,25 @@ class Event:
 
 
 class EventQueue:
-    """A heap of :class:`Event` with lazy cancellation."""
+    """A heap of :class:`Event` with lazy cancellation.
 
-    def __init__(self) -> None:
+    The tie-breaking sequence counter is *queue-scoped* (not
+    process-global) so a queue's state is fully capturable: a snapshot
+    records the live events plus ``next_sequence``, and a forked queue
+    rebuilt from them reproduces the exact same (time, priority,
+    sequence) ordering -- including between copied events (which keep
+    their original sequence numbers) and events pushed after the fork
+    (which always draw larger ones).
+    """
+
+    def __init__(self, next_sequence: int = 0) -> None:
         self._heap: List[Event] = []
+        self._next_sequence = next_sequence
+
+    @property
+    def next_sequence(self) -> int:
+        """The sequence number the next pushed event will receive."""
+        return self._next_sequence
 
     def push(
         self,
@@ -66,13 +77,28 @@ class EventQueue:
         event = Event(
             time=time,
             priority=_KIND_PRIORITY[kind],
-            sequence=next(_sequence),
+            sequence=self._next_sequence,
             kind=kind,
             payload=payload,
             callback=callback,
         )
+        self._next_sequence += 1
         heapq.heappush(self._heap, event)
         return event
+
+    def push_restored(self, event: Event) -> Event:
+        """Re-admit a previously captured event, keeping its sequence.
+
+        Used by snapshot/fork/restore: the copied event's original
+        (time, priority, sequence) key is preserved so tie-breaking in
+        the resumed run matches the uninterrupted run bit for bit.
+        """
+        heapq.heappush(self._heap, event)
+        return event
+
+    def live_events(self) -> Iterator[Event]:
+        """Iterate the non-cancelled events in heap (not sorted) order."""
+        return (event for event in self._heap if not event.cancelled)
 
     def _drop_cancelled(self) -> None:
         while self._heap and self._heap[0].cancelled:

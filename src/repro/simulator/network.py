@@ -45,6 +45,7 @@ pre-refactor cost model. It exists for the equivalence tests and the
 from __future__ import annotations
 
 import heapq
+import itertools
 from bisect import bisect_left, insort
 from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
@@ -67,6 +68,17 @@ _HEAP_COMPACT_MIN = 64
 
 class CapacityViolation(Exception):
     """The scheduler proposed rates exceeding a link capacity."""
+
+
+#: Process-global source of capacity-mutation tokens. Each runtime
+#: capacity change appends one globally-unique token to the mutating
+#: model's ``capacity_lineage``, so two models that diverged from a
+#: common snapshot (a fork and its parent) can never reach the same
+#: lineage by mutating different links the same *number* of times --
+#: the staleness hazard a bare epoch counter has. Tokens feed cache
+#: keys only (MemoizingScheduler fingerprints), never results, so their
+#: process-global order does not perturb determinism.
+_capacity_token_counter = itertools.count(1)
 
 
 class NetworkModel:
@@ -98,6 +110,11 @@ class NetworkModel:
         #: anything derived from capacities (e.g. MemoizingScheduler
         #: fingerprints) fold this in to invalidate across faults.
         self.capacity_epoch = 0
+        #: Tuple of globally-unique tokens, one appended per capacity
+        #: mutation. Inherited by forks, so a fork and its parent share a
+        #: lineage prefix exactly as long as they share capacity history;
+        #: see :data:`_capacity_token_counter`.
+        self.capacity_lineage: Tuple[int, ...] = ()
 
         # -- incremental state ------------------------------------------
         #: The model's own clock: the latest time seen by inject/advance.
@@ -121,6 +138,96 @@ class NetworkModel:
         #: EchelonFlow buckets: group id -> (sorted fid list, state list).
         self._group_fids: Dict[Optional[str], List[int]] = {}
         self._group_states: Dict[Optional[str], List[FlowState]] = {}
+
+    # ------------------------------------------------------------------
+    # snapshot/fork support
+    # ------------------------------------------------------------------
+
+    def fork(self) -> "NetworkModel":
+        """A fully independent copy of the model's run state.
+
+        Copy-on-write at the object level: immutable heavy objects --
+        :class:`~repro.core.flow.Flow` descriptions, retired
+        :class:`~repro.core.flow.FlowState` (never mutated after
+        ``_retire``), frozen demands' link tuples -- are shared by
+        reference; everything mutable is copied. The topology is cloned
+        (fresh :class:`Link` objects, since fault injection mutates
+        ``Link.capacity`` in place) and every link reference -- pinned
+        paths, demands, residual accounting, the router's caches -- is
+        translated onto the clone.
+
+        Exactness rules that make forked-and-resumed runs bit-identical
+        to uninterrupted ones:
+
+        * lazily-drained flows are *not* materialized: raw ``remaining``
+          and drain anchors are copied as-is, so later materialization
+          performs the identical float arithmetic;
+        * the finish heap, its tokens, and the residual accounting's
+          float accumulators are copied verbatim, never recomputed;
+        * active :class:`FlowState` objects are duplicated field-for-field
+          (the parent keeps mutating its own), and the group buckets are
+          rebuilt to point at the duplicates.
+
+        The observer is *not* carried over: instrumentation either
+        detaches or is re-attached explicitly by the engine fork.
+        """
+        topology = self.topology.clone()
+        if hasattr(self.router, "fork"):
+            router = self.router.fork(topology)
+        else:
+            # Custom router: deepcopy with the topology identity pre-seeded
+            # so its internal link references land on the clone's objects.
+            import copy
+
+            memo: Dict[int, object] = {id(self.topology): topology}
+            for key, link in self.topology._links.items():
+                memo[id(link)] = topology.link(*key)
+            router = copy.deepcopy(self.router, memo)
+
+        twin = NetworkModel(
+            topology, router, strict=self.strict, incremental=self.incremental
+        )
+        twin.capacity_epoch = self.capacity_epoch
+        twin.capacity_lineage = self.capacity_lineage
+        twin.bytes_delivered = self.bytes_delivered
+        twin._now = self._now
+        twin._synced_at = self._synced_at
+        twin._order = list(self._order)
+        twin._anchor = dict(self._anchor)
+        #: Retired states are immutable from retirement on; share them.
+        twin._completed = dict(self._completed)
+        twin._active = {
+            fid: FlowState(
+                flow=state.flow,
+                start_time=state.start_time,
+                remaining=state.remaining,
+                rate=state.rate,
+                finish_time=state.finish_time,
+                ideal_finish_time=state.ideal_finish_time,
+            )
+            for fid, state in self._active.items()
+        }
+        translate = topology.link
+        twin._paths = {
+            fid: tuple(translate(link.src, link.dst) for link in path)
+            for fid, path in self._paths.items()
+        }
+        twin._demands = {
+            fid: FlowDemand(flow_id=fid, path=twin._paths[fid])
+            for fid in self._demands
+        }
+        link_map = {key: translate(*key) for key in self.accounting.links}
+        twin.accounting = self.accounting.clone(link_map)
+        twin._finish_heap = list(self._finish_heap)
+        twin._heap_token = dict(self._heap_token)
+        twin._group_fids = {
+            gid: list(fids) for gid, fids in self._group_fids.items()
+        }
+        twin._group_states = {
+            gid: [twin._active[fid] for fid in fids]
+            for gid, fids in self._group_fids.items()
+        }
+        return twin
 
     # ------------------------------------------------------------------
     # flow lifecycle
@@ -492,6 +599,9 @@ class NetworkModel:
         previous = link.capacity
         self.topology.set_link_capacity(src, dst, capacity)
         self.capacity_epoch += 1
+        self.capacity_lineage = self.capacity_lineage + (
+            next(_capacity_token_counter),
+        )
         if key in self.accounting.capacities:
             self.accounting.capacities[key] = capacity
         load = self.accounting.loads.get(key, 0.0)

@@ -83,6 +83,26 @@ class Topology:
         """Add a pair of directed links (full duplex)."""
         return self.add_link(a, b, capacity), self.add_link(b, a, capacity)
 
+    def clone(self) -> "Topology":
+        """An independent copy with fresh :class:`Link` objects.
+
+        Current *and* nominal capacities are preserved, including the
+        runtime-mutated ones fault injection leaves behind (a downed
+        link's capacity 0 is legal at runtime but not at construction,
+        so links are built at their nominal capacity and then restamped).
+        Node attribute dicts are copied shallowly. Forked engines route
+        and mutate capacities on the clone without touching the parent.
+        """
+        twin = Topology(self.name)
+        for name, attrs in self._hosts.items():
+            twin._hosts[name] = dict(attrs)
+        for name, attrs in self._switches.items():
+            twin._switches[name] = dict(attrs)
+        for key, link in self._links.items():
+            copied = twin.add_link(link.src, link.dst, link.nominal_capacity)
+            copied.capacity = link.capacity
+        return twin
+
     def set_link_capacity(self, src: str, dst: str, capacity: float) -> Link:
         """Mutate a link's capacity in place (fault injection / repair).
 

@@ -103,6 +103,13 @@ def _shortest_paths_or_degraded(
     return _all_shortest_paths(topo, src, dst, limit)
 
 
+def _translate_path(
+    topo: Topology, path: Sequence[Link]
+) -> Tuple[Link, ...]:
+    """Re-key a link path onto another topology's link objects."""
+    return tuple(topo.link(link.src, link.dst) for link in path)
+
+
 def _links_of(topo: Topology, node_path: Sequence[str]) -> Tuple[Link, ...]:
     return tuple(
         topo.link(node_path[i], node_path[i + 1]) for i in range(len(node_path) - 1)
@@ -152,6 +159,21 @@ class ShortestPathRouter(_BlockingMixin):
         self._cache: Dict[Tuple[str, str], Tuple[Link, ...]] = {}
         self._blocked: Set[Tuple[str, str]] = set()
 
+    def fork(self, topology: Topology) -> "ShortestPathRouter":
+        """An equivalent router over a cloned topology.
+
+        The blocked-link set carries over (keys are name pairs, valid on
+        any clone); the path cache is translated link-by-link so the
+        fork serves identical routes without recomputation.
+        """
+        twin = ShortestPathRouter(topology)
+        twin._blocked = set(self._blocked)
+        twin._cache = {
+            pair: _translate_path(topology, path)
+            for pair, path in self._cache.items()
+        }
+        return twin
+
     def path(self, src: str, dst: str, flow_id: Optional[int] = None) -> Tuple[Link, ...]:
         self.topology.validate_endpoints(src, dst)
         key = (src, dst)
@@ -176,6 +198,18 @@ class EcmpRouter(_BlockingMixin):
         self.fanout_limit = fanout_limit
         self._cache: Dict[Tuple[str, str], List[Tuple[Link, ...]]] = {}
         self._blocked: Set[Tuple[str, str]] = set()
+
+    def fork(self, topology: Topology) -> "EcmpRouter":
+        """An equivalent router over a cloned topology (see
+        :meth:`ShortestPathRouter.fork`); candidate lists keep their
+        order so flow-id hashing picks the same path on the fork."""
+        twin = EcmpRouter(topology, fanout_limit=self.fanout_limit)
+        twin._blocked = set(self._blocked)
+        twin._cache = {
+            pair: [_translate_path(topology, path) for path in paths]
+            for pair, paths in self._cache.items()
+        }
+        return twin
 
     def paths(self, src: str, dst: str) -> List[Tuple[Link, ...]]:
         key = (src, dst)

@@ -1,0 +1,36 @@
+"""Warm-started what-if queries against a simulated cluster run.
+
+Operators of the paper's Fig. 7 system face counterfactual questions
+constantly: *what happens to job 3's JCT if this link dies at t=40? if
+we admit one more tenant halfway through? if we cancel a queued job?*
+Answering by re-simulating from scratch repays the entire history before
+the intervention point on every query.
+
+This package answers them from a shared baseline run instead: the
+:class:`WhatIfService` snapshots the baseline engine (PR 7's
+snapshot/fork/restore spine), forks it at the query timestamp, applies
+the intervention to the fork, and delta-resimulates only *forward* --
+with sibling forks warm-starting one another through the shared
+:class:`~repro.scheduling.cache.MemoizingScheduler` fingerprint cache.
+Results come back as structured JCT/tardiness deltas plus the run-diff
+report from :mod:`repro.obs.diagnosis`.
+
+CLI: ``repro whatif`` (single query or ``--batch`` file);
+benchmark: ``benchmarks/bench_whatif.py``; docs: ``docs/whatif.md``.
+"""
+
+from .queries import WhatIfQuery, WhatIfQueryError, parse_batch, parse_query
+from .service import WhatIfError, WhatIfResult, WhatIfService
+from .workload import cluster_engine_factory, cluster_job_builder
+
+__all__ = [
+    "WhatIfError",
+    "WhatIfQuery",
+    "WhatIfQueryError",
+    "WhatIfResult",
+    "WhatIfService",
+    "cluster_engine_factory",
+    "cluster_job_builder",
+    "parse_batch",
+    "parse_query",
+]

@@ -1,0 +1,170 @@
+"""Baseline cluster workload for the what-if service.
+
+The service needs a deterministic, Fig. 7-shaped baseline: a big-switch
+fabric with a handful of tenants running mixed DDLT paradigms at
+staggered arrival times. :func:`cluster_engine_factory` builds exactly
+that -- crucially under a *private* :class:`~repro.core.FlowIdAllocator`
+(``engine.flow_ids``), so baseline, forks, and from-scratch replays all
+mint identical flow ids without touching process-global state, and under
+a :class:`~repro.scheduling.MemoizingScheduler` whose fingerprint cache
+the service shares across sibling forks for warm starts.
+
+:func:`cluster_job_builder` mints the extra jobs that ``submit_job`` /
+``add_tenant`` queries admit, sized to the same model zoo entries so the
+counterfactual load is comparable to the baseline tenants'.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core import FlowIdAllocator, use_flow_id_allocator
+from ..core.units import gbps, megabytes
+from ..scheduling import MemoizingScheduler, make_scheduler
+from ..simulator import Engine
+from ..topology import big_switch
+from ..workloads import (
+    BuiltJob,
+    build_dp_allreduce,
+    build_fsdp,
+    build_pp_gpipe,
+    build_tp_megatron,
+    uniform_model,
+)
+
+PARADIGMS = ("dp", "fsdp", "pp", "tp")
+
+#: (paradigm, arrival_time) cycle for the baseline tenants; arrivals are
+#: staggered so forks taken mid-run see a mix of pending and in-flight
+#: jobs -- the regime delta-resimulation is for.
+_BASELINE_CYCLE: Tuple[Tuple[str, float], ...] = (
+    ("dp", 0.0),
+    ("fsdp", 0.02),
+    ("pp", 0.05),
+    ("dp", 0.08),
+    ("tp", 0.11),
+    ("fsdp", 0.15),
+)
+
+
+def _model(layers: int = 8):
+    return uniform_model(
+        f"whatif-u{layers}",
+        layers,
+        param_bytes_per_layer=megabytes(24),
+        activation_bytes=megabytes(12),
+        forward_time=0.004,
+    )
+
+
+def build_paradigm_job(
+    paradigm: str,
+    job_id: str,
+    workers: Sequence[str],
+    *,
+    layers: int = 8,
+    iterations: int = 1,
+) -> BuiltJob:
+    """Build one job of ``paradigm`` on ``workers`` (shared model zoo)."""
+    model = _model(layers)
+    if paradigm == "dp":
+        return build_dp_allreduce(
+            job_id, model, workers,
+            bucket_bytes=megabytes(48), iterations=iterations,
+        )
+    if paradigm == "fsdp":
+        return build_fsdp(job_id, model, workers, iterations=iterations)
+    if paradigm == "pp":
+        return build_pp_gpipe(
+            job_id, model, workers, num_micro_batches=4, iterations=iterations
+        )
+    if paradigm == "tp":
+        return build_tp_megatron(job_id, model, workers, iterations=iterations)
+    raise ValueError(
+        f"unknown paradigm {paradigm!r}; expected one of {PARADIGMS}"
+    )
+
+
+def cluster_job_builder(
+    engine: Engine, hosts_per_job: int = 4
+) -> Callable[[str, str, int, int], BuiltJob]:
+    """Return a builder minting extra jobs for submit/add_tenant queries.
+
+    The builder places jobs round-robin over the engine's hosts starting
+    from a stable offset, and builds them under ``engine.flow_ids`` so
+    flow ids stay engine-scoped (call it with the target *fork*, not the
+    baseline). Signature: ``build(paradigm, job_id, layers, hosts)``.
+    """
+    host_names = engine.topology.hosts
+
+    def build(
+        paradigm: str, job_id: str, layers: int = 8, hosts: int = 0
+    ) -> BuiltJob:
+        count = hosts or hosts_per_job
+        if count > len(host_names):
+            raise ValueError(
+                f"job wants {count} hosts but the fabric has {len(host_names)}"
+            )
+        # Deterministic placement: hash-free, spread by job ordinal.
+        ordinal = sum(ord(ch) for ch in job_id)
+        start = (ordinal * hosts_per_job) % len(host_names)
+        workers = [
+            host_names[(start + i) % len(host_names)] for i in range(count)
+        ]
+        with use_flow_id_allocator(engine.flow_ids):
+            return build_paradigm_job(paradigm, job_id, workers, layers=layers)
+
+    return build
+
+
+def cluster_engine_factory(
+    hosts: int = 16,
+    jobs: int = 6,
+    *,
+    hosts_per_job: int = 4,
+    bandwidth_gbps: float = 10.0,
+    scheduler: str = "echelon",
+    layers: int = 8,
+    iterations: int = 2,
+    sanitizer=None,
+) -> Tuple[Engine, Dict[str, float]]:
+    """Build the baseline engine with all tenants submitted (not yet run).
+
+    Returns ``(engine, arrivals)`` where ``arrivals`` maps job id to its
+    submission time. The scheduler is always wrapped in a
+    :class:`MemoizingScheduler`; the engine owns a private flow-id
+    allocator. Call :meth:`Engine.run` (or let :class:`WhatIfService`
+    do it) to produce the baseline trace.
+    """
+    if hosts < hosts_per_job:
+        raise ValueError(f"need >= {hosts_per_job} hosts, got {hosts}")
+    topology = big_switch(hosts, gbps(bandwidth_gbps))
+    host_names = topology.hosts
+    inner = make_scheduler(scheduler)
+    memo = inner if isinstance(inner, MemoizingScheduler) else MemoizingScheduler(inner)
+    allocator = FlowIdAllocator()
+    with use_flow_id_allocator(allocator):
+        engine = Engine(topology, memo, sanitizer=sanitizer)
+        arrivals: Dict[str, float] = {}
+        built: List[Tuple[BuiltJob, float]] = []
+        for index in range(jobs):
+            paradigm, offset = _BASELINE_CYCLE[index % len(_BASELINE_CYCLE)]
+            arrival = (index // len(_BASELINE_CYCLE)) * 0.2 + offset
+            job_id = f"{paradigm}{index}"
+            start = (index * hosts_per_job) % hosts
+            workers = [
+                host_names[(start + i) % hosts] for i in range(hosts_per_job)
+            ]
+            built.append(
+                (
+                    build_paradigm_job(
+                        paradigm, job_id, workers,
+                        layers=layers, iterations=iterations,
+                    ),
+                    arrival,
+                )
+            )
+            arrivals[job_id] = arrival
+        for job, arrival in built:
+            job.submit_to(engine, at_time=arrival)
+    return engine, arrivals
