@@ -1,0 +1,402 @@
+#!/usr/bin/env python
+"""E27 -- watch-loop quality under degraded telemetry + multi-fault grid.
+
+Extends E26 along the two axes ISSUE 8 added: a seeded
+:class:`~repro.obs.watch.TelemetryChannel` between the engine's event
+feed and the watch loop (sampling, i.i.d. and bursty loss, delay/jitter,
+duplication), and concurrent/correlated fault scenarios graded as ranked
+*fault sets* (per-fault precision/recall + localization latency).
+
+Quality bars enforced on every pass:
+
+* noise off -- the PR 6 contract is untouched: every fault detected,
+  100 % top-1, zero clean-run false positives;
+* ``sample=4,drop=0.1`` (1-in-4 sampling + 10 % loss) -- detection
+  recall >= 0.9 and clean-run false positives stay 0;
+* multi-fault grid (noise off) -- per-fault precision and recall
+  >= 0.8, and every hot-neighbour scenario blames the tenant job, not
+  a link.
+
+Runs both ways:
+
+* under pytest-benchmark (the ``test_*`` functions; writes
+  ``benchmarks/results/E27_aiops_noise.txt``), and
+* standalone::
+
+      PYTHONPATH=src python benchmarks/bench_aiops_noise.py          # full sweep
+      PYTHONPATH=src python benchmarks/bench_aiops_noise.py --smoke  # CI guard
+
+``--smoke`` runs the smoke subsets (single-fault pp/dp/ls at every noise
+level, multi-fault pp/ls at noise off) and pins per-scenario facts
+against ``benchmarks/results/bench_aiops_noise_baseline.json``. All
+channels are seeded, so the whole sweep is deterministic; exit code 1 on
+regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro.obs.watch import (
+    MULTI_FAULT_KINDS,
+    MULTI_PARADIGMS,
+    MULTI_SMOKE_PARADIGMS,
+    aiops_score,
+)
+
+RESULTS_DIR = ROOT / "benchmarks" / "results"
+BASELINE_PATH = RESULTS_DIR / "bench_aiops_noise_baseline.json"
+
+#: The noise sweep, mildest first. ``medium`` is the ISSUE acceptance
+#: level (1-in-4 sampling + 10 % i.i.d. loss); ``heavy`` adds burst
+#: loss, delay/jitter reordering, and duplication on top.
+NOISE_LEVELS = (
+    ("off", None),
+    ("light", "sample=2,drop=0.02"),
+    ("medium", "sample=4,drop=0.1"),
+    ("heavy", "sample=4,drop=0.1,burst=0.02x5,delay=0.001,dup=0.01"),
+)
+SEED = 0
+
+MIN_RECALL_MEDIUM = 0.9
+MIN_FAULT_SET_PRECISION = 0.8
+MIN_FAULT_SET_RECALL = 0.8
+#: Allowed drift of a pinned detection-latency fraction (see E26).
+SMOKE_LATENCY_TOLERANCE = 0.05
+
+
+def run_single(noise, smoke: bool = False) -> dict:
+    """Single-fault grid under one noise level (bare hot path)."""
+    return aiops_score(
+        mitigate=False, smoke=smoke, sanitizer=False, noise=noise, seed=SEED
+    )
+
+
+def run_multi(noise=None, smoke: bool = False) -> dict:
+    """Multi-fault grid (fault sets) under one noise level."""
+    return aiops_score(
+        paradigms=MULTI_SMOKE_PARADIGMS if smoke else MULTI_PARADIGMS,
+        kinds=MULTI_FAULT_KINDS,
+        mitigate=False,
+        sanitizer=False,
+        noise=noise,
+        seed=SEED,
+    )
+
+
+def run_sweep(smoke: bool = False) -> dict:
+    """The full E27 pass: one single-fault grid per noise level plus the
+    noise-off multi-fault grid."""
+    return {
+        "single": {
+            name: run_single(spec, smoke=smoke)
+            for name, spec in NOISE_LEVELS
+        },
+        "multi": run_multi(smoke=smoke),
+    }
+
+
+def check_sweep(sweep: dict) -> list:
+    """The quality invariants every E27 pass must satisfy."""
+    problems = []
+    for name, _ in NOISE_LEVELS:
+        summary = sweep["single"][name]["summary"]
+        fp = summary["false_positive"]["false_positives"]
+        if name in ("off", "medium") and fp:
+            problems.append(
+                f"{name}: {fp} clean-run false positives (must be 0)"
+            )
+        rate = summary["detection"]["rate"]
+        if name == "off" and rate < 1.0:
+            problems.append(
+                f"off: detection rate {rate:.3f} below 1.0 "
+                "(noise-free grid must stay perfect)"
+            )
+        if name == "off" and summary["localization"]["top1_accuracy"] < 1.0:
+            problems.append(
+                f"off: top-1 accuracy "
+                f"{summary['localization']['top1_accuracy']:.3f} below 1.0"
+            )
+        if name == "medium" and rate < MIN_RECALL_MEDIUM:
+            problems.append(
+                f"medium: detection recall {rate:.3f} below "
+                f"{MIN_RECALL_MEDIUM} at 1-in-4 sampling + 10% loss"
+            )
+    sets = sweep["multi"]["summary"]["fault_sets"]
+    if sets["precision"] < MIN_FAULT_SET_PRECISION:
+        problems.append(
+            f"multi: fault-set precision {sets['precision']:.3f} below "
+            f"{MIN_FAULT_SET_PRECISION}"
+        )
+    if sets["recall"] < MIN_FAULT_SET_RECALL:
+        problems.append(
+            f"multi: fault-set recall {sets['recall']:.3f} below "
+            f"{MIN_FAULT_SET_RECALL}"
+        )
+    for row in sweep["multi"]["rows"]:
+        if row["fault_kind"] != "hot_neighbor":
+            continue
+        claimed = (row.get("fault_sets") or {}).get("claimed") or []
+        if not claimed or not all(c.startswith("job:") for c in claimed):
+            problems.append(
+                f"{row['scenario']}: hot neighbour blamed on {claimed or 'nothing'} "
+                "(must be the tenant job, never a link)"
+            )
+    return problems
+
+
+def render_sweep(sweep: dict) -> str:
+    """The E27 table: one line per noise level plus the fault-set grid."""
+    lines = []
+    header = (
+        f"{'noise':<8}{'detected':>10}{'top1':>7}{'top3':>7}{'FP':>4}"
+        f"{'mean latency':>14}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, spec in NOISE_LEVELS:
+        summary = sweep["single"][name]["summary"]
+        det = summary["detection"]
+        loc = summary["localization"]
+        latency = (
+            f"{det['mean_latency_frac']:.1%} jct"
+            if det["detected"]
+            else "-"
+        )
+        lines.append(
+            f"{name:<8}{det['detected']:>6}/{det['faulty_runs']:<3}"
+            f"{loc['top1_accuracy']:>7.0%}{loc['top3_accuracy']:>7.0%}"
+            f"{summary['false_positive']['false_positives']:>4}"
+            f"{latency:>14}"
+        )
+        lines.append(f"         spec: {spec or 'off'}")
+    lines.append("")
+    lines.append("multi-fault grid (noise off), claimed fault sets:")
+    for row in sweep["multi"]["rows"]:
+        sets = row.get("fault_sets")
+        if not sets:
+            continue
+        precision = (
+            f"{sets['precision']:.0%}" if sets["precision"] is not None else "-"
+        )
+        lines.append(
+            f"  {row['scenario']:<20} P {precision:>5} R {sets['recall']:.0%}"
+            f"  claimed: {', '.join(sets['claimed']) or '-'}"
+        )
+    agg = sweep["multi"]["summary"]["fault_sets"]
+    lines.append(
+        f"  aggregate: precision {agg['precision']:.1%} "
+        f"({agg['matched_claims']}/{agg['claims']} claims), "
+        f"recall {agg['recall']:.1%} ({agg['matched']}/{agg['faults']} faults)"
+    )
+    return "\n".join(lines)
+
+
+def _sweep_facts(sweep: dict) -> dict:
+    """The per-scenario facts the baseline pins down."""
+    facts: dict = {"single": {}, "multi": {}}
+    for name, _ in NOISE_LEVELS:
+        level = facts["single"][name] = {}
+        for row in sweep["single"][name]["rows"]:
+            if row["fault_kind"] == "clean":
+                level[row["scenario"]] = {
+                    "false_positives": row["false_positives"]
+                }
+            else:
+                level[row["scenario"]] = {
+                    "detected": bool(row.get("detected")),
+                    "top1": bool(row.get("top1")),
+                    "latency_frac": round(
+                        row.get("detection_latency_frac") or 0.0, 6
+                    ),
+                }
+    for row in sweep["multi"]["rows"]:
+        sets = row.get("fault_sets")
+        if sets:
+            facts["multi"][row["scenario"]] = {
+                "claimed": list(sets["claimed"]),
+                "recall": round(sets["recall"], 6),
+            }
+    return facts
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+
+
+def test_aiops_noise_smoke(benchmark):
+    sweep = benchmark.pedantic(run_sweep, args=(True,), rounds=1, iterations=1)
+    problems = check_sweep(sweep)
+    assert not problems, "\n".join(problems)
+
+
+def test_aiops_noise_full(benchmark, report):
+    sweep = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    report("E27_aiops_noise", render_sweep(sweep))
+    problems = check_sweep(sweep)
+    assert not problems, "\n".join(problems)
+
+
+# ----------------------------------------------------------------------
+# standalone main (--smoke is the CI guard)
+# ----------------------------------------------------------------------
+
+
+def _check_level(name: str, got: dict, want: dict, problems: list) -> None:
+    for scenario, fact in sorted(got.items()):
+        pinned = want.get(scenario)
+        if pinned is None:
+            problems.append(f"baseline lacks {name}/{scenario}")
+            continue
+        if "false_positives" in fact:
+            ok = fact["false_positives"] == pinned["false_positives"]
+            print(
+                f"[bench_aiops_noise] {name}/{scenario}: "
+                f"{fact['false_positives']} false positives "
+                f"{'ok' if ok else 'REGRESSION'}"
+            )
+            if not ok:
+                problems.append(
+                    f"{name}/{scenario}: {fact['false_positives']} false "
+                    f"positives vs baseline {pinned['false_positives']}"
+                )
+            continue
+        drift = abs(fact["latency_frac"] - pinned["latency_frac"])
+        ok = (
+            fact["detected"] == pinned["detected"]
+            and fact["top1"] == pinned["top1"]
+            and drift <= SMOKE_LATENCY_TOLERANCE
+        )
+        print(
+            f"[bench_aiops_noise] {name}/{scenario}: "
+            f"detected={fact['detected']} top1={fact['top1']} "
+            f"latency_frac={fact['latency_frac']:.4f} "
+            f"(baseline {pinned['latency_frac']:.4f}) "
+            f"{'ok' if ok else 'REGRESSION'}"
+        )
+        if not ok:
+            problems.append(
+                f"{name}/{scenario}: detected={fact['detected']}/"
+                f"top1={fact['top1']}/latency_frac={fact['latency_frac']:.4f}"
+                f" vs baseline detected={pinned['detected']}/"
+                f"top1={pinned['top1']}/"
+                f"latency_frac={pinned['latency_frac']:.4f}"
+            )
+
+
+def smoke() -> int:
+    try:
+        baseline = json.loads(BASELINE_PATH.read_text())
+    except FileNotFoundError:
+        print(
+            f"[bench_aiops_noise] missing baseline {BASELINE_PATH}",
+            file=sys.stderr,
+        )
+        return 1
+    sweep = run_sweep(smoke=True)
+    problems = check_sweep(sweep)
+    facts = _sweep_facts(sweep)
+    for name, _ in NOISE_LEVELS:
+        _check_level(
+            name,
+            facts["single"][name],
+            baseline["single"].get(name, {}),
+            problems,
+        )
+    for scenario, fact in sorted(facts["multi"].items()):
+        pinned = baseline["multi"].get(scenario)
+        if pinned is None:
+            problems.append(f"baseline lacks multi/{scenario}")
+            continue
+        ok = (
+            fact["claimed"] == pinned["claimed"]
+            and fact["recall"] >= pinned["recall"]
+        )
+        print(
+            f"[bench_aiops_noise] multi/{scenario}: "
+            f"claimed={','.join(fact['claimed']) or '-'} "
+            f"recall={fact['recall']:.2f} {'ok' if ok else 'REGRESSION'}"
+        )
+        if not ok:
+            problems.append(
+                f"multi/{scenario}: claimed={fact['claimed']} "
+                f"recall={fact['recall']:.2f} vs baseline "
+                f"claimed={pinned['claimed']} recall={pinned['recall']:.2f}"
+            )
+    if problems:
+        print(
+            "[bench_aiops_noise] smoke FAILED:\n  " + "\n  ".join(problems),
+            file=sys.stderr,
+        )
+        return 1
+    print("[bench_aiops_noise] smoke passed")
+    return 0
+
+
+def regen_baseline(path: Path) -> int:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    sweep = run_sweep(smoke=True)
+    facts = _sweep_facts(sweep)
+    path.write_text(
+        json.dumps(
+            {
+                "benchmark": "bench_aiops_noise",
+                "scenario": {
+                    "noise_levels": {
+                        name: spec or "off" for name, spec in NOISE_LEVELS
+                    },
+                    "seed": SEED,
+                    "multi_paradigms": list(MULTI_SMOKE_PARADIGMS),
+                    "multi_fault_kinds": list(MULTI_FAULT_KINDS),
+                },
+                "single": facts["single"],
+                "multi": facts["multi"],
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(f"[bench_aiops_noise] baseline written to {path}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="deterministic regression guard against the checked-in baseline",
+    )
+    parser.add_argument(
+        "--regen-baseline",
+        action="store_true",
+        help=f"rewrite {BASELINE_PATH.name} from the current code",
+    )
+    args = parser.parse_args(argv)
+    if args.regen_baseline:
+        return regen_baseline(BASELINE_PATH)
+    if args.smoke:
+        return smoke()
+    sweep = run_sweep()
+    print(render_sweep(sweep))
+    problems = check_sweep(sweep)
+    if problems:
+        print(
+            "[bench_aiops_noise] invariants FAILED:\n  "
+            + "\n  ".join(problems),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -835,12 +835,34 @@ def cmd_watch(args) -> int:
 def cmd_aiops(args) -> int:
     import json as _json
 
-    from .obs.watch import aiops_score, render_score
+    from .obs.watch import (
+        MULTI_FAULT_KINDS,
+        MULTI_PARADIGMS,
+        MULTI_SMOKE_PARADIGMS,
+        NoiseSpecError,
+        aiops_score,
+        parse_noise_spec,
+        render_score,
+    )
 
+    if args.noise:
+        try:
+            parse_noise_spec(args.noise)
+        except NoiseSpecError as exc:
+            print(f"bad --noise spec: {exc}", file=sys.stderr)
+            return 2
+    paradigms = kinds = None
+    if args.multi:
+        kinds = MULTI_FAULT_KINDS
+        paradigms = MULTI_SMOKE_PARADIGMS if args.smoke else MULTI_PARADIGMS
     report = aiops_score(
+        paradigms=paradigms,
+        kinds=kinds,
         scheduler=args.scheduler,
         mitigate=not args.no_mitigate,
-        smoke=args.smoke,
+        smoke=args.smoke and not args.multi,
+        noise=args.noise,
+        seed=args.seed,
     )
     if args.out:
         with open(args.out, "w") as handle:
@@ -1102,6 +1124,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-mitigate",
         action="store_true",
         help="skip the paired mitigation runs (faster; no recovered-JCT column)",
+    )
+    score.add_argument(
+        "--multi",
+        action="store_true",
+        help="grade the multi-fault grid instead (concurrent faults, "
+        "correlated flaps, cascades, hot-neighbour tenants; scored as "
+        "per-fault precision/recall over claimed fault sets)",
+    )
+    score.add_argument(
+        "--noise",
+        metavar="SPEC",
+        help="degrade the telemetry channel between engine and loop. "
+        "SPEC is comma-separated key=value pairs: sample=K (keep 1-in-K "
+        "link_sample/flow_rates events), drop=P (i.i.d. loss), "
+        "burst=PxL (burst loss: gates at rate P, each burst eats L "
+        "events), delay=S (delay with jitter up to S seconds, bounded "
+        "reordering), dup=P (duplication), e.g. "
+        "'sample=4,drop=0.1,burst=0.02x5,delay=0.001,dup=0.01'; "
+        "'off' disables",
+    )
+    score.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="channel RNG seed; each scenario mixes in its name, so one "
+        "seed reproduces the whole grid (default 0)",
     )
     score.add_argument("--json", action="store_true", help="dump raw JSON")
     score.add_argument(

@@ -26,6 +26,10 @@ class JsonlEventLog:
     Events accumulate as plain dicts; ``write`` (or ``dump``) serialises
     one object per line. When ``capacity`` is set the log keeps only the
     most recent events (a ring), bounding memory on very long runs.
+    ``stream_to`` additionally spills every record to a JSONL file as it
+    is appended (buffered, flushed every ``flush_every`` records and on
+    :meth:`close`), so ring eviction never loses the on-disk history --
+    the combination gives O(capacity) memory with a complete log.
 
     Coalescing policy under eviction
     --------------------------------
@@ -41,9 +45,16 @@ class JsonlEventLog:
     watch loop sees the complete stream regardless of ``capacity``.
     """
 
-    def __init__(self, capacity: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        capacity: Optional[int] = None,
+        stream_to: Optional[str] = None,
+        flush_every: int = 512,
+    ) -> None:
         if capacity is not None and capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
+        if flush_every <= 0:
+            raise ValueError(f"flush_every must be positive, got {flush_every}")
         self.capacity = capacity
         self.events: List[Dict] = []
         #: Events appended over the lifetime (>= len(events) with a ring).
@@ -53,6 +64,14 @@ class JsonlEventLog:
         #: [first, last] event time of everything evicted, or None.
         self.evicted_span: Optional[List[float]] = None
         self._subscribers: List[Callable[[Dict], None]] = []
+        #: Streaming spill: every record is serialised to this path the
+        #: moment it is appended, so a ring-bounded log still persists
+        #: the complete stream with O(capacity) memory. Buffered writes
+        #: are flushed every ``flush_every`` records and on :meth:`close`.
+        self.stream_path = stream_to
+        self._flush_every = flush_every
+        self._unflushed = 0
+        self._stream = open(stream_to, "w") if stream_to else None
 
     def subscribe(self, callback: Callable[[Dict], None]) -> None:
         """Register a live consumer; called with every appended record.
@@ -67,6 +86,14 @@ class JsonlEventLog:
         record.update(fields)
         self.events.append(record)
         self.total_appended += 1
+        if self._stream is not None:
+            self._stream.write(
+                json.dumps(record, sort_keys=True, default=str) + "\n"
+            )
+            self._unflushed += 1
+            if self._unflushed >= self._flush_every:
+                self._stream.flush()
+                self._unflushed = 0
         for callback in self._subscribers:
             callback(record)
         if self.capacity is not None and len(self.events) > self.capacity:
@@ -111,6 +138,20 @@ class JsonlEventLog:
     def write(self, path: str) -> None:
         with open(path, "w") as handle:
             handle.write(self.dump())
+
+    def close(self) -> None:
+        """Flush and close the streaming spill file (idempotent)."""
+        if self._stream is not None:
+            self._stream.flush()
+            self._stream.close()
+            self._stream = None
+            self._unflushed = 0
+
+    def __enter__(self) -> "JsonlEventLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def iter_jsonl(path: str) -> Iterator[Dict]:

@@ -11,6 +11,12 @@ localization accuracy, false positives on clean runs, recovered JCT --
 via ``repro aiops score``. See docs/aiops.md.
 """
 
+from .channel import (
+    NoiseSpec,
+    NoiseSpecError,
+    TelemetryChannel,
+    parse_noise_spec,
+)
 from .detectors import (
     Detector,
     JctForecastDetector,
@@ -19,11 +25,15 @@ from .detectors import (
     TardinessDriftDetector,
     WatchConfig,
     default_detectors,
+    noise_hardened_config,
 )
 from .localize import Localizer
 from .mitigate import Mitigator
 from .scenarios import (
     FAULT_KINDS,
+    MULTI_FAULT_KINDS,
+    MULTI_PARADIGMS,
+    MULTI_SMOKE_PARADIGMS,
     PARADIGM_KEYS,
     SMOKE_KINDS,
     SMOKE_PARADIGMS,
@@ -35,9 +45,11 @@ from .scenarios import (
 from .score import (
     AIOPS_SCORE_VERSION,
     aiops_score,
+    grade_fault_sets,
     grade_scenario,
     render_score,
     run_scenario,
+    scenario_seed,
 )
 from .stream import LinkHealth, StreamState
 from .watch import WatchLoop
@@ -51,7 +63,12 @@ __all__ = [
     "LinkCapacityDetector",
     "LinkHealth",
     "Localizer",
+    "MULTI_FAULT_KINDS",
+    "MULTI_PARADIGMS",
+    "MULTI_SMOKE_PARADIGMS",
     "Mitigator",
+    "NoiseSpec",
+    "NoiseSpecError",
     "PARADIGM_KEYS",
     "SMOKE_KINDS",
     "SMOKE_PARADIGMS",
@@ -60,14 +77,19 @@ __all__ = [
     "StormDetector",
     "StreamState",
     "TardinessDriftDetector",
+    "TelemetryChannel",
     "WatchConfig",
     "WatchLoop",
     "aiops_score",
     "build_scenarios",
     "default_detectors",
+    "grade_fault_sets",
     "grade_scenario",
     "make_engine",
+    "noise_hardened_config",
     "nominal_jct",
+    "parse_noise_spec",
     "render_score",
     "run_scenario",
+    "scenario_seed",
 ]

@@ -78,6 +78,46 @@ class WatchConfig:
     #: stock fabric is symmetric); see StreamState.
     pair_symmetry: bool = True
 
+    # -- noise hardening (defaults preserve the noise-free behaviour
+    # bit-for-bit; see docs/aiops.md "Telemetry noise model") ----------
+    #: Distinct degraded sightings before a capacity-drop episode opens
+    #: (1 = alarm on first sight, the pre-noise behaviour). Raise on
+    #: channels that duplicate or delay samples.
+    capacity_confirm: int = 1
+    #: Anomalies below this confidence are suppressed loop-wide:
+    #: episodes become confidence-weighted instead of hard-thresholded.
+    min_confidence: float = 0.0
+    #: Multiplier on the quiet-stint alarm bar; >1 buys false-positive
+    #: margin when sampling stretches apparent stints.
+    quiet_margin: float = 1.0
+    #: Additive quiet-stint slack, in units of the link's *observed*
+    #: mean inter-sample gap. Sighting lag is additive -- a busy link
+    #: can silently miss several 1-in-k sampled sightings in a row --
+    #: so a multiplier alone cannot absorb it. Self-calibrating: on a
+    #: dense (noise-free) feed the observed gap is tiny.
+    quiet_slack: float = 0.0
+
+    # -- multi-fault localization (see Localizer) ----------------------
+    #: Candidates below this score never enter a localization's
+    #: ``fault_set`` (the ranked set of *distinct* concurrent causes).
+    #: Sits above the score a benign quiet stint can reach (~0.47 for a
+    #: lone parked flow at max staleness) but below every real-fault
+    #: signature (capacity drops >= 0.7 on the grid, crash = 1.0,
+    #: elected quiet subjects ~0.8+).
+    set_min_score: float = 0.5
+    #: Maximum distinct causes one localization claims.
+    set_max: int = 3
+    #: Contention-vs-fault discriminator: a link sampled busy within
+    #: this fraction of the run's elapsed time, at >= this utilization,
+    #: with no capacity drop, is *exonerated* (its apparent collapse is
+    #: a hot neighbour, not a sick link) and rescored by this factor.
+    exonerate_staleness_frac: float = 0.05
+    exonerate_utilization: float = 0.85
+    exonerate_factor: float = 0.3
+    #: Blame share of the top cross-job offender needed to promote the
+    #: tenant above the physical-evidence cap.
+    blame_dominance: float = 0.6
+
 
 class Detector:
     """Base: observe events (already folded into ``state``), emit anomalies."""
@@ -197,6 +237,9 @@ class LinkCapacityDetector(Detector):
     def __init__(self, config: WatchConfig) -> None:
         self.config = config
         self._degraded: Set[str] = set()
+        #: link -> (consecutive degraded sightings, last sighting time);
+        #: confirmation counting for noisy channels (capacity_confirm).
+        self._confirming: Dict[str, List] = {}
         self._last_beat: Optional[float] = None
         self._beat_period = 0.0
         #: Longest completed (hence benign) quiet stint per link.
@@ -217,24 +260,36 @@ class LinkCapacityDetector(Detector):
                 continue
             drop = health.capacity_drop
             if drop > self.config.capacity_drop_tol:
-                if key not in self._degraded:
-                    self._degraded.add(key)
-                    anomalies.append(
-                        self._anomaly(
-                            state,
-                            state.now,
-                            drop,
-                            {
-                                "link": key,
-                                "mode": "capacity_drop",
-                                "capacity": health.capacity,
-                                "nominal": health.nominal,
-                                "drop": drop,
-                            },
-                        )
+                if key in self._degraded:
+                    continue
+                # Confirmation counting: one sighting per distinct
+                # sample time (duplicates delivered twice by the channel
+                # must not fast-forward the count).
+                sightings = self._confirming.setdefault(key, [0, None])
+                if sightings[1] != health.last_seen:
+                    sightings[0] += 1
+                    sightings[1] = health.last_seen
+                if sightings[0] < self.config.capacity_confirm:
+                    continue
+                del self._confirming[key]
+                self._degraded.add(key)
+                anomalies.append(
+                    self._anomaly(
+                        state,
+                        state.now,
+                        drop,
+                        {
+                            "link": key,
+                            "mode": "capacity_drop",
+                            "capacity": health.capacity,
+                            "nominal": health.nominal,
+                            "drop": drop,
+                        },
                     )
+                )
             else:
                 self._degraded.discard(key)
+                self._confirming.pop(key, None)
         return anomalies
 
     def _on_beat(self, state: StreamState) -> List[Dict]:
@@ -252,12 +307,40 @@ class LinkCapacityDetector(Detector):
             return []
         floor = self.config.stall_beats * self._beat_period
         benign_all = max(self._benign.values(), default=0.0)
-        threshold = max(self.config.stall_factor * benign_all, floor)
+        # quiet_margin (default 1.0 = pre-noise bar): under sampling, a
+        # link's last busy sighting lags its true last activity by up to
+        # one sampling stride, stretching apparent stints.
+        threshold = (
+            max(self.config.stall_factor * benign_all, floor)
+            * self.config.quiet_margin
+        )
         crossing: List[Tuple[int, float, str]] = []
+        bars: Dict[str, float] = {}
+        # Most recent sign of life anywhere: a partial fault strands
+        # some flows while the rest of the fabric keeps moving, whereas
+        # a network-wide hush on a sparse feed is a schedule phase (or a
+        # compute gap) -- only judged when quiet_slack is armed.
+        network_recent = max(
+            [state.last_delivery or 0.0]
+            + [
+                health.last_busy
+                for health in state.links.values()
+                if health.last_busy is not None
+            ]
+        )
         for key, age in stale.items():
             stint = self._stints.setdefault(key, [0.0, False])
             stint[0] = age
-            if stint[1] or age < threshold:
+            bar = threshold + self._sample_slack(key, state)
+            bars[key] = bar
+            if stint[1] or age < bar:
+                continue
+            if self._reverse_alive(key, state):
+                continue
+            if (
+                self.config.quiet_slack > 0.0
+                and network_recent <= state.now - age
+            ):
                 continue
             outstanding = len(state.outstanding_on_link.get(key, ()))
             crossing.append((outstanding, age, key))
@@ -271,11 +354,12 @@ class LinkCapacityDetector(Detector):
         for _, _, key in crossing:
             self._stints[key][1] = True
         outstanding, age, key = crossing[0]
+        bar = bars[key]
         anomalies.append(
             self._anomaly(
                 state,
                 state.now - age,
-                min(1.0, 0.5 + 0.5 * (age / threshold - 1.0)),
+                min(1.0, 0.5 + 0.5 * (age / bar - 1.0)),
                 {
                     "link": key,
                     "mode": "quiet",
@@ -285,11 +369,57 @@ class LinkCapacityDetector(Detector):
                         [k, round(a, 9), o] for o, a, k in crossing[1:5]
                     ],
                     "benign_max": benign_all,
-                    "threshold": threshold,
+                    "threshold": bar,
                 },
             )
         )
         return anomalies
+
+    def _sample_slack(self, key: str, state: StreamState) -> float:
+        """Sighting-lag allowance for one link's quiet-stint age.
+
+        Under a 1-in-k sampled channel a busy link can go several true
+        sampling periods without a sighting; the apparent stint inflates
+        by that lag *additively*. The allowance is ``quiet_slack`` times
+        the link's observed mean inter-sample gap, which self-reports
+        the channel density (near zero on a dense feed). A link never
+        sighted busy gets *no* slack: its stint age derives from exact
+        pinned-flow injection times, which sampling does not blur.
+        """
+        if self.config.quiet_slack <= 0.0:
+            return 0.0
+        health = state.links.get(key)
+        if health is None or health.last_busy is None:
+            return 0.0
+        if health.samples < 2:
+            return self.config.quiet_slack * self._beat_period
+        gap = (health.last_seen - health.first_seen) / (health.samples - 1)
+        return self.config.quiet_slack * max(gap, 0.0)
+
+    def _reverse_alive(self, key: str, state: StreamState) -> bool:
+        """Was the duplex partner of ``key`` sighted busy recently?
+
+        Faults on this grid down both directions of a duplex pair, so a
+        quiet direction whose reverse still moves bytes is parked by the
+        schedule, not dead -- a distinction that only matters on sparse
+        feeds, where a parked direction can go a whole round between
+        sightings. Gated on ``quiet_slack`` so the noise-free bar is
+        untouched.
+        """
+        if self.config.quiet_slack <= 0.0:
+            return False
+        src, sep, dst = key.partition("->")
+        if not sep:
+            return False
+        health = state.links.get(f"{dst}->{src}")
+        if health is None or health.last_busy is None:
+            return False
+        if health.samples >= 2:
+            gap = (health.last_seen - health.first_seen) / (health.samples - 1)
+        else:
+            gap = self._beat_period
+        allowance = self.config.quiet_slack * max(gap, self._beat_period)
+        return state.now - health.last_busy <= allowance
 
 
 class StormDetector(Detector):
@@ -356,7 +486,6 @@ class JctForecastDetector(Detector):
         self.config = config
         self._max_gap = 0.0
         self._last_flow_event: Optional[float] = None
-        self._deliveries = 0
         self._alarmed = False
 
     def _forecast(self, state: StreamState) -> Optional[float]:
@@ -377,11 +506,12 @@ class JctForecastDetector(Detector):
                 )
             self._last_flow_event = state.now
             if kind == "flow_finished":
-                self._deliveries += 1
                 self._alarmed = False
             return []
+        # Warmup counts *deduplicated* deliveries (state.deliveries), so
+        # an at-least-once channel cannot fast-forward the quota.
         if (
-            self._deliveries < self.config.jct_warmup
+            state.deliveries < self.config.jct_warmup
             or not state.active_flows
             or self._last_flow_event is None
             or self._max_gap <= 0.0
@@ -414,6 +544,30 @@ class JctForecastDetector(Detector):
                 evidence,
             )
         ]
+
+
+def noise_hardened_config(spec=None) -> WatchConfig:
+    """A :class:`WatchConfig` tuned for one degraded-telemetry channel.
+
+    With no spec (or the identity channel) this is exactly the default
+    config -- the noise-free grid behaviour stays bit-for-bit. Under
+    sampling or loss, apparent quiet stints stretch by up to a few
+    sampling strides, so the quiet-stint alarm bar gains margin; under
+    duplication or delay, capacity-drop episodes wait for a second
+    distinct sighting before alarming.
+    """
+    config = WatchConfig()
+    if spec is None or spec.is_noop:
+        return config
+    if spec.sample > 1 or spec.drop > 0.0 or spec.burst > 0.0:
+        # Sampling lags a link's last busy sighting by up to a few
+        # strides, inflating apparent quiet stints past the clean bar; a
+        # real link-down stalls forever and still crosses the wider one.
+        config.quiet_margin = 1.5
+        config.quiet_slack = 2.0
+    if spec.dup > 0.0 or spec.delay > 0.0:
+        config.capacity_confirm = 2
+    return config
 
 
 def default_detectors(config: Optional[WatchConfig] = None) -> List[Detector]:

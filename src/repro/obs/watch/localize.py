@@ -24,6 +24,23 @@ Scores are additive weights clamped to [0, 1]; ties break on
 ``(kind, target)`` so rankings are deterministic across live and
 replay. The grader (:mod:`repro.obs.watch.score`) compares the top
 candidates against the chaos layer's ground truth.
+
+Beyond the ranked candidate list, each localization carries a
+``fault_set``: the *distinct concurrent causes* the evidence supports
+(score >= ``set_min_score``, duplex link directions collapsed to one
+entry, at most ``set_max`` causes). A single-fault run yields a
+singleton set; concurrent link + scheduler faults, correlated duplex
+flaps, and cascades each surface as multi-entry sets, which the grader
+scores as per-fault precision/recall.
+
+The *contention-vs-fault discriminator* separates a sick link from a
+hot neighbour tenant: a link that was sampled recently, busy at its
+full nominal capacity, is **exonerated** (its score is scaled down and
+it is barred from the fault set -- a saturated-but-healthy link is a
+contention symptom, not a fault), and when the PR 3 blame matrix names
+a dominant cross-job offender while no un-exonerated physical evidence
+remains, the offending *job* is promoted above the usual
+physical-evidence cap.
 """
 
 from __future__ import annotations
@@ -39,6 +56,16 @@ _FALLBACK_WEIGHT = {
     "exception": 0.6,
     "infeasible": 0.4,
 }
+
+
+def _canonical_cause(kind: str, target: str) -> str:
+    """Collapse the two directions of a duplex link to one cause key."""
+    if kind == "link":
+        src, sep, dst = target.partition("->")
+        if sep:
+            lo, hi = (src, dst) if src <= dst else (dst, src)
+            return f"link:{lo}-{hi}"
+    return f"{kind}:{target}"
 
 
 def _anomaly_links(anomaly: Dict) -> Dict[str, float]:
@@ -109,6 +136,30 @@ class Localizer:
             if key in subjects:
                 score += 0.5 * subjects[key]
                 evidence["anomaly_subject"] = True
+            if (
+                score > 0.0
+                and "capacity_drop" not in evidence
+                and "rerouted_old_paths" not in evidence
+            ):
+                # Never exonerate a link the routing layer evacuated: a
+                # freshly downed link still *looks* busy-at-nominal (its
+                # last sample predates the fault by under one sampling
+                # stride), but contention does not trigger reroutes.
+                exonerated = self._exonerated(key, state)
+                if exonerated is not None:
+                    # Busy at full nominal when last sampled: the link
+                    # is saturated, not sick -- contention evidence.
+                    score *= self.config.exonerate_factor
+                    evidence["exonerated"] = exonerated
+                elif "quiet_seconds" in evidence:
+                    # A quiet link whose stranded flows cross a hop that
+                    # *is* moving bytes at full nominal is starved by
+                    # congestion downstream, not dead: a sick link would
+                    # silence its whole path.
+                    hot = self._hot_downstream(key, state)
+                    if hot is not None:
+                        score *= self.config.exonerate_factor
+                        evidence["exonerated"] = {"contended_hop": hot}
             if score > 0.0:
                 candidates.append(
                     {
@@ -119,6 +170,46 @@ class Localizer:
                     }
                 )
         return candidates
+
+    def _exonerated(self, key: str, state: StreamState) -> Optional[Dict]:
+        """Contention-vs-fault check for one link candidate.
+
+        Returns exoneration evidence when the link's newest sample is
+        *fresh* (within ``exonerate_staleness_frac`` of the elapsed run)
+        and shows it running at >= ``exonerate_utilization`` of an
+        undegraded capacity -- a faulty link cannot be moving bytes at
+        full nominal speed, so the congestion lies with its tenants.
+        """
+        health = state.links.get(key)
+        if health is None:
+            return None
+        elapsed = state.elapsed
+        if elapsed <= 0.0:
+            return None
+        staleness = state.now - health.last_seen
+        if staleness > self.config.exonerate_staleness_frac * elapsed:
+            return None
+        if health.last_utilization < self.config.exonerate_utilization:
+            return None
+        if health.capacity_drop > self.config.capacity_drop_tol:
+            return None
+        return {
+            "utilization": round(health.last_utilization, 6),
+            "staleness": round(staleness, 9),
+        }
+
+    def _hot_downstream(self, key: str, state: StreamState) -> Optional[str]:
+        """A busy-at-nominal hop shared by ``key``'s stranded flows."""
+        for flow_id in state.outstanding_on_link.get(key, ()):
+            info = state.active_flows.get(flow_id)
+            if info is None:
+                continue
+            for hop in info["path"]:
+                if hop == key:
+                    continue
+                if self._exonerated(hop, state) is not None:
+                    return hop
+        return None
 
     def _scheduler_candidate(
         self, anomaly: Dict, state: StreamState
@@ -142,16 +233,95 @@ class Localizer:
             "evidence": {"fallback_kinds": dict(sorted(kinds.items()))},
         }
 
+    def _live_neighbor(self, state: StreamState) -> Dict[str, Dict]:
+        """Stream-native hot-neighbour evidence, per late-arriving job.
+
+        The blame matrix needs finished flows, so mid-run -- exactly
+        when a hot neighbour is throttling the incumbent -- it can come
+        up empty. The stream itself carries the signature: a job whose
+        first injection landed well after the run began and which now
+        holds a material share of the outstanding bytes.
+        """
+        first_seen = state.job_first_seen
+        if len(first_seen) < 2:
+            return {}
+        t0 = min(first_seen.values())
+        span = state.now - t0
+        if span <= 0.0:
+            return {}
+        # A hot neighbour's outstanding bytes are often zero exactly
+        # when it hurts most (it wins the bandwidth, so it drains
+        # fast); its share of *recently delivered* bytes is the robust
+        # signal. "Recent" = the trailing quarter of the run so far.
+        cutoff = state.now - 0.25 * span
+        recent: Dict[str, float] = {}
+        for t, job, size in state.recent_deliveries:
+            if t >= cutoff:
+                recent[job] = recent.get(job, 0.0) + size
+        recent_total = sum(recent.values())
+        outstanding_total = sum(state.job_outstanding_bytes.values())
+        out: Dict[str, Dict] = {}
+        for job, seen in first_seen.items():
+            if (seen - t0) < 0.1 * span:
+                continue  # incumbent, not a late arrival
+            share = 0.0
+            if recent_total > 0.0:
+                share = recent.get(job, 0.0) / recent_total
+            if outstanding_total > 0.0:
+                share = max(
+                    share,
+                    state.job_outstanding_bytes.get(job, 0.0)
+                    / outstanding_total,
+                )
+            if share <= 0.0:
+                continue
+            out[job] = {
+                "arrived": seen,
+                "recent_bytes_share": round(share, 6),
+            }
+        return out
+
     def _job_candidates(
-        self, anomaly: Dict, events: Optional[Iterable[Dict]]
+        self,
+        anomaly: Dict,
+        state: StreamState,
+        events: Optional[Iterable[Dict]],
     ) -> List[Dict]:
         """Contention-blame evidence: the noisy-neighbour job.
 
         Only meaningful for tardiness drift (a link fault or scheduler
-        crash explains the other anomalies better), and only when the
-        caller can supply the event stream for offline diagnosis.
+        crash explains the other anomalies better). Two evidence
+        sources merge per job: the PR 3 blame matrix over the collected
+        event stream (when it can attribute), and the live late-arrival
+        signature from the stream state.
         """
-        if anomaly.get("detector") != "tardiness_drift" or events is None:
+        if anomaly.get("detector") != "tardiness_drift":
+            return []
+        blame_candidates = self._blame_candidates(events)
+        live = self._live_neighbor(state)
+        merged: Dict[str, Dict] = {c["target"]: c for c in blame_candidates}
+        for job, evidence in live.items():
+            share = evidence["recent_bytes_share"]
+            candidate = merged.get(job)
+            if candidate is None:
+                candidate = {
+                    "kind": "job",
+                    "target": job,
+                    "score": 0.0,
+                    "evidence": {},
+                }
+                merged[job] = candidate
+            candidate["evidence"].update(evidence)
+            candidate["score"] = max(candidate["score"], min(0.5, 0.5 * share))
+            candidate["evidence"]["blame_share"] = max(
+                candidate["evidence"].get("blame_share", 0.0), share
+            )
+        return sorted(merged.values(), key=lambda c: c["target"])
+
+    def _blame_candidates(
+        self, events: Optional[Iterable[Dict]]
+    ) -> List[Dict]:
+        if events is None:
             return []
         try:
             from ..diagnosis import RunArtifacts, attribute_run, blame_matrix
@@ -175,9 +345,14 @@ class Localizer:
                 "kind": "job",
                 "target": job,
                 # Capped below link/scheduler evidence: blame alone
-                # never outranks a physically observed fault.
+                # never outranks a physically observed fault. The
+                # discriminator in localize() lifts the cap when no
+                # physical evidence survives exoneration.
                 "score": min(0.5, 0.5 * seconds / total),
-                "evidence": {"cross_job_blame_seconds": seconds},
+                "evidence": {
+                    "cross_job_blame_seconds": seconds,
+                    "blame_share": round(seconds / total, 6),
+                },
             }
             for job, seconds in cross.items()
         ]
@@ -192,11 +367,35 @@ class Localizer:
         top: int = 5,
     ) -> Dict:
         """Rank root-cause candidates for ``anomaly``; best first."""
-        candidates = self._link_candidates(anomaly, state)
+        link_candidates = self._link_candidates(anomaly, state)
+        candidates = list(link_candidates)
         scheduler = self._scheduler_candidate(anomaly, state)
         if scheduler is not None:
             candidates.append(scheduler)
-        candidates.extend(self._job_candidates(anomaly, events))
+        job_candidates = self._job_candidates(anomaly, state, events)
+        candidates.extend(job_candidates)
+        # Contention-vs-fault discriminator: when the blame matrix names
+        # a dominant cross-job offender and every physical link either
+        # carries too little evidence or was exonerated (busy at
+        # nominal), the hot neighbour *is* the root cause -- promote it
+        # above the physical-evidence cap.
+        if job_candidates:
+            physical = scheduler is not None or any(
+                "capacity_drop" in c["evidence"]
+                or (
+                    "exonerated" not in c["evidence"]
+                    and c["score"] >= self.config.set_min_score
+                )
+                for c in link_candidates
+            )
+            best_job = max(
+                job_candidates,
+                key=lambda c: (c["score"], c["target"]),
+            )
+            share = best_job["evidence"].get("blame_share", 0.0)
+            if not physical and share >= self.config.blame_dominance:
+                best_job["score"] = min(0.9, 0.5 + 0.4 * share)
+                best_job["evidence"]["promoted"] = "contention_dominant"
         candidates.sort(
             key=lambda c: (-c["score"], c["kind"], c["target"])
         )
@@ -208,4 +407,51 @@ class Localizer:
             "detector": anomaly.get("detector"),
             "onset": anomaly.get("onset"),
             "candidates": candidates[:top],
+            "fault_set": self._fault_set(candidates),
         }
+
+    def _fault_set(self, ranked: List[Dict]) -> List[Dict]:
+        """Distinct concurrent causes the ranked evidence supports.
+
+        Duplex link directions collapse to one canonical cause; causes
+        below ``set_min_score`` or exonerated by the discriminator never
+        enter; at most ``set_max`` causes are claimed. Link candidates
+        whose *only* evidence is silence (quiet / stale / subject, with
+        neither a capacity drop nor reroute corroboration) form one
+        cohort: every hop of a stranded path goes quiet together, so
+        silence supports exactly one cause -- the best-ranked of the
+        cohort claims it and the rest are suppressed.
+        """
+        out: List[Dict] = []
+        seen: Dict[str, Dict] = {}
+        quiet_claimed = False
+        for candidate in ranked:
+            if candidate["score"] < self.config.set_min_score:
+                continue
+            if "exonerated" in candidate["evidence"]:
+                continue
+            quiet_only = candidate["kind"] == "link" and not (
+                "capacity_drop" in candidate["evidence"]
+                or "rerouted_old_paths" in candidate["evidence"]
+            )
+            cause = _canonical_cause(candidate["kind"], candidate["target"])
+            entry = seen.get(cause)
+            if entry is not None:
+                # Second direction of an already-claimed duplex pair.
+                entry["targets"].append(candidate["target"])
+                continue
+            if quiet_only:
+                if quiet_claimed:
+                    continue
+                quiet_claimed = True
+            if len(out) >= self.config.set_max:
+                continue
+            entry = {
+                "cause": cause,
+                "kind": candidate["kind"],
+                "targets": [candidate["target"]],
+                "score": candidate["score"],
+            }
+            seen[cause] = entry
+            out.append(entry)
+        return out

@@ -52,6 +52,16 @@ from ...workloads.model import uniform_model
 PARADIGM_KEYS = ("pp", "dp", "ps", "tp", "fsdp", "ls")
 FAULT_KINDS = ("clean", "link_down", "degrade", "flap", "crash_scheduler")
 
+#: Concurrent / correlated fault kinds (see :func:`build_scenarios`):
+#: ``link_and_crash`` -- a link outage with a scheduler crash landing
+#: mid-outage; ``flap_pair`` -- correlated brown-out flaps on two links
+#: (a sick spine browns out both of its leaf uplinks together);
+#: ``cascade`` -- a degrade whose displaced load then takes a second
+#: link down; ``hot_neighbor`` -- *no* fault at all: a second tenant
+#: job lands mid-run and contends for the fabric, the confound the
+#: localizer's discriminator must blame on the tenant, not a link.
+MULTI_FAULT_KINDS = ("link_and_crash", "flap_pair", "cascade", "hot_neighbor")
+
 #: Fault onset as a fraction of the nominal JCT: late enough for the
 #: detectors to finish calibrating, early enough to matter.
 FAULT_AT = 0.45
@@ -59,6 +69,26 @@ FAULT_AT = 0.45
 HEARTBEAT_FRAC = 1.0 / 50.0
 
 _JOB_ID = "job"
+#: Job id of the hot-neighbour tenant in ``hot_neighbor`` scenarios.
+_NEIGHBOR_ID = "hog"
+
+#: Paradigms where a late tenant actually hurts the incumbent: on the
+#: single-path pp chain, echelon's deadline priorities starve the late
+#: arrival instead, so there is no confound to detect (probed: victim
+#: JCT is bit-identical with and without the neighbour).
+_NEIGHBOR_PARADIGMS = ("dp", "ps", "tp", "fsdp", "ls")
+
+#: Second duplex link per paradigm for correlated / cascading faults.
+_SECOND_LINK = {
+    "pp": "h2-h3",
+    "dp": "h2-core",
+    "ps": "h0-core",
+    "tp": "h2-core",
+    "fsdp": "h2-core",
+    # Same spine as the primary fault link: a sick spine0 touches both
+    # of its leaf uplinks, the "correlated flaps" signature.
+    "ls": "leaf1-spine0",
+}
 
 
 @dataclass(frozen=True)
@@ -73,6 +103,10 @@ class Scenario:
     nominal_jct: float
     heartbeat: float
     fault_link: Optional[str]  # duplex "a-b" the fault targets
+    #: Hot-neighbour tenant job id (``hot_neighbor`` scenarios only).
+    neighbor: Optional[str] = None
+    #: Onset time of the injected disturbance (fault or neighbour).
+    fault_at: float = 0.0
 
     @property
     def schedule(self) -> Optional[FaultSchedule]:
@@ -80,7 +114,20 @@ class Scenario:
 
     def ground_truth(self) -> List[Dict]:
         schedule = self.schedule
-        return [] if schedule is None else schedule.ground_truth()
+        truth = [] if schedule is None else schedule.ground_truth()
+        if self.neighbor is not None:
+            # The confound's "fault" is a tenant, not infrastructure:
+            # correct localization blames the job.
+            truth.append(
+                {
+                    "kind": "job",
+                    "action": "hot_neighbor",
+                    "targets": [self.neighbor],
+                    "time": self.fault_at,
+                    "count": 1,
+                }
+            )
+        return sorted(truth, key=lambda e: (e["time"], e["action"]))
 
 
 def _model():
@@ -93,7 +140,7 @@ def _model():
     )
 
 
-def _blueprint(paradigm: str) -> Tuple:
+def _blueprint(paradigm: str, job_id: str = _JOB_ID) -> Tuple:
     """Fresh (topology, router, job, duplex fault link) for one paradigm."""
     model = _model()
     hosts4 = [f"h{i}" for i in range(4)]
@@ -101,7 +148,7 @@ def _blueprint(paradigm: str) -> Tuple:
         return (
             linear_chain(4, gbps(3)),
             None,
-            build_pp_gpipe(_JOB_ID, model, hosts4, 8),
+            build_pp_gpipe(job_id, model, hosts4, 8),
             "h1-h2",
         )
     if paradigm == "dp":
@@ -109,7 +156,7 @@ def _blueprint(paradigm: str) -> Tuple:
             big_switch(4, gbps(10)),
             None,
             build_dp_allreduce(
-                _JOB_ID, model, hosts4, bucket_bytes=megabytes(8)
+                job_id, model, hosts4, bucket_bytes=megabytes(8)
             ),
             "h1-core",
         )
@@ -119,7 +166,7 @@ def _blueprint(paradigm: str) -> Tuple:
             big_switch(5, gbps(10)),
             None,
             build_dp_ps(
-                _JOB_ID,
+                job_id,
                 model,
                 hosts5[:4],
                 hosts5[4],
@@ -131,14 +178,14 @@ def _blueprint(paradigm: str) -> Tuple:
         return (
             big_switch(4, gbps(10)),
             None,
-            build_tp_megatron(_JOB_ID, model, hosts4),
+            build_tp_megatron(job_id, model, hosts4),
             "h1-core",
         )
     if paradigm == "fsdp":
         return (
             big_switch(4, gbps(10)),
             None,
-            build_fsdp(_JOB_ID, model, hosts4),
+            build_fsdp(job_id, model, hosts4),
             "h1-core",
         )
     if paradigm == "ls":
@@ -152,7 +199,7 @@ def _blueprint(paradigm: str) -> Tuple:
             topology,
             EcmpRouter(topology),
             build_dp_allreduce(
-                _JOB_ID,
+                job_id,
                 model,
                 ["h0", "h2", "h1", "h3"],
                 bucket_bytes=megabytes(8),
@@ -170,6 +217,7 @@ def make_engine(
     faults=None,
     instrumentation=None,
     sanitizer=None,
+    neighbor_at: Optional[float] = None,
 ) -> Engine:
     """A fresh single-use engine for one scenario run.
 
@@ -177,6 +225,10 @@ def make_engine(
     same experiment no matter how many flows the process created before
     it (ECMP hashes flow ids into path choices) -- and without clobbering
     the process-wide id stream other experiments may be using.
+
+    ``neighbor_at`` submits a second, identical tenant job (id
+    ``"hog"``) arriving at that time on the same hosts -- the
+    hot-neighbour contention confound.
     """
     with use_flow_id_allocator(FlowIdAllocator()):
         topology, router, job, _ = _blueprint(paradigm)
@@ -189,6 +241,9 @@ def make_engine(
             faults=faults,
         )
         job.submit_to(engine)
+        if neighbor_at is not None:
+            _, _, hog, _ = _blueprint(paradigm, job_id=_NEIGHBOR_ID)
+            hog.submit_to(engine, at_time=neighbor_at)
     return engine
 
 
@@ -208,10 +263,28 @@ def nominal_jct(paradigm: str, scheduler: str = "echelon") -> float:
 
 
 def _fault_spec(
-    kind: str, link: str, at: float, jct: float
+    kind: str, link: str, at: float, jct: float, link2: Optional[str] = None
 ) -> Optional[str]:
-    if kind == "clean":
+    if kind in ("clean", "hot_neighbor"):
         return None
+    if kind == "link_and_crash":
+        # Concurrent, independent faults: the crash lands mid-outage, so
+        # the localizer must claim *both* causes in one fault set.
+        return (
+            f"link_down:{link}@{at:.6g}+{0.3 * jct:.6g};"
+            f" crash_scheduler@{at + 0.05 * jct:.6g}"
+        )
+    if kind == "flap_pair":
+        # Correlated brown-out flaps: one sick device touching two
+        # duplex links at the same moments.
+        flap = f"@{at:.6g},period={0.4 * jct:.6g},count=2,factor=0.2"
+        return f"flap:{link}{flap}; flap:{link2}{flap}"
+    if kind == "cascade":
+        # A degrade whose displaced load then takes a second link down.
+        return (
+            f"degrade:{link}@{at:.6g}+{0.4 * jct:.6g},factor=0.3;"
+            f" link_down:{link2}@{at + 0.15 * jct:.6g}+{0.3 * jct:.6g}"
+        )
     if kind == "link_down":
         # Always restored: on single-path fabrics a permanent cut is a
         # deadlock (every crossing flow stranded at rate zero forever).
@@ -229,7 +302,10 @@ def _fault_spec(
         )
     if kind == "crash_scheduler":
         return f"crash_scheduler@{at:.6g}"
-    raise ValueError(f"unknown fault kind {kind!r}; expected {FAULT_KINDS}")
+    raise ValueError(
+        f"unknown fault kind {kind!r}; expected one of "
+        f"{FAULT_KINDS + MULTI_FAULT_KINDS}"
+    )
 
 
 def build_scenarios(
@@ -246,16 +322,26 @@ def build_scenarios(
         at = FAULT_AT * jct
         _, _, _, link = _blueprint(paradigm)
         for kind in kinds:
+            if kind == "hot_neighbor" and paradigm not in _NEIGHBOR_PARADIGMS:
+                continue
             scenarios.append(
                 Scenario(
                     name=f"{paradigm}/{kind}",
                     paradigm=paradigm,
                     scheduler=scheduler,
                     fault_kind=kind,
-                    spec=_fault_spec(kind, link, at, jct),
+                    spec=_fault_spec(
+                        kind, link, at, jct, _SECOND_LINK.get(paradigm)
+                    ),
                     nominal_jct=jct,
                     heartbeat=HEARTBEAT_FRAC * jct,
-                    fault_link=None if kind in ("clean", "crash_scheduler") else link,
+                    fault_link=(
+                        None
+                        if kind in ("clean", "crash_scheduler", "hot_neighbor")
+                        else link
+                    ),
+                    neighbor=_NEIGHBOR_ID if kind == "hot_neighbor" else None,
+                    fault_at=at,
                 )
             )
     return scenarios
@@ -265,3 +351,8 @@ def build_scenarios(
 #: clean (FP check) + the two faults the acceptance bar names.
 SMOKE_PARADIGMS = ("pp", "dp", "ls")
 SMOKE_KINDS = ("clean", "link_down", "degrade")
+
+#: Multi-fault grid defaults (see MULTI_FAULT_KINDS): the smoke subset
+#: keeps one single-path and one multipath fabric.
+MULTI_PARADIGMS = ("pp", "dp", "ls")
+MULTI_SMOKE_PARADIGMS = ("pp", "ls")

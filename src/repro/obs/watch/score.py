@@ -23,10 +23,12 @@ localizer never see fault payloads (see :mod:`repro.obs.watch.stream`).
 
 from __future__ import annotations
 
+import zlib
 from typing import Dict, List, Optional, Sequence
 
 from ...analysis import job_completion_time
-from .detectors import WatchConfig
+from .channel import NoiseSpec, TelemetryChannel, parse_noise_spec
+from .detectors import WatchConfig, noise_hardened_config
 from .scenarios import (
     SMOKE_KINDS,
     SMOKE_PARADIGMS,
@@ -38,7 +40,33 @@ from .scenarios import (
 from .watch import WatchLoop
 
 #: Report schema version, bumped on incompatible layout changes.
-AIOPS_SCORE_VERSION = 1
+AIOPS_SCORE_VERSION = 2
+
+
+def scenario_seed(name: str, seed: int = 0) -> int:
+    """Per-scenario channel seed: stable, but distinct across scenarios.
+
+    Mixing the scenario name in keeps one grid seed from giving every
+    scenario the identical loss pattern (which would correlate failures
+    across the whole grid), while staying reproducible run-to-run.
+    """
+    return (zlib.crc32(name.encode("utf-8")) ^ (seed & 0xFFFFFFFF)) & 0xFFFFFFFF
+
+
+def _noise_spec(noise) -> Optional[NoiseSpec]:
+    if noise is None:
+        return None
+    spec = noise if isinstance(noise, NoiseSpec) else parse_noise_spec(noise)
+    return None if spec.is_noop else spec
+
+
+def _make_channel(
+    noise, scenario: Scenario, seed: int
+) -> Optional[TelemetryChannel]:
+    spec = _noise_spec(noise)
+    if spec is None:
+        return None
+    return TelemetryChannel(spec, seed=scenario_seed(scenario.name, seed))
 
 
 def run_scenario(
@@ -46,11 +74,23 @@ def run_scenario(
     config: Optional[WatchConfig] = None,
     mitigate: bool = False,
     sanitizer=None,
+    noise=None,
+    seed: int = 0,
 ) -> Dict:
-    """One instrumented run with a live watch loop attached."""
+    """One instrumented run with a live watch loop attached.
+
+    ``noise`` (a spec string or :class:`NoiseSpec`) interposes a
+    :class:`TelemetryChannel` between the event log and the loop; the
+    channel is seeded from ``(scenario name, seed)`` so a grid run is
+    reproducible end to end. With no explicit ``config`` the detectors
+    take :func:`noise_hardened_config` for the channel in play, which is
+    the plain default config whenever the channel is clean.
+    """
     from ..instrumentation import Instrumentation
     from ..jsonl import JsonlEventLog
 
+    if config is None:
+        config = noise_hardened_config(_noise_spec(noise))
     log = JsonlEventLog()
     obs = Instrumentation(event_log=log, log_link_samples=True)
     engine = make_engine(
@@ -59,12 +99,20 @@ def run_scenario(
         faults=scenario.schedule,
         instrumentation=obs,
         sanitizer=sanitizer,
+        neighbor_at=(
+            scenario.fault_at if scenario.neighbor is not None else None
+        ),
     )
     loop = WatchLoop(config)
     loop.attach(
-        log, engine=engine, mitigate=mitigate, heartbeat=scenario.heartbeat
+        log,
+        engine=engine,
+        mitigate=mitigate,
+        heartbeat=scenario.heartbeat,
+        channel=_make_channel(noise, scenario, seed),
     )
     trace = engine.run()
+    loop.finish()
     return {
         "loop": loop,
         "jct": job_completion_time(trace, _JOB_ID),
@@ -80,11 +128,83 @@ def _candidate_hits(candidates: Sequence[Dict], truth: Sequence[Dict]) -> bool:
                 if candidate["kind"] == "scheduler":
                     return True
             elif (
-                candidate["kind"] == "link"
+                candidate["kind"] == entry["kind"]
                 and candidate["target"] in entry["targets"]
             ):
                 return True
     return False
+
+
+def _cause_matches(claim: Dict, entry: Dict) -> bool:
+    """One fault-set claim vs one ground-truth entry."""
+    if entry["kind"] == "scheduler":
+        return claim["kind"] == "scheduler"
+    if claim["kind"] != entry["kind"]:
+        return False
+    return any(target in entry["targets"] for target in claim["targets"])
+
+
+def grade_fault_sets(
+    localizations: Sequence[Dict], truth: Sequence[Dict], nominal_jct: float
+) -> Dict:
+    """Per-fault precision/recall + latency from claimed fault sets.
+
+    The claims are the union of every localization's ``fault_set``
+    entries over the run (a cascade's causes surface one at a time), so
+    a spurious cause claimed anywhere costs precision, a truth entry
+    never claimed costs recall, and each matched entry's latency runs
+    from its injection to the first fault set that named it.
+    """
+    claims: Dict[str, Dict] = {}
+    for localization in localizations:
+        for entry in localization.get("fault_set") or ():
+            claim = claims.setdefault(
+                entry["cause"],
+                {
+                    "kind": entry["kind"],
+                    "targets": set(),
+                    "first_t": localization["t"],
+                },
+            )
+            claim["targets"].update(entry["targets"])
+    matched_truth: Dict[int, float] = {}
+    matched_claims = set()
+    for index, entry in enumerate(truth):
+        for cause, claim in claims.items():
+            if _cause_matches(claim, entry):
+                matched_claims.add(cause)
+                best = matched_truth.get(index)
+                latency = max(0.0, claim["first_t"] - entry["time"])
+                if best is None or latency < best:
+                    matched_truth[index] = latency
+    row: Dict = {
+        "claimed": sorted(claims),
+        "claims": len(claims),
+        "matched_claims": len(matched_claims),
+        "matched": len(matched_truth),
+        "faults": len(truth),
+        "precision": (
+            len(matched_claims) / len(claims) if claims else None
+        ),
+        "recall": len(matched_truth) / len(truth) if truth else None,
+        "per_fault": [
+            {
+                "kind": entry["kind"],
+                "action": entry["action"],
+                "targets": entry["targets"],
+                "time": entry["time"],
+                "claimed": index in matched_truth,
+                "latency": matched_truth.get(index),
+                "latency_frac": (
+                    matched_truth[index] / nominal_jct
+                    if index in matched_truth and nominal_jct > 0
+                    else None
+                ),
+            }
+            for index, entry in enumerate(truth)
+        ],
+    }
+    return row
 
 
 def grade_scenario(
@@ -92,9 +212,18 @@ def grade_scenario(
     config: Optional[WatchConfig] = None,
     mitigate: bool = True,
     sanitizer=None,
+    noise=None,
+    seed: int = 0,
 ) -> Dict:
     """Run and score one scenario; returns a flat JSON-able row."""
-    base = run_scenario(scenario, config, mitigate=False, sanitizer=sanitizer)
+    base = run_scenario(
+        scenario,
+        config,
+        mitigate=False,
+        sanitizer=sanitizer,
+        noise=noise,
+        seed=seed,
+    )
     loop: WatchLoop = base["loop"]
     row: Dict = {
         "scenario": scenario.name,
@@ -142,9 +271,17 @@ def grade_scenario(
         )
         row["top1"] = _candidate_hits(candidates[:1], truth)
         row["top3"] = _candidate_hits(candidates[:3], truth)
+    row["fault_sets"] = grade_fault_sets(
+        loop.localizations, truth, scenario.nominal_jct
+    )
     if mitigate:
         mitigated = run_scenario(
-            scenario, config, mitigate=True, sanitizer=sanitizer
+            scenario,
+            config,
+            mitigate=True,
+            sanitizer=sanitizer,
+            noise=noise,
+            seed=seed,
         )
         actions = mitigated["loop"].mitigator.actions
         row["jct_mitigated"] = mitigated["jct"]
@@ -162,14 +299,28 @@ def aiops_score(
     config: Optional[WatchConfig] = None,
     smoke: bool = False,
     sanitizer=None,
+    noise=None,
+    seed: int = 0,
 ) -> Dict:
-    """Grade the scenario grid; the ``repro aiops score`` report."""
+    """Grade the scenario grid; the ``repro aiops score`` report.
+
+    Scenario order is deterministic (paradigm-major, then fault kind)
+    and each scenario's telemetry channel is seeded from its name and
+    ``seed``, so grids are reproducible and resumable per (noise, seed).
+    """
     if smoke:
         paradigms = paradigms if paradigms is not None else SMOKE_PARADIGMS
         kinds = kinds if kinds is not None else SMOKE_KINDS
     scenarios = build_scenarios(paradigms, kinds, scheduler)
     rows = [
-        grade_scenario(s, config, mitigate=mitigate, sanitizer=sanitizer)
+        grade_scenario(
+            s,
+            config,
+            mitigate=mitigate,
+            sanitizer=sanitizer,
+            noise=noise,
+            seed=seed,
+        )
         for s in scenarios
     ]
     clean = [r for r in rows if "false_positives" in r]
@@ -218,6 +369,25 @@ def aiops_score(
             ),
         },
     }
+    graded_sets = [r["fault_sets"] for r in faulty if r.get("fault_sets")]
+    total_claims = sum(g["claims"] for g in graded_sets)
+    total_faults = sum(g["faults"] for g in graded_sets)
+    summary["fault_sets"] = {
+        "faults": total_faults,
+        "matched": sum(g["matched"] for g in graded_sets),
+        "claims": total_claims,
+        "matched_claims": sum(g["matched_claims"] for g in graded_sets),
+        "precision": (
+            sum(g["matched_claims"] for g in graded_sets) / total_claims
+            if total_claims
+            else None
+        ),
+        "recall": (
+            sum(g["matched"] for g in graded_sets) / total_faults
+            if total_faults
+            else None
+        ),
+    }
     if mitigate:
         summary["mitigation"] = {
             "attempted": len(faulty),
@@ -226,10 +396,19 @@ def aiops_score(
                 r.get("recovered_jct", 0.0) for r in faulty
             ),
         }
+    noise_spec = None
+    if noise is not None:
+        noise_spec = (
+            noise.describe()
+            if isinstance(noise, NoiseSpec)
+            else parse_noise_spec(noise).describe()
+        )
     return {
         "version": AIOPS_SCORE_VERSION,
         "scheduler": scheduler,
         "smoke": smoke,
+        "noise": noise_spec,
+        "seed": seed,
         "summary": summary,
         "rows": rows,
     }
@@ -293,10 +472,20 @@ def render_score(report: Dict) -> str:
             f"false positives: {fp['false_positives']} across "
             f"{fp['clean_runs']} clean runs"
         )
+    sets = summary.get("fault_sets") or {}
+    if sets.get("faults"):
+        lines.append(
+            f"fault sets: precision {sets['precision']:.0%}"
+            f" ({sets['matched_claims']}/{sets['claims']} claims),"
+            f" recall {sets['recall']:.0%}"
+            f" ({sets['matched']}/{sets['faults']} faults)"
+        )
     if "mitigation" in summary:
         mit = summary["mitigation"]
         lines.append(
             f"mitigation: applied in {mit['applied']}/{mit['attempted']}"
             f" faulty runs, recovered {mit['recovered_jct_total']:+.3f}s JCT"
         )
+    if report.get("noise"):
+        lines.append(f"noise: {report['noise']} (seed {report.get('seed', 0)})")
     return "\n".join(lines)

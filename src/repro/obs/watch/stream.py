@@ -28,6 +28,8 @@ class LinkHealth:
         "last_busy",
         "first_seen",
         "peak_rate",
+        "samples",
+        "last_utilization",
     )
 
     def __init__(self, capacity: float, now: float) -> None:
@@ -38,15 +40,45 @@ class LinkHealth:
         #: Last sample time the link carried a nonzero rate.
         self.last_busy: Optional[float] = None
         self.peak_rate = 0.0
+        #: Utilization samples folded in (telemetry density signal).
+        self.samples = 0
+        #: Utilization of the newest in-order sample (0..1).
+        self.last_utilization = 0.0
 
     def observe(self, now: float, utilization: float, capacity: float) -> None:
+        self.samples += 1
+        rate = utilization * capacity
+        if now < self.last_seen:
+            # Late (jitter-reordered) sample: it can still teach us the
+            # link's nominal speed and that the link was busy *at that
+            # time*, but it must never regress the newer capacity view --
+            # a pre-fault sample arriving after the fault would otherwise
+            # close a real degradation episode.
+            self.nominal = max(self.nominal, capacity)
+            if rate > 1e-12:
+                self.peak_rate = max(self.peak_rate, rate)
+                if self.last_busy is None or now > self.last_busy:
+                    self.last_busy = now
+            return
         self.capacity = capacity
         self.nominal = max(self.nominal, capacity)
         self.last_seen = now
-        rate = utilization * capacity
+        self.last_utilization = utilization
         if rate > 1e-12:
             self.last_busy = now
             self.peak_rate = max(self.peak_rate, rate)
+
+    def learn_nominal(self, capacity: float) -> None:
+        """Fold in a capacity observed out-of-band (admission paths).
+
+        Sparse-sample survival: under 1-in-k telemetry sampling a link
+        may first be *sampled* only after it degraded, which would bake
+        the sick speed in as nominal. Flow admissions carry the path's
+        capacities at injection time, which are far denser early in a
+        run -- max-learning from them keeps the nominal honest without
+        ever lowering it.
+        """
+        self.nominal = max(self.nominal, capacity)
 
     @property
     def capacity_drop(self) -> float:
@@ -79,6 +111,14 @@ class StreamState:
     (e.g. the backward-gradient direction of a pipeline link) would
     otherwise look healthy at its reduced speed forever. Disable it for
     hand-built asymmetric topologies.
+
+    The fold is *noise-hardened* (see
+    :mod:`repro.obs.watch.channel`): duplicate flow lifecycle events
+    are ignored (at-least-once delivery must not double-count group
+    progress or byte accounting), late jitter-reordered samples never
+    regress a link's capacity view, and nominal capacities are also
+    learned from admission-time path capacities so sparse sampling
+    cannot bake a degraded speed in as nominal.
     """
 
     def __init__(self, pair_symmetry: bool = True) -> None:
@@ -104,7 +144,31 @@ class StreamState:
         #: job id -> cumulative delivered bytes / outstanding bytes.
         self.job_delivered_bytes: Dict[str, float] = {}
         self.job_outstanding_bytes: Dict[str, float] = {}
+        #: job id -> time of its first observed injection (late arrivals
+        #: are hot-neighbour candidates for the localizer).
+        self.job_first_seen: Dict[str, float] = {}
+        #: Recent ``(t, job, bytes)`` deliveries, bounded; the localizer
+        #: reads a job's share of recently moved bytes from it (a hot
+        #: neighbour's outstanding bytes are often *zero* mid-anomaly --
+        #: it is winning the bandwidth, so it drains promptly).
+        self.recent_deliveries: List[Tuple[float, str, float]] = []
         self.jobs_completed: Set[str] = set()
+        #: Duplicate suppression for at-least-once delivery: flow ids
+        #: whose injection / delivery has already been folded in.
+        self._injected_ids: Set[int] = set()
+        self._finished_ids: Set[int] = set()
+        #: Exact reroute records already folded (duplicates only).
+        self._reroutes_seen: Set[Tuple] = set()
+        #: link key -> best capacity seen on any admission path; seeds
+        #: LinkHealth.nominal for links first *sampled* after degrading.
+        self._path_nominal: Dict[str, float] = {}
+        #: Events that arrived with t below the stream clock (jitter).
+        self.reordered = 0
+        #: Exact duplicates suppressed.
+        self.duplicates = 0
+        #: Phantom flows expired via heartbeat reconciliation (their
+        #: flow_finished events were lost in the telemetry channel).
+        self.reconciled = 0
 
     @property
     def elapsed(self) -> float:
@@ -122,6 +186,8 @@ class StreamState:
         if isinstance(t, (int, float)):
             if self.started is None:
                 self.started = t
+            if t < self.now:
+                self.reordered += 1
             self.now = max(self.now, t)
         kind = event.get("ev")
         if kind == "flow_injected":
@@ -138,6 +204,8 @@ class StreamState:
             job = event.get("job")
             if job is not None:
                 self.jobs_completed.add(job)
+        elif kind == "watch_heartbeat":
+            self._on_heartbeat(event)
         # "fault" events are deliberately not parsed: ground truth stays
         # invisible to the detection path (see module docstring).
 
@@ -149,32 +217,71 @@ class StreamState:
         flow_id = event.get("flow_id")
         if flow_id is None:
             return
+        self._learn_path_nominals(event)
+        if flow_id in self._injected_ids:
+            self.duplicates += 1
+            return
+        self._injected_ids.add(flow_id)
         keys = self._path_keys(event)
         size = event.get("size") or 0.0
         job = event.get("job")
+        group = event.get("group")
+        if job is not None and job not in self.job_first_seen:
+            self.job_first_seen[job] = self.now
+        if group is not None:
+            progress = self.groups.setdefault(group, GroupProgress())
+            progress.injected += 1
+            if progress.first_start is None:
+                progress.first_start = self.now
+        if flow_id in self._finished_ids:
+            # Jitter swapped injection past delivery: the flow is
+            # already done. Group progress above still counts it (so
+            # completion accounting stays consistent), but folding it
+            # in as *active* would pin phantom load on its links and
+            # inflate outstanding bytes forever.
+            return
         info = {
             "path": keys,
             "job": job,
-            "group": event.get("group"),
+            "group": group,
             "size": size,
             "injected": self.now,
         }
         self.active_flows[flow_id] = info
         for key in keys:
             self.outstanding_on_link.setdefault(key, set()).add(flow_id)
-        group = event.get("group")
-        if group is not None:
-            progress = self.groups.setdefault(group, GroupProgress())
-            progress.injected += 1
-            if progress.first_start is None:
-                progress.first_start = self.now
         if job is not None:
             self.job_outstanding_bytes[job] = (
                 self.job_outstanding_bytes.get(job, 0.0) + size
             )
 
+    def _learn_path_nominals(self, event: Dict) -> None:
+        """Max-learn link nominal capacities from an admission path."""
+        for hop in event.get("path") or ():
+            if not hop or len(hop) < 2:
+                continue
+            key, capacity = str(hop[0]), hop[1]
+            if not isinstance(capacity, (int, float)) or capacity <= 0:
+                continue
+            if capacity > self._path_nominal.get(key, 0.0):
+                self._path_nominal[key] = capacity
+            health = self.links.get(key)
+            if health is not None:
+                health.learn_nominal(capacity)
+            if self.pair_symmetry:
+                src, sep, dst = key.partition("->")
+                if sep:
+                    pair = (src, dst) if src < dst else (dst, src)
+                    if capacity > self._pair_nominal.get(pair, 0.0):
+                        self._pair_nominal[pair] = capacity
+
     def _on_finished(self, event: Dict) -> None:
         flow_id = event.get("flow_id")
+        if flow_id is not None and flow_id in self._finished_ids:
+            self.duplicates += 1
+            return
+        if flow_id is not None:
+            self._finished_ids.add(flow_id)
         info = self.active_flows.pop(flow_id, None)
         if info is not None:
             for key in info["path"]:
@@ -194,9 +301,77 @@ class StreamState:
         job = event.get("job")
         size = event.get("size") or 0.0
         if job is not None:
+            self.recent_deliveries.append((self.now, job, size))
+            if len(self.recent_deliveries) > 1024:
+                del self.recent_deliveries[:-512]
             self.job_delivered_bytes[job] = (
                 self.job_delivered_bytes.get(job, 0.0) + size
             )
+            outstanding = self.job_outstanding_bytes.get(job)
+            if outstanding is not None:
+                self.job_outstanding_bytes[job] = max(0.0, outstanding - size)
+
+    def _on_heartbeat(self, event: Dict) -> None:
+        """Reconcile tracked flows against the heartbeat's ``active``.
+
+        Heartbeats traverse the telemetry channel losslessly, so the
+        engine-side active-flow count they carry is authoritative. When
+        the stream tracks *more* active flows than the engine reports,
+        the excess are phantoms whose ``flow_finished`` events the
+        channel lost -- left in place they pin load on drained links
+        forever and turn every clean run's tail into a stall alarm. The
+        flows whose expected completion passed longest ago are the ones
+        most likely already delivered, so those expire first; genuinely
+        stalled flows stay counted on the engine side and are never part
+        of the excess.
+        """
+        active = event.get("active")
+        if not isinstance(active, int) or active < 0:
+            return
+        excess = len(self.active_flows) - active
+        if excess <= 0:
+            return
+        # Only flows whose *every* path hop was sampled busy after the
+        # flow's ideal completion are phantom candidates: a delivered
+        # flow left each of its hops busy at least until its (later)
+        # actual finish, while a stalled flow's broken hop froze at
+        # fault onset and never qualifies. Expected service uses the
+        # nominal path rate, a lower bound on the true duration.
+        candidates = []
+        for fid, info in self.active_flows.items():
+            rate = min(
+                (self._path_nominal.get(key, 0.0) for key in info["path"]),
+                default=0.0,
+            )
+            service = info["size"] / rate if rate > 0 else 0.0
+            end = info["injected"] + service
+            if all(
+                self.links.get(key) is not None
+                and self.links[key].last_busy is not None
+                and self.links[key].last_busy >= end
+                for key in info["path"]
+            ):
+                candidates.append((end, fid, info))
+        candidates.sort(key=lambda c: (c[0], c[1]))
+        for _, fid, info in candidates[:excess]:
+            self._expire_flow(fid, info)
+
+    def _expire_flow(self, flow_id: int, info: Dict) -> None:
+        """Retire a phantom flow as if its delivery had been observed."""
+        self.active_flows.pop(flow_id, None)
+        self._finished_ids.add(flow_id)
+        self.reconciled += 1
+        for key in info["path"]:
+            flows = self.outstanding_on_link.get(key)
+            if flows is not None:
+                flows.discard(flow_id)
+        group = info.get("group")
+        if group is not None:
+            progress = self.groups.setdefault(group, GroupProgress())
+            progress.delivered += 1
+        job = info.get("job")
+        size = info.get("size") or 0.0
+        if job is not None:
             outstanding = self.job_outstanding_bytes.get(job)
             if outstanding is not None:
                 self.job_outstanding_bytes[job] = max(0.0, outstanding - size)
@@ -205,6 +380,11 @@ class StreamState:
         flow_id = event.get("flow_id")
         old_path = tuple(event.get("old_path") or ())
         new_path = tuple(event.get("new_path") or ())
+        dedup_key = (event.get("t"), flow_id, old_path, new_path)
+        if dedup_key in self._reroutes_seen:
+            self.duplicates += 1
+            return
+        self._reroutes_seen.add(dedup_key)
         self.reroutes.append((self.now, old_path, new_path))
         info = self.active_flows.get(flow_id)
         if info is None:
@@ -220,15 +400,23 @@ class StreamState:
     def _on_link_sample(self, event: Dict) -> None:
         links = event.get("links") or {}
         caps = event.get("caps") or {}
+        # Fold at the sample's *own* timestamp, not the stream clock:
+        # that is what routes jitter-reordered samples through the
+        # late-sample path in LinkHealth.observe, so a pre-fault
+        # capacity arriving after the fault never closes a real
+        # degradation episode. In-order feeds see t == self.now.
+        t = event.get("t")
+        when = t if isinstance(t, (int, float)) else self.now
         for key, utilization in links.items():
             capacity = caps.get(key)
             health = self.links.get(key)
             if health is None:
                 nominal = capacity if capacity is not None else 0.0
-                health = LinkHealth(nominal, self.now)
+                nominal = max(nominal, self._path_nominal.get(key, 0.0))
+                health = LinkHealth(nominal, when)
                 self.links[key] = health
             health.observe(
-                self.now,
+                when,
                 utilization,
                 capacity if capacity is not None else health.capacity,
             )

@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional
 
 from ..jsonl import iter_jsonl
+from .channel import TelemetryChannel
 from .detectors import Detector, WatchConfig, default_detectors
 from .localize import Localizer
 from .mitigate import Mitigator
@@ -75,6 +76,9 @@ class WatchLoop:
         self._beats = 0
         self._idle_beats = 0
         self._deliveries_at_beat = 0
+        self.channel: Optional[TelemetryChannel] = None
+        #: Anomalies fired but gated below config.min_confidence.
+        self.suppressed: List[Dict] = []
 
     # -- ingestion ------------------------------------------------------
 
@@ -96,6 +100,17 @@ class WatchLoop:
         fired: List[Dict] = []
         for detector in self.detectors:
             fired.extend(detector.observe(event, self.state))
+        if self.config.min_confidence > 0.0:
+            # Confidence-weighted episodes: low-confidence alarms still
+            # open their detector's episode (so they do not re-fire
+            # every sample) but never reach localization/mitigation.
+            kept: List[Dict] = []
+            for anomaly in fired:
+                if anomaly.get("confidence", 0.0) < self.config.min_confidence:
+                    self.suppressed.append(anomaly)
+                else:
+                    kept.append(anomaly)
+            fired = kept
         for anomaly in fired:
             self._on_anomaly(anomaly)
         return fired
@@ -135,6 +150,7 @@ class WatchLoop:
         mitigate: bool = False,
         heartbeat: Optional[float] = None,
         pin_duration: Optional[float] = None,
+        channel: Optional[object] = None,
     ) -> "WatchLoop":
         """Subscribe to a live event log (and optionally a live engine).
 
@@ -143,10 +159,23 @@ class WatchLoop:
         it) and drives the stall detectors through quiet stretches.
         ``mitigate`` requires ``engine`` and wires a
         :class:`Mitigator` to act on confident localizations.
+        ``channel`` (a :class:`TelemetryChannel` or a noise spec string)
+        interposes a degraded-telemetry model between the log and the
+        loop; call :meth:`finish` after the run to flush its delay
+        buffer. Loop-emitted records are appended to the *log* and come
+        back through the channel as untouched passthrough, so live and
+        replay (through an identically seeded channel) stay bit-equal.
         """
         self._log = event_log
         self._engine = engine
-        event_log.subscribe(self.observe)
+        if channel is not None:
+            if not isinstance(channel, TelemetryChannel):
+                channel = TelemetryChannel(channel)
+            self.channel = channel
+            channel.subscribe(self.observe)
+            event_log.subscribe(channel.send)
+        else:
+            event_log.subscribe(self.observe)
         if mitigate:
             if engine is None:
                 raise ValueError("mitigation requires a live engine")
@@ -174,7 +203,15 @@ class WatchLoop:
             self._idle_beats += 1
         self._deliveries_at_beat = self.state.deliveries
         # Observation happens via our own subscription to the log.
-        log.append("watch_heartbeat", engine.now, beat=self._beats)
+        # ``active`` rides along as a control-plane counter: heartbeats
+        # pass the telemetry channel losslessly, so the stream can
+        # reconcile flows whose flow_finished events were dropped.
+        log.append(
+            "watch_heartbeat",
+            engine.now,
+            beat=self._beats,
+            active=engine.network.active_count,
+        )
         more_work = (
             engine.events.peek_time() != float("inf")
             or engine.network.active_count > 0
@@ -184,17 +221,38 @@ class WatchLoop:
                 engine.now + self._heartbeat, self._beat
             )
 
+    def finish(self) -> "WatchLoop":
+        """Flush the channel's delay buffer (call after the run ends)."""
+        if self.channel is not None:
+            self.channel.flush()
+        return self
+
     # -- offline replay -------------------------------------------------
 
-    def replay_events(self, events: Iterable[Dict]) -> "WatchLoop":
+    def replay_events(
+        self, events: Iterable[Dict], channel: Optional[object] = None
+    ) -> "WatchLoop":
+        """Feed saved records through the pipeline, optionally via a
+        degraded-telemetry ``channel`` (flushed at end of stream)."""
+        if channel is not None:
+            if not isinstance(channel, TelemetryChannel):
+                channel = TelemetryChannel(channel)
+            self.channel = channel
+            channel.subscribe(self.observe)
+            for event in events:
+                channel.send(event)
+            channel.flush()
+            return self
         for event in events:
             self.observe(event)
         return self
 
-    def replay_jsonl(self, path: str) -> "WatchLoop":
+    def replay_jsonl(
+        self, path: str, channel: Optional[object] = None
+    ) -> "WatchLoop":
         """Stream a saved JSONL log through the pipeline (O(1) memory
         unless ``collect_events``)."""
-        return self.replay_events(iter_jsonl(path))
+        return self.replay_events(iter_jsonl(path), channel=channel)
 
     # -- results --------------------------------------------------------
 
@@ -206,6 +264,10 @@ class WatchLoop:
             "anomalies": list(self.anomalies),
             "localizations": list(self.localizations),
         }
+        if self.suppressed:
+            out["suppressed"] = len(self.suppressed)
+        if self.channel is not None:
+            out["channel"] = self.channel.report()
         if self.mitigator is not None:
             out["mitigations"] = list(self.mitigator.actions)
         return out

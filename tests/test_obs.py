@@ -418,6 +418,30 @@ class TestJsonl:
         with pytest.raises(ValueError):
             read_jsonl(str(path))
 
+    def test_stream_to_spills_past_the_ring(self, tmp_path):
+        # A tiny ring plus a streaming spill: memory stays O(capacity)
+        # while the on-disk log keeps every record ever appended.
+        path = tmp_path / "spill.jsonl"
+        with JsonlEventLog(capacity=10, stream_to=str(path),
+                           flush_every=8) as log:
+            for i in range(100):
+                log.append("tick", float(i), i=i)
+            assert len(log.events) == 10
+        records = read_jsonl(str(path))
+        assert [r["i"] for r in records] == list(range(100))
+
+    def test_close_flushes_partial_buffer_and_is_idempotent(self, tmp_path):
+        path = tmp_path / "spill.jsonl"
+        log = JsonlEventLog(stream_to=str(path), flush_every=512)
+        log.append("tick", 0.0)
+        log.close()
+        log.close()
+        assert read_jsonl(str(path)) == [{"ev": "tick", "t": 0.0}]
+
+    def test_stream_rejects_bad_flush_every(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlEventLog(stream_to=str(tmp_path / "x.jsonl"), flush_every=0)
+
 
 # ----------------------------------------------------------------------
 # histogram percentile edge cases
