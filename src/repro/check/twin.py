@@ -19,6 +19,16 @@ feeding the scheduler stale state: exactly the bug class it hunts.
 The scheduler is deep-copied so stateful wrappers (the memoizing cache,
 profiling counters, coordinator logs) are not perturbed by the shadow
 invocation; deterministic schedulers replay identically from equal state.
+
+The twin's reconstruction also doubles as a *kernel* differential: by
+default it runs the scalar waterfilling kernel (``twin_kernel="scalar"``)
+regardless of the primary's allocation mode, so an engine running the
+vectorized kernel (``allocation="vector"`` or auto-selected at scale)
+gets a scalar-vs-vector cross-check on every sampled invocation -- the
+two implementations must agree bit for bit under ``twin_tol=0``. Setting
+``twin_kernel=vector`` flips the direction (vector twin against a scalar
+primary); when numpy is unavailable the twin silently falls back to the
+scalar kernel, which is always present.
 """
 
 from __future__ import annotations
@@ -28,6 +38,7 @@ from typing import Dict, List
 
 from ..scheduling.base import SchedulerView
 from ..simulator.network import NetworkModel
+from ..simulator.vector import HAVE_NUMPY
 from .config import CheckConfig
 from .violations import Violation
 
@@ -86,8 +97,15 @@ class TwinOracle:
         drain history.
         """
         network.sync_active()
+        twin_vector = "off"
+        if self.config.twin_kernel == "vector" and HAVE_NUMPY:
+            twin_vector = "on"
         reference = NetworkModel(
-            network.topology, network.router, strict=False, incremental=False
+            network.topology,
+            network.router,
+            strict=False,
+            incremental=False,
+            vector=twin_vector,
         )
         for state in network.active_states():
             flow_id = state.flow.flow_id

@@ -13,6 +13,11 @@ constraints. This module implements the building blocks:
 * :class:`LinkAccounting` -- stateful per-link residual bookkeeping kept
   current by the network model, so feasibility checks and utilization
   sampling cost O(links touched) instead of O(flows x path length).
+* :class:`DemandSet` -- a demand list that carries a kernel hint; when it
+  asks for the vector path (and numpy is available), :func:`max_min_fair`
+  and :func:`feasible` dispatch to the dense-array kernels in
+  :mod:`repro.simulator.vector`, which are bit-identical to the scalar
+  ones by a shared reduction order (see that module's docstring).
 
 All functions are pure: they take explicit flow descriptors and return new
 rate dictionaries, which keeps them unit-testable and hypothesis-friendly.
@@ -49,6 +54,46 @@ class FlowDemand:
             raise ValueError(f"flow {self.flow_id} cap must be >= 0")
 
 
+class DemandSet(list):
+    """A list of :class:`FlowDemand` carrying a kernel hint.
+
+    Built by :meth:`NetworkModel.demands` and cached per structural
+    revision. ``use_vector`` records the network's kernel decision
+    (engine mode and the auto-select flow-count threshold); the dense
+    :class:`~repro.simulator.vector.DenseIncidence` interning is built
+    lazily on first vector dispatch and shared by every kernel call
+    until the flow set changes structurally.
+
+    Plain lists (ad-hoc demand sets built by schedulers) never dispatch
+    to the vector path, so reference-mode runs and weighted schedulers
+    keep their pure-python cost model untouched.
+    """
+
+    __slots__ = ("use_vector", "_incidence")
+
+    def __init__(self, demands: Iterable[FlowDemand] = (), use_vector: bool = False):
+        super().__init__(demands)
+        self.use_vector = use_vector
+        self._incidence = None
+
+    def incidence(self):
+        """The cached dense interning (requires numpy)."""
+        if self._incidence is None:
+            from .vector import DenseIncidence
+
+            self._incidence = DenseIncidence(self)
+        return self._incidence
+
+
+def _vector_dispatch(demands) -> bool:
+    """Should this call use the dense kernels?"""
+    if not getattr(demands, "use_vector", False):
+        return False
+    from .vector import HAVE_NUMPY
+
+    return HAVE_NUMPY
+
+
 def link_capacities(demands: Iterable[FlowDemand]) -> Dict[Tuple[str, str], float]:
     """Collect the capacity of every link that appears on some path."""
     capacities: Dict[Tuple[str, str], float] = {}
@@ -64,6 +109,10 @@ def feasible(
     tolerance: float = 1e-6,
 ) -> bool:
     """True when ``rates`` respects every link capacity (with slack)."""
+    if _vector_dispatch(demands):
+        from .vector import feasible_vector
+
+        return feasible_vector(demands.incidence(), rates, tolerance)
     usage: Dict[Tuple[str, str], float] = {}
     capacities = link_capacities(demands)
     for demand in demands:
@@ -160,6 +209,27 @@ class LinkAccounting:
             if step:
                 self.nonzero[key] += step
 
+    def apply_bulk(
+        self,
+        link_deltas: Mapping[Tuple[str, str], float],
+        nonzero_steps: Mapping[Tuple[str, str], int],
+    ) -> None:
+        """Apply per-link aggregate deltas from one bulk rate change.
+
+        The network's vector ``set_rates`` path pre-aggregates each
+        link's load delta (one ``bincount``) and nonzero-count step, then
+        lands them here in O(links) instead of O(flows x path length).
+        Loads are tolerance-audited accumulators (module docstring), so
+        the one-sum-per-link association is as valid as the scalar
+        per-flow sequence; the integer counters stay exact either way.
+        """
+        loads = self.loads
+        for key, delta in link_deltas.items():
+            loads[key] += delta
+        nonzero = self.nonzero
+        for key, step in nonzero_steps.items():
+            nonzero[key] += step
+
     def clone(
         self, link_map: Optional[Mapping[Tuple[str, str], Link]] = None
     ) -> "LinkAccounting":
@@ -223,9 +293,20 @@ def max_min_fair(
     when a link saturates, flows crossing it freeze at their current rate.
     Flow caps act as per-flow bottlenecks. Terminates in at most
     ``len(demands)`` rounds since every round freezes at least one flow.
+
+    The reduction order is pinned so the scalar and vector kernels agree
+    bit for bit: per-round link-weight sums and per-link consumption are
+    accumulated in (flow, path position) order, and each link's residual
+    is decremented *once* per round by the round's consumption sum (then
+    clamped at zero) -- the association the ``bincount``-based vector
+    kernel reproduces exactly. See :mod:`repro.simulator.vector`.
     """
     if not demands:
         return {}
+    if _vector_dispatch(demands):
+        from .vector import max_min_fair_vector
+
+        return max_min_fair_vector(demands.incidence(), available)
     capacities = dict(available) if available is not None else link_capacities(demands)
     # Links outside `available` (when provided) fall back to full capacity.
     for demand in demands:
@@ -254,14 +335,17 @@ def max_min_fair(
             raise RuntimeError("unbounded max-min allocation (no constraints)")
         rise = max(0.0, rise)
 
-        # Apply the rise and consume link capacity.
+        # Apply the rise; consumption is accumulated per link in (flow,
+        # path position) order and subtracted once per link per round.
+        consumed: Dict[Tuple[str, str], float] = {}
         for demand in active.values():
             rates[demand.flow_id] += rise * demand.weight
             for link in demand.path:
-                remaining[link.key] -= rise * demand.weight
-        for key in remaining:
-            if remaining[key] < 0:
-                remaining[key] = 0.0
+                key = link.key
+                consumed[key] = consumed.get(key, 0.0) + rise * demand.weight
+        for key, used in consumed.items():
+            residual = remaining[key] - used
+            remaining[key] = residual if residual > 0.0 else 0.0
 
         # Freeze flows on saturated links or at their caps.
         frozen = []

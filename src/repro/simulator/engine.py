@@ -62,6 +62,8 @@ class Engine:
         incremental: bool = True,
         sanitizer=None,
         faults=None,
+        allocation: Optional[str] = None,
+        batch_dispatch: bool = True,
     ) -> None:
         """``device_slots`` sets per-device MIG slot counts: an int applies
         to every device, a mapping overrides per device name.
@@ -97,6 +99,26 @@ class Engine:
         regardless of the process default. Uses the same zero-overhead
         hook pattern as ``instrumentation``.
 
+        ``allocation``: selects the engine's allocation mode explicitly,
+        overriding ``incremental``. ``"reference"`` is the full-scan
+        scalar core; ``"incremental"`` the dirty-set scalar core;
+        ``"vector"`` the dirty-set core with the numpy dense max-min
+        kernel and bulk rate application (raises if numpy is missing).
+        ``None``/``"auto"`` (default) keeps ``incremental``'s choice and,
+        in incremental mode, auto-selects the vector kernel above
+        :data:`~repro.simulator.vector.VECTOR_AUTO_THRESHOLD` active
+        flows. All modes are bit-identical -- same traces, same rates at
+        every invocation -- enforced by the twin oracle and the
+        equivalence suites; only the cost model differs.
+
+        ``batch_dispatch``: ``True`` (default) absorbs every event
+        sharing a timestamp into one round -- one scheduler invocation,
+        one ``set_rates`` -- via ``EventQueue.pop_batch``. ``False``
+        processes one event per round (a scheduler invocation between
+        each), the legacy dispatch kept for the batching differential
+        tests: traces are identical either way because no time elapses
+        between same-timestamp events, only the invocation count grows.
+
         ``faults``: an optional chaos schedule -- a
         :class:`repro.faults.FaultSchedule`, a spec string (see
         :func:`repro.faults.parse_fault_spec`), or a prepared
@@ -108,12 +130,30 @@ class Engine:
         """
         self.topology = topology
         self.scheduler = scheduler
+        if allocation in (None, "auto"):
+            vector = "auto" if incremental else "off"
+            resolved = "auto" if incremental else "reference"
+        elif allocation == "reference":
+            incremental, vector, resolved = False, "off", "reference"
+        elif allocation == "incremental":
+            incremental, vector, resolved = True, "off", "incremental"
+        elif allocation == "vector":
+            incremental, vector, resolved = True, "on", "vector"
+        else:
+            raise ValueError(
+                f"allocation must be one of 'auto', 'reference', "
+                f"'incremental', 'vector', got {allocation!r}"
+            )
+        #: Resolved allocation mode (cost model only; results identical).
+        self.allocation = resolved
         self.incremental = incremental
+        self.batch_dispatch = batch_dispatch
         self.network = NetworkModel(
             topology,
             router or ShortestPathRouter(topology),
             strict=strict_rates,
             incremental=incremental,
+            vector=vector,
         )
         self.events = EventQueue()
         self.devices: Dict[str, Device] = {}
@@ -131,6 +171,9 @@ class Engine:
         self._needs_reschedule = False
         #: Causes accumulated since the last scheduler invocation.
         self._pending_causes: set = set()
+        #: Not-yet-fired background-arrival batches, keyed by exact
+        #: timestamp (one coalesced event per distinct injection time).
+        self._pending_background: Dict[float, List[Flow]] = {}
         #: Persistent SchedulerView, refreshed per invocation (incremental
         #: mode); legacy mode reconstructs one per call like the old code.
         self._view: Optional[SchedulerView] = None
@@ -262,10 +305,25 @@ class Engine:
         )
 
     def inject_background_flow(self, flow: Flow, at_time: float) -> None:
-        """Inject a standalone flow (background traffic) at a future time."""
+        """Inject a standalone flow (background traffic) at a future time.
+
+        Same-timestamp injections coalesce into one arrival event holding
+        the whole batch (in registration order), so a 100k-flow warmup
+        admits through one event instead of 100k heap entries. The batch
+        is keyed by exact timestamp and sealed when its event fires;
+        injections scheduled for that time afterwards open a fresh batch.
+        """
+        batch = self._pending_background.get(at_time)
+        if batch is not None:
+            batch.append(flow)
+            return
+        batch = [flow]
+        self._pending_background[at_time] = batch
 
         def _inject() -> None:
-            self._inject_flow(flow, owner=None)
+            self._pending_background.pop(at_time, None)
+            for queued in batch:
+                self._inject_flow(queued, owner=None)
 
         self.schedule_callback(at_time, _inject)
 
@@ -559,7 +617,10 @@ class Engine:
             for state in finished_flows:
                 self._on_flow_finished(state)
 
-            due_events = self.events.pop_due(self.now, TIME_EPS)
+            if self.batch_dispatch:
+                due_events = self.events.pop_batch(self.now, TIME_EPS)
+            else:
+                due_events = self.events.pop_first_due(self.now, TIME_EPS)
             for event in due_events:
                 if event.kind is EventKind.JOB_ARRIVAL:
                     self._start_job(event.payload)

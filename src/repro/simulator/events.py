@@ -125,6 +125,32 @@ class EventQueue:
             due.append(heapq.heappop(self._heap))
         return due
 
+    def pop_batch(self, time: float, tolerance: float = 0.0) -> List[Event]:
+        """The full batch of events sharing the frontier timestamp.
+
+        The engine's batched dispatch: every event due at ``time`` (within
+        ``tolerance``) is popped in one call, in (kind priority, sequence)
+        order -- faults before arrivals before timers -- so one scheduler
+        invocation and one ``set_rates`` can absorb all simultaneous
+        state changes. Semantically this is :meth:`pop_due`; the separate
+        name documents the batching contract the engine relies on.
+        """
+        return self.pop_due(time, tolerance)
+
+    def pop_first_due(self, time: float, tolerance: float = 0.0) -> List[Event]:
+        """At most one due event: the legacy per-event dispatch mode.
+
+        Returns a list (empty or singleton) so the engine's dispatch loop
+        is shared with :meth:`pop_batch`. Kept for the batched-dispatch
+        differential tests: processing same-timestamp events one at a
+        time (with a scheduler invocation between each) must produce the
+        identical trace as one batched round, just more invocations.
+        """
+        self._drop_cancelled()
+        if self._heap and self._heap[0].time <= time + tolerance:
+            return [heapq.heappop(self._heap)]
+        return []
+
     def __len__(self) -> int:
         return sum(1 for event in self._heap if not event.cancelled)
 

@@ -52,7 +52,7 @@ from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, 
 from ..core.flow import Flow, FlowState
 from ..core.units import EPS
 from ..topology.graph import Link, Topology
-from .allocation import FlowDemand, LinkAccounting, feasible
+from .allocation import DemandSet, FlowDemand, LinkAccounting, feasible
 
 #: Relative slack used when popping heap candidates. Heap keys are float
 #: projections of per-flow finish times; the slack absorbs rounding drift
@@ -90,6 +90,7 @@ class NetworkModel:
         router,
         strict: bool = True,
         incremental: bool = True,
+        vector="off",
     ) -> None:
         self.topology = topology
         self.router = router
@@ -97,6 +98,28 @@ class NetworkModel:
         #: ``False`` switches the scan-based reference data paths in; the
         #: semantics (and therefore traces) are identical either way.
         self.incremental = incremental
+        #: Max-min kernel selection: ``"off"`` keeps the scalar kernel,
+        #: ``"on"`` forces the numpy dense kernel, ``"auto"`` switches to
+        #: it above :data:`~repro.simulator.vector.VECTOR_AUTO_THRESHOLD`
+        #: active flows. All choices are bit-identical; the mode travels
+        #: on the :class:`DemandSet` this model hands to schedulers.
+        if vector is True:
+            vector = "on"
+        elif vector is False or vector is None:
+            vector = "off"
+        if vector not in ("off", "on", "auto"):
+            raise ValueError(
+                f"vector must be one of 'off', 'on', 'auto', got {vector!r}"
+            )
+        if vector == "on":
+            from .vector import HAVE_NUMPY
+
+            if not HAVE_NUMPY:
+                raise RuntimeError(
+                    "vector allocation mode requires numpy, which is not "
+                    "installed; use allocation='incremental' instead"
+                )
+        self.vector_mode = vector
         self._active: Dict[int, FlowState] = {}
         self._paths: Dict[int, Tuple[Link, ...]] = {}
         self._completed: Dict[int, FlowState] = {}
@@ -129,6 +152,11 @@ class NetworkModel:
         self._order: List[int] = []
         #: flow id -> unit-weight FlowDemand built once at inject time.
         self._demands: Dict[int, FlowDemand] = {}
+        #: Structural revision of the active flow set: bumped on every
+        #: inject/retire/reroute. Keys the cached :class:`DemandSet` (and
+        #: through it the vector kernel's dense incidence interning).
+        self._demands_rev = 0
+        self._demands_cache: Optional[Tuple[int, DemandSet]] = None
         #: Always-current per-link load/membership bookkeeping.
         self.accounting = LinkAccounting()
         #: Min-heap of (finish key, flow id, token); stale entries carry
@@ -185,7 +213,11 @@ class NetworkModel:
             router = copy.deepcopy(self.router, memo)
 
         twin = NetworkModel(
-            topology, router, strict=self.strict, incremental=self.incremental
+            topology,
+            router,
+            strict=self.strict,
+            incremental=self.incremental,
+            vector=self.vector_mode,
         )
         twin.capacity_epoch = self.capacity_epoch
         twin.capacity_lineage = self.capacity_lineage
@@ -249,6 +281,7 @@ class NetworkModel:
             path = self.router.path(flow.src, flow.dst, flow_id)
         state = FlowState(flow=flow, start_time=now, remaining=flow.size)
         self._active[flow_id] = state
+        self._demands_rev += 1
         self._paths[flow_id] = path
         self._demands[flow_id] = FlowDemand(flow_id=flow_id, path=path)
         self._anchor[flow_id] = now
@@ -269,6 +302,7 @@ class NetworkModel:
         state.rate = 0.0
         self.accounting.unwatch(flow_id, self._paths[flow_id], old_rate)
         self._heap_token[flow_id] = self._heap_token.get(flow_id, 0) + 1
+        self._demands_rev += 1
         del self._active[flow_id]
         del self._anchor[flow_id]
         index = bisect_left(self._order, flow_id)
@@ -445,9 +479,40 @@ class NetworkModel:
             return self._demands[flow_id]
         return FlowDemand(flow_id=flow_id, path=self._paths[flow_id], weight=weight)
 
-    def demands(self) -> List[FlowDemand]:
+    def _vector_active(self) -> bool:
+        """Does the current kernel decision land on the vector path?"""
+        mode = self.vector_mode
+        if mode == "off":
+            return False
+        from .vector import HAVE_NUMPY, VECTOR_AUTO_THRESHOLD
+
+        if not HAVE_NUMPY:
+            return False
+        if mode == "on":
+            return True
+        return len(self._active) >= VECTOR_AUTO_THRESHOLD
+
+    def demands(self) -> DemandSet:
+        """Unit-weight demands of every active flow, fid-ascending.
+
+        Returns a :class:`DemandSet` cached per structural revision, so
+        back-to-back scheduler reads within a round reuse both the list
+        and -- in vector mode -- the dense incidence interning built on
+        first kernel dispatch. The kernel hint is stamped at build time
+        from :attr:`vector_mode` (and, in ``auto`` mode, the active flow
+        count, which only changes when the revision does).
+        """
+        rev = self._demands_rev
+        cache = self._demands_cache
+        if cache is not None and cache[0] == rev:
+            return cache[1]
         demands = self._demands
-        return [demands[fid] for fid in self._order]
+        demand_set = DemandSet(
+            (demands[fid] for fid in self._order),
+            use_vector=self._vector_active(),
+        )
+        self._demands_cache = (rev, demand_set)
+        return demand_set
 
     @property
     def active_count(self) -> int:
@@ -470,7 +535,17 @@ class NetworkModel:
         mode an infeasible allocation raises :class:`CapacityViolation`;
         otherwise rates are scaled down on each oversubscribed link
         (modelling switch fair-queueing backpressure).
+
+        When the allocation arrives as a
+        :class:`~repro.simulator.vector.VectorAllocation` still aligned
+        to this model's live flow set, the whole application -- change
+        detection, the delta feasibility gate, residual accounting, and
+        the finish-heap rebuild -- runs through the array bulk path
+        (:meth:`_set_rates_bulk`); the per-flow state mutations it
+        performs are identical to this scalar path's.
         """
+        if self.incremental and self._set_rates_bulk(rates):
+            return
         changed: List[Tuple[int, FlowState, float]] = []
         for flow_id, state in self._active.items():
             rate = rates.get(flow_id, 0.0)
@@ -506,6 +581,141 @@ class NetworkModel:
             self._push_finish(flow_id, state)
         if self.observer is not None and changed:
             self.observer.on_rates_applied(self._now, changed)
+
+    def _set_rates_bulk(self, rates) -> bool:
+        """Array fast path of :meth:`set_rates`; ``False`` = fall back.
+
+        Handles allocations arriving as a
+        :class:`~repro.simulator.vector.VectorAllocation` whose dense
+        incidence is still the one cached for the current structural
+        revision -- which guarantees row ``i`` is the ``i``-th active
+        flow in fid order. Change detection, the delta feasibility gate,
+        and the per-link residual-accounting aggregates become array
+        reductions; the remaining python loop touches only changed flows
+        and performs the same per-flow mutations as the scalar path
+        (sync, rate store as a python float, heap token bump). Heap
+        entries are batch-appended and re-heapified once -- heap pops
+        follow the total (key, fid, token) order, so internal layout
+        differences never change what is popped.
+
+        Infeasible allocations raise in strict mode exactly like the
+        scalar path; in lenient mode the method backs off (returns
+        ``False``) so the scalar rescale handles them.
+        """
+        from .vector import HAVE_NUMPY, VectorAllocation
+
+        if not HAVE_NUMPY or not isinstance(rates, VectorAllocation):
+            return False
+        cache = self._demands_cache
+        if (
+            cache is None
+            or cache[0] != self._demands_rev
+            or rates.incidence is not cache[1]._incidence
+        ):
+            return False
+        import numpy as np
+
+        inc = rates.incidence
+        order = self._order
+        new = rates.array
+        if inc.n_flows != len(order):
+            return False
+        if (new < 0.0).any():
+            row = int(np.nonzero(new < 0.0)[0][0])
+            raise ValueError(
+                f"negative rate for flow {int(inc.fids[row])}: {new[row]!r}"
+            )
+        active = self._active
+        states = [active[fid] for fid in order]
+        old = np.fromiter(
+            (state.rate for state in states), dtype=np.float64, count=len(states)
+        )
+        changed_mask = new != old
+        if not changed_mask.any():
+            return True
+        delta = new - old
+        links = inc.links
+        link_delta = np.bincount(
+            inc.cols, weights=delta[inc.rows], minlength=inc.n_links
+        )
+        moved = link_delta != 0.0
+        if moved.any():
+            loads = self.accounting.loads
+            capacities = self.accounting.capacities
+            moved_idx = np.nonzero(moved)[0].tolist()
+            load_arr = np.fromiter(
+                (loads[links[j].key] for j in moved_idx),
+                dtype=np.float64,
+                count=len(moved_idx),
+            )
+            cap_arr = np.fromiter(
+                (capacities[links[j].key] for j in moved_idx),
+                dtype=np.float64,
+                count=len(moved_idx),
+            )
+            tol = 1e-6
+            if (
+                (load_arr + link_delta[moved]) > cap_arr * (1.0 + tol) + tol
+            ).any():
+                if self.strict:
+                    raise CapacityViolation(
+                        "scheduler allocation violates link capacities"
+                    )
+                return False
+
+        now = self._now
+        need_sync = self._synced_at < now
+        tokens = self._heap_token
+        anchors = self._anchor
+        observer = self.observer
+        changed_records: Optional[List[Tuple[int, FlowState, float]]] = (
+            [] if observer is not None else None
+        )
+        new_list = new.tolist()
+        entries: List[Tuple[float, int, int]] = []
+        for i in np.nonzero(changed_mask)[0].tolist():
+            fid = order[i]
+            state = states[i]
+            if need_sync:
+                self._sync_flow(fid, now)
+            rate = new_list[i]
+            state.rate = rate
+            token = tokens.get(fid, 0) + 1
+            tokens[fid] = token
+            slack = state.remaining - state.flow.finish_epsilon
+            if rate > EPS:
+                entries.append((anchors[fid] + slack / rate, fid, token))
+            elif slack <= 0.0:
+                entries.append((anchors[fid], fid, token))
+            if changed_records is not None:
+                changed_records.append((fid, state, rate))
+        heap = self._finish_heap
+        heap.extend(entries)
+        heapq.heapify(heap)
+        if len(heap) > max(
+            _HEAP_COMPACT_MIN, _HEAP_COMPACT_FACTOR * len(active)
+        ):
+            self._compact_heap()
+
+        step = (new > 0.0).astype(np.float64) - (old > 0.0).astype(np.float64)
+        nz_delta = np.bincount(
+            inc.cols, weights=step[inc.rows], minlength=inc.n_links
+        )
+        link_delta_list = link_delta.tolist()
+        nz_list = nz_delta.tolist()
+        link_deltas: Dict[Tuple[str, str], float] = {}
+        nz_steps: Dict[Tuple[str, str], int] = {}
+        for j, link in enumerate(links):
+            moved_load = link_delta_list[j]
+            if moved_load != 0.0:
+                link_deltas[link.key] = moved_load
+            moved_count = nz_list[j]
+            if moved_count:
+                nz_steps[link.key] = int(moved_count)
+        self.accounting.apply_bulk(link_deltas, nz_steps)
+        if changed_records:
+            observer.on_rates_applied(now, changed_records)
+        return True
 
     def _feasible_changed(
         self, changed: Sequence[Tuple[int, FlowState, float]]
@@ -546,7 +756,12 @@ class NetworkModel:
         The usage map is built once and relaxed in place; each pass finds
         the worst link by scanning links (not flows x path) and rescales
         only the flows crossing it, courtesy of the accounting's
-        flows-per-link index.
+        flows-per-link index. Per-pass usage corrections are accumulated
+        per link in (flow, path position) order and applied once -- the
+        same pinned reduction order as the max-min kernels, so a vector
+        replay of the relaxation agrees float for float. The worst-link
+        loop itself stays scalar: each pass depends on the previous
+        one's rescale, an inherently sequential recurrence.
         """
         scaled = dict(rates)
         capacities = self.accounting.capacities
@@ -568,12 +783,16 @@ class NetworkModel:
                         worst_ratio, worst_key = ratio, key
             if worst_key is None:
                 return scaled
+            corrections: Dict[Tuple[str, str], float] = {}
             for flow_id in sorted(flows_on[worst_key]):
                 old = scaled[flow_id]
                 new = old * worst_ratio
                 scaled[flow_id] = new
                 for link in self._paths[flow_id]:
-                    usage[link.key] += new - old
+                    key = link.key
+                    corrections[key] = corrections.get(key, 0.0) + (new - old)
+            for key, correction in corrections.items():
+                usage[key] += correction
         return scaled
 
     # ------------------------------------------------------------------
@@ -663,6 +882,7 @@ class NetworkModel:
             state.rate = 0.0
             self._paths[flow_id] = new_path
             self._demands[flow_id] = FlowDemand(flow_id=flow_id, path=new_path)
+            self._demands_rev += 1
             self.accounting.watch(flow_id, new_path)
             self._push_finish(flow_id, state)
             migrated.append(flow_id)

@@ -112,6 +112,11 @@ class EngineState:
     faults_schedule: Any = None
     faults_fired: List[Dict] = field(default_factory=list)
     faults_pending: List[Tuple[float, int, Any]] = field(default_factory=list)
+    #: Resolved allocation mode ("auto"/"reference"/"incremental"/
+    #: "vector"); the network fork carries the matching kernel mode.
+    allocation: str = "auto"
+    #: Event-dispatch mode: batched (default) or legacy per-event.
+    batch_dispatch: bool = True
 
 
 @dataclass(frozen=True)
@@ -236,6 +241,8 @@ def capture(engine, version: int) -> StateHandle:
             else []
         ),
         faults_pending=fault_entries,
+        allocation=engine.allocation,
+        batch_dispatch=engine.batch_dispatch,
     )
     return StateHandle(version=version, time=engine.now, state=state)
 
@@ -308,6 +315,8 @@ def materialize(handle: StateHandle, target: Optional[Engine] = None) -> Engine:
     engine.network = network
     engine.topology = network.topology
     engine.incremental = state.incremental
+    engine.allocation = state.allocation
+    engine.batch_dispatch = state.batch_dispatch
     engine.scheduler = _fork_scheduler(state.scheduler)
     engine.now = state.now
 

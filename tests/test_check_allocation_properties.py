@@ -15,9 +15,11 @@ import pytest
 
 from repro.check import infeasible_links, unserved_flows
 from repro.core.flow import Flow
-from repro.simulator.allocation import FlowDemand, max_min_fair
+from repro.simulator.allocation import DemandSet, FlowDemand, feasible, max_min_fair
 from repro.simulator.network import NetworkModel
+from repro.simulator.vector import HAVE_NUMPY
 from repro.topology import ShortestPathRouter, big_switch, leaf_spine
+from repro.topology.graph import Link
 
 
 def _network(topology, incremental):
@@ -191,3 +193,158 @@ def test_infeasible_links_reports_the_overload():
     assert worst["capacity"] == pytest.approx(1.0)
     assert sorted(worst["flows"]) == sorted(d.flow_id for d in demands)
     assert infeasible_links(demands, {d.flow_id: 0.5 for d in demands}) == []
+
+
+# ---------------------------------------------------------------------------
+# scalar vs vector kernel: seeded random differential battery
+# ---------------------------------------------------------------------------
+#
+# The vector kernel's bit-identity contract (see repro.simulator.vector) is
+# attacked here with adversarial instances that topology-derived demand sets
+# never produce: duplicate links on a path, mixed weights, zero caps, and
+# dead links expressed through the ``available`` residual map. Every seed
+# demands *exact* dict equality -- no tolerance -- plus the classic max-min
+# certificate on the shared result.
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy unavailable")
+
+
+def _random_kernel_instance(rng):
+    """One random waterfilling instance: links, demands, maybe ``available``."""
+    links = [
+        Link(f"s{i}", f"t{i}", 0.5 + rng.random() * 4.0)
+        for i in range(rng.randrange(2, 13))
+    ]
+    demands = []
+    for fid in range(rng.randrange(1, 41)):
+        path = [rng.choice(links) for _ in range(rng.randrange(1, 5))]
+        if rng.random() < 0.1:
+            path.append(path[0])  # one link crossed twice by the same flow
+        roll = rng.random()
+        cap = None if roll < 0.7 else 0.0 if roll < 0.75 else rng.random() * 2.0
+        demands.append(
+            FlowDemand(
+                flow_id=1000 + fid,
+                path=tuple(path),
+                weight=rng.choice((1.0, 1.0, 0.5, 2.0, 0.25 + rng.random() * 3.0)),
+                cap=cap,
+            )
+        )
+    available = None
+    if rng.random() < 0.3:
+        # A residual-capacity view, as mid-round schedulers pass: every
+        # entry is at most the link's capacity, some links fully spent.
+        available = {}
+        for link in links:
+            roll = rng.random()
+            if roll < 0.25:
+                available[link.key] = link.capacity * rng.random()
+            elif roll < 0.3:
+                available[link.key] = 0.0  # dead link: rates pin at zero
+    return demands, available
+
+
+def _audit_max_min(demands, rates, available):
+    """Feasibility, work conservation, and the max-min certificate.
+
+    Every flow is either pinned at its own cap or has a *bottleneck*: a
+    saturated path link on which its weight-normalized rate is maximal,
+    so raising it would require lowering a flow that is no better off.
+    The certificate subsumes work conservation -- a flow with headroom
+    on every path link has no saturated link at all.
+    """
+    caps = dict(available) if available else {}
+    loads = {}
+    by_link = {}
+    for demand in demands:
+        rate = rates[demand.flow_id]
+        for link in demand.path:
+            key = link.key
+            caps.setdefault(key, link.capacity)
+            loads[key] = loads.get(key, 0.0) + rate
+            by_link.setdefault(key, []).append(demand)
+    for key, load in loads.items():
+        assert load <= caps[key] + 1e-6 * max(1.0, caps[key]), key
+    for demand in demands:
+        rate = rates[demand.flow_id]
+        assert rate >= 0.0
+        if demand.cap is not None:
+            assert rate <= demand.cap + 1e-9
+            if rate >= demand.cap - 1e-9:
+                continue  # pinned by its own cap: no link bottleneck needed
+        norm = rate / demand.weight
+        certified = False
+        for link in demand.path:
+            key = link.key
+            if loads[key] < caps[key] - 1e-6 * max(1.0, caps[key]):
+                continue  # unsaturated: cannot be the bottleneck
+            best = max(rates[o.flow_id] / o.weight for o in by_link[key])
+            if norm >= best - 1e-6:
+                certified = True
+                break
+        assert certified, f"flow {demand.flow_id} has no max-min bottleneck"
+
+
+@needs_numpy
+def test_vector_kernel_matches_scalar_on_random_instances():
+    for seed in range(80):
+        rng = random.Random(seed)
+        demands, available = _random_kernel_instance(rng)
+        scalar = max_min_fair(list(demands), available)
+        vec = max_min_fair(DemandSet(demands, use_vector=True), available)
+        # Bit-identity: the same keys mapped to the very same floats.
+        assert dict(vec.items()) == scalar, f"seed {seed} diverged"
+        assert feasible(list(demands), scalar)
+        assert feasible(DemandSet(demands, use_vector=True), vec)
+        _audit_max_min(demands, scalar, available)
+
+
+@needs_numpy
+def test_vector_kernel_degenerate_dead_link_and_zero_cap():
+    link = Link("a", "b", 1.0)
+    other = Link("b", "c", 2.0)
+    demands = [
+        FlowDemand(flow_id=1, path=(link,), cap=0.0),  # pinned at zero
+        FlowDemand(flow_id=2, path=(link, other)),  # dead first hop
+        FlowDemand(flow_id=3, path=(other,)),  # unaffected
+    ]
+    available = {link.key: 0.0}
+    scalar = max_min_fair(list(demands), available)
+    vec = max_min_fair(DemandSet(demands, use_vector=True), available)
+    assert dict(vec.items()) == scalar
+    assert scalar[1] == 0.0 and scalar[2] == 0.0
+    # The survivor still gets the whole healthy link: dead links starve
+    # their own flows without dragging the rest of the allocation down.
+    assert scalar[3] == 2.0
+    _audit_max_min(demands, scalar, available)
+
+
+@needs_numpy
+def test_vector_kernel_all_flows_capped_at_zero():
+    link = Link("a", "b", 1.0)
+    demands = [FlowDemand(flow_id=i + 1, path=(link,), cap=0.0) for i in range(3)]
+    scalar = max_min_fair(list(demands))
+    vec = max_min_fair(DemandSet(demands, use_vector=True))
+    assert dict(vec.items()) == scalar == {1: 0.0, 2: 0.0, 3: 0.0}
+
+
+@needs_numpy
+def test_vector_allocation_passes_the_sanitizer_helpers():
+    # The sanitizer's pure helpers accept a VectorAllocation as-is: the
+    # mapping duck-typing means the work-conservation and feasibility
+    # audits run unchanged over the dense kernel's output.
+    for seed in (21, 22):
+        rng = random.Random(seed)
+        topology = big_switch(6, host_bandwidth=1.0 + rng.random() * 3.0)
+        network = _network(topology, incremental=True)
+        hosts = [f"h{i}" for i in range(6)]
+        for _ in range(rng.randrange(4, 16)):
+            src, dst = rng.sample(hosts, 2)
+            network.inject(Flow(src=src, dst=dst, size=1.0), 0.0)
+        demands = network.demands()
+        rates = max_min_fair(DemandSet(demands, use_vector=True))
+        assert infeasible_links(demands, rates) == []
+        remaining = {d.flow_id: 1.0 for d in demands}
+        thresholds = {d.flow_id: 0.0 for d in demands}
+        assert unserved_flows(demands, rates, remaining, thresholds) == []
+        assert dict(rates.items()) == max_min_fair(list(demands))

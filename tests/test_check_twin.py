@@ -159,6 +159,56 @@ def test_twin_on_interval_scheduling_and_background_flows():
     _assert_twin_clean(engine)
 
 
+@pytest.mark.parametrize(
+    "primary, twin_kernel",
+    [("vector", "scalar"), ("incremental", "vector")],
+    ids=["vector-primary-scalar-twin", "scalar-primary-vector-twin"],
+)
+def test_twin_kernel_differential(primary, twin_kernel):
+    # The scalar-vs-vector kernel identity, re-proven online: the primary
+    # allocates with one kernel, the twin's shadow replay with the other,
+    # and every sampled invocation must agree at twin_tol=0.
+    pytest.importorskip("numpy")
+    engine = Engine(
+        big_switch(6, host_bandwidth=4.0),
+        FairSharingScheduler(),
+        scheduling_interval=0.25,
+        allocation=primary,
+        sanitizer=f"strict:twin=1.0,twin_kernel={twin_kernel}",
+    )
+    rng = random.Random(11)
+    for i in range(40):
+        src = rng.randrange(6)
+        dst = (src + rng.randrange(1, 6)) % 6
+        engine.inject_background_flow(
+            Flow(src=f"h{src}", dst=f"h{dst}", size=0.5 + rng.random() * 2.0),
+            at_time=rng.random() * 1.5,
+        )
+    _assert_twin_clean(engine)
+
+
+def test_twin_kernel_vector_degrades_without_numpy(monkeypatch):
+    # twin_kernel=vector on a numpy-less host must fall back to the
+    # scalar replay rather than fail -- mirroring the engine's own
+    # degradation contract.
+    from repro.check import twin as twin_mod
+
+    monkeypatch.setattr(twin_mod, "HAVE_NUMPY", False)
+    engine = Engine(
+        two_hosts(1.0),
+        FairSharingScheduler(),
+        sanitizer="strict:twin=1.0,twin_kernel=vector",
+    )
+    job = build_pipeline_segment("seg", "h0", "h1", [0.0], [2.0], [2.0])
+    job.submit_to(engine)
+    _assert_twin_clean(engine)
+
+
+def test_twin_kernel_spec_is_validated():
+    with pytest.raises(ValueError):
+        check.CheckConfig(twin_kernel="simd")
+
+
 def test_twin_sampling_fraction_is_respected():
     engine = Engine(
         big_switch(4, gbps(10)), EchelonMaddScheduler(), sanitizer="strict:twin=0.5,seed=1"

@@ -1,12 +1,14 @@
-"""Incremental core == reference core, bit for bit.
+"""Reference core == incremental core == vector kernel, bit for bit.
 
-Every scenario is simulated twice -- ``Engine(..., incremental=True)``
-(finish-time heap, residual accounting, dirty-set rates, persistent
-scheduler view) and ``Engine(..., incremental=False)`` (identical
-semantics via full scans, the pre-refactor cost model) -- and the two
-runs must agree *exactly*: the same flow records (starts, finishes,
-ideal finishes), the same task/compute events, the same end time, and
-the same rate allocation at every scheduler invocation.
+Every scenario is simulated three times -- ``allocation="reference"``
+(full scans per event, the pre-refactor cost model),
+``allocation="incremental"`` (finish-time heap, residual accounting,
+dirty-set rates, persistent scheduler view), and ``allocation="vector"``
+(the incremental engine dispatching the numpy waterfilling kernel and
+bulk ``set_rates``) -- and all runs must agree *exactly*: the same flow
+records (starts, finishes, ideal finishes), the same task/compute
+events, the same end time, and the same rate allocation at every
+scheduler invocation.
 
 Flow ids come from a global counter, so two builds of the same scenario
 number their flows differently; comparisons use structural keys (src,
@@ -29,12 +31,15 @@ from repro.scheduling import (
 )
 from repro.scheduling.base import Scheduler
 from repro.simulator import Engine
+from repro.simulator.vector import HAVE_NUMPY
 from repro.topology import big_switch, leaf_spine, two_hosts
 from repro.workloads import (
     build_dp_allreduce,
+    build_dp_ps,
     build_fsdp,
     build_pipeline_segment,
     build_pp_gpipe,
+    build_tp_megatron,
     uniform_model,
 )
 
@@ -76,9 +81,9 @@ class _RecordingScheduler(Scheduler):
         return rates
 
 
-def _run(engine_factory, scheduler_factory, incremental: bool):
+def _run(engine_factory, scheduler_factory, allocation: str):
     recorder = _RecordingScheduler(scheduler_factory())
-    engine = engine_factory(recorder, incremental)
+    engine = engine_factory(recorder, allocation)
     trace = engine.run()
     return engine, recorder, trace
 
@@ -92,38 +97,45 @@ def _flow_records_key(trace):
 
 
 def assert_equivalent(engine_factory, scheduler_factory):
-    ref_engine, ref_rec, ref_trace = _run(engine_factory, scheduler_factory, False)
-    inc_engine, inc_rec, inc_trace = _run(engine_factory, scheduler_factory, True)
-
-    # Identical traces: every delivered flow, exactly when it started and
-    # finished, against exactly which deadline.
-    assert _flow_records_key(inc_trace) == _flow_records_key(ref_trace)
-    assert [
-        (e.task_id, e.kind, e.time, e.job_id) for e in inc_trace.task_events
-    ] == [(e.task_id, e.kind, e.time, e.job_id) for e in ref_trace.task_events]
-    assert [
-        (s.task_id, s.device, s.start, s.end, s.job_id, s.tag)
-        for s in inc_trace.compute_spans
-    ] == [
-        (s.task_id, s.device, s.start, s.end, s.job_id, s.tag)
-        for s in ref_trace.compute_spans
-    ]
-    assert inc_trace.end_time == ref_trace.end_time
-
-    # Identical allocations at every single reschedule.
-    assert inc_engine.scheduler_invocations == ref_engine.scheduler_invocations
-    assert len(inc_rec.log) == len(ref_rec.log)
-    for (inc_now, inc_cause, inc_rates), (ref_now, ref_cause, ref_rates) in zip(
-        inc_rec.log, ref_rec.log
-    ):
-        assert inc_now == ref_now
-        assert inc_cause == ref_cause
-        assert inc_rates == ref_rates
-
-    # Byte conservation agrees up to float association order.
-    assert inc_engine.network.bytes_delivered == pytest.approx(
-        ref_engine.network.bytes_delivered, rel=1e-9
+    ref_engine, ref_rec, ref_trace = _run(
+        engine_factory, scheduler_factory, "reference"
     )
+    for mode in ("incremental", "vector"):
+        if mode == "vector" and not HAVE_NUMPY:
+            continue
+        inc_engine, inc_rec, inc_trace = _run(
+            engine_factory, scheduler_factory, mode
+        )
+
+        # Identical traces: every delivered flow, exactly when it started
+        # and finished, against exactly which deadline.
+        assert _flow_records_key(inc_trace) == _flow_records_key(ref_trace)
+        assert [
+            (e.task_id, e.kind, e.time, e.job_id) for e in inc_trace.task_events
+        ] == [(e.task_id, e.kind, e.time, e.job_id) for e in ref_trace.task_events]
+        assert [
+            (s.task_id, s.device, s.start, s.end, s.job_id, s.tag)
+            for s in inc_trace.compute_spans
+        ] == [
+            (s.task_id, s.device, s.start, s.end, s.job_id, s.tag)
+            for s in ref_trace.compute_spans
+        ]
+        assert inc_trace.end_time == ref_trace.end_time
+
+        # Identical allocations at every single reschedule.
+        assert inc_engine.scheduler_invocations == ref_engine.scheduler_invocations
+        assert len(inc_rec.log) == len(ref_rec.log)
+        for (inc_now, inc_cause, inc_rates), (ref_now, ref_cause, ref_rates) in zip(
+            inc_rec.log, ref_rec.log
+        ):
+            assert inc_now == ref_now
+            assert inc_cause == ref_cause
+            assert inc_rates == ref_rates
+
+        # Byte conservation agrees up to float association order.
+        assert inc_engine.network.bytes_delivered == pytest.approx(
+            ref_engine.network.bytes_delivered, rel=1e-9
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -139,8 +151,8 @@ _MODEL = uniform_model(
 )
 
 
-def _fig2_factory(scheduler, incremental):
-    engine = Engine(two_hosts(1.0), scheduler, incremental=incremental)
+def _fig2_factory(scheduler, allocation):
+    engine = Engine(two_hosts(1.0), scheduler, allocation=allocation)
     job = build_pipeline_segment(
         "fig2", "h0", "h1", [0.0, 1.0, 2.0], [2.0, 2.0, 2.0], [2.0, 2.0, 2.0]
     )
@@ -149,7 +161,7 @@ def _fig2_factory(scheduler, incremental):
 
 
 def _multijob_factory(interval):
-    def factory(scheduler, incremental):
+    def factory(scheduler, allocation):
         topology = leaf_spine(
             n_leaves=4, hosts_per_leaf=4, host_bandwidth=gbps(10), oversubscription=2.0
         )
@@ -157,7 +169,7 @@ def _multijob_factory(interval):
             topology,
             scheduler,
             scheduling_interval=interval,
-            incremental=incremental,
+            allocation=allocation,
         )
         jobs = [
             build_pp_gpipe(
@@ -175,24 +187,24 @@ def _multijob_factory(interval):
     return factory
 
 
-def _fsdp_factory(scheduler, incremental):
+def _fsdp_factory(scheduler, allocation):
     topology = leaf_spine(
         n_leaves=2, hosts_per_leaf=2, host_bandwidth=gbps(10), oversubscription=2.0
     )
-    engine = Engine(topology, scheduler, incremental=incremental)
+    engine = Engine(topology, scheduler, allocation=allocation)
     job = build_fsdp("fsdp", _MODEL, ["h0", "h1", "h2", "h3"])
     job.submit_to(engine)
     return engine
 
 
 def _seeded_background_factory(interval):
-    def factory(scheduler, incremental):
+    def factory(scheduler, allocation):
         topology = big_switch(8, host_bandwidth=4.0)
         engine = Engine(
             topology,
             scheduler,
             scheduling_interval=interval,
-            incremental=incremental,
+            allocation=allocation,
         )
         rng = random.Random(42)
         for i in range(60):
@@ -260,3 +272,60 @@ def test_seeded_background_fair_per_event_equivalent():
 
 def test_seeded_background_fair_interval_equivalent():
     assert_equivalent(_seeded_background_factory(0.25), FairSharingScheduler)
+
+
+# ---------------------------------------------------------------------------
+# Table-1 paradigms x scheduler matrix (reference == incremental == vector)
+# ---------------------------------------------------------------------------
+
+_SMALL = uniform_model(
+    "u4",
+    4,
+    param_bytes_per_layer=megabytes(20),
+    activation_bytes=megabytes(10),
+    forward_time=0.004,
+)
+
+_HOSTS4 = ["h0", "h1", "h2", "h3"]
+
+
+def _paradigm_factory(build):
+    def factory(scheduler, allocation):
+        engine = Engine(
+            big_switch(5, host_bandwidth=gbps(10)),
+            scheduler,
+            allocation=allocation,
+        )
+        build().submit_to(engine)
+        return engine
+
+    return factory
+
+
+_PARADIGMS = {
+    "dp_allreduce": lambda: build_dp_allreduce(
+        "dp", _SMALL, _HOSTS4, bucket_bytes=megabytes(40)
+    ),
+    "dp_ps": lambda: build_dp_ps(
+        "ps", _SMALL, _HOSTS4, server="h4", bucket_bytes=megabytes(40)
+    ),
+    "pp_gpipe": lambda: build_pp_gpipe(
+        "pp", _SMALL, _HOSTS4, num_micro_batches=2
+    ),
+    "fsdp": lambda: build_fsdp("fsdp", _SMALL, _HOSTS4),
+    "tp_megatron": lambda: build_tp_megatron("tp", _SMALL, _HOSTS4),
+}
+
+_SCHEDULERS = {
+    "echelon": EchelonMaddScheduler,
+    "coflow": CoflowMaddScheduler,
+    "fairshare": FairSharingScheduler,
+}
+
+
+@pytest.mark.parametrize("paradigm", sorted(_PARADIGMS))
+@pytest.mark.parametrize("scheduler", sorted(_SCHEDULERS))
+def test_paradigm_matrix_equivalent(paradigm, scheduler):
+    assert_equivalent(
+        _paradigm_factory(_PARADIGMS[paradigm]), _SCHEDULERS[scheduler]
+    )
