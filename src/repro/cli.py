@@ -104,6 +104,31 @@ def _add_faults_flag(parser) -> None:
     )
 
 
+def _validate_faults(args, topology) -> Optional[int]:
+    """Parse --faults and validate its links against the built topology.
+
+    On a bad spec, prints the offending clause (naming the unknown link)
+    to stderr and returns exit code 2; on success, stores the parsed
+    :class:`~repro.faults.FaultSchedule` back on ``args`` (the engine
+    accepts it directly) and returns None.
+    """
+    spec = getattr(args, "faults", None)
+    if not spec:
+        return None
+    from .faults import FaultSchedule, FaultSpecError
+
+    try:
+        schedule = (
+            FaultSchedule.parse(spec) if isinstance(spec, str) else spec
+        )
+        schedule.validate_links(topology)
+    except FaultSpecError as exc:
+        print(f"bad --faults spec: {exc}", file=sys.stderr)
+        return 2
+    args.faults = schedule
+    return None
+
+
 def _wrap_resilient(args, scheduler):
     """Wrap ``scheduler`` for graceful degradation when --faults was given.
 
@@ -359,6 +384,9 @@ def _topology_for(args, n_workers: int):
 def cmd_fig2(args) -> int:
     from .topology import two_hosts
 
+    status = _validate_faults(args, two_hosts(1.0))
+    if status is not None:
+        return status
     # Observability flags instrument one run (--obs-scheduler, default
     # echelon -- the paper's policy); the others stay on the hot path.
     obs = _obs_for(args)
@@ -494,6 +522,9 @@ def cmd_run(args) -> int:
     workers = [f"h{i}" for i in range(args.workers)]
     n_hosts = args.workers + (1 if args.paradigm == "dp-ps" else 0)
     topology = _topology_for(args, n_hosts)
+    status = _validate_faults(args, topology)
+    if status is not None:
+        return status
     all_hosts = [f"h{i}" for i in range(n_hosts)]
     job = _build_job(args, all_hosts if args.paradigm == "dp-ps" else workers)
     obs = _obs_for(args)
@@ -563,6 +594,9 @@ def cmd_cluster(args) -> int:
         ),
     ]
     topology = big_switch(args.hosts, gbps(args.bandwidth_gbps))
+    status = _validate_faults(args, topology)
+    if status is not None:
+        return status
     obs = _obs_for(args)
     scheduler, profiler = _wrap_profiled(
         args, _wrap_resilient(args, make_scheduler(args.scheduler)), obs
@@ -662,22 +696,27 @@ def cmd_matrix(args) -> int:
 def cmd_run_spec(args) -> int:
     import json as _json
 
+    from .faults import FaultSpecError
     from .workloads import run_spec_file
 
     obs = _obs_for(args)
     profiler = None
-    if obs is not None:
-        results, trace, engine = run_spec_file(
-            args.spec,
-            instrumentation=obs,
-            profile=bool(args.metrics_out),
-            faults=args.faults,
-            detail=True,
-        )
-        if args.metrics_out:
-            profiler = engine.scheduler
-    else:
-        results = run_spec_file(args.spec, faults=args.faults)
+    try:
+        if obs is not None:
+            results, trace, engine = run_spec_file(
+                args.spec,
+                instrumentation=obs,
+                profile=bool(args.metrics_out),
+                faults=args.faults,
+                detail=True,
+            )
+            if args.metrics_out:
+                profiler = engine.scheduler
+        else:
+            results = run_spec_file(args.spec, faults=args.faults)
+    except FaultSpecError as exc:
+        print(f"bad faults spec: {exc}", file=sys.stderr)
+        return 2
     rows = [
         [name, info["paradigm"], info["completion_time"], info["flows"]]
         for name, info in results["jobs"].items()
@@ -874,6 +913,44 @@ def cmd_aiops(args) -> int:
     else:
         print(render_score(report))
     return 0
+
+
+def cmd_system(args) -> int:
+    import json as _json
+
+    from .system.runtime import (
+        SCENARIO_NAMES,
+        format_chaos_table,
+        run_chaos_suite,
+    )
+
+    names = None
+    if args.scenario:
+        unknown = [n for n in args.scenario if n not in SCENARIO_NAMES]
+        if unknown:
+            print(
+                f"unknown scenario(s) {', '.join(unknown)}; "
+                f"options: {', '.join(SCENARIO_NAMES)}",
+                file=sys.stderr,
+            )
+            return 2
+        names = list(args.scenario)
+    report = run_chaos_suite(
+        smoke=args.smoke,
+        seed=args.seed,
+        inflation_bound=args.inflation_bound,
+        names=names,
+    )
+    if args.out:
+        with open(args.out, "w") as handle:
+            _json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"chaos report written to {args.out}")
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_chaos_table(report))
+    return 0 if report["ok"] else 1
 
 
 def _render_whatif(result) -> str:
@@ -1157,6 +1234,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", metavar="PATH", help="also write the report JSON to PATH"
     )
 
+    system = sub.add_parser(
+        "system", help="fault-tolerant control-plane runtime tools"
+    )
+    system_sub = system.add_subparsers(dest="system_command", required=True)
+    chaos = system_sub.add_parser(
+        "chaos",
+        help="run the scored control-plane chaos suite: crash/partition/"
+        "noise scenarios graded on completion, JCT inflation, "
+        "determinism, and identity-channel bit-identity "
+        "(see docs/control_plane.md)",
+    )
+    chaos.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI subset: baseline + crash_coordinator + rpc_noise",
+    )
+    chaos.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME",
+        help="run only the named scenario(s); repeatable",
+    )
+    chaos.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="RPC channel RNG seed (default 0); the suite runs every "
+        "scenario twice and asserts digest equality per (spec, seed)",
+    )
+    chaos.add_argument(
+        "--inflation-bound",
+        type=float,
+        default=1.5,
+        metavar="X",
+        help="max tolerated per-job JCT inflation over the fault-free "
+        "baseline (default 1.5)",
+    )
+    chaos.add_argument("--json", action="store_true", help="dump raw JSON")
+    chaos.add_argument(
+        "--out", metavar="PATH", help="also write the report JSON to PATH"
+    )
+    _add_check_flag(chaos)
+
     whatif = sub.add_parser(
         "whatif",
         help="warm-started counterfactual queries against a baseline "
@@ -1303,6 +1424,7 @@ _COMMANDS = {
     "obs": cmd_obs,
     "watch": cmd_watch,
     "aiops": cmd_aiops,
+    "system": cmd_system,
     "whatif": cmd_whatif,
     "diagnose": cmd_diagnose,
     "diff": cmd_diff,

@@ -15,7 +15,6 @@ from .flow import (
     FlowIdAllocator,
     FlowState,
     current_flow_id_allocator,
-    reset_flow_ids,
     use_flow_id_allocator,
 )
 from .tardiness import (

@@ -13,7 +13,6 @@ single :class:`Flow` description can be replayed under many schedulers.
 
 from __future__ import annotations
 
-import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
@@ -81,25 +80,6 @@ def use_flow_id_allocator(allocator: FlowIdAllocator) -> Iterator[FlowIdAllocato
 
 def _next_flow_id() -> int:
     return _current_allocator.allocate()
-
-
-def reset_flow_ids() -> None:
-    """Deprecated: rewind the *current* flow-id allocator to zero.
-
-    Superseded by scoping flow construction with
-    :func:`use_flow_id_allocator` (a fresh :class:`FlowIdAllocator` per
-    experiment), which gives the same run-for-run reproducibility
-    without mutating shared state. Never call this while an engine is
-    mid-run: live flows keep their ids, and a reset makes new flows
-    collide with them.
-    """
-    warnings.warn(
-        "reset_flow_ids() is deprecated; wrap experiment construction in "
-        "use_flow_id_allocator(FlowIdAllocator()) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    _current_allocator.next_id = 0
 
 
 @dataclass(frozen=True)

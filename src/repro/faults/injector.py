@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from .schedule import FaultEvent, FaultSchedule, parse_fault_spec
+from .schedule import _CONTROL_ACTIONS, FaultEvent, FaultSchedule, parse_fault_spec
 from .resilient import ResilientScheduler
 
 
@@ -74,6 +74,16 @@ class FaultInjector:
                 "crash_scheduler faults require a ResilientScheduler in the "
                 "scheduler chain (wrap with repro.faults.ResilientScheduler)"
             )
+        if (
+            self.schedule.has_control_faults
+            and getattr(engine, "control_plane", None) is None
+        ):
+            raise ValueError(
+                "control-plane faults (crash_agent / crash_coordinator / "
+                "partition_control / rpc_noise) require a ControlPlaneRuntime "
+                "on the engine (schedule with repro.system.runtime, or drop "
+                "the control clauses)"
+            )
         self.engine = engine
         for event in self.schedule:
             armed = engine.schedule_fault(
@@ -95,6 +105,12 @@ class FaultInjector:
         if event.action == "crash_scheduler":
             resilient = find_resilient(engine.scheduler)
             resilient.arm_crash(reason=f"injected crash_scheduler@{event.time:g}")
+        elif event.action in _CONTROL_ACTIONS:
+            if event.target is not None:
+                record["target"] = event.target
+            if event.spec is not None:
+                record["spec"] = event.spec
+            engine.control_plane.apply_fault(event)
         else:
             record["capacities"] = self._apply_link_event(event, record)
         self.fired.append(record)

@@ -24,11 +24,35 @@ or from JSON (see :meth:`FaultSchedule.from_json`). Grammar per clause::
 * ``crash_scheduler`` -- poison the next scheduler invocation after
   ``time`` (requires a :class:`~repro.faults.ResilientScheduler`).
 
+Control-plane actions (these require a
+:class:`~repro.system.runtime.ControlPlaneRuntime` attached to the
+engine; see docs/control_plane.md)::
+
+    crash_agent@2.0+1.0,agent=job1; crash_coordinator@3.0+0.5;
+    partition_control@4.0+1.0; rpc_noise@1.0,drop=0.1,delay=0.002
+
+* ``crash_agent`` -- the named agent (``agent=<job id>``) stops sending
+  and receiving control messages at ``time``; with ``+duration`` it
+  restarts afterwards and re-syncs with the coordinator.
+* ``crash_coordinator`` -- the coordinator process dies (in-memory
+  registry lost); with ``+duration`` it restarts, recovers from its last
+  checkpoint, and replays the post-checkpoint request log.
+* ``partition_control`` -- the control network partitions: the named
+  agent (``agent=``, or every agent when omitted) cannot reach the
+  coordinator; ``+duration`` heals the partition. Data-plane traffic is
+  unaffected -- only the scheduling control loop degrades.
+* ``rpc_noise`` -- swap the control channel to a degraded one described
+  by inline RPC-spec keys (``drop`` / ``delay`` / ``dup`` / ``timeout``
+  / ``retries`` / ``backoff`` / ``seed``, see
+  :mod:`repro.system.runtime.rpc`); ``+duration`` restores the channel
+  the run started with.
+
 Compound clauses (``flap``, ``+duration``) expand at parse time into
-primitive ``link_down`` / ``degrade`` / ``link_restore`` events, so the
-injector replays a flat, deterministic timeline. Overlapping clauses on
-one link resolve by time order: the latest action wins, and every restore
-returns the link to its *nominal* (construction-time) capacity.
+primitive paired events (``link_down`` / ``link_restore``,
+``crash_agent`` / ``agent_restore``, ...), so the injector replays a
+flat, deterministic timeline. Overlapping clauses on one link resolve by
+time order: the latest action wins, and every restore returns the link
+to its *nominal* (construction-time) capacity.
 """
 
 from __future__ import annotations
@@ -38,7 +62,52 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 _LINK_ACTIONS = ("link_down", "link_restore", "degrade")
-_ACTIONS = _LINK_ACTIONS + ("crash_scheduler",)
+#: Control-plane primitives (PR 10). Appended *after* the original
+#: actions: the schedule's sort key indexes into ``_ACTIONS``, so
+#: appending preserves every pre-existing same-timestamp ordering.
+_CONTROL_ACTIONS = (
+    "crash_agent",
+    "agent_restore",
+    "crash_coordinator",
+    "coordinator_restore",
+    "partition_control",
+    "partition_heal",
+    "rpc_noise",
+    "rpc_restore",
+)
+_ACTIONS = _LINK_ACTIONS + ("crash_scheduler",) + _CONTROL_ACTIONS
+#: Actions that *end* a fault rather than cause one (skipped by
+#: ``ground_truth``).
+_RESTORE_ACTIONS = frozenset(
+    {
+        "link_restore",
+        "agent_restore",
+        "coordinator_restore",
+        "partition_heal",
+        "rpc_restore",
+    }
+)
+#: Clause action -> paired restore primitive for ``+duration``.
+_CONTROL_RESTORE = {
+    "crash_agent": "agent_restore",
+    "crash_coordinator": "coordinator_restore",
+    "partition_control": "partition_heal",
+    "rpc_noise": "rpc_restore",
+}
+#: Primitive action -> localization kind for ``ground_truth``.
+_CONTROL_KINDS = {
+    "crash_agent": "agent",
+    "crash_coordinator": "coordinator",
+    "partition_control": "control",
+    "rpc_noise": "control",
+}
+#: Control actions that carry (or may carry) an ``agent=`` target.
+_TARGETED_ACTIONS = frozenset(
+    {"crash_agent", "agent_restore", "partition_control", "partition_heal"}
+)
+#: Inline RPC-channel keys an ``rpc_noise`` clause accepts (mirrors
+#: :func:`repro.system.runtime.rpc.parse_rpc_spec`).
+_RPC_KEYS = ("drop", "delay", "dup", "timeout", "retries", "backoff", "seed")
 
 
 class FaultSpecError(ValueError):
@@ -51,12 +120,17 @@ class FaultEvent:
 
     ``links`` holds directed ``(src, dst)`` keys (a duplex ``a-b`` spec
     expands to both directions); ``factor`` is set for ``degrade`` only.
+    Control-plane actions carry no links; ``target`` names the agent a
+    ``crash_agent``/``partition_control`` hits (``None`` partitions every
+    agent) and ``spec`` holds an ``rpc_noise`` clause's channel grammar.
     """
 
     time: float
     action: str
     links: Tuple[Tuple[str, str], ...] = ()
     factor: Optional[float] = None
+    target: Optional[str] = None
+    spec: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.time < 0:
@@ -67,8 +141,8 @@ class FaultEvent:
             )
         if self.action in _LINK_ACTIONS and not self.links:
             raise FaultSpecError(f"{self.action} fault needs at least one link")
-        if self.action == "crash_scheduler" and self.links:
-            raise FaultSpecError("crash_scheduler takes no link spec")
+        if self.action not in _LINK_ACTIONS and self.links:
+            raise FaultSpecError(f"{self.action} takes no link spec")
         if self.action == "degrade":
             if self.factor is None or not (0.0 < self.factor < 1.0):
                 raise FaultSpecError(
@@ -76,10 +150,25 @@ class FaultEvent:
                 )
         elif self.factor is not None:
             raise FaultSpecError(f"{self.action} does not take a factor")
+        if self.target is not None and self.action not in _TARGETED_ACTIONS:
+            raise FaultSpecError(f"{self.action} does not take agent=")
+        if self.action in ("crash_agent", "agent_restore") and not self.target:
+            raise FaultSpecError(f"{self.action} requires agent=<job id>")
+        if self.spec is not None and self.action != "rpc_noise":
+            raise FaultSpecError(f"{self.action} does not take an RPC spec")
+        if self.action == "rpc_noise" and not self.spec:
+            raise FaultSpecError(
+                "rpc_noise requires channel parameters "
+                "(e.g. rpc_noise@1.0,drop=0.1,delay=0.002)"
+            )
 
     def describe(self) -> str:
         links = ",".join(f"{s}->{d}" for s, d in self.links)
         extra = f" factor={self.factor}" if self.factor is not None else ""
+        if self.target is not None:
+            extra += f" agent={self.target}"
+        if self.spec is not None:
+            extra += f" spec={self.spec}"
         return f"{self.action}@{self.time:g} {links}{extra}".rstrip()
 
 
@@ -202,9 +291,65 @@ def _expand_clause(
             )
         return events
 
+    if action in _CONTROL_RESTORE:
+        if links:
+            raise FaultSpecError(
+                f"{action} takes no link spec; name agents with agent=<id>"
+            )
+        target: Optional[str] = None
+        spec: Optional[str] = None
+        if action == "crash_agent":
+            reject_unknown(("agent",))
+            if "agent" not in params:
+                raise FaultSpecError("crash_agent requires agent=<job id>")
+            target = params["agent"]
+        elif action == "crash_coordinator":
+            reject_unknown(())
+        elif action == "partition_control":
+            reject_unknown(("agent",))
+            target = params.get("agent")
+        else:  # rpc_noise
+            reject_unknown(_RPC_KEYS + ("spec",))
+            if "spec" in params:
+                if len(params) > 1:
+                    raise FaultSpecError(
+                        "rpc_noise takes either spec=... or inline channel "
+                        "keys, not both"
+                    )
+                spec = params["spec"]
+            else:
+                spec = ",".join(f"{k}={v}" for k, v in params.items())
+            if not spec:
+                raise FaultSpecError(
+                    "rpc_noise requires channel parameters "
+                    "(e.g. rpc_noise@1.0,drop=0.1,delay=0.002)"
+                )
+            # Deferred import: repro.system.runtime sits on top of faults.
+            from ..system.runtime.rpc import RpcSpecError, parse_rpc_spec
+
+            try:
+                parse_rpc_spec(spec)
+            except RpcSpecError as exc:
+                raise FaultSpecError(f"bad rpc_noise parameters: {exc}") from None
+        events = [
+            FaultEvent(time=time, action=action, target=target, spec=spec)
+        ]
+        if duration is not None:
+            if duration <= 0:
+                raise FaultSpecError(f"duration must be > 0, got {duration}")
+            events.append(
+                FaultEvent(
+                    time=time + duration,
+                    action=_CONTROL_RESTORE[action],
+                    target=target,
+                )
+            )
+        return events
+
     raise FaultSpecError(
         f"unknown fault action {action!r}; expected link_down, degrade, "
-        f"flap, or crash_scheduler"
+        f"flap, crash_scheduler, crash_agent, crash_coordinator, "
+        f"partition_control, or rpc_noise"
     )
 
 
@@ -306,6 +451,16 @@ class FaultSchedule:
                             if entry.get("factor") is not None
                             else None
                         ),
+                        target=(
+                            str(entry["target"])
+                            if entry.get("target") is not None
+                            else None
+                        ),
+                        spec=(
+                            str(entry["spec"])
+                            if entry.get("spec") is not None
+                            else None
+                        ),
                     )
                 )
                 continue
@@ -313,7 +468,7 @@ class FaultSchedule:
             links = _parse_linkspec(entry["link"]) if "link" in entry else ()
             params = {
                 key: str(entry[key])
-                for key in ("factor", "period", "count")
+                for key in ("factor", "period", "count", "agent", "spec")
                 if entry.get(key) is not None
             }
             duration = (
@@ -343,6 +498,12 @@ class FaultSchedule:
                         if event.factor is not None
                         else {}
                     ),
+                    **(
+                        {"target": event.target}
+                        if event.target is not None
+                        else {}
+                    ),
+                    **({"spec": event.spec} if event.spec is not None else {}),
                 }
                 for event in self.events
             ]
@@ -352,34 +513,62 @@ class FaultSchedule:
         """Every directed link key any event touches, sorted."""
         return sorted({key for event in self.events for key in event.links})
 
+    def validate_links(self, topology) -> None:
+        """Check every targeted link exists in ``topology``.
+
+        Raises :class:`FaultSpecError` naming the first missing link, so
+        a typo'd ``--faults`` spec dies at build time instead of firing
+        a no-op (or crashing) mid-run.
+        """
+        for src, dst in self.link_keys():
+            if not topology.has_link(src, dst):
+                keys = sorted(link.key for link in topology.links())
+                shown = ", ".join(f"{s}->{d}" for s, d in keys[:12])
+                if len(keys) > 12:
+                    shown += f", ... ({len(keys)} links)"
+                raise FaultSpecError(
+                    f"fault spec targets unknown link {src}->{dst} "
+                    f"(topology {topology.name!r} has: {shown})"
+                )
+
     def ground_truth(self) -> List[Dict]:
         """Grader-facing labels: one entry per distinct injected cause.
 
         Groups the primitive timeline by ``(action, target set)`` and
-        skips ``link_restore`` (a restore ends a fault, it does not
+        skips restore actions (a restore ends a fault, it does not
         cause one), so a flap's many down/restore pairs collapse into a
         single ``link_down`` entry carrying its first onset and cycle
         count. ``crash_scheduler`` maps to localization kind
         ``"scheduler"``; link actions to kind ``"link"`` with directed
-        ``src->dst`` target keys. This is the *only* sanctioned bridge
-        between the chaos layer and the watch loop's scoring -- the
-        detectors and localizer never see it (see
+        ``src->dst`` target keys; control-plane actions to kinds
+        ``"agent"`` / ``"coordinator"`` / ``"control"`` with
+        ``agent:<id>`` targets where one was named. This is the *only*
+        sanctioned bridge between the chaos layer and the watch loop's
+        scoring -- the detectors and localizer never see it (see
         :mod:`repro.obs.watch.stream`).
         """
         grouped: Dict[Tuple[str, Tuple[str, ...]], Dict] = {}
         for event in self.events:
-            if event.action == "link_restore":
+            if event.action in _RESTORE_ACTIONS:
                 continue
-            targets = tuple(sorted(f"{s}->{d}" for s, d in event.links))
+            if event.action in _CONTROL_KINDS:
+                kind = _CONTROL_KINDS[event.action]
+                if event.target is not None:
+                    targets: Tuple[str, ...] = (f"agent:{event.target}",)
+                elif event.action == "crash_coordinator":
+                    targets = ("coordinator",)
+                else:
+                    targets = ("control",)
+            else:
+                kind = (
+                    "scheduler" if event.action == "crash_scheduler" else "link"
+                )
+                targets = tuple(sorted(f"{s}->{d}" for s, d in event.links))
             key = (event.action, targets)
             entry = grouped.get(key)
             if entry is None:
                 grouped[key] = {
-                    "kind": (
-                        "scheduler"
-                        if event.action == "crash_scheduler"
-                        else "link"
-                    ),
+                    "kind": kind,
                     "action": event.action,
                     "targets": list(targets) or ["scheduler"],
                     "time": event.time,
@@ -395,6 +584,23 @@ class FaultSchedule:
     @property
     def has_crashes(self) -> bool:
         return any(e.action == "crash_scheduler" for e in self.events)
+
+    @property
+    def has_control_faults(self) -> bool:
+        """True when any event targets the control plane (agent /
+        coordinator / partition / RPC channel); such schedules need a
+        :class:`~repro.system.runtime.ControlPlaneRuntime` on the engine."""
+        return any(e.action in _CONTROL_ACTIONS for e in self.events)
+
+    def control_events(self) -> List[FaultEvent]:
+        """The control-plane subset of the timeline, in order."""
+        return [e for e in self.events if e.action in _CONTROL_ACTIONS]
+
+    def agent_targets(self) -> List[str]:
+        """Every agent id a control event names, sorted."""
+        return sorted(
+            {e.target for e in self.events if e.target is not None}
+        )
 
     def __iter__(self) -> Iterator[FaultEvent]:
         return iter(self.events)

@@ -253,6 +253,9 @@ class Instrumentation:
         self.fault_events: List[Dict] = []
         #: ResilientScheduler degradation records, in occurrence order.
         self.scheduler_fallbacks: List[Dict] = []
+        #: Control-plane runtime records (quarantine, failover, degraded
+        #: mode, ...), in emission order.
+        self.control_events: List[Dict] = []
         #: flow id -> number of fault-driven path migrations.
         self.reroutes: Dict[int, int] = {}
         self.rounds = 0
@@ -407,6 +410,21 @@ class Instrumentation:
         self.scheduler_fallbacks.append(dict(record))
         if self.event_log is not None:
             self.event_log.append("scheduler_fallback", now, **record)
+
+    def on_control_event(self, record: Dict, now: float) -> None:
+        """The control-plane runtime logged a lifecycle event.
+
+        ``record["kind"]`` names it (``quarantine``, ``readopt``,
+        ``resync``, ``failover``, ``degraded_enter``, ``degraded_exit``,
+        ``checkpoint``, ``registration_deferred``); the rest of the
+        record carries event-specific fields.
+        """
+        self.registry.counter(
+            "control_events_total", kind=record.get("kind", "unknown")
+        ).inc()
+        self.control_events.append(dict(record))
+        if self.event_log is not None:
+            self.event_log.append("control", now, **record)
 
     # -- network-facing hooks (NetworkModel.observer) -------------------
 

@@ -222,6 +222,7 @@ def summarize_events(events: Iterable[Dict]) -> Dict:
     migrated_flows = 0
     stranded_flows = 0
     anomaly_detectors: Dict[str, int] = {}
+    control_kinds: Dict[str, int] = {}
     truncated: Optional[Dict] = None
     for event in events:
         kind = event.get("ev", "?")
@@ -261,6 +262,9 @@ def summarize_events(events: Iterable[Dict]) -> Dict:
         elif kind == "anomaly":
             detector = event.get("detector", "unknown")
             anomaly_detectors[detector] = anomaly_detectors.get(detector, 0) + 1
+        elif kind == "control":
+            ck = event.get("kind", "unknown")
+            control_kinds[ck] = control_kinds.get(ck, 0) + 1
         elif kind == "log_truncated":
             truncated = {
                 "evicted": event.get("evicted", 0),
@@ -317,6 +321,11 @@ def summarize_events(events: Iterable[Dict]) -> Dict:
                 sorted(anomaly_detectors.items())
             )
         summary["robustness"] = robustness
+    if control_kinds:
+        summary["control_plane"] = {
+            "events": sum(control_kinds.values()),
+            "event_kinds": dict(sorted(control_kinds.items())),
+        }
     if truncated is not None:
         summary["truncated"] = truncated
     return summary

@@ -101,6 +101,22 @@ def _robustness_section(instrumentation: Instrumentation) -> Dict:
     return section
 
 
+def _control_plane_section(instrumentation: Instrumentation) -> Dict:
+    """Control-plane runtime aggregates (mirrors the JSONL summarizer's
+    ``control_plane`` section so report and log summaries agree)."""
+    events = getattr(instrumentation, "control_events", None) or []
+    if not events:
+        return {}
+    kinds: Dict[str, int] = {}
+    for record in events:
+        kind = record.get("kind", "unknown")
+        kinds[kind] = kinds.get(kind, 0) + 1
+    return {
+        "events": len(events),
+        "event_kinds": dict(sorted(kinds.items())),
+    }
+
+
 def build_metrics_report(
     trace: SimulationTrace,
     instrumentation: Optional[Instrumentation] = None,
@@ -160,6 +176,9 @@ def build_metrics_report(
         robustness = _robustness_section(instrumentation)
         if robustness:
             report["robustness"] = robustness
+        control = _control_plane_section(instrumentation)
+        if control:
+            report["control_plane"] = control
         if instrumentation.tardiness_series:
             report["live_tardiness"] = {
                 group: {

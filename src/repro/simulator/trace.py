@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -190,3 +191,33 @@ class SimulationTrace:
     def actual_finish_times(self) -> Dict[int, float]:
         """flow_id -> finish time, the input to tardiness evaluation."""
         return {r.flow.flow_id: r.finish for r in self.flow_records}
+
+
+def trace_digest(trace: SimulationTrace) -> str:
+    """SHA-256 over every record of a trace, in emission order.
+
+    Two runs that produced the same spans, flow records, task events,
+    and end time -- byte for byte on their ``repr``-stable fields --
+    hash identically, which is the bit-identity check the control-plane
+    chaos suite (and any future differential harness) asserts. Floats
+    are hashed via ``repr`` (shortest round-trip form), so identical
+    IEEE values digest identically across processes.
+    """
+    hasher = hashlib.sha256()
+
+    def feed(*parts: object) -> None:
+        hasher.update("|".join(repr(p) for p in parts).encode())
+        hasher.update(b"\n")
+
+    for span in trace.compute_spans:
+        feed("span", span.task_id, span.device, span.start, span.end,
+             span.job_id, span.tag)
+    for record in trace.flow_records:
+        flow = record.flow
+        feed("flow", flow.flow_id, flow.src, flow.dst, flow.size,
+             flow.group_id, flow.job_id, record.start, record.finish,
+             record.ideal_finish)
+    for event in trace.task_events:
+        feed("task", event.task_id, event.kind, event.time, event.job_id)
+    feed("end", trace.end_time)
+    return hasher.hexdigest()

@@ -12,6 +12,15 @@ from .messages import (
     FlowInfo,
     QueueAssignment,
 )
+from .runtime import (
+    ControlPlaneRuntime,
+    ControlPlaneScheduler,
+    RpcChannel,
+    RpcSpec,
+    RuntimeAgent,
+    run_chaos_suite,
+    run_control_cluster,
+)
 
 __all__ = [
     "EchelonFlowAgent",
@@ -29,4 +38,11 @@ __all__ = [
     "FlowInfo",
     "BandwidthAllocation",
     "QueueAssignment",
+    "ControlPlaneRuntime",
+    "ControlPlaneScheduler",
+    "RuntimeAgent",
+    "RpcChannel",
+    "RpcSpec",
+    "run_control_cluster",
+    "run_chaos_suite",
 ]

@@ -1,0 +1,37 @@
+"""Fault-tolerant control-plane runtime (lossy RPC, failover, degradation).
+
+See :mod:`repro.system.runtime.runtime` for the service model and
+:mod:`repro.system.runtime.chaos` for the scored chaos suite.
+"""
+
+from .chaos import (
+    ChaosScenario,
+    ControlClusterRun,
+    SCENARIO_NAMES,
+    SMOKE_SCENARIOS,
+    build_chaos_scenarios,
+    format_chaos_table,
+    run_chaos_suite,
+    run_control_cluster,
+)
+from .rpc import RpcChannel, RpcSpec, RpcSpecError, Verdict, parse_rpc_spec
+from .runtime import ControlPlaneRuntime, ControlPlaneScheduler, RuntimeAgent
+
+__all__ = [
+    "RpcChannel",
+    "RpcSpec",
+    "RpcSpecError",
+    "Verdict",
+    "parse_rpc_spec",
+    "ControlPlaneRuntime",
+    "ControlPlaneScheduler",
+    "RuntimeAgent",
+    "ControlClusterRun",
+    "ChaosScenario",
+    "SCENARIO_NAMES",
+    "SMOKE_SCENARIOS",
+    "build_chaos_scenarios",
+    "run_control_cluster",
+    "run_chaos_suite",
+    "format_chaos_table",
+]

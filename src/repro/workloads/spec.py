@@ -182,8 +182,16 @@ def run_spec(
     if faults is None:
         faults = spec.get("faults")
     if faults:
-        from ..faults import ResilientScheduler
+        from ..faults import FaultSchedule, ResilientScheduler
 
+        # Parse and validate against the topology now, so a typo'd link
+        # in the chaos spec fails the build instead of firing mid-run.
+        if isinstance(faults, str):
+            faults = FaultSchedule.parse(faults)
+        elif isinstance(faults, (list, dict)):
+            faults = FaultSchedule.from_json(faults)
+        if isinstance(faults, FaultSchedule):
+            faults.validate_links(topology)
         scheduler = ResilientScheduler(scheduler)
     if profile:
         from ..obs import ProfiledScheduler

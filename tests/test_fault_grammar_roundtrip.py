@@ -1,0 +1,96 @@
+"""JSON round-trip coverage for the full fault grammar.
+
+Every fault spec the repo actually ships -- the watch-loop scenario
+grid (single- and multi-fault kinds, every paradigm) and the
+control-plane chaos suite -- must survive
+``parse -> to_json -> from_json`` with event-for-event equality, so a
+schedule exported by one tool (or pinned in a baseline) rebuilds
+bit-identically elsewhere.
+"""
+
+import json
+
+import pytest
+
+from repro.faults import FaultSchedule, FaultSpecError
+from repro.obs.watch.scenarios import (
+    FAULT_KINDS,
+    MULTI_FAULT_KINDS,
+    PARADIGM_KEYS,
+    build_scenarios,
+)
+from repro.system.runtime.chaos import SCENARIO_NAMES, build_chaos_scenarios
+
+
+def _watch_specs():
+    """Every non-empty fault spec the watch-loop grids can produce."""
+    specs = {}
+    for kinds in (FAULT_KINDS, MULTI_FAULT_KINDS):
+        for scenario in build_scenarios(paradigms=PARADIGM_KEYS, kinds=kinds):
+            if scenario.spec is not None:
+                specs[scenario.name] = scenario.spec
+    return sorted(specs.items())
+
+
+def _chaos_specs():
+    """Every control-plane fault spec the chaos suite runs."""
+    return sorted(
+        (scenario.name, scenario.faults)
+        for scenario in build_chaos_scenarios(0.2, SCENARIO_NAMES)
+        if scenario.faults is not None
+    )
+
+
+def _roundtrip(schedule: FaultSchedule) -> FaultSchedule:
+    document = schedule.to_json()
+    # The export must be plain JSON (a list of primitive events).
+    assert isinstance(json.loads(document), list)
+    return FaultSchedule.from_json(document)
+
+
+@pytest.mark.parametrize(
+    "name,spec", _watch_specs(), ids=[n for n, _ in _watch_specs()]
+)
+def test_watch_scenario_specs_roundtrip(name, spec):
+    schedule = FaultSchedule.parse(spec)
+    assert _roundtrip(schedule) == schedule
+
+
+@pytest.mark.parametrize(
+    "name,spec", _chaos_specs(), ids=[n for n, _ in _chaos_specs()]
+)
+def test_chaos_scenario_specs_roundtrip(name, spec):
+    schedule = FaultSchedule.parse(spec)
+    assert schedule.has_control_faults
+    assert _roundtrip(schedule) == schedule
+
+
+def test_roundtrip_preserves_every_field():
+    """One schedule exercising every optional event field at once."""
+    spec = (
+        "link_down:h0-h1@0.5+1.0;"
+        " degrade:h1->h2@2.0,factor=0.25;"
+        " flap:h0-h1@4.0,period=0.5,count=3,factor=0.1;"
+        " crash_scheduler@6.0;"
+        " crash_agent@1.0+0.5,agent=job-a;"
+        " crash_coordinator@2.5+0.5;"
+        " partition_control@3.0+0.25,agent=job-b;"
+        " rpc_noise@4.5+1.0,drop=0.2,delay=0.01"
+    )
+    schedule = FaultSchedule.parse(spec)
+    restored = _roundtrip(schedule)
+    assert restored == schedule
+    assert restored.events == schedule.events
+    assert restored.ground_truth() == schedule.ground_truth()
+    assert restored.has_control_faults
+    # A second hop is fixed-point: to_json(from_json(x)) == x.
+    assert restored.to_json() == schedule.to_json()
+
+
+def test_from_json_rejects_garbage():
+    with pytest.raises(FaultSpecError):
+        FaultSchedule.from_json({"faults": "nope"})
+    with pytest.raises(FaultSpecError):
+        FaultSchedule.from_json([42])
+    with pytest.raises(FaultSpecError):
+        FaultSchedule.from_json([])

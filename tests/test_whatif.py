@@ -22,7 +22,7 @@ import random
 
 import pytest
 
-from repro.core import FlowIdAllocator, reset_flow_ids, use_flow_id_allocator
+from repro.core import FlowIdAllocator, use_flow_id_allocator
 from repro.core.units import gbps, megabytes
 from repro.faults import FaultInjector, parse_fault_spec
 from repro.scheduling import EchelonMaddScheduler, MemoizingScheduler
@@ -269,9 +269,14 @@ def test_engine_scoped_allocators_are_independent():
     assert _trace_key(first.run()) == _trace_key(second.run())
 
 
-def test_reset_flow_ids_is_deprecated():
-    with pytest.deprecated_call():
-        reset_flow_ids()
+def test_reset_flow_ids_shim_is_gone():
+    # The PR 7 deprecation shim completed its cycle: the only sanctioned
+    # way to scope flow ids is use_flow_id_allocator.
+    import repro.core
+    import repro.core.flow
+
+    assert not hasattr(repro.core, "reset_flow_ids")
+    assert not hasattr(repro.core.flow, "reset_flow_ids")
 
 
 # ---------------------------------------------------------------------------
